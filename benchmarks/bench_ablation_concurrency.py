@@ -1,0 +1,70 @@
+"""Ablation: asynchronous virtines scale across cores (§2's futures).
+
+A batch of snapshot-warmed function invocations is scheduled by the
+VirtineExecutor over 1/2/4/8 cores.  Makespan should scale down near-
+linearly until per-launch overheads dominate -- the scheduling headroom
+a virtine-based platform has because each invocation is so cheap.
+"""
+
+import pytest
+
+from repro.runtime.image import ImageBuilder
+from repro.units import cycles_to_us
+from repro.wasp import BitmaskPolicy, Hypercall, VirtineConfig, Wasp
+from repro.wasp.futures import VirtineExecutor
+
+JOBS = 24
+CORE_COUNTS = (1, 2, 4, 8)
+
+
+def job_entry(env):
+    if not env.from_snapshot:
+        env.charge(env._wasp.costs.GUEST_LIBC_INIT)
+        env.snapshot(payload=None)
+    env.charge(120_000)  # ~45 us of guest compute
+    return 0
+
+
+def policy():
+    return BitmaskPolicy(VirtineConfig.allowing(Hypercall.SNAPSHOT))
+
+
+def run_batch(cores: int) -> int:
+    executor = VirtineExecutor(Wasp(), cores=cores)
+    image = ImageBuilder().hosted("scale-job", job_entry)
+    executor.submit(image, policy=policy()).result()  # warm pool + snapshot
+    base = executor.makespan_cycles
+    futures = [executor.submit(image, policy=policy()) for _ in range(JOBS)]
+    executor.drain()
+    assert all(f.done() for f in futures)
+    return executor.makespan_cycles - base
+
+
+@pytest.fixture(scope="module")
+def measured(report):
+    results = {cores: run_batch(cores) for cores in CORE_COUNTS}
+    base = results[1]
+    for cores, makespan in results.items():
+        report.line(
+            f"  {cores} core(s): makespan {cycles_to_us(makespan):10.1f} us"
+            f"   speedup {base / makespan:5.2f}x"
+        )
+    report.row(f"{JOBS} invocations, 8 cores vs 1", "near-linear",
+               f"{base / results[8]:.1f}x")
+    return results
+
+
+class TestShape:
+    def test_monotonic_speedup(self, measured):
+        values = [measured[c] for c in CORE_COUNTS]
+        assert values == sorted(values, reverse=True)
+
+    def test_meaningful_parallel_speedup(self, measured):
+        assert measured[1] / measured[4] > 2.5
+
+    def test_not_superlinear(self, measured):
+        assert measured[1] / measured[8] <= 8.5
+
+
+def test_benchmark_parallel_batch(benchmark, measured):
+    benchmark.pedantic(run_batch, args=(4,), rounds=3, iterations=1)

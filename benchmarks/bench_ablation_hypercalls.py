@@ -1,0 +1,75 @@
+"""Ablation: host-interaction frequency vs virtine latency.
+
+Section 4's third insight: "host interactions can be facilitated with
+hypercalls ... but their number must be limited to keep costs low."
+This sweep varies the hypercalls per invocation and recovers the
+per-interaction cost (the doubly-expensive exit of Section 6.3).
+"""
+
+import pytest
+
+from repro.runtime.image import ImageBuilder
+from repro.units import cycles_to_us
+from repro.wasp import BitmaskPolicy, Hypercall, VirtineConfig, Wasp
+
+COUNTS = (0, 1, 2, 4, 8, 16, 32)
+
+
+def make_entry(count):
+    def entry(env):
+        for _ in range(count):
+            env.hypercall(Hypercall.STAT, "/touch")
+        return count
+
+    return entry
+
+
+def policy():
+    return BitmaskPolicy(VirtineConfig.allowing(Hypercall.STAT))
+
+
+@pytest.fixture(scope="module")
+def measured(report):
+    wasp = Wasp()
+    wasp.kernel.fs.add_file("/touch", b"x")
+    results = {}
+    for count in COUNTS:
+        image = ImageBuilder().hosted(f"hc-{count}", make_entry(count))
+        wasp.launch(image, policy=policy(), use_snapshot=False)  # warm
+        results[count] = wasp.launch(image, policy=policy(), use_snapshot=False).cycles
+        report.line(f"  {count:3d} hypercalls: {cycles_to_us(results[count]):8.1f} us")
+    per_call = (results[32] - results[0]) / 32
+    report.row("marginal cost per hypercall", "2 ring switches + exits",
+               f"{per_call:,.0f} cyc ({cycles_to_us(per_call):.2f} us)")
+    return results
+
+
+class TestShape:
+    def test_monotonic_in_hypercalls(self, measured):
+        values = [measured[c] for c in COUNTS]
+        assert values == sorted(values)
+
+    def test_linear_slope(self, measured):
+        slope_low = (measured[8] - measured[0]) / 8
+        slope_high = (measured[32] - measured[8]) / 24
+        assert slope_high == pytest.approx(slope_low, rel=0.25)
+
+    def test_per_call_cost_is_doubly_expensive(self, measured):
+        """Each hypercall pays two full ring transitions plus the world
+        switches -- thousands of cycles, not hundreds."""
+        per_call = (measured[32] - measured[0]) / 32
+        costs = Wasp().costs
+        floor = costs.VMRUN_EXIT + costs.VMRUN_ENTRY + 2 * costs.RING_TRANSITION
+        assert per_call > floor
+
+
+def test_benchmark_chatty_virtine(benchmark, measured):
+    wasp = Wasp()
+    wasp.kernel.fs.add_file("/touch", b"x")
+    image = ImageBuilder().hosted("hc-bench", make_entry(8))
+    wasp.launch(image, policy=policy(), use_snapshot=False)
+    benchmark.pedantic(
+        lambda: wasp.launch(image, policy=policy(), use_snapshot=False),
+        rounds=5,
+        iterations=1,
+    )

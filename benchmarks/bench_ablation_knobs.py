@@ -1,0 +1,93 @@
+"""Ablation: the contribution of each Wasp optimisation.
+
+DESIGN.md calls out three latency-critical design choices: shell
+pooling, asynchronous cleaning, and snapshotting.  This ablation runs
+one hosted workload across the knob grid and attributes the savings,
+confirming each mechanism pays for itself (and how they compose).
+"""
+
+import pytest
+
+from repro.runtime.image import ImageBuilder
+from repro.units import cycles_to_us
+from repro.wasp import BitmaskPolicy, CleanMode, Hypercall, VirtineConfig, Wasp
+
+
+def workload_entry(env):
+    if not env.from_snapshot:
+        env.charge(env._wasp.costs.GUEST_LIBC_INIT)
+        env.snapshot(payload=None)
+    env.charge_bytes(4096)
+    return 0
+
+
+def policy():
+    return BitmaskPolicy(VirtineConfig.allowing(Hypercall.SNAPSHOT))
+
+
+@pytest.fixture(scope="module")
+def measured(report):
+    wasp = Wasp()
+    image = ImageBuilder().hosted("ablation", workload_entry)
+    # Warm: fill the pool and capture the snapshot.
+    wasp.launch(image, policy=policy())
+    wasp.launch(image, policy=policy())
+
+    configs = {
+        "scratch, sync clean, no snapshot": dict(pooled=False, clean=CleanMode.SYNC, use_snapshot=False),
+        "pooled, sync clean, no snapshot": dict(pooled=True, clean=CleanMode.SYNC, use_snapshot=False),
+        "pooled, async clean, no snapshot": dict(pooled=True, clean=CleanMode.ASYNC, use_snapshot=False),
+        "pooled, sync clean, snapshot": dict(pooled=True, clean=CleanMode.SYNC, use_snapshot=True),
+        "pooled, async clean, snapshot": dict(pooled=True, clean=CleanMode.ASYNC, use_snapshot=True),
+    }
+    results = {}
+    for label, kwargs in configs.items():
+        results[label] = wasp.launch(image, policy=policy(), **kwargs).cycles
+        report.line(f"  {label:38s} {cycles_to_us(results[label]):10.1f} us")
+
+    full = results["pooled, async clean, snapshot"]
+    none = results["scratch, sync clean, no snapshot"]
+    report.row("all optimisations vs none", "order-of-magnitude", f"{none / full:.1f}x")
+    return results
+
+
+class TestAttribution:
+    def test_pooling_dominates(self, measured):
+        """Skipping KVM_CREATE_VM is the single biggest win."""
+        saving_pool = (
+            measured["scratch, sync clean, no snapshot"]
+            - measured["pooled, sync clean, no snapshot"]
+        )
+        saving_async = (
+            measured["pooled, sync clean, no snapshot"]
+            - measured["pooled, async clean, no snapshot"]
+        )
+        assert saving_pool > saving_async > 0
+
+    def test_snapshot_helps_on_top_of_pooling(self, measured):
+        assert (
+            measured["pooled, async clean, snapshot"]
+            < measured["pooled, async clean, no snapshot"]
+        )
+
+    def test_composition_is_best(self, measured):
+        best = measured["pooled, async clean, snapshot"]
+        assert best == min(measured.values())
+
+    def test_total_speedup_order_of_magnitude(self, measured):
+        ratio = (
+            measured["scratch, sync clean, no snapshot"]
+            / measured["pooled, async clean, snapshot"]
+        )
+        assert ratio > 5.0
+
+
+def test_benchmark_fully_optimised(benchmark, measured):
+    wasp = Wasp()
+    image = ImageBuilder().hosted("ablation-bench", workload_entry)
+    wasp.launch(image, policy=policy())
+    benchmark.pedantic(
+        lambda: wasp.launch(image, policy=policy(), clean=CleanMode.ASYNC),
+        rounds=5,
+        iterations=1,
+    )

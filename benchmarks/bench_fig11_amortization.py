@@ -1,0 +1,120 @@
+"""Figure 11 (E5): amortising virtine start-up with computation.
+
+fib(n) via the ``@virtine`` language extension, n in {0..30}: native vs
+virtine vs virtine+snapshot.  Claim C5: creation overheads amortise with
+~100 us of work, and snapshotting cuts the fixed overhead substantially
+(pushing the amortisation point down ~10x).
+"""
+
+import os
+
+import pytest
+
+from repro.lang import virtine
+from repro.lang.decorator import set_default_wasp
+from repro.units import cycles_to_us
+from repro.wasp import Wasp
+
+NS = (0, 5, 10, 15, 20, 25, 30)
+
+
+@virtine
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+
+def _expected(n):
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+@pytest.fixture(scope="module")
+def measured(report):
+    results = {"native": {}, "virtine": {}, "snapshot": {}}
+    wasp = Wasp()
+    set_default_wasp(wasp)
+    try:
+        # Native: the guest work cost model applied to a direct call.
+        for n in NS:
+            counter = [0]
+
+            def counted_fib(m):
+                counter[0] += 1
+                if m < 2:
+                    return m
+                return counted_fib(m - 1) + counted_fib(m - 2)
+
+            assert counted_fib(n) == _expected(n)
+            results["native"][n] = (
+                wasp.costs.FUNCTION_CALL + counter[0] * wasp.costs.GUEST_CALL
+            )
+
+        # Virtine without snapshotting.
+        os.environ["VIRTINE_NO_SNAPSHOT"] = "1"
+        try:
+            fib.invoke(0)  # warm the pool
+            for n in NS:
+                result = fib.invoke(n)
+                assert result.value == _expected(n)
+                results["virtine"][n] = result.cycles
+        finally:
+            del os.environ["VIRTINE_NO_SNAPSHOT"]
+
+        # Virtine with snapshotting (capture once, then measure).
+        fib.invoke(0)
+        for n in NS:
+            result = fib.invoke(n)
+            assert result.value == _expected(n)
+            results["snapshot"][n] = result.cycles
+    finally:
+        set_default_wasp(None)
+
+    for n in NS:
+        report.line(
+            f"  fib({n:2d})  native {cycles_to_us(results['native'][n]):10.1f} us"
+            f"   virtine {cycles_to_us(results['virtine'][n]):10.1f} us"
+            f"   +snapshot {cycles_to_us(results['snapshot'][n]):10.1f} us"
+            f"   slowdown {results['snapshot'][n] / results['native'][n]:8.1f}x"
+        )
+    speedup0 = results["virtine"][0] / results["snapshot"][0]
+    report.row("snapshot speedup at fib(0)", "~2.5x", f"{speedup0:.1f}x")
+    slow25 = results["snapshot"][25] / results["native"][25]
+    slow30 = results["snapshot"][30] / results["native"][30]
+    report.row("slowdown at fib(25)", "1.03x", f"{slow25:.2f}x")
+    report.row("slowdown at fib(30)", "1.01x", f"{slow30:.2f}x")
+    amortize = next(
+        (n for n in NS if results["snapshot"][n] / results["native"][n] < 1.25), None
+    )
+    work_us = cycles_to_us(results["native"][amortize]) if amortize is not None else None
+    report.row("work to amortise (<1.25x)", "~100 us",
+               f"fib({amortize}) = {work_us:,.0f} us" if amortize is not None else "not reached")
+    return results
+
+
+class TestShape:
+    def test_snapshot_beats_plain_virtine_at_fib0(self, measured):
+        assert measured["virtine"][0] > 1.5 * measured["snapshot"][0]
+
+    def test_amortization_by_fib25(self, measured):
+        assert measured["snapshot"][25] / measured["native"][25] < 1.25
+
+    def test_near_native_by_fib30(self, measured):
+        assert measured["snapshot"][30] / measured["native"][30] < 1.10
+
+    def test_overhead_monotonically_amortises(self, measured):
+        ratios = [measured["snapshot"][n] / measured["native"][n] for n in NS if n > 0]
+        assert ratios == sorted(ratios, reverse=True)
+
+
+def test_benchmark_fib20_virtine(benchmark, measured):
+    wasp = Wasp()
+    set_default_wasp(wasp)
+    try:
+        fib.invoke(20)  # snapshot capture
+        benchmark.pedantic(lambda: fib.invoke(20), rounds=3, iterations=1)
+    finally:
+        set_default_wasp(None)

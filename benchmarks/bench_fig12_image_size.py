@@ -1,0 +1,79 @@
+"""Figure 12 (E6): impact of image size on start-up latency.
+
+A minimal halting virtine padded from 16 KB to 16 MB.  Claim C6: once
+the image outgrows the fixed provisioning costs, start-up is memory-
+bandwidth bound (the paper measures 2.3 ms at 16 MB ~= 6.8 GB/s, against
+tinker's 6.7 GB/s memcpy bandwidth).
+"""
+
+import pytest
+
+from repro.units import cycles_to_ms, cycles_to_us
+from repro.runtime.image import ImageBuilder
+from repro.wasp import CleanMode, Wasp
+
+SIZES = (
+    16 * 1024, 64 * 1024, 256 * 1024,
+    1024 * 1024, 2 * 1024 * 1024, 4 * 1024 * 1024,
+    8 * 1024 * 1024, 16 * 1024 * 1024,
+)
+
+
+def launch_padded(wasp, image):
+    return wasp.launch(image, use_snapshot=False, clean=CleanMode.ASYNC).cycles
+
+
+@pytest.fixture(scope="module")
+def measured(report):
+    wasp = Wasp()
+    builder = ImageBuilder()
+    results = {}
+    for size in SIZES:
+        image = builder.hlt_only(size=size)
+        launch_padded(wasp, image)  # warm this pool bucket
+        results[size] = launch_padded(wasp, image)
+
+    for size, cycles in results.items():
+        label = f"{size // 1024:>6d} KB image"
+        report.line(f"  {label}: {cycles_to_us(cycles):12,.1f} us")
+    report.row("16 MB start-up", "~2.3 ms", f"{cycles_to_ms(results[SIZES[-1]]):.2f} ms")
+    floor = results[SIZES[0]]
+    knee = next((s for s in SIZES if results[s] > 2 * floor), None)
+    report.row("knee (latency > 2x floor)", "~1-2 MB (paper fig.)",
+               f"{knee // 1024} KB" if knee else "none")
+    implied_bw = (16 * 1024 * 1024) / (results[SIZES[-1]] / 2_690_000_000) / 1e9
+    report.row("implied copy bandwidth at 16 MB", "6.8 GB/s", f"{implied_bw:.1f} GB/s")
+    return results
+
+
+class TestShape:
+    def test_monotonic(self, measured):
+        values = [measured[s] for s in SIZES]
+        assert values == sorted(values)
+
+    def test_sixteen_mb_matches_paper(self, measured):
+        assert cycles_to_ms(measured[SIZES[-1]]) == pytest.approx(2.3, abs=0.5)
+
+    def test_linear_regime_past_knee(self, measured):
+        """Doubling a large image roughly doubles the latency."""
+        ratio = measured[16 * 1024 * 1024] / measured[8 * 1024 * 1024]
+        assert 1.7 < ratio < 2.3
+
+    def test_floor_regime_below_knee(self, measured):
+        """Small images are dominated by fixed provisioning costs."""
+        ratio = measured[64 * 1024] / measured[16 * 1024]
+        assert ratio < 3.0
+
+
+def test_benchmark_small_image(benchmark, measured):
+    wasp = Wasp()
+    image = ImageBuilder().hlt_only(size=16 * 1024)
+    launch_padded(wasp, image)
+    benchmark.pedantic(launch_padded, args=(wasp, image), rounds=5, iterations=1)
+
+
+def test_benchmark_large_image(benchmark, measured):
+    wasp = Wasp()
+    image = ImageBuilder().hlt_only(size=16 * 1024 * 1024)
+    launch_padded(wasp, image)
+    benchmark.pedantic(launch_padded, args=(wasp, image), rounds=3, iterations=1)

@@ -1,0 +1,76 @@
+"""Figure 13 (E7): HTTP latency and throughput, native vs virtines.
+
+A single-threaded static-content server; each connection handled
+natively, in a fresh virtine, or in a fresh virtine with snapshotting
+(seven hypercalls per request either way).  Claim C7: < 20% throughput
+drop relative to native (the paper measures 12% with snapshotting).
+"""
+
+import pytest
+
+from repro.apps.http.client import RequestGenerator
+from repro.apps.http.server import StaticHttpServer
+from repro.wasp import Wasp
+
+REQUESTS = 30
+FILE_BODY = b"<html>" + b"v" * 1024 + b"</html>"
+
+
+def build_world(isolation):
+    wasp = Wasp()
+    wasp.kernel.fs.add_file("/srv/index.html", FILE_BODY)
+    server = StaticHttpServer(wasp, port=8000, isolation=isolation)
+    generator = RequestGenerator(wasp.kernel, server, "/index.html")
+    generator.one_request()  # warm: pool fill + snapshot capture
+    return generator
+
+
+@pytest.fixture(scope="module")
+def measured(report):
+    reports = {}
+    for isolation in ("native", "virtine", "snapshot"):
+        generator = build_world(isolation)
+        reports[isolation] = generator.run(REQUESTS)
+
+    native_tput = reports["native"].harmonic_mean_rps
+    for isolation in ("native", "virtine", "snapshot"):
+        load = reports[isolation]
+        report.line(
+            f"  {isolation:9s}  mean latency {load.mean_latency_us:9.1f} us"
+            f"   throughput {load.harmonic_mean_rps:10.0f} req/s"
+        )
+    for isolation in ("virtine", "snapshot"):
+        drop = 1 - reports[isolation].harmonic_mean_rps / native_tput
+        paper = "12% (snapshot)" if isolation == "snapshot" else "(higher)"
+        report.row(f"throughput drop: {isolation}", paper, f"{drop * 100:.1f}%")
+    return reports
+
+
+class TestShape:
+    def test_no_errors(self, measured):
+        assert all(r.errors == 0 for r in measured.values())
+
+    def test_native_fastest(self, measured):
+        assert (
+            measured["native"].mean_latency_us
+            <= measured["snapshot"].mean_latency_us
+        )
+
+    def test_snapshot_drop_under_20_percent(self, measured):
+        """Claim C7."""
+        drop = 1 - measured["snapshot"].harmonic_mean_rps / measured["native"].harmonic_mean_rps
+        assert drop < 0.20
+
+    def test_drop_near_paper_value(self, measured):
+        drop = 1 - measured["snapshot"].harmonic_mean_rps / measured["native"].harmonic_mean_rps
+        assert drop == pytest.approx(0.12, abs=0.06)
+
+
+def test_benchmark_native_request(benchmark, measured):
+    generator = build_world("native")
+    benchmark.pedantic(generator.one_request, rounds=10, iterations=1)
+
+
+def test_benchmark_virtine_request(benchmark, measured):
+    generator = build_world("snapshot")
+    benchmark.pedantic(generator.one_request, rounds=10, iterations=1)

@@ -1,0 +1,101 @@
+"""Figure 14 (E8): JavaScript virtine slowdown relative to native.
+
+The Duktape-analog engine base64-encodes a buffer.  Bars: virtine,
+virtine+snapshot, virtine+NT (no teardown), virtine+snapshot+NT.
+Paper: baseline 419 us; unoptimised virtine ~+125 us (1.5-2x range on
+artifact machines); snapshot roughly halves the overhead; NT+snapshot
+drops to ~137 us -- effectively just parse+execute, *below* native.
+"""
+
+import pytest
+
+from repro.apps.js.virtine_js import (
+    DEFAULT_DATA_SIZE,
+    JsVirtineClient,
+    NativeJsBaseline,
+    python_base64,
+)
+from repro.units import cycles_to_us
+from repro.wasp import Wasp
+
+DATA = bytes(i & 0xFF for i in range(DEFAULT_DATA_SIZE))
+EXPECTED = python_base64(DATA)
+
+
+@pytest.fixture(scope="module")
+def measured(report):
+    wasp = Wasp()
+    results = {}
+
+    native = NativeJsBaseline(wasp).run(DATA)
+    assert native.encoded == EXPECTED
+    results["native"] = native.cycles
+
+    plain = JsVirtineClient(wasp, use_snapshot=False)
+    plain.run(DATA)
+    results["virtine"] = plain.run(DATA).cycles
+
+    snap = JsVirtineClient(wasp, use_snapshot=True)
+    snap.run(DATA)
+    results["virtine+snapshot"] = snap.run(DATA).cycles
+
+    nt = JsVirtineClient(wasp, use_snapshot=False, no_teardown=True)
+    with nt.open_session() as session:
+        nt.run_in_session(session, DATA)
+        results["virtine+NT"] = nt.run_in_session(session, DATA).cycles
+
+    snap_nt = JsVirtineClient(wasp, use_snapshot=True, no_teardown=True)
+    with snap_nt.open_session() as session:
+        snap_nt.run_in_session(session, DATA)
+        results["virtine+snapshot+NT"] = snap_nt.run_in_session(session, DATA).cycles
+
+    base = results["native"]
+    report.row("native baseline", "419 us", f"{cycles_to_us(base):,.0f} us")
+    paper_bars = {
+        "virtine": "~1.3x (+125 us)",
+        "virtine+snapshot": "~2x less overhead",
+        "virtine+NT": "< virtine",
+        "virtine+snapshot+NT": "137 us (<1x)",
+    }
+    for label, hint in paper_bars.items():
+        report.row(
+            f"{label} slowdown", hint,
+            f"{results[label] / base:.2f}x ({cycles_to_us(results[label]):,.0f} us)",
+        )
+    return results
+
+
+class TestShape:
+    def test_baseline_near_paper(self, measured):
+        assert cycles_to_us(measured["native"]) == pytest.approx(419, rel=0.15)
+
+    def test_unoptimized_slowdown_range(self, measured):
+        """Artifact C8: leftmost bar in the 1.3-2x range."""
+        ratio = measured["virtine"] / measured["native"]
+        assert 1.2 < ratio < 2.0
+
+    def test_snapshot_reduces_overhead(self, measured):
+        overhead_plain = measured["virtine"] - measured["native"]
+        overhead_snap = measured["virtine+snapshot"] - measured["native"]
+        assert overhead_snap < overhead_plain
+
+    def test_nt_reduces_further(self, measured):
+        assert measured["virtine+NT"] < measured["virtine+snapshot"]
+
+    def test_full_optimisation_beats_native(self, measured):
+        """The paper's final bar: retained engine + snapshot executes
+        less code than the native alloc/teardown cycle."""
+        assert measured["virtine+snapshot+NT"] < measured["native"]
+
+
+def test_benchmark_native_js(benchmark, measured):
+    wasp = Wasp()
+    baseline = NativeJsBaseline(wasp)
+    benchmark.pedantic(lambda: baseline.run(DATA), rounds=2, iterations=1)
+
+
+def test_benchmark_virtine_js_snapshot(benchmark, measured):
+    wasp = Wasp()
+    client = JsVirtineClient(wasp, use_snapshot=True)
+    client.run(DATA)
+    benchmark.pedantic(lambda: client.run(DATA), rounds=2, iterations=1)

@@ -1,0 +1,90 @@
+"""Figure 15: serverless virtines (Vespid) vs an OpenWhisk-like platform.
+
+A Locust-style load (ramp-up, two bursts, ramp-down) drives both
+platforms.  Paper shape: Vespid's lightweight virtine execution keeps
+response latency low and flat through the bursts, while the container
+platform pays cold starts (and queueing) when load spikes.
+"""
+
+import pytest
+
+from repro.apps.serverless import (
+    BurstyWorkload,
+    OpenWhiskLikePlatform,
+    PlatformReport,
+    VespidPlatform,
+)
+
+WORKERS = 8
+
+
+@pytest.fixture(scope="module")
+def measured(report):
+    workload = BurstyWorkload.paper_pattern(scale=1.0)
+    arrivals = workload.arrivals()
+    vespid = VespidPlatform(max_workers=WORKERS)
+    openwhisk = OpenWhiskLikePlatform(max_workers=WORKERS)
+    reports = {
+        "vespid": PlatformReport(platform="vespid", records=vespid.run(arrivals)),
+        "openwhisk": PlatformReport(platform="openwhisk", records=openwhisk.run(arrivals)),
+    }
+
+    report.line(f"  workload: {len(arrivals)} requests, ramp/burst/dip/burst/ramp-down")
+    report.row("vespid cold start", "sub-ms (virtine)",
+               f"{vespid.cold_start_s() * 1000:.2f} ms")
+    report.row("openwhisk cold start", "container (100s of ms)",
+               f"{openwhisk.cold_start_s() * 1000:.1f} ms")
+    for name, platform_report in reports.items():
+        report.line(
+            f"  {name:10s} p50 {platform_report.latency_percentile_ms(50):9.2f} ms"
+            f"   p99 {platform_report.latency_percentile_ms(99):9.2f} ms"
+            f"   max {max(r.latency_ms for r in platform_report.records):9.2f} ms"
+            f"   colds {platform_report.cold_count}"
+        )
+    report.line("  vespid time series (tput rps / p99 ms per 5s):")
+    for t, _, p99, rps in reports["vespid"].time_series()[::5]:
+        report.line(f"    t={t:5.1f}s  {rps:7.1f} rps   p99 {p99:9.3f} ms")
+    report.line("  openwhisk time series:")
+    for t, _, p99, rps in reports["openwhisk"].time_series()[::5]:
+        report.line(f"    t={t:5.1f}s  {rps:7.1f} rps   p99 {p99:9.3f} ms")
+    return reports, vespid, openwhisk, arrivals
+
+
+class TestShape:
+    def test_vespid_latency_flat(self, measured):
+        reports, *_ = measured
+        vespid = reports["vespid"]
+        assert vespid.latency_percentile_ms(99) < 5.0
+
+    def test_openwhisk_tail_shows_cold_starts(self, measured):
+        reports, *_ = measured
+        assert reports["openwhisk"].latency_percentile_ms(99.9) > 100.0
+
+    def test_vespid_wins_every_percentile(self, measured):
+        reports, *_ = measured
+        for q in (50, 90, 99):
+            assert (
+                reports["vespid"].latency_percentile_ms(q)
+                < reports["openwhisk"].latency_percentile_ms(q)
+            )
+
+    def test_throughput_tracks_offered_load(self, measured):
+        reports, *_ = measured
+        series = reports["vespid"].time_series()
+        burst_tput = max(rps for _, _, _, rps in series)
+        assert burst_tput > 300  # the 400 rps bursts are absorbed
+
+    def test_all_requests_served(self, measured):
+        reports, _, _, arrivals = measured
+        assert len(reports["vespid"].records) == len(arrivals)
+        assert len(reports["openwhisk"].records) == len(arrivals)
+
+
+def test_benchmark_vespid_run(benchmark, measured):
+    _, vespid, _, arrivals = measured
+    benchmark.pedantic(vespid.run, args=(arrivals,), rounds=3, iterations=1)
+
+
+def test_benchmark_openwhisk_run(benchmark, measured):
+    _, _, openwhisk, arrivals = measured
+    benchmark.pedantic(openwhisk.run, args=(arrivals,), rounds=3, iterations=1)

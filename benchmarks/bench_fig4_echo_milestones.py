@@ -1,0 +1,86 @@
+"""Figure 4 (E3): echo-server start-up milestones in protected mode.
+
+Paper: reaching the server's C entry point takes ~10K cycles; the full
+response completes well under 1 ms (claim C3: 100K-500K cycles to an
+HTTP response).
+"""
+
+import pytest
+
+from repro.apps.http.server import EchoServer, MS_MAIN, MS_RECV_DONE, MS_SEND_DONE
+from repro.units import cycles_to_ms, cycles_to_us
+from repro.wasp import Wasp
+
+
+def run_echo_once():
+    wasp = Wasp()
+    echo = EchoServer(wasp, port=8080)
+    conn = wasp.kernel.sys_connect(8080)
+    wasp.kernel.sys_send(conn, b"GET / HTTP/1.0\r\nHost: x\r\n\r\n")
+    result = echo.handle_one()
+    response = wasp.kernel.sys_recv(conn, 65536)
+    assert response.startswith(b"HTTP/1.0 200")
+    return result
+
+
+@pytest.fixture(scope="module")
+def measured(report):
+    result = run_echo_once()
+    stamps = dict(result.milestones)
+    # Milestones relative to the first guest timestamp (boot start).
+    origin = min(stamps.values())
+    main_entry = stamps[MS_MAIN] - origin
+    recv_done = stamps[MS_RECV_DONE] - origin
+    send_done = stamps[MS_SEND_DONE] - origin
+    report.row("reach main entry (C code)", "~10,000 cyc", f"{main_entry:,} cyc")
+    report.row("recv() returned", "milestone 2", f"{recv_done:,} cyc")
+    report.row("send() complete", "100K-500K cyc", f"{send_done:,} cyc")
+    report.row("end-to-end response", "<1 ms (<300 us)",
+               f"{cycles_to_us(result.cycles):,.0f} us")
+    return {"main": main_entry, "recv": recv_done, "send": send_done, "total": result.cycles}
+
+
+def run_pure_assembly_echo():
+    """The same experiment with a 100%-assembly guest (no hosted code),
+    mirroring the paper's hand-written runtime environment."""
+    from repro.hw.isa import Assembler
+    from repro.runtime.boot import echo_guest_source
+    from repro.runtime.image import VirtineImage
+    from repro.hw.cpu import Mode
+    from repro.wasp import BitmaskPolicy, Hypercall, VirtineConfig
+
+    wasp = Wasp()
+    listener = wasp.kernel.sys_listen(9090)
+    conn = wasp.kernel.sys_connect(9090)
+    wasp.kernel.sys_send(conn, b"GET / HTTP/1.0\r\n\r\n")
+    server_sock = wasp.kernel.sys_accept(listener)
+    program = Assembler(0x8000).assemble(echo_guest_source())
+    image = VirtineImage(name="asm-echo", program=program, mode=Mode.PROT32,
+                         size=len(program.image))
+    policy = BitmaskPolicy(VirtineConfig.allowing(Hypercall.RECV, Hypercall.SEND))
+    result = wasp.launch(image, policy=policy, resources={0: server_sock},
+                         use_snapshot=False)
+    assert wasp.kernel.sys_recv(conn, 4096) == b"GET / HTTP/1.0\r\n\r\n"
+    return result
+
+
+@pytest.fixture(scope="module")
+def assembly_measured(report):
+    result = run_pure_assembly_echo()
+    report.row("pure-assembly echo end-to-end", "same regime",
+               f"{cycles_to_us(result.cycles):,.0f} us")
+    return result
+
+
+def test_benchmark_echo(benchmark, measured):
+    benchmark.pedantic(run_echo_once, rounds=3, iterations=1)
+    assert measured["main"] < 20_000
+    assert measured["main"] < measured["recv"] < measured["send"]
+    assert 100_000 < measured["send"] < 1_500_000
+    assert cycles_to_ms(measured["total"]) < 1.0
+
+
+def test_benchmark_pure_assembly_echo(benchmark, measured, assembly_measured):
+    benchmark.pedantic(run_pure_assembly_echo, rounds=3, iterations=1)
+    assert cycles_to_ms(assembly_measured.cycles) < 1.0
+    assert assembly_measured.hypercall_count == 3

@@ -1,0 +1,57 @@
+"""Table 2: the cost of crossing isolation boundaries across systems.
+
+Prior systems are cost models calibrated to their published numbers;
+the virtine row is measured live from this repo's Wasp stack (pool
+provision + KVM_RUN + vmrun + exit, from host userspace).  Paper: 5 us
+for virtines, between LwC (2.01 us) and Wedge (~60 us).
+"""
+
+import pytest
+
+from repro.baselines import ALL_MECHANISMS, VirtineBoundary
+from repro.hw.clock import Clock
+
+
+@pytest.fixture(scope="module")
+def measured(report):
+    clock = Clock()
+    rows = {}
+    for cls in ALL_MECHANISMS:
+        mechanism = cls()
+        result = mechanism.cross(clock)
+        rows[result.system] = result
+        report.row(
+            f"{result.system} ({result.mechanism})",
+            f"{mechanism.paper_latency_us} us",
+            f"{result.latency_us:.2f} us",
+        )
+    virtines = VirtineBoundary()
+    result = virtines.cross(virtines.wasp.clock)
+    rows["Virtines"] = result
+    report.row(
+        f"Virtines ({result.mechanism})",
+        f"~{virtines.paper_latency_us} us",
+        f"{result.latency_us:.2f} us",
+    )
+    return rows
+
+
+class TestShape:
+    def test_virtines_between_lwc_and_wedge(self, measured):
+        assert measured["LwC"].latency_us < measured["Virtines"].latency_us
+        assert measured["Virtines"].latency_us < measured["Wedge"].latency_us
+
+    def test_virtines_single_digit_us(self, measured):
+        assert measured["Virtines"].latency_us < 10.0
+
+    def test_ordering_matches_table(self, measured):
+        order = ["Hodor", "SeCage", "Enclosures", "LwC", "Virtines", "Wedge"]
+        latencies = [measured[s].latency_us for s in order]
+        assert latencies == sorted(latencies)
+
+
+def test_benchmark_virtine_cross(benchmark, measured):
+    virtines = VirtineBoundary()
+    benchmark.pedantic(
+        lambda: virtines.cross(virtines.wasp.clock), rounds=10, iterations=1
+    )

@@ -1,0 +1,59 @@
+"""Shared reporting for the benchmark suite.
+
+Each benchmark regenerates one table/figure from the paper and records a
+paper-vs-measured comparison.  The comparisons are printed in the
+terminal summary (so they survive pytest's output capture) and written
+to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+_SECTIONS: list[tuple[str, list[str]]] = []
+
+
+class ExperimentReport:
+    """Accumulates one experiment's comparison table."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self.lines: list[str] = []
+
+    def line(self, text: str) -> None:
+        self.lines.append(text)
+
+    def row(self, label: str, paper: str, measured: str) -> None:
+        self.lines.append(f"  {label:<38s} paper: {paper:>14s}   measured: {measured:>14s}")
+
+    def note(self, text: str) -> None:
+        self.lines.append(f"  note: {text}")
+
+
+@pytest.fixture(scope="module")
+def report(request):
+    """Module-scoped experiment report, flushed at session end."""
+    experiment = ExperimentReport(request.module.__doc__.strip().splitlines()[0]
+                                  if request.module.__doc__ else request.module.__name__)
+    yield experiment
+    _SECTIONS.append((experiment.title, experiment.lines))
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _SECTIONS:
+        return
+    terminalreporter.write_sep("=", "paper vs. measured (simulated cycles on the virtual clock)")
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    all_text = []
+    for title, lines in _SECTIONS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(title)
+        all_text.append(title)
+        for line in lines:
+            terminalreporter.write_line(line)
+            all_text.append(line)
+        all_text.append("")
+    (_RESULTS_DIR / "summary.txt").write_text("\n".join(all_text) + "\n")

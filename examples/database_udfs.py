@@ -1,0 +1,69 @@
+"""Virtine-isolated user-defined functions in a database (Section 7.1).
+
+A Postgres-style engine runs UDFs in its own address space; a hostile
+UDF can corrupt the engine. Registering the same function with
+``isolation="virtine"`` gives every invocation a disjoint address space:
+mutations of "shared" state land on a private copy, and crashes abort
+only the query.
+
+Run:  python examples/database_udfs.py
+"""
+
+from repro.apps.database import Database, DatabaseError
+from repro.units import cycles_to_us
+
+FX_RATES = {"usd": 1.0, "eur": 1.09}
+
+
+def to_usd(amount, currency):
+    return amount * FX_RATES[currency]
+
+
+def hostile_udf(amount):
+    FX_RATES["usd"] = 0.0  # a supply-chain-attacked "conversion" library
+    return amount
+
+
+def buggy_udf(amount):
+    return amount[0]  # crashes on numbers
+
+
+def main() -> None:
+    db = Database()
+    db.execute("CREATE TABLE payments (payee TEXT, amount FLOAT, currency TEXT)")
+    db.execute(
+        "INSERT INTO payments VALUES ('alice', 120.0, 'eur'), "
+        "('bob', 80.0, 'usd'), ('carol', 250.0, 'eur')"
+    )
+
+    db.register_udf("to_usd", to_usd, isolation="virtine")
+    result = db.execute(
+        "SELECT payee, to_usd(amount, currency) AS usd FROM payments WHERE amount > 100"
+    )
+    print("== virtine UDF in a query ==")
+    for payee, usd in result.rows:
+        print(f"  {payee:8s} {usd:8.2f} USD")
+
+    print("\n== hostile UDF: engine state survives ==")
+    db.register_udf("hostile", hostile_udf, isolation="virtine")
+    db.execute("SELECT hostile(amount) FROM payments")
+    print(f"  FX_RATES after hostile UDF ran 3 times: {FX_RATES}")
+
+    print("\n== buggy UDF: query dies, engine lives ==")
+    db.register_udf("buggy", buggy_udf, isolation="virtine")
+    try:
+        db.execute("SELECT buggy(amount) FROM payments")
+    except DatabaseError as error:
+        print(f"  query aborted: {error}")
+    print(f"  engine still serves queries: {len(db.execute('SELECT * FROM payments'))} rows")
+
+    print("\n== per-row isolation cost ==")
+    start = db.wasp.clock.cycles
+    db.execute("SELECT to_usd(amount, currency) FROM payments")
+    cycles = db.wasp.clock.cycles - start
+    print(f"  3 isolated invocations: {cycles_to_us(cycles):.1f} us "
+          f"({cycles_to_us(cycles) / 3:.1f} us/row, snapshot-restored)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""A static HTTP server with virtine-per-connection isolation.
+
+This is the Section 6.3 scenario: every connection is handled inside a
+fresh virtine that can only reach the world through seven validated
+hypercalls (recv, stat, open, read, send, close, exit) and can only read
+files under the document root.
+
+Run:  python examples/http_static_server.py
+"""
+
+from repro.apps.http.client import RequestGenerator
+from repro.apps.http.server import StaticHttpServer
+from repro.wasp import Wasp
+
+
+def build_world(isolation: str) -> tuple[Wasp, StaticHttpServer]:
+    wasp = Wasp()
+    fs = wasp.kernel.fs
+    fs.add_file("/srv/index.html", b"<html><body><h1>virtines!</h1></body></html>")
+    fs.add_file("/srv/big.html", b"<html>" + b"A" * 8192 + b"</html>")
+    fs.add_file("/etc/shadow", b"root:$6$secret")  # NOT under the docroot
+    server = StaticHttpServer(wasp, port=8000, isolation=isolation, docroot="/srv")
+    return wasp, server
+
+
+def main() -> None:
+    for isolation in ("native", "virtine", "snapshot"):
+        wasp, server = build_world(isolation)
+        generator = RequestGenerator(wasp.kernel, server, "/index.html")
+        generator.one_request()  # warm-up (pool + snapshot capture)
+        report = generator.run(50)
+        print(
+            f"{isolation:9s}  mean latency {report.mean_latency_us:8.1f} us   "
+            f"throughput {report.harmonic_mean_rps:9.0f} req/s   errors {report.errors}"
+        )
+
+    # Show the isolation actually holding: a request that tries to escape
+    # the docroot is stopped by the canned handler's path validation.
+    wasp, server = build_world("virtine")
+    generator = RequestGenerator(wasp.kernel, server, "/../etc/shadow")
+    outcome = generator.one_request()
+    print(f"\nGET /../etc/shadow -> {outcome.response.status} {outcome.response.reason}")
+    served = server.served[-1]
+    denied = served.status != 200
+    print(f"virtine was {'denied' if denied else 'ALLOWED (BUG!)'} access outside the docroot")
+    print(f"hypercalls used on that request: {served.hypercalls}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Sandboxing a managed language: JavaScript in virtines (Section 6.5).
+
+Runs the paper's base64 workload on the from-scratch JS engine four
+ways -- native, virtine, virtine+snapshot, virtine+snapshot+no-teardown --
+and shows the co-designed one-shot hypercall policy stopping a
+compromised guest from calling ``get_data`` twice.
+
+Run:  python examples/js_sandbox.py
+"""
+
+from repro.apps.js.virtine_js import (
+    DEFAULT_DATA_SIZE,
+    JsVirtineClient,
+    NativeJsBaseline,
+    python_base64,
+)
+from repro.units import cycles_to_us
+from repro.wasp import Wasp
+from repro.wasp.hypercall import Hypercall, HypercallDenied
+from repro.wasp.virtine import VirtineCrash
+
+
+def main() -> None:
+    data = bytes(i & 0xFF for i in range(DEFAULT_DATA_SIZE))
+    expected = python_base64(data)
+    wasp = Wasp()
+
+    baseline = NativeJsBaseline(wasp).run(data)
+    assert baseline.encoded == expected
+    base_us = cycles_to_us(baseline.cycles)
+    print(f"native (alloc + bind + eval + teardown): {base_us:7.1f} us  1.00x")
+
+    plain = JsVirtineClient(wasp, use_snapshot=False)
+    plain.run(data)
+    result = plain.run(data)
+    assert result.encoded == expected
+    print(f"virtine:                                 {cycles_to_us(result.cycles):7.1f} us  "
+          f"{cycles_to_us(result.cycles) / base_us:.2f}x")
+
+    snap = JsVirtineClient(wasp, use_snapshot=True)
+    snap.run(data)
+    result = snap.run(data)
+    print(f"virtine + snapshot:                      {cycles_to_us(result.cycles):7.1f} us  "
+          f"{cycles_to_us(result.cycles) / base_us:.2f}x")
+
+    nt = JsVirtineClient(wasp, use_snapshot=True, no_teardown=True)
+    with nt.open_session() as session:
+        nt.run_in_session(session, data)
+        result = nt.run_in_session(session, data)
+        print(f"virtine + snapshot + no-teardown:        {cycles_to_us(result.cycles):7.1f} us  "
+              f"{cycles_to_us(result.cycles) / base_us:.2f}x")
+
+    # The attack-surface story: get_data() is one-shot.  A compromised
+    # guest calling it twice is killed by the policy.
+    print("\n== one-shot hypercall policy ==")
+    attacker = JsVirtineClient(wasp, use_snapshot=False)
+    original_entry = attacker._entry
+
+    def compromised_entry(env):
+        env.hypercall(Hypercall.GET_DATA)
+        env.hypercall(Hypercall.GET_DATA)  # exfiltration attempt
+
+    attacker.image.hosted_entry = compromised_entry
+    attacker._pending = {"data": data}
+    try:
+        attacker.wasp.launch(attacker.image, policy=attacker._policy(),
+                             handlers=attacker._handlers(), use_snapshot=False)
+    except VirtineCrash as crash:
+        print(f"second get_data() -> virtine killed: {crash}")
+    attacker.image.hosted_entry = original_entry
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""A plugin host built on the IDL: typed, least-privilege services.
+
+The scenario from the paper's introduction: an application wants to run
+third-party plugin code without trusting it.  The host *declares* the
+service surface plugins may use (a tiny key-value store plus a logging
+sink), and the IDL generates validated handlers, guest-side stubs, and a
+least-privilege policy.  Everything else -- filesystem, network, other
+plugins' data -- is unreachable.
+
+Run:  python examples/plugin_service.py
+"""
+
+from repro.lang.idl import Interface, Param
+from repro.runtime.image import ImageBuilder
+from repro.units import cycles_to_us
+from repro.wasp import Wasp
+from repro.wasp.virtine import VirtineCrash
+
+# The service surface plugins get -- and the ONLY thing they get.
+PLUGIN_API = (
+    Interface("plugin-api")
+    .define("kv_get", params=[Param("key", str, max_len=64)], returns=str)
+    .define("kv_put", params=[Param("key", str, max_len=64),
+                              Param("value", str, max_len=1024)])
+    .define("log", params=[Param("message", str, max_len=256)])
+)
+
+
+def well_behaved_plugin(env):
+    """Reads config, computes, stores a result, logs."""
+    api = PLUGIN_API.stubs(env)
+    threshold = float(api.kv_get("threshold"))
+    result = sum(value * value for value in range(20) if value > threshold)
+    api.kv_put("plugin:result", str(result))
+    api.log("computed sum of squares above threshold")
+    return result
+
+
+def greedy_plugin(env):
+    """Tries to smuggle an oversized value through the declared API."""
+    api = PLUGIN_API.stubs(env)
+    api.kv_put("blob", "x" * 100_000)  # exceeds the declared max_len
+
+
+def escaping_plugin(env):
+    """Ignores the stubs and calls an undeclared hypercall number."""
+    from repro.wasp.hypercall import Hypercall
+
+    env.hypercall(Hypercall.OPEN, "/etc/passwd")
+
+
+def main() -> None:
+    wasp = Wasp()
+    store: dict[str, str] = {"threshold": "10"}
+    log_lines: list[str] = []
+    handlers = PLUGIN_API.handlers({
+        "kv_get": lambda key: store.get(key, ""),
+        "kv_put": lambda key, value: store.__setitem__(key, value),
+        "log": lambda message: log_lines.append(message),
+    })
+    policy_factory = PLUGIN_API.policy
+
+    def run(name, plugin):
+        image = ImageBuilder().hosted(name, plugin)
+        return wasp.launch(image, policy=policy_factory(), handlers=handlers)
+
+    print("== well-behaved plugin ==")
+    result = run("good-plugin", well_behaved_plugin)
+    print(f"  returned {result.value} in {cycles_to_us(result.cycles):.0f} us "
+          f"({result.hypercall_count} hypercalls)")
+    print(f"  store now: {store}")
+    print(f"  log: {log_lines}")
+
+    print("\n== greedy plugin (oversized value) ==")
+    try:
+        run("greedy-plugin", greedy_plugin)
+    except VirtineCrash as crash:
+        print(f"  stopped: {crash}")
+    print(f"  store unchanged: {'blob' not in store}")
+
+    print("\n== escaping plugin (undeclared hypercall) ==")
+    try:
+        run("escaping-plugin", escaping_plugin)
+    except VirtineCrash as crash:
+        print(f"  stopped: {crash}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Quickstart: run individual Python functions in isolated virtines.
+
+Demonstrates the ``@virtine`` language extension (the paper's Figure 9),
+snapshotting, policies, and the latency introspection the simulated
+clock provides.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.lang import virtine
+from repro.lang.callgraph import SliceError
+from repro.units import cycles_to_us
+from repro.wasp.virtine import VirtineCrash
+
+
+@virtine
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+
+# A virtine's call-graph slice can span helpers in the same module.
+def clamp(value, lo, hi):
+    return lo if value < lo else hi if value > hi else value
+
+
+@virtine
+def saturating_sum(values, limit):
+    total = 0
+    for v in values:
+        total = clamp(total + v, 0, limit)
+    return total
+
+
+@virtine
+def evil_plugin(path):
+    # Virtines are sealed: no open(), no imports, no host objects.  The
+    # virtine compiler rejects this function outright.
+    return open(path).read()
+
+
+@virtine
+def buggy_plugin(values):
+    # An in-guest crash (the paper's errant-strcpy analogue): it kills
+    # only this virtine, never the host.
+    return values[10_000]
+
+
+def main() -> None:
+    print("== @virtine fib ==")
+    first = fib.invoke(20)
+    print(f"fib(20) = {first.value}")
+    print(f"  first call (boot + libc init + snapshot): {cycles_to_us(first.cycles):8.1f} us")
+    warm = fib.invoke(20)
+    print(f"  warm call (snapshot restore):             {cycles_to_us(warm.cycles):8.1f} us")
+    print(f"  hypercalls used: {warm.hypercall_count}, from_snapshot={warm.from_snapshot}")
+
+    print("\n== call-graph slicing ==")
+    print(f"saturating_sum slice: {saturating_sum.slice.function_names}")
+    print(f"image size: {saturating_sum.image.size} bytes (boot + libc + code)")
+    print(f"saturating_sum([5, 10, 200], 100) = {saturating_sum([5, 10, 200], 100)}")
+
+    print("\n== isolation: misbehaving functions ==")
+    try:
+        evil_plugin("/etc/passwd")
+    except SliceError as error:
+        print(f"rejected at packaging time: {error}")
+    try:
+        buggy_plugin([1, 2, 3])
+    except VirtineCrash as crash:
+        print(f"runtime fault contained: {crash}")
+    print("host is still running fine.")
+
+    print("\n== native vs virtine ==")
+    print(f"native fib(20) = {fib.native(20)} (no isolation, no overhead)")
+
+
+if __name__ == "__main__":
+    main()

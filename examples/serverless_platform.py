@@ -1,0 +1,40 @@
+"""Vespid vs OpenWhisk under a bursty serverless load (Figure 15).
+
+Vespid runs every function invocation in a fresh virtine; the baseline
+is a vanilla OpenWhisk-style container platform.  Both are driven by the
+same Locust-style ramp / burst / ramp-down arrival pattern.
+
+Run:  python examples/serverless_platform.py
+"""
+
+from repro.apps.serverless import (
+    BurstyWorkload,
+    OpenWhiskLikePlatform,
+    PlatformReport,
+    VespidPlatform,
+)
+
+
+def main() -> None:
+    workload = BurstyWorkload.paper_pattern(scale=1.0)
+    arrivals = workload.arrivals()
+    print(f"workload: {len(arrivals)} requests over {workload.total_duration_s:.0f}s "
+          f"(ramp, burst, dip, burst, ramp-down)\n")
+
+    for platform in (VespidPlatform(max_workers=8), OpenWhiskLikePlatform(max_workers=8)):
+        report = PlatformReport(platform=platform.name, records=platform.run(arrivals))
+        print(f"== {platform.name} ==")
+        print(f"  cold starts: {report.cold_count}   "
+              f"cold={platform.cold_start_s() * 1000:.2f} ms  warm={platform.warm_invoke_s() * 1000:.3f} ms")
+        print(f"  latency mean {report.mean_latency_ms():8.2f} ms   "
+              f"p50 {report.latency_percentile_ms(50):8.2f} ms   "
+              f"p99 {report.latency_percentile_ms(99):9.2f} ms")
+        print("  time series (5s buckets):")
+        for t, p50, p99, rps in report.time_series()[::5]:
+            bar = "#" * min(60, int(p99 / 5))
+            print(f"    t={t:5.1f}s  tput {rps:7.1f} rps   p99 {p99:9.2f} ms  {bar}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Isolating an untrusted/sensitive library function: AES in a virtine.
+
+The Section 6.4 scenario: a large application (here, a toy "document
+vault") uses a crypto library, and the deeply-buried block-cipher call
+is moved into virtine context with a one-line change -- the mode layer
+(CBC) is untouched; only the block-cipher seam is swapped.
+
+Run:  python examples/untrusted_library.py
+"""
+
+import os
+
+from repro.apps.crypto.aes import AES128
+from repro.apps.crypto.modes import cbc_decrypt, cbc_encrypt
+from repro.apps.crypto.speed import SpeedBenchmark, VirtineCipher
+from repro.units import cycles_to_us
+from repro.wasp import Wasp
+
+
+class DocumentVault:
+    """A toy application that encrypts documents with AES-128-CBC."""
+
+    def __init__(self, key: bytes, isolated: bool = False) -> None:
+        self.key = key
+        self.isolated = isolated
+        self.wasp = Wasp()
+        self._virtine_cipher = VirtineCipher(self.wasp, key) if isolated else None
+        self._docs: dict[str, tuple[bytes, bytes]] = {}
+
+    def store(self, name: str, plaintext: bytes) -> None:
+        iv = bytes((i * 7 + 13) & 0xFF for i in range(16))  # deterministic demo IV
+        if self._virtine_cipher is not None:
+            # The one-line change: encryption happens inside a virtine.
+            ciphertext = self._virtine_cipher.encrypt(iv, plaintext)
+        else:
+            from repro.apps.crypto.speed import AES_CYCLES_PER_BYTE
+
+            ciphertext = cbc_encrypt(self.key, iv, plaintext)
+            self.wasp.clock.advance(AES_CYCLES_PER_BYTE * len(plaintext))
+        self._docs[name] = (iv, ciphertext)
+
+    def load(self, name: str) -> bytes:
+        iv, ciphertext = self._docs[name]
+        return cbc_decrypt(self.key, iv, ciphertext)
+
+
+def main() -> None:
+    key = bytes(range(16))
+    secret = b"The launch code is 0000, as usual. " * 20
+
+    for isolated in (False, True):
+        vault = DocumentVault(key, isolated=isolated)
+        start = vault.wasp.clock.cycles
+        vault.store("launch-codes.txt", secret)
+        elapsed = vault.wasp.clock.cycles - start
+        assert vault.load("launch-codes.txt") == secret
+        label = "virtine-isolated" if isolated else "in-process      "
+        print(f"{label} encrypt+store: {cycles_to_us(elapsed):8.1f} us (round-trip verified)")
+
+    print("\n== openssl speed -evp aes-128-cbc (native vs virtine) ==")
+    bench = SpeedBenchmark()
+    print(f"{'chunk':>8s} {'native MB/s':>12s} {'virtine MB/s':>13s} {'slowdown':>9s}")
+    for size in (64, 1024, 16384):
+        native = bench.native_row(size, iterations=5)
+        isolated_row = bench.virtine_row(size, iterations=5)
+        print(
+            f"{size:8d} {native.bytes_per_second / 1e6:12.1f} "
+            f"{isolated_row.bytes_per_second / 1e6:13.1f} "
+            f"{native.bytes_per_second / isolated_row.bytes_per_second:8.1f}x"
+        )
+    print("\n(the paper reports ~17x at 16 KB chunks -- the snapshot copy of the")
+    print(" ~21 KB image dominates, making virtine creation memory-bound)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,3 @@
+"""Case-study applications (Section 6): HTTP serving, OpenSSL-style
+crypto, a managed-language (JavaScript) runtime, and serverless
+platforms."""

@@ -1,0 +1,13 @@
+"""The OpenSSL case study (Section 6.4): AES-128-CBC from scratch.
+
+:mod:`repro.apps.crypto.aes` is a FIPS-197 implementation;
+:mod:`repro.apps.crypto.modes` adds CBC with PKCS#7 padding;
+:mod:`repro.apps.crypto.speed` is the ``openssl speed -evp aes-128-cbc``
+analogue comparing native execution to virtine-isolated encryption.
+"""
+
+from repro.apps.crypto.aes import AES128
+from repro.apps.crypto.modes import cbc_decrypt, cbc_encrypt
+from repro.apps.crypto.speed import SpeedBenchmark, VirtineCipher
+
+__all__ = ["AES128", "cbc_encrypt", "cbc_decrypt", "SpeedBenchmark", "VirtineCipher"]

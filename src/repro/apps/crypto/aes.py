@@ -1,0 +1,182 @@
+"""AES-128 (FIPS-197), implemented from scratch.
+
+This is the "deeply buried, heavily optimized function in a large
+codebase" the paper isolates in Section 6.4 (OpenSSL's 128-bit AES block
+cipher).  The implementation is a straightforward table-based FIPS-197
+cipher -- correct output (validated against the FIPS-197 appendix
+vectors in the tests), while *timing* comes from the simulated cost
+model in :mod:`repro.apps.crypto.speed`.
+"""
+
+from __future__ import annotations
+
+BLOCK_SIZE = 16
+KEY_SIZE = 16
+ROUNDS = 10
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    """Construct the S-box from the multiplicative inverse in GF(2^8)
+    followed by the affine transform (FIPS-197 Section 5.1.1)."""
+    # Multiplicative inverses via exp/log tables over generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x ^= (x << 1) ^ (0x11B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    sbox = [0] * 256
+    for value in range(256):
+        inv = 0 if value == 0 else exp[255 - log[value]]
+        # Affine transform: bitwise matrix multiply + constant 0x63.
+        result = 0
+        for bit in range(8):
+            parity = (
+                (inv >> bit)
+                ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8))
+                ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            result |= parity << bit
+        sbox[value] = result
+    inv_sbox = [0] * 256
+    for value, substituted in enumerate(sbox):
+        inv_sbox[substituted] = value
+    return sbox, inv_sbox
+
+
+SBOX, INV_SBOX = _build_sbox()
+
+RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8)."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _gmul(a: int, b: int) -> int:
+    """GF(2^8) multiplication (schoolbook; only small b used)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+class AES128:
+    """AES with a 128-bit key: key schedule + block encrypt/decrypt."""
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != KEY_SIZE:
+            raise ValueError(f"AES-128 requires a 16-byte key, got {len(key)}")
+        self.round_keys = self._expand_key(key)
+
+    # -- key schedule (FIPS-197 Section 5.2) ------------------------------------
+    @staticmethod
+    def _expand_key(key: bytes) -> list[list[int]]:
+        words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 4 * (ROUNDS + 1)):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [SBOX[b] for b in temp]  # SubWord
+                temp[0] ^= RCON[i // 4 - 1]
+            words.append([words[i - 4][j] ^ temp[j] for j in range(4)])
+        # Group into 16-byte round keys.
+        round_keys = []
+        for round_index in range(ROUNDS + 1):
+            rk: list[int] = []
+            for w in words[4 * round_index : 4 * round_index + 4]:
+                rk.extend(w)
+            round_keys.append(rk)
+        return round_keys
+
+    # -- round primitives (state is a flat 16-byte column-major list) -----------
+    @staticmethod
+    def _add_round_key(state: list[int], rk: list[int]) -> None:
+        for i in range(16):
+            state[i] ^= rk[i]
+
+    @staticmethod
+    def _sub_bytes(state: list[int], box: list[int]) -> None:
+        for i in range(16):
+            state[i] = box[state[i]]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> None:
+        # state[r + 4c]: row r is rotated left by r.
+        for row in range(1, 4):
+            rotated = [state[row + 4 * ((col + row) % 4)] for col in range(4)]
+            for col in range(4):
+                state[row + 4 * col] = rotated[col]
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> None:
+        for row in range(1, 4):
+            rotated = [state[row + 4 * ((col - row) % 4)] for col in range(4)]
+            for col in range(4):
+                state[row + 4 * col] = rotated[col]
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> None:
+        for col in range(4):
+            a = state[4 * col : 4 * col + 4]
+            state[4 * col + 0] = _gmul(a[0], 2) ^ _gmul(a[1], 3) ^ a[2] ^ a[3]
+            state[4 * col + 1] = a[0] ^ _gmul(a[1], 2) ^ _gmul(a[2], 3) ^ a[3]
+            state[4 * col + 2] = a[0] ^ a[1] ^ _gmul(a[2], 2) ^ _gmul(a[3], 3)
+            state[4 * col + 3] = _gmul(a[0], 3) ^ a[1] ^ a[2] ^ _gmul(a[3], 2)
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> None:
+        for col in range(4):
+            a = state[4 * col : 4 * col + 4]
+            state[4 * col + 0] = _gmul(a[0], 14) ^ _gmul(a[1], 11) ^ _gmul(a[2], 13) ^ _gmul(a[3], 9)
+            state[4 * col + 1] = _gmul(a[0], 9) ^ _gmul(a[1], 14) ^ _gmul(a[2], 11) ^ _gmul(a[3], 13)
+            state[4 * col + 2] = _gmul(a[0], 13) ^ _gmul(a[1], 9) ^ _gmul(a[2], 14) ^ _gmul(a[3], 11)
+            state[4 * col + 3] = _gmul(a[0], 11) ^ _gmul(a[1], 13) ^ _gmul(a[2], 9) ^ _gmul(a[3], 14)
+
+    # -- block operations ---------------------------------------------------------
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self.round_keys[0])
+        for round_index in range(1, ROUNDS):
+            self._sub_bytes(state, SBOX)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self.round_keys[round_index])
+        self._sub_bytes(state, SBOX)
+        self._shift_rows(state)
+        self._add_round_key(state, self.round_keys[ROUNDS])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt one 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be 16 bytes, got {len(block)}")
+        state = list(block)
+        self._add_round_key(state, self.round_keys[ROUNDS])
+        for round_index in range(ROUNDS - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._sub_bytes(state, INV_SBOX)
+            self._add_round_key(state, self.round_keys[round_index])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._sub_bytes(state, INV_SBOX)
+        self._add_round_key(state, self.round_keys[0])
+        return bytes(state)

@@ -1,0 +1,81 @@
+"""CBC mode with PKCS#7 padding on top of :class:`AES128`.
+
+``openssl speed -evp aes-128-cbc`` exercises the CBC path; the virtine
+integration of Section 6.4 wraps the block cipher underneath it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps.crypto.aes import AES128, BLOCK_SIZE
+
+BlockFn = Callable[[bytes], bytes]
+
+
+class PaddingError(Exception):
+    """Invalid PKCS#7 padding on decryption."""
+
+
+def pkcs7_pad(data: bytes) -> bytes:
+    """Pad to a whole number of blocks (always adds at least one byte)."""
+    pad_len = BLOCK_SIZE - (len(data) % BLOCK_SIZE)
+    return data + bytes([pad_len]) * pad_len
+
+
+def pkcs7_unpad(data: bytes) -> bytes:
+    """Strip PKCS#7 padding, validating it."""
+    if not data or len(data) % BLOCK_SIZE != 0:
+        raise PaddingError("ciphertext length is not a multiple of the block size")
+    pad_len = data[-1]
+    if not 1 <= pad_len <= BLOCK_SIZE:
+        raise PaddingError(f"bad pad length {pad_len}")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise PaddingError("inconsistent padding bytes")
+    return data[:-pad_len]
+
+
+def _xor_block(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def cbc_encrypt(
+    key: bytes, iv: bytes, plaintext: bytes, encrypt_block: BlockFn | None = None
+) -> bytes:
+    """AES-128-CBC encrypt (PKCS#7 padded).
+
+    ``encrypt_block`` lets the caller substitute the block-cipher
+    primitive -- this is the seam where Section 6.4 swaps in the
+    virtine-isolated cipher without touching the mode layer.
+    """
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError("IV must be 16 bytes")
+    if encrypt_block is None:
+        encrypt_block = AES128(key).encrypt_block
+    padded = pkcs7_pad(plaintext)
+    out = bytearray()
+    previous = iv
+    for offset in range(0, len(padded), BLOCK_SIZE):
+        block = _xor_block(padded[offset : offset + BLOCK_SIZE], previous)
+        previous = encrypt_block(block)
+        out.extend(previous)
+    return bytes(out)
+
+
+def cbc_decrypt(
+    key: bytes, iv: bytes, ciphertext: bytes, decrypt_block: BlockFn | None = None
+) -> bytes:
+    """AES-128-CBC decrypt (PKCS#7 unpadded)."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError("IV must be 16 bytes")
+    if len(ciphertext) % BLOCK_SIZE != 0:
+        raise PaddingError("ciphertext length is not a multiple of the block size")
+    if decrypt_block is None:
+        decrypt_block = AES128(key).decrypt_block
+    out = bytearray()
+    previous = iv
+    for offset in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[offset : offset + BLOCK_SIZE]
+        out.extend(_xor_block(decrypt_block(block), previous))
+        previous = block
+    return pkcs7_unpad(bytes(out))

@@ -1,0 +1,19 @@
+"""User-defined functions in a database, isolated by virtines (§7.1).
+
+"A similar model could be used to more strongly isolate UDFs from one
+another in database systems. ... Because virtine address spaces are
+disjoint, they could help with this limitation.  Furthermore, virtines
+would allow functions in unsafe languages (e.g., C, C++) to be safely
+used for UDFs."
+
+The substrate is a small, from-scratch SQL engine
+(:mod:`repro.apps.database.sql` + :mod:`repro.apps.database.storage`);
+:mod:`repro.apps.database.udf` adds the UDF registry with two isolation
+levels: ``trusted`` (in-process, the Postgres status quo) and
+``virtine`` (one isolated micro-VM per invocation).
+"""
+
+from repro.apps.database.engine import Database, DatabaseError
+from repro.apps.database.udf import UdfRegistry, UdfError
+
+__all__ = ["Database", "DatabaseError", "UdfRegistry", "UdfError"]

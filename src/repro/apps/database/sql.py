@@ -1,0 +1,324 @@
+"""A small SQL dialect: lexer, parser, and expression AST.
+
+Supports what the UDF case study needs:
+
+* ``CREATE TABLE t (col TYPE, ...)``
+* ``INSERT INTO t VALUES (expr, ...), (...)``
+* ``SELECT expr [AS name], ... FROM t [WHERE expr] [LIMIT n]``
+
+Expressions: literals (integers, floats, 'strings', TRUE/FALSE/NULL),
+column references, arithmetic (+ - * /), comparisons (= != < <= > >=),
+AND/OR/NOT, and function calls -- which is where UDFs enter.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+
+class SqlError(Exception):
+    """A lexing or parsing error."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<float>\d+\.\d+)
+  | (?P<int>\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|!=|<>|[=<>(),*+\-/;])
+    """,
+    re.VERBOSE,
+)
+
+KEYWORDS = frozenset({
+    "CREATE", "TABLE", "INSERT", "INTO", "VALUES", "SELECT", "FROM",
+    "WHERE", "AND", "OR", "NOT", "AS", "LIMIT", "TRUE", "FALSE", "NULL",
+})
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "int" | "float" | "string" | "ident" | "keyword" | "op"
+    value: Any
+
+
+def lex(sql: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise SqlError(f"bad character {sql[pos]!r} at offset {pos}")
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        if match.lastgroup == "int":
+            tokens.append(Token("int", int(match.group())))
+        elif match.lastgroup == "float":
+            tokens.append(Token("float", float(match.group())))
+        elif match.lastgroup == "string":
+            raw = match.group()[1:-1].replace("''", "'")
+            tokens.append(Token("string", raw))
+        elif match.lastgroup == "ident":
+            word = match.group()
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("keyword", word.upper()))
+            else:
+                tokens.append(Token("ident", word))
+        else:
+            op = match.group()
+            tokens.append(Token("op", "!=" if op == "<>" else op))
+    tokens.append(Token("eof", None))
+    return tokens
+
+
+# -- AST ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Lit:
+    value: Any
+
+
+@dataclass(frozen=True)
+class ColRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    name: str
+    args: tuple
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    left: Any
+    right: Any
+
+
+@dataclass(frozen=True)
+class UnOp:
+    op: str
+    operand: Any
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Any
+    alias: str | None
+    star: bool = False
+
+
+@dataclass(frozen=True)
+class CreateStmt:
+    table: str
+    columns: tuple[tuple[str, str], ...]  # (name, type)
+
+
+@dataclass(frozen=True)
+class InsertStmt:
+    table: str
+    rows: tuple[tuple, ...]  # tuples of expressions
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    items: tuple[SelectItem, ...]
+    table: str
+    where: Any | None
+    limit: int | None
+
+
+_COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class Parser:
+    def __init__(self, sql: str) -> None:
+        self.tokens = lex(sql)
+        self.pos = 0
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def _expect(self, kind: str, value: Any = None) -> Token:
+        token = self.current
+        if token.kind != kind or (value is not None and token.value != value):
+            raise SqlError(f"expected {value or kind}, got {token.value!r}")
+        return self._advance()
+
+    def _eat(self, kind: str, value: Any = None) -> bool:
+        token = self.current
+        if token.kind == kind and (value is None or token.value == value):
+            self._advance()
+            return True
+        return False
+
+    # -- statements ------------------------------------------------------------
+    def parse(self):
+        token = self.current
+        if token.kind != "keyword":
+            raise SqlError(f"expected a statement, got {token.value!r}")
+        if token.value == "CREATE":
+            statement = self._create()
+        elif token.value == "INSERT":
+            statement = self._insert()
+        elif token.value == "SELECT":
+            statement = self._select()
+        else:
+            raise SqlError(f"unsupported statement {token.value}")
+        self._eat("op", ";")
+        if self.current.kind != "eof":
+            raise SqlError(f"trailing input at {self.current.value!r}")
+        return statement
+
+    def _create(self) -> CreateStmt:
+        self._expect("keyword", "CREATE")
+        self._expect("keyword", "TABLE")
+        table = self._expect("ident").value
+        self._expect("op", "(")
+        columns: list[tuple[str, str]] = []
+        while True:
+            name = self._expect("ident").value
+            type_name = self._expect("ident").value.upper()
+            columns.append((name, type_name))
+            if not self._eat("op", ","):
+                break
+        self._expect("op", ")")
+        return CreateStmt(table=table, columns=tuple(columns))
+
+    def _insert(self) -> InsertStmt:
+        self._expect("keyword", "INSERT")
+        self._expect("keyword", "INTO")
+        table = self._expect("ident").value
+        self._expect("keyword", "VALUES")
+        rows: list[tuple] = []
+        while True:
+            self._expect("op", "(")
+            values: list[Any] = []
+            while True:
+                values.append(self._expression())
+                if not self._eat("op", ","):
+                    break
+            self._expect("op", ")")
+            rows.append(tuple(values))
+            if not self._eat("op", ","):
+                break
+        return InsertStmt(table=table, rows=tuple(rows))
+
+    def _select(self) -> SelectStmt:
+        self._expect("keyword", "SELECT")
+        items: list[SelectItem] = []
+        while True:
+            if self._eat("op", "*"):
+                items.append(SelectItem(expr=None, alias=None, star=True))
+            else:
+                expr = self._expression()
+                alias = None
+                if self._eat("keyword", "AS"):
+                    alias = self._expect("ident").value
+                items.append(SelectItem(expr=expr, alias=alias))
+            if not self._eat("op", ","):
+                break
+        self._expect("keyword", "FROM")
+        table = self._expect("ident").value
+        where = None
+        if self._eat("keyword", "WHERE"):
+            where = self._expression()
+        limit = None
+        if self._eat("keyword", "LIMIT"):
+            limit = self._expect("int").value
+        return SelectStmt(items=tuple(items), table=table, where=where, limit=limit)
+
+    # -- expressions -----------------------------------------------------------------
+    def _expression(self):
+        return self._or()
+
+    def _or(self):
+        left = self._and()
+        while self._eat("keyword", "OR"):
+            left = BinOp("OR", left, self._and())
+        return left
+
+    def _and(self):
+        left = self._not()
+        while self._eat("keyword", "AND"):
+            left = BinOp("AND", left, self._not())
+        return left
+
+    def _not(self):
+        if self._eat("keyword", "NOT"):
+            return UnOp("NOT", self._not())
+        return self._comparison()
+
+    def _comparison(self):
+        left = self._additive()
+        token = self.current
+        if token.kind == "op" and token.value in _COMPARISONS:
+            self._advance()
+            return BinOp(token.value, left, self._additive())
+        return left
+
+    def _additive(self):
+        left = self._multiplicative()
+        while self.current.kind == "op" and self.current.value in ("+", "-"):
+            op = self._advance().value
+            left = BinOp(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self):
+        left = self._unary()
+        while self.current.kind == "op" and self.current.value in ("*", "/"):
+            op = self._advance().value
+            left = BinOp(op, left, self._unary())
+        return left
+
+    def _unary(self):
+        if self.current.kind == "op" and self.current.value == "-":
+            self._advance()
+            return UnOp("-", self._unary())
+        return self._primary()
+
+    def _primary(self):
+        token = self.current
+        if token.kind in ("int", "float", "string"):
+            self._advance()
+            return Lit(token.value)
+        if token.kind == "keyword" and token.value in ("TRUE", "FALSE", "NULL"):
+            self._advance()
+            return Lit({"TRUE": True, "FALSE": False, "NULL": None}[token.value])
+        if token.kind == "ident":
+            name = self._advance().value
+            if self._eat("op", "("):
+                args: list[Any] = []
+                if not (self.current.kind == "op" and self.current.value == ")"):
+                    while True:
+                        args.append(self._expression())
+                        if not self._eat("op", ","):
+                            break
+                self._expect("op", ")")
+                return FuncCall(name=name, args=tuple(args))
+            return ColRef(name=name)
+        if token.kind == "op" and token.value == "(":
+            self._advance()
+            expr = self._expression()
+            self._expect("op", ")")
+            return expr
+        raise SqlError(f"unexpected token {token.value!r}")
+
+
+def parse(sql: str):
+    """Parse one SQL statement."""
+    return Parser(sql).parse()

@@ -1,0 +1,16 @@
+"""HTTP case studies: the Figure 4 echo server and the Figure 13
+static-content server (native vs. per-request virtines)."""
+
+from repro.apps.http.httpmsg import HttpRequest, HttpResponse, build_response, parse_request
+from repro.apps.http.server import EchoServer, StaticHttpServer
+from repro.apps.http.client import RequestGenerator
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "parse_request",
+    "build_response",
+    "EchoServer",
+    "StaticHttpServer",
+    "RequestGenerator",
+]

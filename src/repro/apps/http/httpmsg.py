@@ -1,0 +1,83 @@
+"""Minimal HTTP/1.0 message handling (request parse, response build)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class HttpError(Exception):
+    """A malformed HTTP message."""
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    version: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+@dataclass
+class HttpResponse:
+    status: int
+    reason: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+def parse_request(raw: bytes) -> HttpRequest:
+    """Parse a raw HTTP/1.0 or 1.1 request."""
+    try:
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        method, path, version = lines[0].split(" ", 2)
+    except (ValueError, IndexError) as error:
+        raise HttpError(f"malformed request line: {raw[:64]!r}") from error
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(f"malformed header: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return HttpRequest(method=method, path=path, version=version, headers=headers, body=body)
+
+
+def build_response(
+    status: int = 200,
+    reason: str = "OK",
+    body: bytes = b"",
+    content_type: str = "application/octet-stream",
+    extra_headers: dict[str, str] | None = None,
+) -> bytes:
+    """Serialise an HTTP/1.0 response."""
+    headers = {
+        "Content-Length": str(len(body)),
+        "Content-Type": content_type,
+        "Connection": "close",
+    }
+    if extra_headers:
+        headers.update(extra_headers)
+    head = f"HTTP/1.0 {status} {reason}\r\n" + "".join(
+        f"{name}: {value}\r\n" for name, value in headers.items()
+    )
+    return head.encode("latin-1") + b"\r\n" + body
+
+
+def parse_response(raw: bytes) -> HttpResponse:
+    """Parse a raw HTTP response (for the request generator)."""
+    try:
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        _, status, reason = lines[0].split(" ", 2)
+    except (ValueError, IndexError) as error:
+        raise HttpError(f"malformed status line: {raw[:64]!r}") from error
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return HttpResponse(status=int(status), reason=reason, headers=headers, body=body)

@@ -1,0 +1,239 @@
+"""HTTP servers: the Figure 4 echo server and the Figure 13 static server.
+
+Echo server (Section 4.2): "a simple HTTP echo server where each request
+is handled in a new virtual context employing our minimal environment
+... uses hypercall-based I/O to echo HTTP requests back to the sender."
+It runs in protected mode without paging ("this example does not
+actually require 64-bit mode") and records the paper's three milestones:
+reaching main, the return from ``recv()``, and the completion of
+``send()``.
+
+Static server (Section 6.3): single-threaded, serves one file per
+connection.  The virtine-per-connection variant performs exactly the
+paper's seven host interactions: (1) ``recv`` the request, (2) ``stat``
+the file, (3) ``open``, (4) ``read``, (5) ``send`` the response,
+(6) ``close``, (7) ``exit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.apps.http.httpmsg import HttpError, build_response, parse_request
+from repro.host.filesystem import FsError, O_RDONLY
+from repro.host.network import Listener, NetError, Socket
+from repro.hw.cpu import Mode
+from repro.runtime.image import ImageBuilder
+from repro.wasp.guestenv import GuestEnv
+from repro.wasp.hypercall import Hypercall, HypercallError
+from repro.wasp.hypervisor import Wasp
+from repro.wasp.policy import BitmaskPolicy, VirtineConfig
+from repro.wasp.pool import CleanMode
+from repro.wasp.virtine import VirtineResult
+
+#: Cycles to parse a request line + headers in guest/native code.
+HTTP_PARSE_COST = 900
+#: Cycles to format a response head.
+HTTP_BUILD_COST = 500
+
+# Milestone markers for the echo server (Figure 4).
+MS_MAIN = 100
+MS_RECV_DONE = 101
+MS_SEND_DONE = 102
+
+#: Guest handle under which the connection socket is granted.
+CONN_HANDLE = 0
+
+
+class EchoServer:
+    """The Figure 4 echo server: one protected-mode virtine per request."""
+
+    def __init__(self, wasp: Wasp, port: int = 8080) -> None:
+        self.wasp = wasp
+        self.port = port
+        self.listener: Listener = wasp.kernel.sys_listen(port)
+        self.image = ImageBuilder().hosted(
+            name="echo-server",
+            entry=self._entry,
+            mode=Mode.PROT32,  # no paging: the echo handler never needs it
+            metadata={"milestones": (MS_MAIN, MS_RECV_DONE, MS_SEND_DONE)},
+        )
+
+    @staticmethod
+    def _policy() -> BitmaskPolicy:
+        return BitmaskPolicy(VirtineConfig.allowing(Hypercall.RECV, Hypercall.SEND))
+
+    def _entry(self, env: GuestEnv) -> None:
+        env.milestone(MS_MAIN)
+        request = env.hypercall(Hypercall.RECV, CONN_HANDLE, 4096)
+        env.milestone(MS_RECV_DONE)
+        env.charge_bytes(len(request))
+        response = build_response(body=request, content_type="text/plain")
+        env.charge(HTTP_BUILD_COST)
+        env.hypercall(Hypercall.SEND, CONN_HANDLE, response)
+        env.milestone(MS_SEND_DONE)
+
+    def handle_one(self) -> VirtineResult:
+        """Accept one pending connection and echo it from a virtine."""
+        conn = self.wasp.kernel.sys_accept(self.listener)
+        try:
+            return self.wasp.launch(
+                self.image,
+                policy=self._policy(),
+                resources={CONN_HANDLE: conn},
+                use_snapshot=False,
+            )
+        finally:
+            self.wasp.kernel.sys_sock_close(conn)
+
+
+@dataclass
+class ServedRequest:
+    """Bookkeeping for one connection served by the static server."""
+
+    path: str
+    status: int
+    cycles: int
+    hypercalls: int
+
+
+class StaticHttpServer:
+    """Single-threaded static-content server (Figure 13).
+
+    ``isolation`` selects the connection-handling strategy:
+
+    * ``"native"``   -- handled in the server process,
+    * ``"virtine"``  -- one virtine per connection, no snapshotting,
+    * ``"snapshot"`` -- one virtine per connection with snapshotting.
+    """
+
+    ISOLATION_MODES = ("native", "virtine", "snapshot")
+
+    def __init__(
+        self,
+        wasp: Wasp,
+        port: int = 8000,
+        isolation: str = "native",
+        docroot: str = "/srv",
+    ) -> None:
+        if isolation not in self.ISOLATION_MODES:
+            raise ValueError(f"unknown isolation mode {isolation!r}")
+        self.wasp = wasp
+        self.kernel = wasp.kernel
+        self.port = port
+        self.isolation = isolation
+        self.docroot = docroot.rstrip("/")
+        self.listener: Listener = self.kernel.sys_listen(port)
+        self.served: list[ServedRequest] = []
+        self.image = ImageBuilder().hosted(
+            name=f"http-conn-{isolation}",
+            entry=self._entry,
+            metadata={"hypercalls": 7},
+        )
+
+    def _policy(self) -> BitmaskPolicy:
+        return BitmaskPolicy(
+            VirtineConfig.allowing(
+                Hypercall.RECV,
+                Hypercall.STAT,
+                Hypercall.OPEN,
+                Hypercall.READ,
+                Hypercall.SEND,
+                Hypercall.CLOSE,
+                Hypercall.SNAPSHOT,
+            )
+        )
+
+    def _resolve(self, url_path: str) -> str:
+        path = url_path.split("?", 1)[0]
+        if not path.startswith("/"):
+            path = "/" + path
+        if path.endswith("/"):
+            path += "index.html"
+        return self.docroot + path
+
+    # -- native handling -----------------------------------------------------
+    def _handle_native(self, conn: Socket) -> ServedRequest:
+        clock = self.kernel.clock
+        start = clock.cycles
+        raw = self.kernel.sys_recv(conn, 4096)
+        clock.advance(HTTP_PARSE_COST)
+        try:
+            request = parse_request(raw)
+            file_path = self._resolve(request.path)
+            size = self.kernel.sys_stat(file_path).size
+            fd = self.kernel.sys_open(file_path, O_RDONLY)
+            body = self.kernel.sys_read(fd, size)
+            clock.advance(HTTP_BUILD_COST)
+            response = build_response(body=body, content_type="text/html")
+            status = 200
+            self.kernel.sys_send(conn, response)
+            self.kernel.sys_close(fd)
+        except (FsError, HttpError):
+            clock.advance(HTTP_BUILD_COST)
+            self.kernel.sys_send(conn, build_response(404, "Not Found", b"not found"))
+            status = 404
+        return ServedRequest(
+            path=getattr(request, "path", "?") if "request" in locals() else "?",
+            status=status,
+            cycles=clock.cycles - start,
+            hypercalls=0,
+        )
+
+    # -- virtine handling -----------------------------------------------------------
+    def _entry(self, env: GuestEnv) -> int:
+        """The annotated connection-handler: seven host interactions."""
+        raw = env.hypercall(Hypercall.RECV, CONN_HANDLE, 4096)  # (1)
+        env.charge(HTTP_PARSE_COST)
+        request = parse_request(raw)
+        file_path = self._resolve(request.path)
+        try:
+            size = env.hypercall(Hypercall.STAT, file_path)  # (2)
+            fd = env.hypercall(Hypercall.OPEN, file_path, O_RDONLY)  # (3)
+            body = env.hypercall(Hypercall.READ, fd, size)  # (4)
+            env.charge(HTTP_BUILD_COST)
+            response = build_response(body=body, content_type="text/html")
+            env.hypercall(Hypercall.SEND, CONN_HANDLE, response)  # (5)
+            env.hypercall(Hypercall.CLOSE, fd)  # (6)
+            status = 200
+        except HypercallError:
+            env.charge(HTTP_BUILD_COST)
+            env.hypercall(Hypercall.SEND, CONN_HANDLE, build_response(404, "Not Found", b"not found"))
+            status = 404
+        env.exit(status)  # (7)
+        return status
+
+    def _handle_virtine(self, conn: Socket, use_snapshot: bool) -> ServedRequest:
+        result = self.wasp.launch(
+            self.image,
+            policy=self._policy(),
+            handlers=None,
+            resources={CONN_HANDLE: conn},
+            allowed_paths=(self.docroot + "/",),
+            use_snapshot=use_snapshot,
+            clean=CleanMode.ASYNC,
+        )
+        return ServedRequest(
+            path="?",
+            status=result.exit_code,
+            cycles=result.cycles,
+            hypercalls=result.hypercall_count,
+        )
+
+    # -- serving loop -------------------------------------------------------------------
+    def serve_one(self) -> ServedRequest:
+        """Accept and fully serve one pending connection."""
+        conn = self.kernel.sys_accept(self.listener)
+        try:
+            if self.isolation == "native":
+                served = self._handle_native(conn)
+            else:
+                served = self._handle_virtine(conn, use_snapshot=self.isolation == "snapshot")
+        finally:
+            self.kernel.sys_sock_close(conn)
+        self.served.append(served)
+        return served
+
+    def pending_connections(self) -> int:
+        return len(self.listener.backlog)

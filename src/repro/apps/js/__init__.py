@@ -1,0 +1,22 @@
+"""A from-scratch JavaScript engine (the Duktape analogue, Section 6.5).
+
+Implements an ES5-flavoured subset sufficient for the paper's managed-
+language case study: functions, closures, control flow, strings, arrays,
+objects, and native function bindings.  The engine has an explicit,
+Duktape-like lifecycle (context allocation, binding population, eval,
+teardown) whose costs are what the virtine snapshot/no-teardown
+optimisations elide.
+
+Layers:
+
+* :mod:`repro.apps.js.lexer`        -- tokeniser
+* :mod:`repro.apps.js.parser`       -- Pratt parser producing an AST
+* :mod:`repro.apps.js.interpreter`  -- tree-walking evaluator
+* :mod:`repro.apps.js.engine`       -- the embeddable engine API
+* :mod:`repro.apps.js.virtine_js`   -- the JS-in-a-virtine client
+"""
+
+from repro.apps.js.engine import Engine, JsError
+from repro.apps.js.virtine_js import BASE64_JS, JsVirtineClient, NativeJsBaseline
+
+__all__ = ["Engine", "JsError", "JsVirtineClient", "NativeJsBaseline", "BASE64_JS"]

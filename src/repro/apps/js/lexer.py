@@ -1,0 +1,187 @@
+"""Tokeniser for the JavaScript subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class JsSyntaxError(Exception):
+    """A lexing or parsing error, with source position."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{message} (line {line}, col {col})")
+        self.line = line
+        self.col = col
+
+
+class TokenType(enum.Enum):
+    NUMBER = "number"
+    STRING = "string"
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "var", "let", "const", "function", "return", "if", "else", "while",
+        "for", "do", "break", "continue", "true", "false", "null",
+        "undefined", "typeof", "new", "this", "delete", "in",
+        "throw", "try", "catch", "finally", "switch", "case", "default",
+    }
+)
+
+# Longest-first so multi-char operators win.
+PUNCTUATORS = (
+    "===", "!==", ">>>", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "*=",
+    "/=", "%=", "<<", ">>", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "?", ":", ";", ",",
+    ".", "(", ")", "[", "]", "{", "}", "&", "|", "^", "~",
+)
+
+_ESCAPES = {
+    "n": "\n", "t": "\t", "r": "\r", "b": "\b", "f": "\f", "v": "\v",
+    "0": "\0", "'": "'", '"': '"', "\\": "\\", "/": "/",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str | float
+    line: int
+    col: int
+
+    def is_punct(self, text: str) -> bool:
+        return self.type is TokenType.PUNCT and self.value == text
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenise ``source`` into a list ending with an EOF token."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    col = 1
+    length = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal pos, line, col
+        for _ in range(count):
+            if pos < length and source[pos] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            pos += 1
+
+    while pos < length:
+        ch = source[pos]
+        # Whitespace.
+        if ch in " \t\r\n":
+            advance(1)
+            continue
+        # Comments.
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            advance((end - pos) if end != -1 else (length - pos))
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end == -1:
+                raise JsSyntaxError("unterminated block comment", line, col)
+            advance(end + 2 - pos)
+            continue
+        # Numbers.
+        if ch.isdigit() or (ch == "." and pos + 1 < length and source[pos + 1].isdigit()):
+            start = pos
+            start_line, start_col = line, col
+            if source.startswith(("0x", "0X"), pos):
+                advance(2)
+                while pos < length and source[pos] in "0123456789abcdefABCDEF":
+                    advance(1)
+                value = float(int(source[start:pos], 16))
+            else:
+                while pos < length and (source[pos].isdigit() or source[pos] == "."):
+                    advance(1)
+                if pos < length and source[pos] in "eE":
+                    advance(1)
+                    if pos < length and source[pos] in "+-":
+                        advance(1)
+                    while pos < length and source[pos].isdigit():
+                        advance(1)
+                try:
+                    value = float(source[start:pos])
+                except ValueError:
+                    raise JsSyntaxError(
+                        f"bad number literal {source[start:pos]!r}", start_line, start_col
+                    ) from None
+            tokens.append(Token(TokenType.NUMBER, value, start_line, start_col))
+            continue
+        # Strings.
+        if ch in "'\"":
+            quote = ch
+            start_line, start_col = line, col
+            advance(1)
+            chars: list[str] = []
+            while True:
+                if pos >= length:
+                    raise JsSyntaxError("unterminated string", start_line, start_col)
+                current = source[pos]
+                if current == quote:
+                    advance(1)
+                    break
+                if current == "\\":
+                    advance(1)
+                    if pos >= length:
+                        raise JsSyntaxError("bad escape at end of input", line, col)
+                    escape = source[pos]
+                    if escape == "u":
+                        hex_digits = source[pos + 1 : pos + 5]
+                        if len(hex_digits) != 4:
+                            raise JsSyntaxError("bad \\u escape", line, col)
+                        chars.append(chr(int(hex_digits, 16)))
+                        advance(5)
+                        continue
+                    if escape == "x":
+                        hex_digits = source[pos + 1 : pos + 3]
+                        if len(hex_digits) != 2:
+                            raise JsSyntaxError("bad \\x escape", line, col)
+                        chars.append(chr(int(hex_digits, 16)))
+                        advance(3)
+                        continue
+                    chars.append(_ESCAPES.get(escape, escape))
+                    advance(1)
+                    continue
+                if current == "\n":
+                    raise JsSyntaxError("newline in string literal", line, col)
+                chars.append(current)
+                advance(1)
+            tokens.append(Token(TokenType.STRING, "".join(chars), start_line, start_col))
+            continue
+        # Identifiers and keywords.
+        if ch.isalpha() or ch in "_$":
+            start = pos
+            start_line, start_col = line, col
+            while pos < length and (source[pos].isalnum() or source[pos] in "_$"):
+                advance(1)
+            word = source[start:pos]
+            token_type = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
+            tokens.append(Token(token_type, word, start_line, start_col))
+            continue
+        # Punctuators.
+        for punct in PUNCTUATORS:
+            if source.startswith(punct, pos):
+                tokens.append(Token(TokenType.PUNCT, punct, line, col))
+                advance(len(punct))
+                break
+        else:
+            raise JsSyntaxError(f"unexpected character {ch!r}", line, col)
+
+    tokens.append(Token(TokenType.EOF, "", line, col))
+    return tokens

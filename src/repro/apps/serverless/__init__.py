@@ -1,0 +1,22 @@
+"""Serverless platforms (Section 7.1, Figure 15).
+
+* :mod:`repro.apps.serverless.workload`  -- the Locust-style bursty load
+* :mod:`repro.apps.serverless.platform`  -- the shared scheduling simulator
+* :mod:`repro.apps.serverless.vespid`    -- the virtine-based platform
+* :mod:`repro.apps.serverless.openwhisk` -- the container-based baseline
+"""
+
+from repro.apps.serverless.openwhisk import OpenWhiskLikePlatform
+from repro.apps.serverless.platform import InvocationRecord, PlatformReport, ServerlessPlatform
+from repro.apps.serverless.vespid import VespidPlatform
+from repro.apps.serverless.workload import BurstyWorkload, WorkloadPhase
+
+__all__ = [
+    "BurstyWorkload",
+    "WorkloadPhase",
+    "ServerlessPlatform",
+    "InvocationRecord",
+    "PlatformReport",
+    "VespidPlatform",
+    "OpenWhiskLikePlatform",
+]

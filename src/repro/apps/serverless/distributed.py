@@ -1,0 +1,114 @@
+"""Multi-node Vespid: serverless virtines over a cluster (§7.1 + §7.3).
+
+Combines the Vespid platform with virtine migration: function images
+(and their snapshots) are replicated to worker nodes on first use, and
+arrivals are load-balanced across nodes.  Because a virtine image
+carries its whole runtime environment, adding a node to the serving set
+is one migration -- the paper's location-transparency argument applied
+to scale-out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.js.virtine_js import DEFAULT_DATA_SIZE, JsVirtineClient
+from repro.apps.serverless.platform import InvocationRecord, ServerlessPlatform
+from repro.units import cycles_to_seconds
+from repro.wasp.migration import Cluster, MigrationLink
+
+
+@dataclass(frozen=True)
+class NodeShare:
+    """How one node participates in a distributed run."""
+
+    name: str
+    workers: int
+
+
+class DistributedVespid:
+    """Vespid sharded over cluster nodes.
+
+    Scheduling: arrivals are split across nodes proportionally to their
+    worker counts (front-end round robin), then each node runs its share
+    through the standard per-node scheduler.  Every node first receives
+    the function image + snapshot over the cluster link.
+    """
+
+    name = "vespid-distributed"
+
+    def __init__(
+        self,
+        shares: list[NodeShare],
+        link: MigrationLink | None = None,
+        keepalive_s: float = 60.0,
+        payload_size: int = DEFAULT_DATA_SIZE,
+    ) -> None:
+        if not shares:
+            raise ValueError("need at least one node")
+        self.cluster = Cluster(link=link)
+        self.shares = list(shares)
+        self.keepalive_s = keepalive_s
+
+        # The "registry" node holds the registered function + snapshot.
+        registry = self.cluster.add_node("registry", capabilities={"cpu"})
+        self._client = JsVirtineClient(registry.wasp, use_snapshot=True)
+        payload = bytes(i & 0xFF for i in range(payload_size))
+        cold = self._client.run(payload)   # capture the snapshot
+        warm = self._client.run(payload)
+        self._cold_s = cycles_to_seconds(cold.cycles)
+        self._warm_s = cycles_to_seconds(warm.cycles)
+
+        self._nodes = []
+        for share in shares:
+            node = self.cluster.add_node(share.name, capabilities={"cpu"})
+            # Ship the image + snapshot to the worker node up front.
+            self.cluster.migrate(self._client.image, registry, node)
+            self._nodes.append((node, share.workers))
+
+    @property
+    def deploy_bytes(self) -> int:
+        """Bytes shipped per node at deployment (image + snapshot)."""
+        snapshot = self.cluster.node("registry").wasp.snapshots.get(self._client.image.name)
+        extra = snapshot.copy_size if snapshot is not None else 0
+        return self._client.image.size + extra
+
+    def run(self, arrivals: list[float]) -> list[InvocationRecord]:
+        """Distribute arrivals round-robin (weighted) and merge records."""
+        total_workers = sum(workers for _, workers in self._nodes)
+        buckets: list[list[float]] = [[] for _ in self._nodes]
+        weights = [workers / total_workers for _, workers in self._nodes]
+        credit = [0.0] * len(self._nodes)
+        for arrival in sorted(arrivals):
+            for index, weight in enumerate(weights):
+                credit[index] += weight
+            target = max(range(len(self._nodes)), key=lambda i: credit[i])
+            credit[target] -= 1.0
+            buckets[target].append(arrival)
+
+        records: list[InvocationRecord] = []
+        for (node, workers), share_arrivals in zip(self._nodes, buckets):
+            platform = _NodeVespid(
+                cold_s=self._cold_s, warm_s=self._warm_s,
+                max_workers=workers, keepalive_s=self.keepalive_s,
+            )
+            records.extend(platform.run(share_arrivals))
+        records.sort(key=lambda r: r.arrival_s)
+        return records
+
+
+class _NodeVespid(ServerlessPlatform):
+    """One node's share of the distributed platform."""
+
+    name = "vespid-node"
+
+    def __init__(self, cold_s: float, warm_s: float, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._cold_s = cold_s
+        self._warm_s = warm_s
+
+    def cold_start_s(self) -> float:
+        return self._cold_s
+
+    def warm_invoke_s(self) -> float:
+        return self._warm_s

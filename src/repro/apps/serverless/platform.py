@@ -1,0 +1,146 @@
+"""The shared serverless scheduling simulator.
+
+Both platforms (Vespid and the OpenWhisk-like baseline) schedule
+arrivals onto a bounded pool of workers; what differs is the cost of
+provisioning a worker cold, dispatching to a warm one, and executing the
+function -- the numbers each concrete platform *measures from its own
+execution stack* (Vespid launches real virtines to calibrate itself).
+
+The simulation is a simple earliest-free-worker queueing model with a
+keep-alive policy: a worker reused within ``keepalive_s`` of its last
+completion is warm; otherwise it must be provisioned cold again.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+from repro.stats import percentile
+
+
+@dataclass
+class InvocationRecord:
+    """One function invocation's life cycle (times in seconds)."""
+
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    cold: bool
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1000.0
+
+
+class ServerlessPlatform:
+    """Base platform: subclasses provide the three cost hooks."""
+
+    name = "abstract"
+
+    def __init__(self, max_workers: int = 16, keepalive_s: float = 60.0) -> None:
+        if max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers
+        self.keepalive_s = keepalive_s
+
+    # -- cost hooks (seconds) ---------------------------------------------------
+    def cold_start_s(self) -> float:
+        """Provision a worker from nothing (includes first execution)."""
+        raise NotImplementedError
+
+    def warm_invoke_s(self) -> float:
+        """Dispatch + execute on an existing warm worker."""
+        raise NotImplementedError
+
+    # -- simulation ------------------------------------------------------------------
+    def run(self, arrivals: list[float]) -> list[InvocationRecord]:
+        """Schedule ``arrivals`` and return per-invocation records."""
+        # Worker state: (free_at, last_finish) heaps keyed by free time.
+        workers: list[list[float]] = []  # [free_at, last_finish]
+        records: list[InvocationRecord] = []
+        for arrival in sorted(arrivals):
+            candidate = None
+            # Prefer an idle warm worker.
+            for worker in workers:
+                if worker[0] <= arrival and arrival - worker[1] <= self.keepalive_s:
+                    if candidate is None or worker[1] > candidate[1]:
+                        candidate = worker  # most recently used idles warmest
+            if candidate is not None:
+                start = arrival
+                service = self.warm_invoke_s()
+                cold = False
+                worker = candidate
+            elif len(workers) < self.max_workers:
+                start = arrival
+                service = self.cold_start_s()
+                cold = True
+                worker = [0.0, 0.0]
+                workers.append(worker)
+            else:
+                # Queue on the earliest-free worker.
+                worker = min(workers, key=lambda w: w[0])
+                start = max(arrival, worker[0])
+                if start - worker[1] <= self.keepalive_s:
+                    service = self.warm_invoke_s()
+                    cold = False
+                else:
+                    service = self.cold_start_s()
+                    cold = True
+            finish = start + service
+            worker[0] = finish
+            worker[1] = finish
+            records.append(
+                InvocationRecord(arrival_s=arrival, start_s=start, finish_s=finish, cold=cold)
+            )
+        return records
+
+
+@dataclass
+class PlatformReport:
+    """Aggregated Figure 15-style results for one platform run."""
+
+    platform: str
+    records: list[InvocationRecord]
+    bucket_s: float = 1.0
+
+    @property
+    def cold_count(self) -> int:
+        return sum(1 for r in self.records if r.cold)
+
+    def latency_percentile_ms(self, q: float) -> float:
+        return percentile([r.latency_ms for r in self.records], q)
+
+    def mean_latency_ms(self) -> float:
+        latencies = [r.latency_ms for r in self.records]
+        return sum(latencies) / len(latencies)
+
+    def time_series(self) -> list[tuple[float, float, float, float]]:
+        """Per-bucket rows: (time_s, p50_ms, p99_ms, achieved_rps)."""
+        if not self.records:
+            return []
+        end = max(r.finish_s for r in self.records)
+        rows: list[tuple[float, float, float, float]] = []
+        bucket_start = 0.0
+        while bucket_start < end:
+            bucket_end = bucket_start + self.bucket_s
+            in_bucket = [r for r in self.records if bucket_start <= r.arrival_s < bucket_end]
+            completed = sum(1 for r in self.records if bucket_start <= r.finish_s < bucket_end)
+            if in_bucket:
+                lats = [r.latency_ms for r in in_bucket]
+                rows.append(
+                    (
+                        bucket_start,
+                        percentile(lats, 50.0),
+                        percentile(lats, 99.0),
+                        completed / self.bucket_s,
+                    )
+                )
+            else:
+                rows.append((bucket_start, 0.0, 0.0, completed / self.bucket_s))
+            bucket_start = bucket_end
+        return rows

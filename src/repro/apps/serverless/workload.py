@@ -1,0 +1,76 @@
+"""The Locust-style workload generator.
+
+"We produce a series of concurrent function requests (from multiple
+clients) against both platforms ... This invocation pattern involves an
+initial ramp-up period that leads to two bursts, which then ramp down"
+(Section 7.1).  Arrivals are generated deterministically (seeded
+exponential inter-arrivals within each phase) so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadPhase:
+    """A constant-rate segment of the load pattern."""
+
+    duration_s: float
+    rate_rps: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("phase duration must be positive")
+        if self.rate_rps < 0:
+            raise ValueError("phase rate cannot be negative")
+
+
+class BurstyWorkload:
+    """Ramp-up, two bursts, ramp-down -- Figure 15's invocation pattern."""
+
+    def __init__(self, phases: tuple[WorkloadPhase, ...], seed: int = 42) -> None:
+        if not phases:
+            raise ValueError("workload needs at least one phase")
+        self.phases = phases
+        self.seed = seed
+
+    @classmethod
+    def paper_pattern(cls, scale: float = 1.0, seed: int = 42) -> "BurstyWorkload":
+        """The default Figure 15-style pattern.
+
+        ``scale`` multiplies every phase's rate (for quick test runs).
+        """
+        return cls(
+            phases=(
+                WorkloadPhase(duration_s=5.0, rate_rps=20 * scale),   # ramp-up
+                WorkloadPhase(duration_s=5.0, rate_rps=60 * scale),
+                WorkloadPhase(duration_s=5.0, rate_rps=400 * scale),  # burst 1
+                WorkloadPhase(duration_s=5.0, rate_rps=60 * scale),   # dip
+                WorkloadPhase(duration_s=5.0, rate_rps=400 * scale),  # burst 2
+                WorkloadPhase(duration_s=5.0, rate_rps=40 * scale),   # ramp-down
+                WorkloadPhase(duration_s=5.0, rate_rps=10 * scale),
+            ),
+            seed=seed,
+        )
+
+    def arrivals(self) -> list[float]:
+        """Absolute arrival times (seconds), sorted ascending."""
+        rng = random.Random(self.seed)
+        times: list[float] = []
+        phase_start = 0.0
+        for phase in self.phases:
+            if phase.rate_rps > 0:
+                t = phase_start
+                while True:
+                    t += rng.expovariate(phase.rate_rps)
+                    if t >= phase_start + phase.duration_s:
+                        break
+                    times.append(t)
+            phase_start += phase.duration_s
+        return times
+
+    @property
+    def total_duration_s(self) -> float:
+        return sum(phase.duration_s for phase in self.phases)

@@ -1,0 +1,23 @@
+"""Isolation-boundary-crossing baselines (Table 2)."""
+
+from repro.baselines.boundaries import (
+    ALL_MECHANISMS,
+    BoundaryMechanism,
+    EnclosuresBaseline,
+    HodorBaseline,
+    LwCBaseline,
+    SeCageBaseline,
+    VirtineBoundary,
+    WedgeBaseline,
+)
+
+__all__ = [
+    "BoundaryMechanism",
+    "WedgeBaseline",
+    "LwCBaseline",
+    "EnclosuresBaseline",
+    "SeCageBaseline",
+    "HodorBaseline",
+    "VirtineBoundary",
+    "ALL_MECHANISMS",
+]

@@ -1,0 +1,140 @@
+"""Isolation-boundary crossing costs (Table 2).
+
+The paper compares the cost of crossing an isolation boundary in prior
+systems against virtines.  The prior systems are cost models calibrated
+to their published numbers (we cannot run Wedge or Hodor here); the
+virtine row is *measured* from this repository's own stack -- a pool
+provision + ``KVM_RUN`` + exit, "measured from userspace on the host,
+surrounding the KVM_RUN ioctl, thus incurring system call and
+ring-switch overheads."
+
+==============  ==========  ===================================
+System          Latency     Boundary-cross mechanism
+==============  ==========  ===================================
+Wedge           ~60 us      sthread call
+LwC             2.01 us     lwSwitch
+Enclosures      0.9 us      custom syscall interface
+SeCage          0.5 us      VMRUN/VMFUNC
+Hodor           0.1 us      VMRUN/VMFUNC
+Virtines        ~5 us       syscall interface + VMRUN
+==============  ==========  ===================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.clock import Clock
+from repro.hw.cpu import Mode
+from repro.runtime.image import ImageBuilder
+from repro.units import cycles_to_us, us_to_cycles
+from repro.wasp.hypervisor import Wasp
+from repro.wasp.pool import CleanMode
+
+
+@dataclass(frozen=True)
+class CrossingResult:
+    """One measured/modelled boundary cross."""
+
+    system: str
+    mechanism: str
+    cycles: float
+
+    @property
+    def latency_us(self) -> float:
+        return cycles_to_us(self.cycles)
+
+
+class BoundaryMechanism:
+    """Base class: a way to cross an isolation boundary."""
+
+    system = "abstract"
+    mechanism = "abstract"
+    #: The paper's published latency for this system, in microseconds.
+    paper_latency_us: float = 0.0
+
+    def cross(self, clock: Clock) -> CrossingResult:
+        """Perform one boundary cross, charging the clock."""
+        start = clock.cycles
+        self._do_cross(clock)
+        return CrossingResult(
+            system=self.system, mechanism=self.mechanism, cycles=clock.cycles - start
+        )
+
+    def _do_cross(self, clock: Clock) -> None:
+        clock.advance(us_to_cycles(self.paper_latency_us))
+
+
+class WedgeBaseline(BoundaryMechanism):
+    """Wedge [20]: sthread call (~60 us)."""
+
+    system = "Wedge"
+    mechanism = "sthread call"
+    paper_latency_us = 60.0
+
+
+class LwCBaseline(BoundaryMechanism):
+    """Light-weight contexts [48]: lwSwitch (2.01 us)."""
+
+    system = "LwC"
+    mechanism = "lwSwitch"
+    paper_latency_us = 2.01
+
+
+class EnclosuresBaseline(BoundaryMechanism):
+    """Enclosures [27]: custom syscall interface (0.9 us)."""
+
+    system = "Enclosures"
+    mechanism = "custom syscall interface"
+    paper_latency_us = 0.9
+
+
+class SeCageBaseline(BoundaryMechanism):
+    """SeCage [51]: VMFUNC without a VMEXIT (0.5 us)."""
+
+    system = "SeCage"
+    mechanism = "VMRUN/VMFUNC"
+    paper_latency_us = 0.5
+
+
+class HodorBaseline(BoundaryMechanism):
+    """Hodor [32]: VMFUNC without a VMEXIT (0.1 us)."""
+
+    system = "Hodor"
+    mechanism = "VMRUN/VMFUNC"
+    paper_latency_us = 0.1
+
+
+class VirtineBoundary(BoundaryMechanism):
+    """Virtines: measured from this repo's own Wasp stack.
+
+    One cross = provisioning a pooled shell, entering via ``KVM_RUN``
+    (ioctl + ring transitions + vmrun), running to the immediate halt,
+    exiting, and returning the shell (with snapshotted state, as the
+    language extensions configure by default).
+    """
+
+    system = "Virtines"
+    mechanism = "syscall interface + VMRUN"
+    paper_latency_us = 5.0
+
+    def __init__(self, wasp: Wasp | None = None) -> None:
+        self.wasp = wasp if wasp is not None else Wasp()
+        self.image = ImageBuilder().minimal(Mode.LONG64)
+        # Warm the pool and capture the post-boot snapshot so each cross
+        # measures the steady-state re-entry path.
+        self.wasp.launch(self.image, use_snapshot=False)
+        result = self.wasp.launch(self.image, use_snapshot=False, snapshot_key="boundary")
+        del result
+
+    def _do_cross(self, clock: Clock) -> None:
+        self.wasp.launch(self.image, use_snapshot=False, clean=CleanMode.ASYNC)
+
+
+ALL_MECHANISMS = (
+    WedgeBaseline,
+    LwCBaseline,
+    EnclosuresBaseline,
+    SeCageBaseline,
+    HodorBaseline,
+)

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The artifact's ``make smoketest`` analogue plus quick experiment
+runners.  Commands:
+
+* ``smoketest`` -- exercise every subsystem end-to-end and report.
+* ``boot``      -- print the Table 1 boot breakdown.
+* ``creation``  -- print the Figure 8 creation-latency comparison.
+* ``info``      -- version, cost-model calibration summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+from repro.units import cycles_to_us
+
+
+def _ok(label: str, detail: str = "") -> None:
+    print(f"  [ok] {label}" + (f" ({detail})" if detail else ""))
+
+
+def cmd_smoketest(_args: argparse.Namespace) -> int:
+    """Run one scenario through every subsystem; fail loudly on any break."""
+    from repro.apps.crypto.aes import AES128
+    from repro.apps.http.client import RequestGenerator
+    from repro.apps.http.server import StaticHttpServer
+    from repro.apps.js.virtine_js import JsVirtineClient, python_base64
+    from repro.hw.cpu import Mode
+    from repro.runtime.image import ImageBuilder
+    from repro.wasp import Wasp
+
+    print("virtines smoketest")
+
+    wasp = Wasp()
+    builder = ImageBuilder()
+
+    result = wasp.launch(builder.minimal(Mode.LONG64), use_snapshot=False)
+    _ok("boot minimal virtine to long mode", f"{cycles_to_us(result.cycles):.1f} us")
+
+    fib = wasp.launch(builder.fib(Mode.LONG64, 15), use_snapshot=False)
+    if fib.ax != 610:
+        print(f"  [FAIL] fib(15) in guest assembly returned {fib.ax}")
+        return 1
+    _ok("assembly fib(15) == 610 in guest context")
+
+    key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+    plaintext = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+    expected = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+    if AES128(key).encrypt_block(plaintext) != expected:
+        print("  [FAIL] AES-128 FIPS vector mismatch")
+        return 1
+    _ok("AES-128 matches FIPS-197 appendix B")
+
+    data = bytes(range(256)) * 4
+    js = JsVirtineClient(wasp, use_snapshot=True)
+    first = js.run(data)
+    warm = js.run(data)
+    if warm.encoded != python_base64(data):
+        print("  [FAIL] JS base64 mismatch")
+        return 1
+    _ok("JS engine base64 in a virtine",
+        f"cold {cycles_to_us(first.cycles):.0f} us, warm {cycles_to_us(warm.cycles):.0f} us")
+
+    http_wasp = Wasp()
+    http_wasp.kernel.fs.add_file("/srv/index.html", b"<html>smoke</html>")
+    server = StaticHttpServer(http_wasp, port=8000, isolation="snapshot")
+    generator = RequestGenerator(http_wasp.kernel, server, "/index.html")
+    outcome = generator.one_request()
+    if outcome.response.status != 200 or outcome.response.body != b"<html>smoke</html>":
+        print("  [FAIL] HTTP served wrong content")
+        return 1
+    _ok("HTTP request served from a virtine",
+        f"{cycles_to_us(outcome.latency_cycles):.0f} us, "
+        f"{server.served[-1].hypercalls} hypercalls")
+
+    print("smoketest passed")
+    return 0
+
+
+def cmd_boot(_args: argparse.Namespace) -> int:
+    from repro.hw.clock import Clock
+    from repro.hw.cpu import Mode
+    from repro.hw.isa import Assembler
+    from repro.hw.vmx import VirtualMachine
+    from repro.runtime.boot import boot_source
+
+    vm = VirtualMachine(8 * 1024 * 1024, Clock())
+    vm.load_program(Assembler(0x8000).assemble(boot_source(Mode.LONG64)))
+    vm.vmrun()
+    print("boot component breakdown (cycles):")
+    for component, cycles in sorted(
+        vm.interp.component_cycles.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {component:28s} {cycles:>8,}")
+    print(f"  {'total':28s} {sum(vm.interp.component_cycles.values()):>8,}")
+    return 0
+
+
+def cmd_creation(_args: argparse.Namespace) -> int:
+    from repro.host.process import ProcessBaseline
+    from repro.host.threads import PthreadBaseline
+    from repro.runtime.image import ImageBuilder
+    from repro.wasp import CleanMode, Wasp
+
+    wasp = Wasp()
+    image = ImageBuilder().hlt_only()
+    wasp.launch(image, use_snapshot=False)
+    wasp.launch(image, use_snapshot=False)
+    rows = [
+        ("function call", wasp.costs.FUNCTION_CALL),
+        ("vmrun (hardware limit)", wasp.costs.vmrun_roundtrip()),
+        ("Wasp+CA (pooled, async clean)",
+         wasp.launch(image, use_snapshot=False, clean=CleanMode.ASYNC).cycles),
+        ("Wasp+C (pooled)",
+         wasp.launch(image, use_snapshot=False, clean=CleanMode.SYNC).cycles),
+        ("pthread create+join", PthreadBaseline(wasp.kernel).create_and_join()),
+        ("Wasp (scratch)",
+         wasp.launch(image, use_snapshot=False, pooled=False).cycles),
+        ("process spawn", ProcessBaseline(wasp.kernel).spawn()),
+    ]
+    print("execution-context creation latencies:")
+    for label, cycles in rows:
+        print(f"  {label:32s} {cycles:>10,} cyc  {cycles_to_us(cycles):>9.2f} us")
+    return 0
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    from repro.hw.costs import COSTS
+    from repro.units import TINKER_HZ
+
+    print(f"virtines reproduction v{__version__}")
+    print(f"simulated platform: AMD EPYC 7281 'tinker' @ {TINKER_HZ / 1e9:.2f} GHz")
+    print("calibration anchors:")
+    print(f"  EPT first-touch fault    {COSTS.EPT_FIRST_TOUCH_FAULT:>8,} cyc")
+    print(f"  CR0.PE flip              {COSTS.CR0_PE_FLIP:>8,} cyc")
+    print(f"  lgdt (real mode)         {COSTS.LGDT_REAL:>8,} cyc")
+    print(f"  KVM_CREATE_VM            {COSTS.KVM_CREATE_VM_BASE:>8,} cyc")
+    print(f"  vmrun round trip         {COSTS.vmrun_roundtrip():>8,} cyc")
+    print(f"  memcpy                   {COSTS.MEMCPY_CYCLES_PER_BYTE:>8.3f} cyc/byte (6.7 GB/s)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Virtines (EuroSys '22) reproduction CLI"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("smoketest", help="exercise every subsystem").set_defaults(
+        handler=cmd_smoketest
+    )
+    subparsers.add_parser("boot", help="Table 1 boot breakdown").set_defaults(
+        handler=cmd_boot
+    )
+    subparsers.add_parser("creation", help="Figure 8 creation latencies").set_defaults(
+        handler=cmd_creation
+    )
+    subparsers.add_parser("info", help="version + calibration").set_defaults(
+        handler=cmd_info
+    )
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

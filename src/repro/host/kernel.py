@@ -1,0 +1,92 @@
+"""The simulated host kernel.
+
+Owns the clock, the filesystem, and the loopback network, and charges
+syscall costs for every entry from userspace.  Wasp's hypercall handlers
+delegate here after validating guest arguments ("a validated read() will
+turn into a read() on the host filesystem", Section 6.3).
+"""
+
+from __future__ import annotations
+
+from repro.hw.clock import Clock
+from repro.hw.costs import COSTS, CostModel
+from repro.host.filesystem import InMemoryFilesystem, O_RDONLY, StatResult
+from repro.host.network import Listener, LoopbackNetwork, Socket
+
+
+class HostKernel:
+    """Host kernel: syscall surface + cost accounting."""
+
+    def __init__(self, clock: Clock | None = None, costs: CostModel = COSTS) -> None:
+        self.clock = clock if clock is not None else Clock()
+        self.costs = costs
+        self.fs = InMemoryFilesystem()
+        self.net = LoopbackNetwork()
+        self.syscall_count = 0
+
+    # -- accounting ---------------------------------------------------------
+    def _syscall(self, body_extra: int = 0) -> None:
+        self.clock.advance(self.costs.syscall() + body_extra)
+        self.syscall_count += 1
+
+    # -- filesystem syscalls ---------------------------------------------------
+    def sys_open(self, path: str, flags: int = O_RDONLY) -> int:
+        self._syscall()
+        return self.fs.open(path, flags)
+
+    def sys_read(self, fd: int, count: int) -> bytes:
+        data = self.fs.read(fd, count)
+        # Copy-out cost scales with the transfer size.
+        self._syscall(self.costs.memcpy(len(data)))
+        return data
+
+    def sys_write(self, fd: int, data: bytes) -> int:
+        self._syscall(self.costs.memcpy(len(data)))
+        return self.fs.write(fd, data)
+
+    def sys_stat(self, path: str) -> StatResult:
+        self._syscall()
+        return self.fs.stat(path)
+
+    def sys_close(self, fd: int) -> None:
+        self._syscall()
+        self.fs.close(fd)
+
+    # -- network syscalls ----------------------------------------------------------
+    def sys_listen(self, port: int) -> Listener:
+        self._syscall()
+        return self.net.listen(port)
+
+    def sys_accept(self, listener: Listener) -> Socket:
+        self._syscall()
+        return self.net.accept(listener)
+
+    def sys_connect(self, port: int) -> Socket:
+        self._syscall(self.costs.LOOPBACK_LATENCY)
+        return self.net.connect(port)
+
+    def sys_send(self, sock: Socket, data: bytes) -> int:
+        self._syscall(self.costs.memcpy(len(data)) + self.costs.LOOPBACK_LATENCY)
+        return sock.send(data)
+
+    def sys_recv(self, sock: Socket, max_bytes: int) -> bytes:
+        data = sock.recv(max_bytes)
+        self._syscall(self.costs.memcpy(len(data)))
+        return data
+
+    def sys_sock_close(self, sock: Socket) -> None:
+        self._syscall()
+        sock.close()
+
+    # -- execution-context creation baselines (Figures 2 and 8) -------------------
+    def pthread_create_join(self) -> None:
+        """Create a thread and immediately join it ("Linux pthread")."""
+        self.clock.advance(self.costs.PTHREAD_CREATE_JOIN)
+
+    def spawn_process(self) -> None:
+        """fork+exec a minimal process ("Linux process")."""
+        self.clock.advance(self.costs.PROCESS_SPAWN)
+
+    def null_function_call(self) -> None:
+        """Call and return from a null function ("function")."""
+        self.clock.advance(self.costs.FUNCTION_CALL)

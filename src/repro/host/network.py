@@ -1,0 +1,106 @@
+"""A loopback TCP model.
+
+The HTTP experiments (Figures 4 and 13) generate requests "from localhost"
+and the serverless experiment (Figure 15) drives a local endpoint.  This
+module provides cooperative, in-memory socket pairs: a connect creates two
+half-duplex byte queues.  Cycle costs for socket syscalls are charged by
+the kernel layer; this module additionally models the one-way loopback
+latency that the paper's guest-to-host interactions observe.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+class NetError(Exception):
+    """A network error, carrying an errno-style name."""
+
+    def __init__(self, errno_name: str, message: str) -> None:
+        super().__init__(f"{errno_name}: {message}")
+        self.errno_name = errno_name
+
+
+class Socket:
+    """One endpoint of a loopback connection."""
+
+    def __init__(self) -> None:
+        self._rx: deque[bytes] = deque()
+        self.peer: "Socket | None" = None
+        self.closed = False
+
+    def send(self, data: bytes) -> int:
+        if self.closed:
+            raise NetError("EPIPE", "send on closed socket")
+        if self.peer is None or self.peer.closed:
+            raise NetError("ECONNRESET", "peer closed")
+        self.peer._rx.append(bytes(data))
+        return len(data)
+
+    def recv(self, max_bytes: int) -> bytes:
+        """Pop up to ``max_bytes`` from the receive queue.
+
+        Returns ``b""`` when the peer has closed and the queue is drained
+        (EOF), and raises ``EWOULDBLOCK`` when data simply isn't there yet
+        (the cooperative simulation has no blocking).
+        """
+        if self.closed:
+            raise NetError("EBADF", "recv on closed socket")
+        if not self._rx:
+            if self.peer is None or self.peer.closed:
+                return b""
+            raise NetError("EWOULDBLOCK", "no data available")
+        chunk = self._rx.popleft()
+        if len(chunk) <= max_bytes:
+            return chunk
+        self._rx.appendleft(chunk[max_bytes:])
+        return chunk[:max_bytes]
+
+    def pending(self) -> int:
+        """Bytes queued for reading."""
+        return sum(len(c) for c in self._rx)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+@dataclass
+class Listener:
+    """A listening socket with a backlog of not-yet-accepted connections."""
+
+    port: int
+    backlog: deque[Socket] = field(default_factory=deque)
+
+
+class LoopbackNetwork:
+    """The loopback interface: listeners keyed by port."""
+
+    def __init__(self) -> None:
+        self._listeners: dict[int, Listener] = {}
+
+    def listen(self, port: int) -> Listener:
+        if port in self._listeners:
+            raise NetError("EADDRINUSE", f"port {port}")
+        listener = Listener(port=port)
+        self._listeners[port] = listener
+        return listener
+
+    def connect(self, port: int) -> Socket:
+        """Client-side connect; queues the server end on the listener."""
+        if port not in self._listeners:
+            raise NetError("ECONNREFUSED", f"port {port}")
+        client = Socket()
+        server = Socket()
+        client.peer = server
+        server.peer = client
+        self._listeners[port].backlog.append(server)
+        return client
+
+    def accept(self, listener: Listener) -> Socket:
+        if not listener.backlog:
+            raise NetError("EWOULDBLOCK", "no pending connections")
+        return listener.backlog.popleft()
+
+    def close_listener(self, listener: Listener) -> None:
+        self._listeners.pop(listener.port, None)

@@ -1,0 +1,52 @@
+"""Process- and container-creation baselines (Figure 8 / Section 7.1).
+
+A container is modelled as a process plus namespace/cgroup/rootfs setup;
+the extra cost is what gives container-based serverless platforms their
+cold-start problem (Figure 15, and [21]'s motivation).
+"""
+
+from __future__ import annotations
+
+from repro.host.kernel import HostKernel
+
+
+class ProcessBaseline:
+    """fork+exec of a minimal process."""
+
+    name = "Linux process"
+
+    def __init__(self, kernel: HostKernel) -> None:
+        self.kernel = kernel
+
+    def spawn(self) -> int:
+        """Spawn one process; returns elapsed cycles."""
+        with self.kernel.clock.region() as region:
+            self.kernel.spawn_process()
+        return region.elapsed
+
+
+class ContainerRuntime:
+    """A container engine: expensive cold creation, cheap warm reuse."""
+
+    name = "container"
+
+    def __init__(self, kernel: HostKernel) -> None:
+        self.kernel = kernel
+        self.cold_starts = 0
+        self.warm_starts = 0
+
+    def cold_create(self) -> int:
+        """Create a container from scratch (process + isolation setup)."""
+        with self.kernel.clock.region() as region:
+            self.kernel.spawn_process()
+            self.kernel.clock.advance(self.kernel.costs.CONTAINER_EXTRA)
+        self.cold_starts += 1
+        return region.elapsed
+
+    def warm_invoke(self) -> int:
+        """Dispatch into an already-running container (IPC round trip)."""
+        with self.kernel.clock.region() as region:
+            # Two syscalls: write the request, read the response.
+            self.kernel.clock.advance(2 * self.kernel.costs.syscall())
+        self.warm_starts += 1
+        return region.elapsed

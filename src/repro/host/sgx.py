@@ -1,0 +1,37 @@
+"""SGX enclave baseline (Figure 8, lower half).
+
+The paper measures enclave creation ("SGX Create") and re-entry
+("ECALL") on a Comet Lake machine; we model both as calibrated costs so
+the creation-latency figure can include the comparison series.
+"""
+
+from __future__ import annotations
+
+from repro.hw.clock import Clock
+from repro.hw.costs import COSTS, CostModel
+
+
+class SgxBaseline:
+    """ECREATE/EADD/EINIT enclave creation and ECALL re-entry."""
+
+    name = "SGX"
+
+    def __init__(self, clock: Clock, costs: CostModel = COSTS) -> None:
+        self.clock = clock
+        self.costs = costs
+        self._created = False
+
+    def create(self) -> int:
+        """Create a new enclave ("SGX Create"); returns elapsed cycles."""
+        with self.clock.region() as region:
+            self.clock.advance(self.costs.SGX_CREATE)
+        self._created = True
+        return region.elapsed
+
+    def ecall(self) -> int:
+        """Enter an existing enclave ("ECALL"); returns elapsed cycles."""
+        if not self._created:
+            raise RuntimeError("ECALL before enclave creation")
+        with self.clock.region() as region:
+            self.clock.advance(self.costs.SGX_ECALL)
+        return region.elapsed

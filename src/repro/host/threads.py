@@ -1,0 +1,24 @@
+"""Thread-creation baseline ("Linux pthread", Figures 2 and 8).
+
+Kept as its own small abstraction so the creation-latency benchmark can
+treat every execution context uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.host.kernel import HostKernel
+
+
+class PthreadBaseline:
+    """``pthread_create`` followed by ``pthread_join``."""
+
+    name = "Linux pthread"
+
+    def __init__(self, kernel: HostKernel) -> None:
+        self.kernel = kernel
+
+    def create_and_join(self) -> int:
+        """Run one create/join round trip; returns elapsed cycles."""
+        with self.kernel.clock.region() as region:
+            self.kernel.pthread_create_join()
+        return region.elapsed

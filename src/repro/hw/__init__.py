@@ -1,0 +1,23 @@
+"""Simulated hardware substrate.
+
+This package models the parts of the x86 platform the paper depends on:
+
+* :mod:`repro.hw.costs` -- the calibrated cycle-cost table,
+* :mod:`repro.hw.clock` -- the virtual cycle clock (the only notion of
+  time used anywhere in this repository),
+* :mod:`repro.hw.memory` -- guest physical memory with first-touch
+  tracking (used to model EPT construction costs),
+* :mod:`repro.hw.paging` -- 4-level page tables with 2 MB large pages,
+* :mod:`repro.hw.cpu` -- CPU state including the real/protected/long mode
+  machine, control registers, and GDT,
+* :mod:`repro.hw.isa` -- a small x86-flavoured instruction set with an
+  assembler and cycle-charging interpreter,
+* :mod:`repro.hw.vmx` -- hardware virtualization (VMCB/vmrun/vmexit).
+"""
+
+from repro.hw.clock import Clock
+from repro.hw.costs import CostModel, COSTS
+from repro.hw.cpu import CPU, Mode
+from repro.hw.memory import GuestMemory
+
+__all__ = ["Clock", "CostModel", "COSTS", "CPU", "Mode", "GuestMemory"]

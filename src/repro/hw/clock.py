@@ -1,0 +1,103 @@
+"""The virtual cycle clock.
+
+Every latency reported by the benchmarks is measured on an instance of
+:class:`Clock` -- wall-clock time is never used.  The clock is a plain
+monotonically-increasing cycle counter; components advance it as they
+charge costs from :mod:`repro.hw.costs`.
+
+:class:`Region` provides the ``rdtsc``-style bracketing the paper uses:
+read the counter, run the work, read it again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Clock:
+    """A monotonically-increasing virtual cycle counter."""
+
+    __slots__ = ("_cycles",)
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start at a negative cycle")
+        self._cycles = start
+
+    @property
+    def cycles(self) -> int:
+        """Current cycle count."""
+        return self._cycles
+
+    def advance(self, cycles: float) -> None:
+        """Advance the clock by ``cycles`` (must be non-negative)."""
+        if cycles < 0:
+            raise ValueError(f"cannot advance clock by {cycles} cycles")
+        self._cycles += int(cycles)
+
+    def rdtsc(self) -> int:
+        """Read the timestamp counter (no cost, like a bare ``rdtsc``)."""
+        return self._cycles
+
+    def region(self) -> "Region":
+        """Open a measurement region starting now."""
+        return Region(clock=self, start=self._cycles)
+
+    def __repr__(self) -> str:
+        return f"Clock(cycles={self._cycles})"
+
+
+@dataclass
+class Region:
+    """An ``rdtsc``-bracketed measurement region.
+
+    Usable as a context manager::
+
+        with clock.region() as r:
+            do_work()
+        latency = r.elapsed
+    """
+
+    clock: Clock
+    start: int
+    end: int | None = None
+
+    def stop(self) -> int:
+        """Close the region and return elapsed cycles."""
+        self.end = self.clock.cycles
+        return self.elapsed
+
+    @property
+    def elapsed(self) -> int:
+        """Cycles elapsed between start and end (or now, if still open)."""
+        end = self.end if self.end is not None else self.clock.cycles
+        return end - self.start
+
+    def __enter__(self) -> "Region":
+        self.start = self.clock.cycles
+        self.end = None
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@dataclass
+class BackgroundAccountant:
+    """Tracks work done off the critical path.
+
+    Wasp's asynchronous shell cleaning ("Wasp+CA" in Figure 8) performs the
+    memset of a returned virtine's memory in the background.  Those cycles
+    are real work but do not contribute to request latency; they accumulate
+    here so experiments can still report total system work.
+    """
+
+    cycles: int = 0
+    operations: int = field(default=0)
+
+    def charge(self, cycles: float) -> None:
+        """Account for ``cycles`` of background work."""
+        if cycles < 0:
+            raise ValueError(f"cannot charge {cycles} background cycles")
+        self.cycles += int(cycles)
+        self.operations += 1

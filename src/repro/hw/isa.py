@@ -1,0 +1,676 @@
+"""A small x86-flavoured instruction set: assembler and interpreter.
+
+The minimal virtine runtime environments are "roughly 160 lines of
+assembly" (Section 4.2).  To make the boot-cost experiments *emerge* from
+executing real operations -- rather than from canned constants -- the
+guest boot code in this reproduction is written in a NASM-flavoured
+assembly dialect, assembled by :class:`Assembler` into a byte image, and
+executed instruction-by-instruction by :class:`Interpreter` with each
+instruction charging cycles from the cost model.
+
+Supported instruction classes:
+
+* data movement: ``mov``, ``push``, ``pop``, ``stos64``
+* ALU: ``add``, ``sub``, ``and``, ``or``, ``xor``, ``shl``, ``shr``,
+  ``inc``, ``dec``, ``cmp``, ``test``
+* control flow: ``jmp``, conditional jumps, ``call``, ``ret``
+* system: ``hlt``, ``cli``, ``sti``, ``lgdt``, ``ljmp`` (mode switch),
+  ``wrmsr``, ``rdmsr``, moves to/from CR0/CR3/CR4
+* I/O: ``out``/``in`` on virtual ports (the hypercall mechanism)
+
+Mode transitions (real -> protected -> long) follow the architectural
+requirements enforced by :class:`repro.hw.cpu.CPU`.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.hw.costs import COSTS, CostModel
+from repro.hw.clock import Clock
+from repro.hw.cpu import CPU, CpuFault, GPRS, MSR_EFER, Mode
+from repro.hw.memory import GuestMemory
+from repro.hw.paging import PageFault, translate
+
+
+class AssemblyError(Exception):
+    """A problem assembling source text."""
+
+
+class ExecutionError(Exception):
+    """A problem during guest execution (bad fetch, unmapped code, ...)."""
+
+
+# --------------------------------------------------------------------------
+# Operands
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A general-purpose register operand."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class CtrlReg:
+    """A control-register operand (cr0/cr3/cr4)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand (label references resolve to these)."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """A memory operand: ``[base + disp]`` (base may be omitted)."""
+
+    base: str | None
+    disp: int
+
+
+Operand = Reg | CtrlReg | Imm | MemRef
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One assembled instruction."""
+
+    op: str
+    operands: tuple[Operand, ...]
+    addr: int
+    size: int
+    line: str = ""
+
+
+@dataclass
+class Program:
+    """An assembled program: instructions, labels, and the byte image."""
+
+    instructions: list[Instr]
+    labels: dict[str, int]  # label -> address
+    image: bytes
+    base: int
+
+    @property
+    def size(self) -> int:
+        return len(self.image)
+
+    def entry(self, label: str = "_start") -> int:
+        """Address of a label (default ``_start``; falls back to base)."""
+        if label in self.labels:
+            return self.labels[label]
+        if label == "_start":
+            return self.base
+        raise AssemblyError(f"no such label: {label}")
+
+
+# --------------------------------------------------------------------------
+# Assembler
+# --------------------------------------------------------------------------
+
+_OPCODES = {
+    "mov": 0x01, "add": 0x02, "sub": 0x03, "and": 0x04, "or": 0x05,
+    "xor": 0x06, "shl": 0x07, "shr": 0x08, "inc": 0x09, "dec": 0x0A,
+    "cmp": 0x0B, "test": 0x0C, "jmp": 0x0D, "je": 0x0E, "jne": 0x0F,
+    "jl": 0x10, "jle": 0x11, "jg": 0x12, "jge": 0x13, "jc": 0x14,
+    "jnc": 0x15, "call": 0x16, "ret": 0x17, "push": 0x18, "pop": 0x19,
+    "hlt": 0x1A, "out": 0x1B, "in": 0x1C, "cli": 0x1D, "sti": 0x1E,
+    "lgdt": 0x1F, "ljmp": 0x20, "wrmsr": 0x21, "rdmsr": 0x22,
+    "stos64": 0x23, "nop": 0x24, "mul": 0x25,
+}
+
+_JCC_ALIASES = {"jz": "je", "jnz": "jne", "jb": "jc", "jae": "jnc"}
+
+_CTRL_REGS = {"cr0", "cr3", "cr4"}
+
+_MEM_RE = re.compile(
+    r"^\[\s*(?:(?P<base>[a-z][a-z0-9]*)\s*)?"
+    r"(?:(?P<sign>[+-])\s*)?(?P<disp>0x[0-9a-fA-F]+|\d+)?\s*\]$"
+)
+
+
+def _parse_int(text: str) -> int:
+    text = text.strip()
+    if text.lower().startswith("0x"):
+        return int(text, 16)
+    return int(text, 10)
+
+
+def _operand_size(operand: Operand) -> int:
+    """Byte size of an operand in our simple encoding."""
+    if isinstance(operand, (Reg, CtrlReg)):
+        return 1
+    if isinstance(operand, Imm):
+        return 8
+    return 9  # MemRef: 1 base byte + 8 disp bytes
+
+
+def _encode_operand(operand: Operand) -> bytes:
+    if isinstance(operand, Reg):
+        return bytes([0x80 | GPRS.index(operand.name)])
+    if isinstance(operand, CtrlReg):
+        return bytes([0xC0 | ("cr0", "cr3", "cr4").index(operand.name)])
+    if isinstance(operand, Imm):
+        return struct.pack("<q", operand.value & 0xFFFFFFFFFFFFFFFF if operand.value >= 0 else operand.value)
+    base_code = 0xFF if operand.base is None else GPRS.index(operand.base)
+    return bytes([base_code]) + struct.pack("<q", operand.disp)
+
+
+class Assembler:
+    """Two-pass assembler for the mini-ISA dialect."""
+
+    def __init__(self, base: int = 0x8000) -> None:
+        self.base = base
+
+    def assemble(self, source: str) -> Program:
+        """Assemble ``source`` into a :class:`Program` based at ``base``."""
+        lines = self._clean(source)
+        # Pass 1: lay out instructions, collect label addresses.
+        addr = self.base
+        labels: dict[str, int] = {}
+        pending: list[tuple[str, list[str], int, str]] = []
+        for line in lines:
+            if line.endswith(":"):
+                label = line[:-1].strip()
+                if not label or not re.match(r"^[A-Za-z_.][\w.]*$", label):
+                    raise AssemblyError(f"bad label: {line!r}")
+                if label in labels:
+                    raise AssemblyError(f"duplicate label: {label}")
+                labels[label] = addr
+                continue
+            op, raw_operands = self._split(line)
+            size = 1 + sum(
+                _operand_size(self._parse_operand(tok, labels, resolve=False))
+                for tok in raw_operands
+            )
+            pending.append((op, raw_operands, addr, line))
+            addr += size
+        # Pass 2: resolve labels, encode.
+        instructions: list[Instr] = []
+        image = bytearray()
+        for op, raw_operands, insn_addr, line in pending:
+            operands = tuple(
+                self._parse_operand(tok, labels, resolve=True) for tok in raw_operands
+            )
+            self._validate(op, operands, line)
+            encoded = bytes([_OPCODES[op]]) + b"".join(
+                _encode_operand(o) for o in operands
+            )
+            instructions.append(
+                Instr(op=op, operands=operands, addr=insn_addr, size=len(encoded), line=line)
+            )
+            image.extend(encoded)
+        return Program(
+            instructions=instructions, labels=labels, image=bytes(image), base=self.base
+        )
+
+    # -- helpers ------------------------------------------------------------
+    @staticmethod
+    def _clean(source: str) -> list[str]:
+        cleaned = []
+        for raw in source.splitlines():
+            line = raw.split(";", 1)[0].strip()
+            if line:
+                cleaned.append(line)
+        return cleaned
+
+    @staticmethod
+    def _split(line: str) -> tuple[str, list[str]]:
+        parts = line.split(None, 1)
+        op = parts[0].lower()
+        op = _JCC_ALIASES.get(op, op)
+        if op not in _OPCODES:
+            raise AssemblyError(f"unknown mnemonic {op!r} in {line!r}")
+        if len(parts) == 1:
+            return op, []
+        operands = [tok.strip() for tok in parts[1].split(",")]
+        return op, operands
+
+    def _parse_operand(self, token: str, labels: dict[str, int], resolve: bool) -> Operand:
+        token = token.strip()
+        lowered = token.lower()
+        if lowered in GPRS:
+            return Reg(lowered)
+        if lowered in _CTRL_REGS:
+            return CtrlReg(lowered)
+        if lowered in ("mode32", "mode64"):
+            return Imm(32 if lowered == "mode32" else 64)
+        if token.startswith("["):
+            match = _MEM_RE.match(lowered)
+            if not match:
+                raise AssemblyError(f"bad memory operand {token!r}")
+            base = match.group("base")
+            disp_text = match.group("disp")
+            if base is not None and base not in GPRS:
+                # "[label]" form: the base is actually a symbol.
+                if disp_text is None:
+                    return MemRef(None, self._symbol(base, labels, resolve))
+                raise AssemblyError(f"bad base register {base!r} in {token!r}")
+            disp = _parse_int(disp_text) if disp_text else 0
+            if match.group("sign") == "-":
+                disp = -disp
+            return MemRef(base, disp)
+        try:
+            return Imm(_parse_int(token))
+        except ValueError:
+            return Imm(self._symbol(token, labels, resolve))
+
+    @staticmethod
+    def _symbol(name: str, labels: dict[str, int], resolve: bool) -> int:
+        if not resolve:
+            return 0
+        if name not in labels:
+            raise AssemblyError(f"undefined symbol {name!r}")
+        return labels[name]
+
+    @staticmethod
+    def _validate(op: str, operands: tuple[Operand, ...], line: str) -> None:
+        arity = {
+            "mov": 2, "add": 2, "sub": 2, "and": 2, "or": 2, "xor": 2,
+            "shl": 2, "shr": 2, "cmp": 2, "test": 2, "out": 2, "in": 2,
+            "ljmp": 2, "mul": 2,
+            "inc": 1, "dec": 1, "jmp": 1, "je": 1, "jne": 1, "jl": 1,
+            "jle": 1, "jg": 1, "jge": 1, "jc": 1, "jnc": 1, "call": 1,
+            "push": 1, "pop": 1, "lgdt": 1,
+            "ret": 0, "hlt": 0, "cli": 0, "sti": 0, "wrmsr": 0,
+            "rdmsr": 0, "stos64": 0, "nop": 0,
+        }[op]
+        if len(operands) != arity:
+            raise AssemblyError(f"{op} expects {arity} operand(s): {line!r}")
+
+
+# --------------------------------------------------------------------------
+# VM exits raised by the interpreter
+# --------------------------------------------------------------------------
+
+
+class GuestExit(Exception):
+    """Base class for events that return control to the hypervisor."""
+
+
+class HaltExit(GuestExit):
+    """The guest executed ``hlt``."""
+
+
+@dataclass
+class IOOutExit(GuestExit):
+    """The guest executed ``out port, reg`` (a hypercall)."""
+
+    port: int
+    value: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"out(port={self.port:#x}, value={self.value:#x})"
+
+
+@dataclass
+class IOInExit(GuestExit):
+    """The guest executed ``in reg, port`` and awaits a value."""
+
+    port: int
+    dest: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"in(port={self.port:#x} -> {self.dest})"
+
+
+class TripleFault(GuestExit):
+    """An unrecoverable guest fault (shuts the context down)."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+# --------------------------------------------------------------------------
+# Interpreter
+# --------------------------------------------------------------------------
+
+
+class Interpreter:
+    """Executes an assembled :class:`Program` against CPU + memory.
+
+    Each step charges cycles on the shared clock according to the cost
+    model; mode transitions charge the Table 1 component costs.  Component
+    costs are additionally tallied into :attr:`component_cycles` keyed by
+    the Table 1 row names, which is how the boot-breakdown benchmark
+    recovers the per-component numbers.
+    """
+
+    STACK_WIDTH = {Mode.REAL16: 2, Mode.PROT32: 4, Mode.LONG64: 8}
+
+    def __init__(
+        self,
+        cpu: CPU,
+        memory: GuestMemory,
+        clock: Clock,
+        costs: CostModel = COSTS,
+    ) -> None:
+        self.cpu = cpu
+        self.memory = memory
+        self.clock = clock
+        self.costs = costs
+        self.program: Program | None = None
+        self._by_addr: dict[int, Instr] = {}
+        self.instructions_retired = 0
+        self.component_cycles: dict[str, int] = {}
+        self._first_instruction_pending = True
+        self._trace: "deque[str] | None" = None
+
+    # -- program management ---------------------------------------------------
+    def load_program(self, program: Program) -> None:
+        """Attach ``program`` and write its image into guest memory."""
+        self.memory.load_bytes(program.image, program.base)
+        self.attach_program(program)
+
+    def attach_program(self, program: Program, reset_rip: bool = True) -> None:
+        """Attach ``program`` without rewriting memory (snapshot resume)."""
+        self.program = program
+        self._by_addr = {insn.addr: insn for insn in program.instructions}
+        if reset_rip:
+            self.cpu.rip = program.entry()
+        self._first_instruction_pending = True
+
+    def mark_entry(self) -> None:
+        """Charge the first-instruction fetch cost on the next step."""
+        self._first_instruction_pending = True
+
+    # -- execution tracing (debugging aid) -------------------------------------
+    def enable_trace(self, depth: int = 32) -> None:
+        """Keep a ring buffer of the last ``depth`` executed instructions.
+
+        The trace is what you want when a guest triple-faults: the last
+        few instructions before the bad fetch.  Disabled by default (it
+        costs Python time, never simulated cycles).
+        """
+        if depth <= 0:
+            raise ValueError("trace depth must be positive")
+        self._trace = deque(maxlen=depth)
+
+    def disable_trace(self) -> None:
+        self._trace = None
+
+    def trace(self) -> list[str]:
+        """The recorded instruction history, oldest first."""
+        return list(self._trace) if self._trace is not None else []
+
+    # -- address translation -----------------------------------------------------
+    def _phys(self, vaddr: int) -> int:
+        if self.cpu.paging_enabled:
+            try:
+                return translate(self.memory, self.cpu.cr3, vaddr)
+            except PageFault as fault:
+                raise TripleFault(str(fault)) from fault
+        return vaddr
+
+    def _load(self, vaddr: int, width: int) -> int:
+        addr = self._phys(vaddr)
+        readers = {1: self.memory.read_u8, 2: self.memory.read_u16,
+                   4: self.memory.read_u32, 8: self.memory.read_u64}
+        return readers[width](addr)
+
+    def _store(self, vaddr: int, value: int, width: int) -> None:
+        addr = self._phys(vaddr)
+        writers = {1: self.memory.write_u8, 2: self.memory.write_u16,
+                   4: self.memory.write_u32, 8: self.memory.write_u64}
+        writers[width](addr, value)
+
+    # -- operand evaluation --------------------------------------------------------
+    def _effective_addr(self, ref: MemRef) -> int:
+        base = self.cpu.read_reg(ref.base) if ref.base else 0
+        return (base + ref.disp) & 0xFFFFFFFFFFFFFFFF
+
+    def _read_operand(self, operand: Operand) -> int:
+        if isinstance(operand, Reg):
+            return self.cpu.read_reg(operand.name)
+        if isinstance(operand, CtrlReg):
+            return self.cpu.read_cr(operand.name)
+        if isinstance(operand, Imm):
+            return operand.value & self.cpu.mode.mask
+        self.clock.advance(self.costs.INSN_MEM)
+        width = self.cpu.mode.value // 8
+        return self._load(self._effective_addr(operand), width)
+
+    def _write_operand(self, operand: Operand, value: int) -> None:
+        if isinstance(operand, Reg):
+            self.cpu.write_reg(operand.name, value)
+            return
+        if isinstance(operand, CtrlReg):
+            self._write_ctrl(operand.name, value)
+            return
+        if isinstance(operand, Imm):
+            raise ExecutionError("cannot write to an immediate")
+        self.clock.advance(self.costs.INSN_MEM + self.costs.STORE8)
+        width = self.cpu.mode.value // 8
+        self._store(self._effective_addr(operand), value & self.cpu.mode.mask, width)
+
+    def _write_ctrl(self, name: str, value: int) -> None:
+        costs = self.costs
+        events = self.cpu.write_cr(name, value)
+        if name == "cr3":
+            self._charge_component("cr3 load", costs.CR3_LOAD)
+        else:
+            self.clock.advance(costs.CR_WRITE)
+        if events.get("pe_set"):
+            self._charge_component("protected transition", costs.CR0_PE_FLIP)
+        if events.get("pg_set"):
+            self._charge_component("paging enable", costs.CR0_PG_FLIP)
+
+    def _charge_component(self, component: str, cycles: int) -> None:
+        self.clock.advance(cycles)
+        self.component_cycles[component] = (
+            self.component_cycles.get(component, 0) + cycles
+        )
+
+    # -- stack ---------------------------------------------------------------------
+    def _push(self, value: int) -> None:
+        width = self.STACK_WIDTH[self.cpu.mode]
+        sp = (self.cpu.read_reg("sp") - width) & self.cpu.mode.mask
+        self.cpu.write_reg("sp", sp)
+        self.clock.advance(self.costs.INSN_MEM + self.costs.STORE8)
+        self._store(sp, value & self.cpu.mode.mask, width)
+
+    def _pop(self) -> int:
+        width = self.STACK_WIDTH[self.cpu.mode]
+        sp = self.cpu.read_reg("sp")
+        self.clock.advance(self.costs.INSN_MEM)
+        value = self._load(sp, width)
+        self.cpu.write_reg("sp", (sp + width) & self.cpu.mode.mask)
+        return value
+
+    # -- signed helpers -----------------------------------------------------------
+    def _signed(self, value: int) -> int:
+        mask = self.cpu.mode.mask
+        sign_bit = (mask + 1) >> 1
+        return value - (mask + 1) if value & sign_bit else value
+
+    # -- execution --------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one instruction (raises a :class:`GuestExit` on exits)."""
+        if self.program is None:
+            raise ExecutionError("no program loaded")
+        if self.cpu.halted:
+            raise HaltExit()
+        insn = self._by_addr.get(self.cpu.rip)
+        if insn is None:
+            raise TripleFault(f"instruction fetch from unmapped rip {self.cpu.rip:#x}")
+        if self._first_instruction_pending:
+            self._first_instruction_pending = False
+            self._charge_component("first instruction", self.costs.FIRST_INSTRUCTION)
+        if self._trace is not None:
+            self._trace.append(f"{insn.addr:#06x}: {insn.line or insn.op}")
+        self.clock.advance(self.costs.INSN_BASE)
+        self.instructions_retired += 1
+        next_rip = insn.addr + insn.size
+        self.cpu.rip = next_rip  # may be overwritten by control flow
+        self._dispatch(insn)
+
+    def _dispatch(self, insn: Instr) -> None:
+        op = insn.op
+        ops = insn.operands
+        cpu = self.cpu
+        costs = self.costs
+
+        if op == "nop":
+            return
+        if op == "mov":
+            self._write_operand(ops[0], self._read_operand(ops[1]))
+            return
+        if op in ("add", "sub", "and", "or", "xor", "shl", "shr", "mul"):
+            lhs = self._read_operand(ops[0])
+            rhs = self._read_operand(ops[1])
+            result = {
+                "add": lhs + rhs,
+                "sub": lhs - rhs,
+                "and": lhs & rhs,
+                "or": lhs | rhs,
+                "xor": lhs ^ rhs,
+                "shl": lhs << (rhs & 63),
+                "shr": lhs >> (rhs & 63),
+                "mul": lhs * rhs,
+            }[op]
+            cpu.flags.set_from_result(result, cpu.mode.mask)
+            self._write_operand(ops[0], result & cpu.mode.mask)
+            return
+        if op in ("inc", "dec"):
+            value = self._read_operand(ops[0])
+            result = value + 1 if op == "inc" else value - 1
+            cpu.flags.set_from_result(result, cpu.mode.mask)
+            self._write_operand(ops[0], result & cpu.mode.mask)
+            return
+        if op == "cmp":
+            lhs = self._read_operand(ops[0])
+            rhs = self._read_operand(ops[1])
+            cpu.flags.set_from_result(lhs - rhs, cpu.mode.mask)
+            cpu.flags.sign = self._signed(lhs) - self._signed(rhs) < 0
+            return
+        if op == "test":
+            lhs = self._read_operand(ops[0])
+            rhs = self._read_operand(ops[1])
+            cpu.flags.set_from_result(lhs & rhs, cpu.mode.mask)
+            return
+        if op == "jmp":
+            cpu.rip = self._read_operand(ops[0])
+            return
+        if op in ("je", "jne", "jl", "jle", "jg", "jge", "jc", "jnc"):
+            flags = cpu.flags
+            taken = {
+                "je": flags.zero,
+                "jne": not flags.zero,
+                "jl": flags.sign,
+                "jle": flags.sign or flags.zero,
+                "jg": not flags.sign and not flags.zero,
+                "jge": not flags.sign,
+                "jc": flags.carry,
+                "jnc": not flags.carry,
+            }[op]
+            if taken:
+                cpu.rip = self._read_operand(ops[0])
+            return
+        if op == "call":
+            self.clock.advance(costs.INSN_CALL)
+            target = self._read_operand(ops[0])
+            self._push(cpu.rip)
+            cpu.rip = target
+            return
+        if op == "ret":
+            self.clock.advance(costs.INSN_CALL)
+            cpu.rip = self._pop()
+            return
+        if op == "push":
+            self._push(self._read_operand(ops[0]))
+            return
+        if op == "pop":
+            if not isinstance(ops[0], Reg):
+                raise ExecutionError("pop requires a register operand")
+            cpu.write_reg(ops[0].name, self._pop())
+            return
+        if op == "hlt":
+            cpu.halted = True
+            raise HaltExit()
+        if op == "out":
+            port = self._read_operand(ops[0])
+            value = self._read_operand(ops[1])
+            raise IOOutExit(port=port, value=value)
+        if op == "in":
+            if not isinstance(ops[0], Reg):
+                raise ExecutionError("in requires a register destination")
+            port = self._read_operand(ops[1])
+            raise IOInExit(port=port, dest=ops[0].name)
+        if op == "cli":
+            cpu.flags.interrupts = False
+            return
+        if op == "sti":
+            cpu.flags.interrupts = True
+            return
+        if op == "lgdt":
+            base = self._read_operand(ops[0])
+            cost = costs.LGDT_REAL if cpu.mode is Mode.REAL16 else costs.LGDT_PROTECTED
+            label = (
+                "load 32-bit gdt (lgdt)"
+                if cpu.mode is Mode.REAL16
+                else "long transition (lgdt)"
+            )
+            self._charge_component(label, cost)
+            cpu.gdtr.base = base
+            cpu.gdtr.limit = 0xFFFF
+            cpu.gdtr.loaded = True
+            return
+        if op == "ljmp":
+            bits = self._read_operand(ops[0])
+            target = ops[1]
+            target_addr = (
+                target.value if isinstance(target, Imm) else self._read_operand(target)
+            )
+            if bits == 32:
+                self._charge_component("jump to 32-bit (ljmp)", costs.LJMP_TO_32)
+                cpu.far_jump(Mode.PROT32, target_addr)
+            elif bits == 64:
+                self._charge_component("jump to 64-bit (ljmp)", costs.LJMP_TO_64)
+                cpu.far_jump(Mode.LONG64, target_addr)
+            else:
+                raise ExecutionError(f"ljmp to unsupported width {bits}")
+            return
+        if op == "wrmsr":
+            self.clock.advance(costs.CR_WRITE)
+            msr = cpu.read_reg("cx") if cpu.mode is not Mode.REAL16 else cpu.regs["cx"]
+            value = (cpu.regs["dx"] << 32) | (cpu.regs["ax"] & 0xFFFFFFFF)
+            cpu.wrmsr(msr if msr else MSR_EFER, value)
+            return
+        if op == "rdmsr":
+            self.clock.advance(costs.CR_WRITE)
+            msr = cpu.regs["cx"] or MSR_EFER
+            value = cpu.rdmsr(msr)
+            cpu.regs["ax"] = value & 0xFFFFFFFF
+            cpu.regs["dx"] = value >> 32
+            return
+        if op == "stos64":
+            di = cpu.read_reg("di")
+            self.clock.advance(costs.INSN_MEM + costs.STORE8)
+            self._store(di, cpu.regs["ax"], 8)
+            cpu.write_reg("di", di + 8)
+            return
+        raise ExecutionError(f"unimplemented op {op!r}")  # pragma: no cover
+
+    def run(self, max_steps: int = 50_000_000) -> GuestExit:
+        """Run until the guest exits; returns the exit event."""
+        for _ in range(max_steps):
+            try:
+                self.step()
+            except GuestExit as exit_event:
+                return exit_event
+        raise ExecutionError(f"guest did not exit within {max_steps} steps")
+
+    def resume_with_input(self, dest: str, value: int) -> None:
+        """Complete a pending ``in`` by writing the port value to ``dest``."""
+        self.cpu.write_reg(dest, value)

@@ -1,0 +1,233 @@
+"""Guest physical memory.
+
+A :class:`GuestMemory` is a flat ``bytearray`` with 4 KB page-granular
+first-touch tracking.  First-touch tracking is what makes the paper's
+"Paging identity mapping" cost (Table 1) *emerge* rather than being a
+canned constant: the first store to each previously-untouched guest page
+raises an EPT-violation event, and the attached machine charges
+``EPT_FIRST_TOUCH_FAULT`` for it (see :mod:`repro.hw.vmx`).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Iterable
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+
+class GuestMemoryError(Exception):
+    """An out-of-range guest physical access."""
+
+
+class GuestMemory:
+    """Flat guest physical memory with first-touch page tracking."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0 or size % PAGE_SIZE != 0:
+            raise ValueError(f"memory size must be a positive multiple of 4096, got {size}")
+        self.size = size
+        self._data = bytearray(size)
+        self._touched: set[int] = set()
+        self._dirty: set[int] = set()
+        self._cow_pending: set[int] = set()
+        #: Optional callback invoked with the page number on first touch.
+        self.on_first_touch: Callable[[int], None] | None = None
+        #: Optional callback invoked when a copy-on-write page is first
+        #: written after a CoW snapshot restore.
+        self.on_cow_break: Callable[[int], None] | None = None
+
+    # -- bounds & tracking -------------------------------------------------
+    def _check(self, addr: int, length: int) -> None:
+        if addr < 0 or length < 0 or addr + length > self.size:
+            raise GuestMemoryError(
+                f"guest physical access [{addr:#x}, {addr + length:#x}) "
+                f"outside memory of size {self.size:#x}"
+            )
+
+    def _touch(self, addr: int, length: int) -> None:
+        first = addr >> PAGE_SHIFT
+        last = (addr + max(length - 1, 0)) >> PAGE_SHIFT
+        for page in range(first, last + 1):
+            self._dirty.add(page)
+            if page in self._cow_pending:
+                self._cow_pending.discard(page)
+                if self.on_cow_break is not None:
+                    self.on_cow_break(page)
+            if page not in self._touched:
+                self._touched.add(page)
+                if self.on_first_touch is not None:
+                    self.on_first_touch(page)
+
+    def _mark_dirty(self, addr: int, length: int) -> None:
+        first = addr >> PAGE_SHIFT
+        last = (addr + max(length - 1, 0)) >> PAGE_SHIFT
+        for page in range(first, last + 1):
+            self._dirty.add(page)
+            if page in self._cow_pending:
+                self._cow_pending.discard(page)
+                if self.on_cow_break is not None:
+                    self.on_cow_break(page)
+
+    @property
+    def touched_pages(self) -> int:
+        """Number of guest pages that have ever been written."""
+        return len(self._touched)
+
+    def reset_touch_tracking(self) -> None:
+        """Forget first-touch history (used when recycling a shell)."""
+        self._touched.clear()
+
+    def mark_touched(self, pages: Iterable[int]) -> None:
+        """Record pages as already EPT-mapped (host-side population)."""
+        self._touched.update(pages)
+
+    # -- raw access ----------------------------------------------------------
+    def read(self, addr: int, length: int) -> bytes:
+        """Read ``length`` bytes at guest physical ``addr``."""
+        self._check(addr, length)
+        return bytes(self._data[addr : addr + length])
+
+    def write(self, addr: int, data: bytes | bytearray) -> None:
+        """Write ``data`` at guest physical ``addr``."""
+        self._check(addr, len(data))
+        self._touch(addr, len(data))
+        self._data[addr : addr + len(data)] = data
+
+    # -- integer helpers -------------------------------------------------------
+    def read_u8(self, addr: int) -> int:
+        return self.read(addr, 1)[0]
+
+    def read_u16(self, addr: int) -> int:
+        return struct.unpack_from("<H", self._guarded(addr, 2))[0]
+
+    def read_u32(self, addr: int) -> int:
+        return struct.unpack_from("<I", self._guarded(addr, 4))[0]
+
+    def read_u64(self, addr: int) -> int:
+        return struct.unpack_from("<Q", self._guarded(addr, 8))[0]
+
+    def write_u8(self, addr: int, value: int) -> None:
+        self.write(addr, bytes([value & 0xFF]))
+
+    def write_u16(self, addr: int, value: int) -> None:
+        self.write(addr, struct.pack("<H", value & 0xFFFF))
+
+    def write_u32(self, addr: int, value: int) -> None:
+        self.write(addr, struct.pack("<I", value & 0xFFFFFFFF))
+
+    def write_u64(self, addr: int, value: int) -> None:
+        self.write(addr, struct.pack("<Q", value & 0xFFFFFFFFFFFFFFFF))
+
+    def _guarded(self, addr: int, length: int) -> bytes:
+        self._check(addr, length)
+        return bytes(self._data[addr : addr + length])
+
+    # -- dirty-page tracking ------------------------------------------------------
+    @property
+    def dirty_pages(self) -> frozenset[int]:
+        """Pages written since the last :meth:`clear_dirty`."""
+        return frozenset(self._dirty)
+
+    @property
+    def dirty_bytes(self) -> int:
+        """Bytes that a clean (memset of dirty pages) would touch."""
+        return len(self._dirty) * PAGE_SIZE
+
+    def clear_dirty(self) -> int:
+        """Zero every dirty page; returns the number of bytes cleared.
+
+        Callers charge ``memset(returned bytes)``; this is how Wasp's
+        shell cleaning avoids paying for the full guest memory.
+        """
+        zero_page = bytes(PAGE_SIZE)
+        for page in self._dirty:
+            start = page << PAGE_SHIFT
+            self._data[start : start + PAGE_SIZE] = zero_page
+        cleared = len(self._dirty) * PAGE_SIZE
+        # Still-shared CoW pages were never privately materialised:
+        # dropping the read-only mapping reverts them for free (their
+        # bytes are excluded from the returned scrub cost).
+        for page in self._cow_pending:
+            start = page << PAGE_SHIFT
+            self._data[start : start + PAGE_SIZE] = zero_page
+        self._cow_pending.clear()
+        self._dirty.clear()
+        return cleared
+
+    def capture_dirty(self) -> dict[int, bytes]:
+        """Copy out the contents of every dirty page (snapshot capture)."""
+        result: dict[int, bytes] = {}
+        for page in self._dirty:
+            start = page << PAGE_SHIFT
+            result[page] = bytes(self._data[start : start + PAGE_SIZE])
+        return result
+
+    def restore_pages(self, pages: dict[int, bytes]) -> None:
+        """Write back pages captured by :meth:`capture_dirty`.
+
+        Marks exactly those pages dirty (host-side copy, no EPT events).
+        """
+        for page, contents in pages.items():
+            start = page << PAGE_SHIFT
+            self._check(start, PAGE_SIZE)
+            self._data[start : start + PAGE_SIZE] = contents
+        self._dirty.update(pages)
+
+    def restore_pages_cow(self, pages: dict[int, bytes]) -> None:
+        """Copy-on-write restore: map the snapshot pages shared/read-only.
+
+        Contents become visible immediately (reads are shared with the
+        snapshot), but each page remains *pending*: the first write to it
+        fires :attr:`on_cow_break`, which is where the per-page copy cost
+        is charged -- and only then does the page count as dirty (a page
+        never written stays the snapshot's and needs no scrub).  This is
+        the SEUSS-style restore the paper expects to "drop [the snapshot
+        cost] drastically" (Section 7.2).
+        """
+        for page, contents in pages.items():
+            start = page << PAGE_SHIFT
+            self._check(start, PAGE_SIZE)
+            self._data[start : start + PAGE_SIZE] = contents
+        self._cow_pending.update(pages)
+
+    @property
+    def cow_pending_pages(self) -> frozenset[int]:
+        """Pages still sharing snapshot storage (unwritten since restore)."""
+        return frozenset(self._cow_pending)
+
+    # -- bulk operations ---------------------------------------------------------
+    def fill(self, value: int = 0) -> None:
+        """Clear (or fill) the entire memory.
+
+        Note: callers are responsible for charging the memset cost; this
+        only mutates state.
+        """
+        self._data = bytearray([value & 0xFF]) * self.size if value else bytearray(self.size)
+        self._dirty.clear()
+        self._cow_pending.clear()
+
+    def copy_from(self, other: "GuestMemory") -> None:
+        """Replace contents with a copy of ``other`` (sizes must match)."""
+        if other.size != self.size:
+            raise ValueError(
+                f"cannot copy between differently sized memories "
+                f"({other.size:#x} -> {self.size:#x})"
+            )
+        self._data[:] = other._data
+        self._dirty = set(other._dirty)
+
+    def snapshot_bytes(self) -> bytes:
+        """Return an immutable copy of the full contents."""
+        return bytes(self._data)
+
+    def load_bytes(self, image: bytes, addr: int = 0) -> None:
+        """Load a raw byte image at ``addr`` (host-side copy; dirties
+        pages but raises no EPT first-touch events)."""
+        self._check(addr, len(image))
+        self._mark_dirty(addr, len(image))
+        self._data[addr : addr + len(image)] = image
+
+    def __len__(self) -> int:
+        return self.size

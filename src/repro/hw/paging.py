@@ -1,0 +1,115 @@
+"""x86-64 4-level paging structures.
+
+The minimal virtine boot sequence identity-maps the first 1 GB of the
+address space using 2 MB large pages (Section 4.2): one PML4 entry, one
+PDPT entry, and 512 PD entries -- three 4 KB table pages, i.e. the "12 KB
+of memory references" the paper describes.  The guest boot code in
+:mod:`repro.runtime.boot` constructs these tables *by executing stores*,
+so the cost of the "Paging identity mapping" row of Table 1 emerges from
+the store and first-touch costs.  This module provides the entry layout,
+a host-side builder (for snapshot-constructed images), and a page walker
+used by the CPU once CR0.PG is enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.memory import GuestMemory
+
+# Page-table entry flag bits (subset of the architectural layout).
+PTE_PRESENT = 1 << 0
+PTE_WRITABLE = 1 << 1
+PTE_USER = 1 << 2
+PTE_LARGE = 1 << 7  # PS bit: 2 MB page when set in a PD entry
+
+ENTRY_SIZE = 8
+ENTRIES_PER_TABLE = 512
+LARGE_PAGE_SIZE = 2 * 1024 * 1024
+
+ADDR_MASK = 0x000F_FFFF_FFFF_F000
+
+
+class PageFault(Exception):
+    """A guest virtual address failed to translate."""
+
+    def __init__(self, vaddr: int, reason: str) -> None:
+        super().__init__(f"page fault at {vaddr:#x}: {reason}")
+        self.vaddr = vaddr
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class IdentityMapLayout:
+    """Where the boot code places the three identity-map table pages."""
+
+    pml4: int
+    pdpt: int
+    pd: int
+
+    @classmethod
+    def at(cls, base: int) -> "IdentityMapLayout":
+        """Standard layout: three consecutive 4 KB pages starting at ``base``."""
+        if base % 4096 != 0:
+            raise ValueError(f"page table base {base:#x} is not page aligned")
+        return cls(pml4=base, pdpt=base + 4096, pd=base + 8192)
+
+
+def build_identity_map(memory: GuestMemory, layout: IdentityMapLayout) -> int:
+    """Host-side construction of the 1 GB identity map with 2 MB pages.
+
+    Wasp uses this when restoring a snapshot that was taken after boot (the
+    table contents are part of the snapshot) and tests use it to validate
+    the guest-built tables.  Returns the CR3 value (PML4 base).
+    """
+    flags = PTE_PRESENT | PTE_WRITABLE
+    memory.write_u64(layout.pml4, layout.pdpt | flags)
+    memory.write_u64(layout.pdpt, layout.pd | flags)
+    for i in range(ENTRIES_PER_TABLE):
+        memory.write_u64(layout.pd + i * ENTRY_SIZE, (i * LARGE_PAGE_SIZE) | flags | PTE_LARGE)
+    return layout.pml4
+
+
+def translate(memory: GuestMemory, cr3: int, vaddr: int) -> int:
+    """Walk the 4-level tables rooted at ``cr3`` and translate ``vaddr``.
+
+    Only the structures the virtine environments use are supported:
+    2 MB large pages at the PD level and 4 KB pages at the PT level.
+    """
+    if vaddr < 0:
+        raise PageFault(vaddr, "negative address")
+    pml4_index = (vaddr >> 39) & 0x1FF
+    pdpt_index = (vaddr >> 30) & 0x1FF
+    pd_index = (vaddr >> 21) & 0x1FF
+    pt_index = (vaddr >> 12) & 0x1FF
+    offset12 = vaddr & 0xFFF
+
+    pml4e = memory.read_u64((cr3 & ADDR_MASK) + pml4_index * ENTRY_SIZE)
+    if not pml4e & PTE_PRESENT:
+        raise PageFault(vaddr, "PML4 entry not present")
+    pdpte = memory.read_u64((pml4e & ADDR_MASK) + pdpt_index * ENTRY_SIZE)
+    if not pdpte & PTE_PRESENT:
+        raise PageFault(vaddr, "PDPT entry not present")
+    pde = memory.read_u64((pdpte & ADDR_MASK) + pd_index * ENTRY_SIZE)
+    if not pde & PTE_PRESENT:
+        raise PageFault(vaddr, "PD entry not present")
+    if pde & PTE_LARGE:
+        base = pde & ~(LARGE_PAGE_SIZE - 1) & ADDR_MASK
+        return base + (vaddr & (LARGE_PAGE_SIZE - 1))
+    pte = memory.read_u64((pde & ADDR_MASK) + pt_index * ENTRY_SIZE)
+    if not pte & PTE_PRESENT:
+        raise PageFault(vaddr, "PT entry not present")
+    return (pte & ADDR_MASK) + offset12
+
+
+def is_identity_mapped(memory: GuestMemory, cr3: int, limit: int) -> bool:
+    """True if every 2 MB-aligned address below ``limit`` maps to itself."""
+    addr = 0
+    while addr < limit:
+        try:
+            if translate(memory, cr3, addr) != addr:
+                return False
+        except PageFault:
+            return False
+        addr += LARGE_PAGE_SIZE
+    return True

@@ -1,0 +1,5 @@
+"""The Windows Hypervisor Platform backend (see :mod:`repro.hyperv.device`)."""
+
+from repro.hyperv.device import HyperV
+
+__all__ = ["HyperV"]

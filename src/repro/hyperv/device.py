@@ -1,0 +1,127 @@
+"""A Windows Hypervisor Platform (WHP) device model.
+
+"Wasp runs as a Type-II micro-hypervisor on both Linux and Windows"
+(Section 1); "our hypervisor implementation works on both Linux and has
+a prototype implementation in Windows (through Hyper-V) ... Hyper-V
+performance was similar for our experiments" (Section 4.1).
+
+This backend mirrors :class:`repro.kvm.device.KVM`'s duck type --
+``create_vm`` returning a handle with ``set_user_memory_region`` /
+``create_vcpu`` / ``load_program`` -- over the WHP call surface
+(``WHvCreatePartition``, ``WHvMapGpaRange``,
+``WHvCreateVirtualProcessor``, ``WHvRunVirtualProcessor``).  Costs are
+"similar" to KVM (the paper's observation) but not identical: partition
+setup is a two-step create+setup, and the run path crosses the WHP
+user-mode API rather than an ioctl.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.hw.clock import Clock
+from repro.hw.costs import COSTS, CostModel
+from repro.hw.isa import Program
+from repro.hw.vmx import ExitInfo, VirtualMachine
+
+#: WHvCreatePartition + WHvSetupPartition (two API round trips; slightly
+#: heavier than KVM_CREATE_VM).
+WHV_CREATE_PARTITION = 205_000
+WHV_SETUP_PARTITION = 40_000
+#: WHvMapGpaRange.
+WHV_MAP_GPA_RANGE = 34_000
+#: WHvCreateVirtualProcessor.
+WHV_CREATE_VCPU = 71_000
+#: WHvRunVirtualProcessor API crossing (user-mode DLL + kernel transition;
+#: a bit heavier than a bare ioctl).
+WHV_RUN_OVERHEAD = 1_900
+
+
+class HypervError(Exception):
+    """Invalid use of the WHP surface."""
+
+
+class HyperV:
+    """The WHP system interface (drop-in for :class:`repro.kvm.KVM`)."""
+
+    backend_name = "hyperv"
+
+    def __init__(self, clock: Clock, costs: CostModel = COSTS) -> None:
+        self.clock = clock
+        self.costs = costs
+        self.vms_created = 0
+
+    def create_vm(self) -> "PartitionHandle":
+        """``WHvCreatePartition`` + ``WHvSetupPartition``."""
+        self.clock.advance(WHV_CREATE_PARTITION + WHV_SETUP_PARTITION)
+        self.vms_created += 1
+        return PartitionHandle(hyperv=self)
+
+
+class PartitionHandle:
+    """A WHP partition handle (mirrors the KVM ``VMHandle`` surface)."""
+
+    def __init__(self, hyperv: HyperV) -> None:
+        self.hyperv = hyperv
+        self.vm: VirtualMachine | None = None
+        self.vcpu: "WhvVcpuHandle | None" = None
+        self.closed = False
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise HypervError("operation on a deleted partition")
+
+    def set_user_memory_region(self, size: int) -> None:
+        """``WHvMapGpaRange``: map guest physical memory."""
+        self._check_open()
+        if self.vm is not None:
+            raise HypervError("GPA range already mapped")
+        self.hyperv.clock.advance(WHV_MAP_GPA_RANGE)
+        self.vm = VirtualMachine(
+            memory_size=size, clock=self.hyperv.clock, costs=self.hyperv.costs
+        )
+
+    def create_vcpu(self) -> "WhvVcpuHandle":
+        """``WHvCreateVirtualProcessor``."""
+        self._check_open()
+        if self.vm is None:
+            raise HypervError("create_vcpu before WHvMapGpaRange")
+        if self.vcpu is not None:
+            raise HypervError("virtual processor already created")
+        self.hyperv.clock.advance(WHV_CREATE_VCPU)
+        self.vcpu = WhvVcpuHandle(self)
+        return self.vcpu
+
+    def load_program(self, program: Program) -> None:
+        self._check_open()
+        if self.vm is None:
+            raise HypervError("load_program before WHvMapGpaRange")
+        self.hyperv.clock.advance(self.hyperv.costs.memcpy(len(program.image)))
+        self.vm.load_program(program)
+
+    def close(self) -> None:
+        """``WHvDeletePartition`` (teardown is off the critical path)."""
+        self.closed = True
+
+
+@dataclass
+class WhvVcpuHandle:
+    """A WHP virtual processor (mirrors the KVM ``VcpuHandle`` surface)."""
+
+    handle: PartitionHandle
+
+    @property
+    def vm(self) -> VirtualMachine:
+        vm = self.handle.vm
+        if vm is None:  # pragma: no cover - guarded by create_vcpu
+            raise HypervError("vCPU without a mapped GPA range")
+        return vm
+
+    def run(self, max_steps: int = 50_000_000) -> ExitInfo:
+        """``WHvRunVirtualProcessor``: run until the next exit."""
+        self.handle._check_open()
+        self.handle.hyperv.clock.advance(WHV_RUN_OVERHEAD)
+        return self.vm.vmrun(max_steps=max_steps)
+
+    def complete_io_in(self, dest: str, value: int) -> None:
+        self.vm.complete_io_in(dest, value)

@@ -1,0 +1,8 @@
+"""A KVM device model (the ``/dev/kvm`` interface Wasp drives).
+
+See :mod:`repro.kvm.device`.
+"""
+
+from repro.kvm.device import KVM, VMHandle, VcpuHandle
+
+__all__ = ["KVM", "VMHandle", "VcpuHandle"]

@@ -1,0 +1,120 @@
+"""The KVM device model.
+
+On Linux, each virtual context is "a device file which is manipulated by
+Wasp using an ioctl" (Section 5.1).  This module models that interface:
+
+* :meth:`KVM.create_vm` -- ``KVM_CREATE_VM``: allocates the in-kernel VM
+  state (VMCB on AMD / VMCS on Intel).  This is the expensive step pooling
+  avoids (Section 5.2).
+* :meth:`VMHandle.set_user_memory_region` -- ``KVM_SET_USER_MEMORY_REGION``.
+* :meth:`VMHandle.create_vcpu` -- ``KVM_CREATE_VCPU``.
+* :meth:`VcpuHandle.run` -- ``KVM_RUN``: "a series of sanity checks
+  followed by execution of the vmrun instruction" (Section 4.2), plus the
+  user/kernel ring transitions of the ioctl itself.
+
+Every call charges its cycle costs on the shared clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.clock import Clock
+from repro.hw.costs import COSTS, CostModel
+from repro.hw.isa import Program
+from repro.hw.vmx import ExitInfo, VirtualMachine
+
+
+class KvmError(Exception):
+    """An invalid use of the KVM interface."""
+
+
+class KVM:
+    """The ``/dev/kvm`` system device."""
+
+    def __init__(self, clock: Clock, costs: CostModel = COSTS) -> None:
+        self.clock = clock
+        self.costs = costs
+        self.vms_created = 0
+
+    def create_vm(self) -> "VMHandle":
+        """``KVM_CREATE_VM``: allocate in-kernel VM state."""
+        self.clock.advance(self.costs.ioctl() + self.costs.KVM_CREATE_VM_BASE)
+        self.vms_created += 1
+        return VMHandle(kvm=self)
+
+
+class VMHandle:
+    """A VM file descriptor returned by ``KVM_CREATE_VM``."""
+
+    def __init__(self, kvm: KVM) -> None:
+        self.kvm = kvm
+        self.vm: VirtualMachine | None = None
+        self.vcpu: VcpuHandle | None = None
+        self.closed = False
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise KvmError("operation on a closed VM fd")
+
+    def set_user_memory_region(self, size: int) -> None:
+        """``KVM_SET_USER_MEMORY_REGION``: register guest memory."""
+        self._check_open()
+        if self.vm is not None:
+            raise KvmError("memory region already registered")
+        self.kvm.clock.advance(self.kvm.costs.ioctl() + self.kvm.costs.KVM_SET_MEMORY_REGION)
+        self.vm = VirtualMachine(memory_size=size, clock=self.kvm.clock, costs=self.kvm.costs)
+
+    def create_vcpu(self) -> "VcpuHandle":
+        """``KVM_CREATE_VCPU``: allocate a vCPU."""
+        self._check_open()
+        if self.vm is None:
+            raise KvmError("create_vcpu before set_user_memory_region")
+        if self.vcpu is not None:
+            raise KvmError("vCPU already created")
+        self.kvm.clock.advance(self.kvm.costs.ioctl() + self.kvm.costs.KVM_CREATE_VCPU)
+        self.vcpu = VcpuHandle(self)
+        return self.vcpu
+
+    def load_program(self, program: Program) -> None:
+        """Copy a program image into guest memory (host-side memcpy)."""
+        self._check_open()
+        if self.vm is None:
+            raise KvmError("load_program before set_user_memory_region")
+        self.kvm.clock.advance(self.kvm.costs.memcpy(len(program.image)))
+        self.vm.load_program(program)
+
+    def close(self) -> None:
+        """Release the VM (host-side teardown is off the critical path)."""
+        self.closed = True
+
+
+@dataclass
+class VcpuHandle:
+    """A vCPU file descriptor returned by ``KVM_CREATE_VCPU``."""
+
+    handle: VMHandle
+
+    @property
+    def vm(self) -> VirtualMachine:
+        vm = self.handle.vm
+        if vm is None:  # pragma: no cover - guarded by create_vcpu
+            raise KvmError("vCPU without memory region")
+        return vm
+
+    def run(self, max_steps: int = 50_000_000) -> ExitInfo:
+        """``KVM_RUN``: ioctl + sanity checks + vmrun, until the next exit.
+
+        The ring transitions of the ioctl are charged on both the way in
+        and (implicitly, as part of the ioctl round trip) on the way out --
+        this is why hypercall exits are "doubly expensive" relative to a
+        bare world switch (Section 6.3).
+        """
+        self.handle._check_open()
+        costs = self.handle.kvm.costs
+        self.handle.kvm.clock.advance(costs.ioctl() + costs.KVM_RUN_CHECKS)
+        return self.vm.vmrun(max_steps=max_steps)
+
+    def complete_io_in(self, dest: str, value: int) -> None:
+        """Deliver the result of an ``in`` port read before re-entry."""
+        self.vm.complete_io_in(dest, value)

@@ -1,0 +1,37 @@
+"""Language extensions: the ``virtine`` keyword, in Python.
+
+The paper adds a ``virtine`` keyword to C via a clang wrapper and an LLVM
+pass (Section 5.3).  The Python analogue is a decorator family:
+
+* :func:`repro.lang.decorator.virtine` -- default-deny isolation,
+* :func:`repro.lang.decorator.virtine_permissive` -- all hypercalls allowed,
+* :func:`repro.lang.decorator.virtine_config` -- a bitmask policy.
+
+The decorator slices the function's call graph out of its module
+(:mod:`repro.lang.callgraph`), packages the slice with copies of the
+globals it reads, marshals arguments by copy-restore
+(:mod:`repro.lang.marshal`), and routes each invocation through Wasp.
+"""
+
+from repro.lang.decorator import (
+    VirtineFunction,
+    set_default_wasp,
+    virtine,
+    virtine_config,
+    virtine_permissive,
+)
+from repro.lang.callgraph import CallGraphSlice, slice_call_graph
+
+# Note: the marshalling helpers live in ``repro.lang.marshal``; they are
+# deliberately not re-exported here so the submodule name stays usable
+# (``import repro.lang.marshal``).
+
+__all__ = [
+    "virtine",
+    "virtine_permissive",
+    "virtine_config",
+    "VirtineFunction",
+    "set_default_wasp",
+    "CallGraphSlice",
+    "slice_call_graph",
+]

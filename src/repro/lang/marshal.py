@@ -1,0 +1,165 @@
+"""Copy-restore argument marshalling.
+
+"Because they do not share an address space with the host, argument
+marshalling is necessary.  We leveraged LLVM to copy a compile-time
+generated structure containing the argument values into the virtine's
+address space at a known offset" (Section 7.2).  The known offset is
+guest address 0x0 ("The argument, n, is loaded into the virtine's
+address space at address 0x0", Section 6.1).
+
+The wire format is a small tagged binary encoding (not pickle: the guest
+is adversarial, and unpickling attacker-controlled bytes on the host
+would break the threat model).  Supported types mirror what a generated
+C struct could carry: ints, floats, bools, None, bytes, str, and flat
+containers of those.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+from repro.hw.memory import GuestMemory
+
+#: Guest address where the argument structure is placed.  Must stay below
+#: the GDT (0x6000) and image base (0x8000): arguments up to ~24 KB fit.
+ARG_AREA = 0x0
+#: Guest address where the return structure is read back from (above the
+#: protected/long-mode stack top at 0x200000).
+RET_AREA = 0x240000
+
+_TAG_NONE = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_BOOL = 3
+_TAG_BYTES = 4
+_TAG_STR = 5
+_TAG_LIST = 6
+_TAG_TUPLE = 7
+_TAG_DICT = 8
+
+_MAX_DEPTH = 8
+
+
+class MarshalError(Exception):
+    """A value cannot cross the virtine boundary."""
+
+
+def _encode(value: Any, depth: int = 0) -> bytes:
+    if depth > _MAX_DEPTH:
+        raise MarshalError("structure too deeply nested to marshal")
+    if value is None:
+        return struct.pack("<B", _TAG_NONE)
+    if isinstance(value, bool):  # must precede int
+        return struct.pack("<BB", _TAG_BOOL, int(value))
+    if isinstance(value, int):
+        try:
+            return struct.pack("<Bq", _TAG_INT, value)
+        except struct.error as error:
+            raise MarshalError(f"int {value} exceeds 64 bits") from error
+    if isinstance(value, float):
+        return struct.pack("<Bd", _TAG_FLOAT, value)
+    if isinstance(value, (bytes, bytearray)):
+        return struct.pack("<BI", _TAG_BYTES, len(value)) + bytes(value)
+    if isinstance(value, str):
+        raw = value.encode("utf-8")
+        return struct.pack("<BI", _TAG_STR, len(raw)) + raw
+    if isinstance(value, (list, tuple)):
+        tag = _TAG_LIST if isinstance(value, list) else _TAG_TUPLE
+        body = b"".join(_encode(item, depth + 1) for item in value)
+        return struct.pack("<BI", tag, len(value)) + body
+    if isinstance(value, dict):
+        body = b"".join(
+            _encode(k, depth + 1) + _encode(v, depth + 1) for k, v in value.items()
+        )
+        return struct.pack("<BI", _TAG_DICT, len(value)) + body
+    raise MarshalError(f"cannot marshal {type(value).__name__} across the virtine boundary")
+
+
+def _need(data: bytes, offset: int, count: int) -> None:
+    if offset + count > len(data):
+        raise MarshalError("truncated marshalled data")
+
+
+def _decode(data: bytes, offset: int, depth: int = 0) -> tuple[Any, int]:
+    if depth > _MAX_DEPTH:
+        raise MarshalError("structure too deeply nested to unmarshal")
+    if offset >= len(data):
+        raise MarshalError("truncated marshalled data")
+    tag = data[offset]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_BOOL:
+        _need(data, offset, 1)
+        return bool(data[offset]), offset + 1
+    if tag == _TAG_INT:
+        _need(data, offset, 8)
+        return struct.unpack_from("<q", data, offset)[0], offset + 8
+    if tag == _TAG_FLOAT:
+        _need(data, offset, 8)
+        return struct.unpack_from("<d", data, offset)[0], offset + 8
+    if tag in (_TAG_BYTES, _TAG_STR):
+        _need(data, offset, 4)
+        (length,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        raw = data[offset : offset + length]
+        if len(raw) != length:
+            raise MarshalError("truncated payload")
+        offset += length
+        return (bytes(raw) if tag == _TAG_BYTES else raw.decode("utf-8")), offset
+    if tag in (_TAG_LIST, _TAG_TUPLE):
+        _need(data, offset, 4)
+        (count,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode(data, offset, depth + 1)
+            items.append(item)
+        return (items if tag == _TAG_LIST else tuple(items)), offset
+    if tag == _TAG_DICT:
+        _need(data, offset, 4)
+        (count,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        result = {}
+        for _ in range(count):
+            key, offset = _decode(data, offset, depth + 1)
+            value, offset = _decode(data, offset, depth + 1)
+            result[key] = value
+        return result, offset
+    raise MarshalError(f"bad tag {tag} in marshalled data")
+
+
+def encode(value: Any) -> bytes:
+    """Encode a value to the boundary wire format."""
+    return _encode(value)
+
+
+def decode(data: bytes) -> Any:
+    """Decode one value from wire-format bytes."""
+    value, _ = _decode(data, 0)
+    return value
+
+
+def marshalled_size(value: Any) -> int:
+    """Byte size of ``value`` on the wire (the marshalling copy cost)."""
+    return len(encode(value))
+
+
+def marshal(memory: GuestMemory, value: Any, addr: int = ARG_AREA) -> int:
+    """Copy ``value`` into guest memory at ``addr``; returns bytes written.
+
+    The data is length-prefixed so :func:`unmarshal` knows how much to
+    read back.
+    """
+    payload = encode(value)
+    memory.load_bytes(struct.pack("<I", len(payload)) + payload, addr)
+    return 4 + len(payload)
+
+
+def unmarshal(memory: GuestMemory, addr: int = ARG_AREA) -> Any:
+    """Read a value previously placed in guest memory by :func:`marshal`."""
+    (length,) = struct.unpack("<I", memory.read(addr, 4))
+    if length > len(memory) - addr - 4:
+        raise MarshalError("marshalled length exceeds guest memory")
+    return decode(memory.read(addr + 4, length))

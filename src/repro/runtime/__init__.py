@@ -1,0 +1,26 @@
+"""Guest runtime environments.
+
+Virtine images bundle a boot layer (written in the mini-ISA assembly
+dialect), an optional guest libc (:mod:`repro.runtime.libc`), and the
+function to run.  :mod:`repro.runtime.environments` provides the two
+pre-built environments of Figure 10.
+"""
+
+from repro.runtime.image import VirtineImage, ImageBuilder
+from repro.runtime.boot import (
+    boot_source,
+    fib_source,
+    GDT_ADDR,
+    PAGE_TABLE_BASE,
+    IMAGE_BASE,
+)
+
+__all__ = [
+    "VirtineImage",
+    "ImageBuilder",
+    "boot_source",
+    "fib_source",
+    "GDT_ADDR",
+    "PAGE_TABLE_BASE",
+    "IMAGE_BASE",
+]

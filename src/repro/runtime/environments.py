@@ -1,0 +1,223 @@
+"""Pre-built virtine execution environments (Section 5.4, Figure 10).
+
+Wasp ships two default environments: the C-extension POSIX environment
+(boot layer + newlib-analog libc + marshalling glue) and the raw Wasp
+environment (boot layer only; the client provides everything).  The
+paper envisions "an environment management system that will allow
+programmers to treat these environments much like package dependencies"
+-- this module is that registry: environments are named, versioned
+descriptions of what goes into an image, and they compose.
+
+An :class:`Environment` contributes:
+
+* the target processor mode (a real-mode-only environment skips the
+  entire protected/long bring-up, Figure 3's optimisation),
+* a byte footprint added to the image,
+* a one-time guest initialisation cost (what snapshotting elides),
+* the set of hypercalls its runtime layer requires (merged into the
+  suggested policy mask).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, TYPE_CHECKING
+
+from repro.hw.costs import COSTS
+from repro.hw.cpu import Mode
+from repro.runtime.image import ImageBuilder, LIBC_FOOTPRINT, VirtineImage
+from repro.wasp.hypercall import Hypercall
+from repro.wasp.policy import BitmaskPolicy, Policy, VirtineConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.wasp.guestenv import GuestEnv
+
+
+class EnvironmentError_(Exception):
+    """An unknown or ill-formed environment request."""
+
+
+@dataclass(frozen=True)
+class Environment:
+    """A named, composable execution environment."""
+
+    name: str
+    description: str
+    mode: Mode = Mode.LONG64
+    #: Bytes this environment adds to the image.
+    footprint: int = 0
+    #: One-time guest-side initialisation cycles (snapshotting skips it).
+    init_cycles: int = 0
+    #: Hypercalls the environment's runtime layer needs.
+    required_hypercalls: frozenset[Hypercall] = frozenset()
+    #: Environments this one builds upon (resolved transitively).
+    extends: tuple[str, ...] = ()
+
+
+class EnvironmentRegistry:
+    """The package-manager-like registry of environments."""
+
+    def __init__(self) -> None:
+        self._environments: dict[str, Environment] = {}
+
+    def register(self, environment: Environment) -> None:
+        if environment.name in self._environments:
+            raise EnvironmentError_(f"environment {environment.name!r} already registered")
+        for parent in environment.extends:
+            if parent not in self._environments:
+                raise EnvironmentError_(
+                    f"environment {environment.name!r} extends unknown {parent!r}"
+                )
+        self._environments[environment.name] = environment
+
+    def get(self, name: str) -> Environment:
+        try:
+            return self._environments[name]
+        except KeyError:
+            raise EnvironmentError_(f"no such environment: {name!r}") from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._environments))
+
+    # -- resolution --------------------------------------------------------------
+    def resolve(self, name: str) -> "ResolvedEnvironment":
+        """Flatten an environment and its ancestors into one description."""
+        chain: list[Environment] = []
+        seen: set[str] = set()
+
+        def visit(env_name: str) -> None:
+            if env_name in seen:
+                return
+            seen.add(env_name)
+            environment = self.get(env_name)
+            for parent in environment.extends:
+                visit(parent)
+            chain.append(environment)
+
+        visit(name)
+        mode = max((e.mode for e in chain), key=lambda m: m.value)
+        return ResolvedEnvironment(
+            name=name,
+            chain=tuple(chain),
+            mode=mode,
+            footprint=sum(e.footprint for e in chain),
+            init_cycles=sum(e.init_cycles for e in chain),
+            required_hypercalls=frozenset().union(
+                *(e.required_hypercalls for e in chain)
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ResolvedEnvironment:
+    """A flattened environment, ready to build images from."""
+
+    name: str
+    chain: tuple[Environment, ...]
+    mode: Mode
+    footprint: int
+    init_cycles: int
+    required_hypercalls: frozenset[Hypercall]
+
+    def suggested_policy(self, *extra: Hypercall) -> Policy:
+        """A least-privilege policy covering the environment's needs."""
+        config = VirtineConfig.allowing(*self.required_hypercalls, *extra)
+        return BitmaskPolicy(config)
+
+    def build_image(
+        self,
+        name: str,
+        entry: Callable[["GuestEnv"], object],
+        builder: ImageBuilder | None = None,
+        extra_bytes: int = 0,
+        metadata: dict | None = None,
+    ) -> VirtineImage:
+        """Package ``entry`` with this environment's runtime layers.
+
+        The hosted entry is wrapped so the environment's one-time
+        initialisation cost is charged on cold starts and skipped after
+        a snapshot restore (Figure 7), without the application entry
+        having to know about it.
+        """
+        init_cycles = self.init_cycles
+        snapshot_wanted = Hypercall.SNAPSHOT in self.required_hypercalls
+
+        def wrapped_entry(env: "GuestEnv"):
+            if not env.from_snapshot and not env.persistent.get("env_ready"):
+                env.charge(init_cycles)
+                if snapshot_wanted:
+                    env.snapshot(payload={"environment": self.name})
+            env.persistent["env_ready"] = True
+            return entry(env)
+
+        image_builder = builder if builder is not None else ImageBuilder()
+        meta = {"environment": self.name, "layers": [e.name for e in self.chain]}
+        if metadata:
+            meta.update(metadata)
+        base = image_builder.hosted(
+            name=name,
+            entry=wrapped_entry,
+            mode=self.mode,
+            include_libc=False,
+            metadata=meta,
+        )
+        return VirtineImage(
+            name=base.name,
+            program=base.program,
+            mode=base.mode,
+            size=base.code_size + self.footprint + extra_bytes,
+            hosted_entry=base.hosted_entry,
+            metadata=base.metadata,
+        )
+
+
+def default_registry() -> EnvironmentRegistry:
+    """The environments Wasp ships with (Figure 10), plus the app packs."""
+    registry = EnvironmentRegistry()
+    registry.register(Environment(
+        name="raw",
+        description="Boot layer only; the client provides the runtime "
+                    "(Figure 10 path B, the direct Wasp C++ API).",
+        mode=Mode.LONG64,
+    ))
+    registry.register(Environment(
+        name="real-mode",
+        description="16-bit-only environment for microsecond-lived "
+                    "virtines (skips the entire protected/long bring-up).",
+        mode=Mode.REAL16,
+    ))
+    registry.register(Environment(
+        name="posix",
+        description="The C-extension environment: newlib-analog libc "
+                    "with syscalls forwarded as hypercalls (Figure 10 "
+                    "path A).",
+        extends=("raw",),
+        footprint=LIBC_FOOTPRINT,
+        init_cycles=COSTS.GUEST_LIBC_INIT,
+        required_hypercalls=frozenset({Hypercall.SNAPSHOT}),
+    ))
+    registry.register(Environment(
+        name="posix-io",
+        description="posix plus the file/socket hypercall surface.",
+        extends=("posix",),
+        required_hypercalls=frozenset({
+            Hypercall.OPEN, Hypercall.READ, Hypercall.WRITE,
+            Hypercall.STAT, Hypercall.CLOSE, Hypercall.SEND, Hypercall.RECV,
+        }),
+    ))
+    registry.register(Environment(
+        name="js-engine",
+        description="The Duktape-analog JavaScript engine image "
+                    "(Section 6.5).",
+        extends=("posix",),
+        footprint=564 * 1024,  # + posix's 14K ~= the 578 KB Duktape image
+        init_cycles=0,  # the engine charges its own alloc/bind costs
+        required_hypercalls=frozenset({
+            Hypercall.SNAPSHOT, Hypercall.GET_DATA, Hypercall.RETURN_DATA,
+        }),
+    ))
+    return registry
+
+
+#: The shared default registry instance.
+DEFAULT_REGISTRY = default_registry()

@@ -1,0 +1,186 @@
+"""The guest C library: a newlib analogue (Section 5.3).
+
+"We created a virtine-specific port of newlib ... Newlib allows
+developers to provide their own system call implementations; we simply
+forward them to the hypervisor as a hypercall."
+
+:class:`GuestLibc` is that layer for hosted guests: a POSIX-looking API
+whose every system call forwards to the corresponding hypercall (and is
+therefore subject to the client's policy), plus a real in-guest heap
+allocator (:class:`GuestHeap`) that carves memory out of the virtine's
+own address space -- "virtines that dynamically allocate memory are
+possible with an execution environment that provides heap allocation,
+but that memory is currently limited to the virtine context"
+(Section 7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wasp.guestenv import GuestEnv
+from repro.wasp.hypercall import Hypercall
+
+#: Where the guest heap lives (above the marshalling return area).
+HEAP_BASE = 0x280000
+HEAP_SIZE = 0x100000  # 1 MB
+_ALIGN = 16
+
+#: Cycles per malloc/free call (newlib's dlmalloc-style bookkeeping).
+MALLOC_COST = 90
+FREE_COST = 60
+
+
+class GuestLibcError(Exception):
+    """Heap exhaustion or misuse of the guest libc."""
+
+
+@dataclass
+class _Block:
+    addr: int
+    size: int
+    free: bool
+
+
+class GuestHeap:
+    """A first-fit free-list allocator inside guest memory."""
+
+    def __init__(self, env: GuestEnv, base: int = HEAP_BASE, size: int = HEAP_SIZE) -> None:
+        self.env = env
+        self.base = base
+        self.size = size
+        self._blocks: list[_Block] = [_Block(addr=base, size=size, free=True)]
+
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the guest address."""
+        if size <= 0:
+            raise GuestLibcError(f"malloc({size})")
+        self.env.charge(MALLOC_COST)
+        needed = (size + _ALIGN - 1) & ~(_ALIGN - 1)
+        for index, block in enumerate(self._blocks):
+            if block.free and block.size >= needed:
+                if block.size > needed:
+                    self._blocks.insert(
+                        index + 1,
+                        _Block(addr=block.addr + needed, size=block.size - needed, free=True),
+                    )
+                    block.size = needed
+                block.free = False
+                return block.addr
+        raise GuestLibcError(f"out of guest heap ({size} bytes requested)")
+
+    def free(self, addr: int) -> None:
+        """Release an allocation (coalescing adjacent free blocks)."""
+        self.env.charge(FREE_COST)
+        for index, block in enumerate(self._blocks):
+            if block.addr == addr and not block.free:
+                block.free = True
+                self._coalesce(index)
+                return
+        raise GuestLibcError(f"free of unallocated address {addr:#x}")
+
+    def _coalesce(self, index: int) -> None:
+        # Merge with the next block, then with the previous.
+        blocks = self._blocks
+        if index + 1 < len(blocks) and blocks[index + 1].free:
+            blocks[index].size += blocks[index + 1].size
+            del blocks[index + 1]
+        if index > 0 and blocks[index - 1].free:
+            blocks[index - 1].size += blocks[index].size
+            del blocks[index]
+
+    @property
+    def free_bytes(self) -> int:
+        return sum(block.size for block in self._blocks if block.free)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(block.size for block in self._blocks if not block.free)
+
+
+class GuestLibc:
+    """POSIX-looking calls that forward to hypercalls (newlib style)."""
+
+    def __init__(self, env: GuestEnv) -> None:
+        self.env = env
+        self.heap = GuestHeap(env)
+
+    # -- memory --------------------------------------------------------------
+    def malloc(self, size: int) -> int:
+        return self.heap.malloc(size)
+
+    def free(self, addr: int) -> None:
+        self.heap.free(addr)
+
+    def memcpy_in(self, addr: int, data: bytes) -> None:
+        """Store bytes at a guest address (bounds-checked by memory)."""
+        self.env.charge_bytes(len(data))
+        self.env.memory.write(addr, data)
+
+    def memcpy_out(self, addr: int, size: int) -> bytes:
+        self.env.charge_bytes(size)
+        return self.env.memory.read(addr, size)
+
+    # -- file I/O (forwarded as hypercalls) ------------------------------------------
+    def open(self, path: str, flags: int = 0) -> int:
+        return self.env.hypercall(Hypercall.OPEN, path, flags)
+
+    def read(self, fd: int, count: int) -> bytes:
+        return self.env.hypercall(Hypercall.READ, fd, count)
+
+    def write(self, fd: int, data: bytes) -> int:
+        return self.env.hypercall(Hypercall.WRITE, fd, data)
+
+    def stat_size(self, path: str) -> int:
+        return self.env.hypercall(Hypercall.STAT, path)
+
+    def close(self, fd: int) -> int:
+        return self.env.hypercall(Hypercall.CLOSE, fd)
+
+    # -- sockets ------------------------------------------------------------------------
+    def send(self, handle: int, data: bytes) -> int:
+        return self.env.hypercall(Hypercall.SEND, handle, data)
+
+    def recv(self, handle: int, count: int) -> bytes:
+        return self.env.hypercall(Hypercall.RECV, handle, count)
+
+    # -- process ------------------------------------------------------------------------
+    def exit(self, code: int = 0) -> None:
+        self.env.exit(code)
+
+    # -- string formatting (the "large portion ... string formatting
+    # routines" of the paper's runtime environment) ------------------------------------
+    def snprintf(self, fmt: str, *args: object) -> str:
+        """A tiny printf: %s %d %f %x %% (enough for server code)."""
+        self.env.charge_bytes(len(fmt))
+        out: list[str] = []
+        arg_iter = iter(args)
+        index = 0
+        while index < len(fmt):
+            ch = fmt[index]
+            if ch != "%":
+                out.append(ch)
+                index += 1
+                continue
+            if index + 1 >= len(fmt):
+                raise GuestLibcError("dangling % in format string")
+            spec = fmt[index + 1]
+            index += 2
+            if spec == "%":
+                out.append("%")
+                continue
+            try:
+                value = next(arg_iter)
+            except StopIteration:
+                raise GuestLibcError(f"missing argument for %{spec}") from None
+            if spec == "d":
+                out.append(str(int(value)))
+            elif spec == "s":
+                out.append(str(value))
+            elif spec == "f":
+                out.append(f"{float(value):f}")
+            elif spec == "x":
+                out.append(f"{int(value):x}")
+            else:
+                raise GuestLibcError(f"unsupported format %{spec}")
+        return "".join(out)

@@ -1,0 +1,102 @@
+"""Statistics helpers used by the benchmark harnesses.
+
+The paper removes outliers from latency distributions using Tukey's method
+(Section 4.2, footnote 3): a sample is kept only if it lies on the interval
+``[q1 - 1.5 * IQR, q3 + 1.5 * IQR]``.  The helpers here mirror that, plus
+the summary statistics the figures report (mean, standard deviation,
+percentiles, harmonic mean for throughput as in Figure 13).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100])."""
+    if not samples:
+        raise ValueError("percentile() of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q={q} out of range [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high or ordered[low] == ordered[high]:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * frac
+
+
+def tukey_filter(samples: Sequence[float], k: float = 1.5) -> list[float]:
+    """Drop outliers outside ``[q1 - k*IQR, q3 + k*IQR]`` (Tukey's method).
+
+    This is the filtering the paper applies to the processor-mode latency
+    experiment (Figure 3) to remove host-scheduling noise.
+    """
+    if len(samples) < 4:
+        return list(samples)
+    q1 = percentile(samples, 25.0)
+    q3 = percentile(samples, 75.0)
+    iqr = q3 - q1
+    lo = q1 - k * iqr
+    hi = q3 + k * iqr
+    return [s for s in samples if lo <= s <= hi]
+
+
+def mean(samples: Iterable[float]) -> float:
+    """Arithmetic mean."""
+    values = list(samples)
+    if not values:
+        raise ValueError("mean() of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(samples: Sequence[float]) -> float:
+    """Population standard deviation (0.0 for fewer than two samples)."""
+    if len(samples) < 2:
+        return 0.0
+    mu = mean(samples)
+    return math.sqrt(sum((s - mu) ** 2 for s in samples) / len(samples))
+
+
+def harmonic_mean(samples: Sequence[float]) -> float:
+    """Harmonic mean, as used for throughput aggregation in Figure 13."""
+    values = list(samples)
+    if not values:
+        raise ValueError("harmonic_mean() of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic_mean() requires positive samples")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics for one measured distribution."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p99: float
+
+    @classmethod
+    def of(cls, samples: Sequence[float]) -> "Summary":
+        """Summarize ``samples`` (must be non-empty)."""
+        if not samples:
+            raise ValueError("Summary.of() of empty sequence")
+        return cls(
+            count=len(samples),
+            mean=mean(samples),
+            std=stddev(samples),
+            minimum=min(samples),
+            maximum=max(samples),
+            p50=percentile(samples, 50.0),
+            p99=percentile(samples, 99.0),
+        )

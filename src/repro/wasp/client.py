@@ -1,0 +1,96 @@
+"""The virtine-client profile: reusable launch configuration.
+
+A *virtine client* is "a host program that uses (links against) the
+embeddable virtine hypervisor" (Section 2).  In practice a client makes
+many launches with the same security configuration -- policy, handler
+table, granted paths -- so :class:`VirtineClient` bundles that profile
+once and reuses it, instead of threading five keyword arguments through
+every call site.
+
+Profiles are *factories* for policies (each launch gets a fresh policy
+instance, so stateful policies like
+:class:`~repro.wasp.policy.OneShotPolicy` reset naturally) and merge
+per-call overrides on top of the profile defaults.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.runtime.image import VirtineImage
+from repro.wasp.hypercall import Hypercall
+from repro.wasp.hypervisor import VirtineSession, Wasp
+from repro.wasp.policy import DefaultDenyPolicy, Policy
+from repro.wasp.virtine import VirtineResult
+
+
+class VirtineClient:
+    """A reusable launch profile bound to a Wasp instance."""
+
+    def __init__(
+        self,
+        wasp: Wasp | None = None,
+        *,
+        policy_factory: Callable[[], Policy] | None = None,
+        handlers: dict[Hypercall, Callable] | None = None,
+        allowed_paths: tuple[str, ...] | None = None,
+        use_snapshot: bool = True,
+        **default_launch_kwargs: Any,
+    ) -> None:
+        self.wasp = wasp if wasp is not None else Wasp()
+        self.policy_factory = policy_factory or DefaultDenyPolicy
+        self.handlers = dict(handlers or {})
+        self.allowed_paths = allowed_paths
+        self.use_snapshot = use_snapshot
+        self.default_launch_kwargs = default_launch_kwargs
+        self.launches = 0
+
+    # -- launching -------------------------------------------------------------
+    def launch(self, image: VirtineImage, **overrides: Any) -> VirtineResult:
+        """Launch ``image`` under this profile (overrides win)."""
+        kwargs: dict[str, Any] = {
+            "policy": self.policy_factory(),
+            "handlers": self.handlers,
+            "allowed_paths": self.allowed_paths,
+            "use_snapshot": self.use_snapshot,
+        }
+        kwargs.update(self.default_launch_kwargs)
+        kwargs.update(overrides)
+        self.launches += 1
+        return self.wasp.launch(image, **kwargs)
+
+    def session(self, image: VirtineImage, **overrides: Any) -> VirtineSession:
+        """Open a retained-context session under this profile."""
+        kwargs: dict[str, Any] = {
+            "policy": self.policy_factory(),
+            "handlers": self.handlers,
+            "allowed_paths": self.allowed_paths,
+            "use_snapshot": self.use_snapshot,
+        }
+        kwargs.update(overrides)
+        return self.wasp.session(image, **kwargs)
+
+    # -- profile evolution ---------------------------------------------------------
+    def with_handler(self, nr: Hypercall, handler: Callable) -> "VirtineClient":
+        """A copy of this profile with one handler added/replaced."""
+        merged = dict(self.handlers)
+        merged[nr] = handler
+        return VirtineClient(
+            self.wasp,
+            policy_factory=self.policy_factory,
+            handlers=merged,
+            allowed_paths=self.allowed_paths,
+            use_snapshot=self.use_snapshot,
+            **self.default_launch_kwargs,
+        )
+
+    def restricted_to(self, *paths: str) -> "VirtineClient":
+        """A copy confined to the given filesystem roots."""
+        return VirtineClient(
+            self.wasp,
+            policy_factory=self.policy_factory,
+            handlers=self.handlers,
+            allowed_paths=tuple(paths),
+            use_snapshot=self.use_snapshot,
+            **self.default_launch_kwargs,
+        )

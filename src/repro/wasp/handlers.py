@@ -1,0 +1,169 @@
+"""Canned hypercall handlers.
+
+Virtine clients "can also choose from a variety of general-purpose
+handlers that Wasp provides out-of-the-box" (Section 5.1).  These are
+those handlers: each validates its arguments under the adversarial
+assumptions of Section 3.2 (inputs may be manipulated; memory bounds and
+handles must be checked) and then re-creates the call on the host kernel,
+exactly as the paper's HTTP experiment describes ("a validated read()
+will turn into a read() on the host filesystem", Section 6.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.host.filesystem import FsError
+from repro.host.kernel import HostKernel
+from repro.host.network import NetError, Socket
+from repro.wasp.hypercall import Hypercall, HypercallError, HypercallRequest
+
+#: Upper bound on a single hypercall transfer; larger requests are
+#: rejected rather than trusted (guest-supplied sizes are adversarial).
+MAX_TRANSFER = 1 << 20
+
+Handler = Callable[[HypercallRequest], Any]
+
+
+def _require(condition: bool, nr: Hypercall, errno_name: str, message: str) -> None:
+    if not condition:
+        raise HypercallError(nr, errno_name, message)
+
+
+def _arg(request: HypercallRequest, index: int) -> Any:
+    """Fetch a positional argument, rejecting short argument lists
+    cleanly (adversarial guests may pass any arity)."""
+    _require(
+        index < len(request.args),
+        request.nr,
+        "EINVAL",
+        f"missing argument {index} ({len(request.args)} supplied)",
+    )
+    return request.args[index]
+
+
+def _checked_path(request: HypercallRequest, path: Any) -> str:
+    _require(isinstance(path, str), request.nr, "EINVAL", "path must be a string")
+    _require(len(path) < 4096, request.nr, "ENAMETOOLONG", "path too long")
+    _require(".." not in path.split("/"), request.nr, "EACCES", "path traversal rejected")
+    allowed_roots = request.virtine.allowed_path_prefixes
+    if allowed_roots is not None:
+        _require(
+            any(path.startswith(root) for root in allowed_roots),
+            request.nr,
+            "EACCES",
+            f"path {path!r} outside permitted roots",
+        )
+    return path
+
+
+def _checked_count(request: HypercallRequest, count: Any) -> int:
+    _require(isinstance(count, int), request.nr, "EINVAL", "count must be an int")
+    _require(0 <= count <= MAX_TRANSFER, request.nr, "EINVAL", f"count {count} out of bounds")
+    return count
+
+
+def _checked_data(request: HypercallRequest, data: Any) -> bytes:
+    _require(isinstance(data, (bytes, bytearray)), request.nr, "EINVAL", "data must be bytes")
+    _require(len(data) <= MAX_TRANSFER, request.nr, "EINVAL", "transfer too large")
+    return bytes(data)
+
+
+def _owned_fd(request: HypercallRequest, fd: Any) -> int:
+    _require(isinstance(fd, int), request.nr, "EINVAL", "fd must be an int")
+    _require(fd in request.virtine.owned_fds, request.nr, "EBADF", f"fd {fd} not owned by virtine")
+    return fd
+
+
+def _socket_resource(request: HypercallRequest, handle: Any) -> Socket:
+    _require(isinstance(handle, int), request.nr, "EINVAL", "handle must be an int")
+    resource = request.virtine.resources.get(handle)
+    _require(resource is not None, request.nr, "EBADF", f"no resource with handle {handle}")
+    _require(isinstance(resource, Socket), request.nr, "ENOTSOCK", f"handle {handle} is not a socket")
+    return resource
+
+
+class CannedHandlers:
+    """The out-of-the-box POSIX-like handler set, bound to a host kernel."""
+
+    def __init__(self, kernel: HostKernel) -> None:
+        self.kernel = kernel
+
+    def table(self) -> dict[Hypercall, Handler]:
+        """The handler table a client installs into Wasp."""
+        return {
+            Hypercall.EXIT: self.hc_exit,
+            Hypercall.OPEN: self.hc_open,
+            Hypercall.READ: self.hc_read,
+            Hypercall.WRITE: self.hc_write,
+            Hypercall.STAT: self.hc_stat,
+            Hypercall.CLOSE: self.hc_close,
+            Hypercall.SEND: self.hc_send,
+            Hypercall.RECV: self.hc_recv,
+        }
+
+    # -- handlers ---------------------------------------------------------------
+    def hc_exit(self, request: HypercallRequest) -> int:
+        code = request.args[0] if request.args else 0
+        _require(isinstance(code, int), request.nr, "EINVAL", "exit code must be an int")
+        request.virtine.exit_code = code
+        return 0
+
+    def hc_open(self, request: HypercallRequest) -> int:
+        path = _checked_path(request, _arg(request, 0))
+        flags = _arg(request, 1) if len(request.args) > 1 else 0
+        _require(isinstance(flags, int), request.nr, "EINVAL", "flags must be an int")
+        try:
+            fd = self.kernel.sys_open(path, flags)
+        except FsError as error:
+            raise HypercallError(request.nr, error.errno_name, path) from error
+        request.virtine.owned_fds.add(fd)
+        return fd
+
+    def hc_read(self, request: HypercallRequest) -> bytes:
+        fd = _owned_fd(request, _arg(request, 0))
+        count = _checked_count(request, _arg(request, 1))
+        try:
+            return self.kernel.sys_read(fd, count)
+        except FsError as error:
+            raise HypercallError(request.nr, error.errno_name, f"fd {fd}") from error
+
+    def hc_write(self, request: HypercallRequest) -> int:
+        fd = _owned_fd(request, _arg(request, 0))
+        data = _checked_data(request, _arg(request, 1))
+        try:
+            return self.kernel.sys_write(fd, data)
+        except FsError as error:
+            raise HypercallError(request.nr, error.errno_name, f"fd {fd}") from error
+
+    def hc_stat(self, request: HypercallRequest) -> int:
+        path = _checked_path(request, _arg(request, 0))
+        try:
+            return self.kernel.sys_stat(path).size
+        except FsError as error:
+            raise HypercallError(request.nr, error.errno_name, path) from error
+
+    def hc_close(self, request: HypercallRequest) -> int:
+        fd = _owned_fd(request, _arg(request, 0))
+        try:
+            self.kernel.sys_close(fd)
+        except FsError as error:
+            raise HypercallError(request.nr, error.errno_name, f"fd {fd}") from error
+        request.virtine.owned_fds.discard(fd)
+        return 0
+
+    def hc_send(self, request: HypercallRequest) -> int:
+        sock = _socket_resource(request, _arg(request, 0))
+        data = _checked_data(request, _arg(request, 1))
+        try:
+            return self.kernel.sys_send(sock, data)
+        except NetError as error:
+            raise HypercallError(request.nr, error.errno_name, "send") from error
+
+    def hc_recv(self, request: HypercallRequest) -> bytes:
+        sock = _socket_resource(request, _arg(request, 0))
+        count = _checked_count(request, _arg(request, 1))
+        try:
+            return self.kernel.sys_recv(sock, count)
+        except NetError as error:
+            raise HypercallError(request.nr, error.errno_name, "recv") from error

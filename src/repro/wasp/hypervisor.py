@@ -1,0 +1,547 @@
+"""Wasp: the embeddable micro-hypervisor (Section 5).
+
+Wasp "is a userspace runtime system built as a library that host
+programs (virtine clients) can link against" -- here, a Python class that
+applications instantiate.  It owns the KVM device model, the shell pools,
+the snapshot store, and the hypercall dispatch path; clients configure
+policies and handlers per launch.
+
+The launch path follows Figure 6: a request arrives (A), a context is
+provisioned from the pool (D) or created clean (C), the image (or its
+snapshot) is installed, the guest runs with hypercall interposition, and
+on return the context is cleared (E) and cached for reuse (B).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable
+
+from repro.host.kernel import HostKernel
+from repro.hw.clock import BackgroundAccountant
+from repro.hw.costs import COSTS, CostModel
+from repro.hw.vmx import ExitReason
+from repro.kvm.device import KVM
+from repro.runtime.image import HOSTED_ENTER_PORT, VirtineImage
+from repro.wasp.guestenv import GuestEnv, GuestExitRequested
+from repro.wasp.handlers import CannedHandlers
+from repro.wasp.hypercall import (
+    HCALL_PORT,
+    Hypercall,
+    HypercallDenied,
+    HypercallError,
+    HypercallRequest,
+)
+from repro.wasp.policy import DefaultDenyPolicy, Policy
+from repro.wasp.pool import CleanMode, Shell, ShellPool
+from repro.wasp.snapshot import RestoreMode, Snapshot, SnapshotStore
+from repro.wasp.virtine import Virtine, VirtineCrash, VirtineResult
+
+#: Guest memory below the image: boot scratch, GDT, real-mode stack.
+_LOW_RESERVED = 0x8000
+#: Guest memory above the image: page tables + protected/long stack.
+_RUNTIME_HEADROOM = 0x300000
+
+
+def _bucket_size(required: int) -> int:
+    """Round a memory requirement up to a power-of-two pool bucket."""
+    size = 4 * 1024 * 1024
+    while size < required:
+        size *= 2
+    return size
+
+
+class Wasp:
+    """The embeddable virtine hypervisor."""
+
+    BACKENDS = ("kvm", "hyperv")
+
+    def __init__(
+        self,
+        kernel: HostKernel | None = None,
+        costs: CostModel = COSTS,
+        backend: str = "kvm",
+    ) -> None:
+        self.kernel = kernel if kernel is not None else HostKernel(costs=costs)
+        self.costs = costs
+        self.clock = self.kernel.clock
+        if backend == "kvm":
+            self.kvm = KVM(self.clock, costs)
+        elif backend == "hyperv":
+            from repro.hyperv.device import HyperV
+
+            self.kvm = HyperV(self.clock, costs)
+        else:
+            raise ValueError(f"unknown VMM backend {backend!r} (use one of {self.BACKENDS})")
+        self.backend = backend
+        #: Backend-neutral alias ("kvm" is the historical attribute name).
+        self.vmm = self.kvm
+        self.background = BackgroundAccountant()
+        self.snapshots = SnapshotStore()
+        self.canned = CannedHandlers(self.kernel)
+        self._pools: dict[int, ShellPool] = {}
+        self.launches = 0
+
+    # -- pools ---------------------------------------------------------------
+    def memory_size_for(self, image: VirtineImage) -> int:
+        """The pool bucket an image's virtines draw shells from."""
+        required = _LOW_RESERVED + image.size + _RUNTIME_HEADROOM
+        return _bucket_size(required)
+
+    def pool_for(self, memory_size: int) -> ShellPool:
+        if memory_size not in self._pools:
+            self._pools[memory_size] = ShellPool(
+                self.kvm, memory_size, background=self.background
+            )
+        return self._pools[memory_size]
+
+    # -- launch ------------------------------------------------------------------
+    def launch(
+        self,
+        image: VirtineImage,
+        *,
+        policy: Policy | None = None,
+        handlers: dict[Hypercall, Callable] | None = None,
+        resources: dict[int, Any] | None = None,
+        allowed_paths: tuple[str, ...] | None = None,
+        args: Any = None,
+        use_snapshot: bool = True,
+        snapshot_key: str | None = None,
+        restore_mode: RestoreMode = RestoreMode.EAGER,
+        pooled: bool = True,
+        clean: CleanMode = CleanMode.SYNC,
+        max_steps: int = 50_000_000,
+    ) -> VirtineResult:
+        """Run ``image`` in a fresh virtine and return its result.
+
+        ``pooled=False`` forces scratch context creation (the "Wasp"
+        series of Figure 8); otherwise shells are drawn from and returned
+        to the per-size pool under the ``clean`` discipline.  When
+        ``use_snapshot`` is set and the image has a stored reset state,
+        boot and runtime initialisation are skipped (Figure 7).
+        """
+        self.launches += 1
+        pool = self.pool_for(self.memory_size_for(image))
+        region = self.clock.region()
+        shell = pool.acquire() if pooled else pool.create_scratch()
+        virtine = self._make_virtine(image, shell, policy, handlers, resources, allowed_paths)
+        virtine.snapshot_key = snapshot_key or image.name
+        from_snapshot = False
+        try:
+            snap = self.snapshots.get(virtine.snapshot_key) if use_snapshot else None
+            if snap is not None:
+                from_snapshot = True
+                self._restore_snapshot(virtine, snap, restore_mode)
+                if snap.hosted:
+                    self._run_hosted(virtine, args, restored=snap.payload_copy(),
+                                     from_snapshot=True)
+                self._run_loop(virtine, args, max_steps)
+            else:
+                self._install_image(virtine)
+                self._run_loop(virtine, args, max_steps)
+            final_ax = shell.vm.cpu.regs["ax"]
+            milestones = [(m.marker, m.cycles) for m in shell.vm.milestones]
+        finally:
+            self._close_virtine_fds(virtine)
+            if pooled:
+                pool.release(shell, clean)
+            else:
+                shell.handle.close()
+        return VirtineResult(
+            value=virtine.result,
+            exit_code=virtine.exit_code,
+            cycles=region.stop(),
+            hypercall_count=virtine.hypercall_count,
+            audit=virtine.audit,
+            from_snapshot=from_snapshot,
+            ax=final_ax,
+            milestones=milestones,
+        )
+
+    def session(self, image: VirtineImage, **kwargs: Any) -> "VirtineSession":
+        """Open a retained-context session (the "no teardown" mode)."""
+        return VirtineSession(self, image, **kwargs)
+
+    # -- internals ------------------------------------------------------------------
+    def _make_virtine(
+        self,
+        image: VirtineImage,
+        shell: Shell,
+        policy: Policy | None,
+        handlers: dict[Hypercall, Callable] | None,
+        resources: dict[int, Any] | None,
+        allowed_paths: tuple[str, ...] | None,
+    ) -> Virtine:
+        table = dict(self.canned.table())
+        if handlers:
+            table.update(handlers)
+        virtine = Virtine(
+            name=image.name,
+            image=image,
+            shell=shell,
+            policy=policy if policy is not None else DefaultDenyPolicy(),
+            handlers=table,
+            resources=dict(resources or {}),
+            allowed_path_prefixes=allowed_paths,
+        )
+        virtine.policy.reset()
+        return virtine
+
+    def _install_image(self, virtine: Virtine) -> None:
+        """Cold path: copy the image into guest memory and reset the vCPU."""
+        image = virtine.image
+        vm = virtine.shell.vm
+        vm.reset()
+        self.clock.advance(self.costs.memcpy(image.size))
+        vm.memory.load_bytes(image.image_bytes, image.program.base)
+        vm.interp.attach_program(image.program)
+
+    def _restore_snapshot(
+        self,
+        virtine: Virtine,
+        snap: Snapshot,
+        mode: RestoreMode = RestoreMode.EAGER,
+    ) -> None:
+        """Warm path: install the reset state instead of booting."""
+        vm = virtine.shell.vm
+        if mode is RestoreMode.EAGER:
+            self.clock.advance(self.costs.memcpy(snap.copy_size))
+            vm.memory.restore_pages(dict(snap.pages))
+        else:
+            # CoW: cheap shared mappings now, per-page copies on write.
+            self.clock.advance(self.costs.COW_MAP_PER_PAGE * len(snap.pages))
+            vm.memory.restore_pages_cow(dict(snap.pages))
+        vm.memory.mark_touched(snap.pages.keys())
+        vm.cpu.load_state(snap.cpu_state)
+        vm.interp.attach_program(virtine.image.program, reset_rip=False)
+        vm.milestones.clear()
+        self.snapshots.note_restore()
+
+    def _run_loop(self, virtine: Virtine, args: Any, max_steps: int) -> None:
+        """Drive KVM_RUN until the guest halts or exits."""
+        shell = virtine.shell
+        while True:
+            if shell.vm.cpu.halted:
+                return
+            info = shell.vcpu.run(max_steps)
+            if info.reason is ExitReason.HLT:
+                return
+            if info.reason is ExitReason.IO_OUT:
+                if info.port == HOSTED_ENTER_PORT:
+                    self._run_hosted(virtine, args, restored=None)
+                    continue
+                if info.port == HCALL_PORT:
+                    if self._isa_hypercall(virtine, info.value):
+                        return
+                    continue
+                raise VirtineCrash(
+                    f"virtine {virtine.name!r} wrote unknown port {info.port:#x}"
+                )
+            if info.reason is ExitReason.IO_IN:
+                # No device model exists; reads of unknown ports yield 0.
+                shell.vcpu.complete_io_in(info.in_dest, 0)
+                continue
+            raise VirtineCrash(f"virtine {virtine.name!r} shut down: {info.detail}")
+
+    def _run_hosted(self, virtine: Virtine, args: Any, restored: Any,
+                    persistent: dict | None = None,
+                    from_snapshot: bool = False) -> None:
+        """Execute the image's hosted entry function in guest context."""
+        entry = virtine.image.hosted_entry
+        if entry is None:
+            raise VirtineCrash(
+                f"virtine {virtine.name!r} reached the hosted trampoline "
+                "but its image has no hosted entry"
+            )
+        env = GuestEnv(self, virtine, args=args, restored=restored,
+                       persistent=persistent, from_snapshot=from_snapshot)
+        try:
+            virtine.result = entry(env)
+        except GuestExitRequested:
+            pass
+        except (HypercallDenied, HypercallError) as error:
+            # A guest that trips the policy or handler validation dies;
+            # the host and other virtines are unaffected (Section 3.3).
+            raise VirtineCrash(f"virtine {virtine.name!r} killed: {error}") from error
+        except VirtineCrash:
+            raise
+        except Exception as error:
+            # An errant guest (the paper's example: a bad strcpy) crashes
+            # only its own virtine; the fault is reported, not propagated
+            # as a host failure.
+            raise VirtineCrash(
+                f"virtine {virtine.name!r} faulted: {type(error).__name__}: {error}"
+            ) from error
+
+    #: Largest single buffer an assembly guest may move per hypercall.
+    ISA_MAX_TRANSFER = 1 << 20
+
+    def _isa_hypercall(self, virtine: Virtine, nr_value: int) -> bool:
+        """Dispatch an ``out HCALL_PORT, nr`` from assembly guest code.
+
+        Register ABI (the co-designed convention of Section 5.1):
+
+        * ``bx`` -- scalar argument (fd, handle, exit code, open flags)
+        * ``cx`` -- guest-physical buffer address (data hypercalls)
+        * ``dx`` -- buffer length
+        * ``ax`` -- result on return (byte count / fd / size), or the
+          all-ones error value when the handler rejects the call.
+
+        Data crossing the boundary is copied through guest memory with
+        memcpy cost, exactly like the hosted path.  Returns True when the
+        virtine is done (EXIT).
+        """
+        try:
+            nr = Hypercall(nr_value)
+        except ValueError:
+            raise VirtineCrash(f"virtine {virtine.name!r}: bad hypercall {nr_value}")
+        vm = virtine.shell.vm
+        cpu = vm.cpu
+        bx = cpu.read_reg("bx")
+        cx = cpu.read_reg("cx")
+        dx = cpu.read_reg("dx")
+        virtine.hypercall_count += 1
+        try:
+            return self._isa_hypercall_body(virtine, nr, bx, cx, dx)
+        except HypercallDenied as denied:
+            # Same fate as a hosted guest tripping the policy.
+            raise VirtineCrash(f"virtine {virtine.name!r} killed: {denied}") from denied
+
+    def _isa_hypercall_body(
+        self, virtine: Virtine, nr: Hypercall, bx: int, cx: int, dx: int
+    ) -> bool:
+        vm = virtine.shell.vm
+        cpu = vm.cpu
+        if nr is Hypercall.EXIT:
+            self._policy_gate(virtine, nr)
+            virtine.exit_code = bx
+            return True
+        if nr is Hypercall.SNAPSHOT:
+            self._policy_gate(virtine, nr)
+            self._capture(virtine, payload=None, hosted=False)
+            return False
+        error_value = cpu.mode.mask  # all-ones: the guest-visible errno
+        try:
+            if nr in (Hypercall.READ, Hypercall.RECV):
+                count = min(dx, self.ISA_MAX_TRANSFER)
+                data = self._dispatch(virtine, nr, (bx, count))
+                self.clock.advance(self.costs.memcpy(len(data)))
+                vm.memory.write(cx, data)
+                cpu.write_reg("ax", len(data))
+            elif nr in (Hypercall.WRITE, Hypercall.SEND):
+                if dx > self.ISA_MAX_TRANSFER:
+                    raise HypercallError(nr, "EINVAL", f"transfer {dx} too large")
+                data = vm.memory.read(cx, dx)
+                self.clock.advance(self.costs.memcpy(len(data)))
+                cpu.write_reg("ax", int(self._dispatch(virtine, nr, (bx, data))))
+            elif nr in (Hypercall.OPEN, Hypercall.STAT):
+                if dx > 4096:
+                    raise HypercallError(nr, "ENAMETOOLONG", f"path length {dx}")
+                raw = vm.memory.read(cx, dx)
+                path = raw.decode("utf-8", errors="strict")
+                args = (path, bx) if nr is Hypercall.OPEN else (path,)
+                cpu.write_reg("ax", int(self._dispatch(virtine, nr, args)))
+            elif nr is Hypercall.CLOSE:
+                self._dispatch(virtine, nr, (bx,))
+                cpu.write_reg("ax", 0)
+            else:
+                # Remaining numbers carry scalars only.
+                result = self._dispatch(virtine, nr, (bx, cx))
+                cpu.write_reg("ax", int(result) if isinstance(result, int) else 0)
+        except HypercallError as error:
+            virtine.audit.record(nr, allowed=True, detail=str(error))
+            cpu.write_reg("ax", error_value)
+        except UnicodeDecodeError:
+            cpu.write_reg("ax", error_value)
+        return False
+
+    # -- hypercall dispatch -------------------------------------------------------------
+    def dispatch_hosted_hypercall(self, virtine: Virtine, nr: Hypercall, args: tuple) -> Any:
+        """Full-cost hypercall from a hosted guest: exit, dispatch, re-enter.
+
+        The exits are "doubly expensive due to the ring transitions
+        necessitated by KVM" (Section 6.3): the guest pays the world
+        switch out, the ioctl return to userspace, the handler's own host
+        syscalls, and the ioctl + world switch back in.
+        """
+        costs = self.costs
+        self.clock.advance(costs.VMRUN_EXIT + costs.ioctl())
+        virtine.hypercall_count += 1
+        try:
+            result = self._dispatch(virtine, nr, args)
+            self._charge_marshalling(args, result)
+            return result
+        finally:
+            self.clock.advance(costs.ioctl() + costs.KVM_RUN_CHECKS + costs.VMRUN_ENTRY)
+
+    def _charge_marshalling(self, args: tuple, result: Any) -> None:
+        """Data crossing the boundary is copied, not shared (Section 3)."""
+        moved = sum(len(a) for a in args if isinstance(a, (bytes, bytearray)))
+        if isinstance(result, (bytes, bytearray)):
+            moved += len(result)
+        if moved:
+            self.clock.advance(self.costs.memcpy(moved))
+
+    def _policy_gate(self, virtine: Virtine, nr: Hypercall) -> None:
+        allowed = virtine.policy.allows(nr)
+        virtine.audit.record(nr, allowed)
+        if not allowed:
+            raise HypercallDenied(nr)
+
+    def _dispatch(self, virtine: Virtine, nr: Hypercall, args: tuple) -> Any:
+        self._policy_gate(virtine, nr)
+        handler = virtine.handlers.get(nr)
+        if handler is None:
+            raise HypercallError(nr, "ENOSYS", "no handler installed")
+        return handler(HypercallRequest(nr=nr, args=args, virtine=virtine))
+
+    # -- snapshots ------------------------------------------------------------------------
+    def capture_snapshot(self, virtine: Virtine, payload: Any) -> None:
+        """SNAPSHOT hypercall from a hosted guest (policy-checked)."""
+        costs = self.costs
+        self.clock.advance(costs.VMRUN_EXIT + costs.ioctl())
+        virtine.hypercall_count += 1
+        try:
+            self._policy_gate(virtine, Hypercall.SNAPSHOT)
+            self._capture(virtine, payload, hosted=True)
+        finally:
+            self.clock.advance(costs.ioctl() + costs.KVM_RUN_CHECKS + costs.VMRUN_ENTRY)
+
+    def _capture(self, virtine: Virtine, payload: Any, hosted: bool) -> None:
+        vm = virtine.shell.vm
+        pages = vm.memory.capture_dirty()
+        snap = Snapshot(
+            image_name=virtine.image.name,
+            pages=pages,
+            cpu_state=vm.cpu.save_state(),
+            hosted_payload=copy.deepcopy(payload),
+            hosted=hosted,
+        )
+        self.clock.advance(self.costs.memcpy(snap.copy_size))
+        self.snapshots.put(getattr(virtine, "snapshot_key", virtine.image.name), snap)
+
+    # -- cleanup --------------------------------------------------------------------------
+    def _close_virtine_fds(self, virtine: Virtine) -> None:
+        """Close any host fds the virtine leaked (isolation hygiene)."""
+        for fd in list(virtine.owned_fds):
+            try:
+                self.kernel.fs.close(fd)
+            except Exception:
+                pass
+            virtine.owned_fds.discard(fd)
+
+
+class VirtineSession:
+    """A retained virtine: one shell and runtime kept across invocations.
+
+    Implements the "no teardown" optimisation of Section 6.5: "since all
+    virtines are cleared and reset after execution, paying the cost of
+    tearing down the JavaScript engine can be avoided ... by retaining
+    it."  Only safe when every invocation belongs to the same trust
+    domain; the session's shell never returns to the shared pool until
+    :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        wasp: Wasp,
+        image: VirtineImage,
+        *,
+        policy: Policy | None = None,
+        handlers: dict[Hypercall, Callable] | None = None,
+        resources: dict[int, Any] | None = None,
+        allowed_paths: tuple[str, ...] | None = None,
+        use_snapshot: bool = True,
+    ) -> None:
+        self.wasp = wasp
+        self.image = image
+        self.use_snapshot = use_snapshot
+        self._pool = wasp.pool_for(wasp.memory_size_for(image))
+        self._shell: Shell | None = None
+        self._virtine: Virtine | None = None
+        self._persistent: dict = {}
+        self._policy = policy
+        self._handlers = handlers
+        self._resources = resources
+        self._allowed_paths = allowed_paths
+        self.invocations = 0
+
+    def invoke(self, args: Any = None, max_steps: int = 50_000_000) -> VirtineResult:
+        """Run one invocation, reusing the retained context if present."""
+        wasp = self.wasp
+        region = wasp.clock.region()
+        from_snapshot = False
+        if self._shell is None:
+            self._shell = self._pool.acquire()
+            self._virtine = wasp._make_virtine(
+                self.image, self._shell, self._policy, self._handlers,
+                self._resources, self._allowed_paths,
+            )
+            self._virtine.snapshot_key = self.image.name
+            snap = wasp.snapshots.get(self.image.name) if self.use_snapshot else None
+            if snap is not None and snap.hosted:
+                from_snapshot = True
+                wasp._restore_snapshot(self._virtine, snap)
+                wasp._run_hosted(
+                    self._virtine, args,
+                    restored=snap.payload_copy(), persistent=self._persistent,
+                    from_snapshot=True,
+                )
+                wasp._run_loop(self._virtine, args, max_steps)
+            else:
+                wasp._install_image(self._virtine)
+                self._run_cold(args, max_steps)
+        else:
+            # Warm re-entry: the runtime inside the retained context is
+            # still alive; one KVM_RUN round trip re-enters it.
+            virtine = self._virtine
+            assert virtine is not None
+            virtine.policy.reset()
+            wasp.clock.advance(wasp.costs.vmrun_roundtrip())
+            wasp._run_hosted(virtine, args, restored=self._persistent.get("state"),
+                             persistent=self._persistent)
+        self.invocations += 1
+        virtine = self._virtine
+        assert virtine is not None
+        return VirtineResult(
+            value=virtine.result,
+            exit_code=virtine.exit_code,
+            cycles=region.stop(),
+            hypercall_count=virtine.hypercall_count,
+            audit=virtine.audit,
+            from_snapshot=from_snapshot,
+            ax=self._shell.vm.cpu.regs["ax"],
+        )
+
+    def _run_cold(self, args: Any, max_steps: int) -> None:
+        virtine = self._virtine
+        assert virtine is not None
+        wasp = self.wasp
+        shell = virtine.shell
+        while True:
+            info = shell.vcpu.run(max_steps)
+            if info.reason is ExitReason.HLT:
+                return
+            if info.reason is ExitReason.IO_OUT and info.port == HOSTED_ENTER_PORT:
+                wasp._run_hosted(virtine, args, restored=None,
+                                 persistent=self._persistent)
+                continue
+            if info.reason is ExitReason.IO_OUT and info.port == HCALL_PORT:
+                if wasp._isa_hypercall(virtine, info.value):
+                    return
+                continue
+            raise VirtineCrash(f"session virtine stopped unexpectedly: {info}")
+
+    def close(self, clean: CleanMode = CleanMode.SYNC) -> None:
+        """Release the retained shell back to the pool."""
+        if self._shell is not None:
+            self._pool.release(self._shell, clean)
+            self._shell = None
+            self._virtine = None
+            self._persistent.clear()
+
+    def __enter__(self) -> "VirtineSession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,99 @@
+"""Wasp observability: an aggregated view over the hypervisor's state.
+
+Production runtimes (Firecracker et al.) export counters; Wasp's live
+state is spread over the pool(s), snapshot store, and background
+accountant.  :func:`collect` gathers one consistent sample, suitable for
+dashboards, capacity planning (shell pools), and the tests' invariant
+checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import cycles_to_us
+from repro.wasp.hypervisor import Wasp
+
+
+@dataclass(frozen=True)
+class PoolMetrics:
+    """One shell pool's counters."""
+
+    memory_size: int
+    free_shells: int
+    hits: int
+    misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class WaspMetrics:
+    """A consistent sample of a Wasp instance's counters."""
+
+    launches: int
+    vms_created: int
+    snapshot_captures: int
+    snapshot_restores: int
+    background_cycles: int
+    background_operations: int
+    host_syscalls: int
+    clock_cycles: int
+    pools: tuple[PoolMetrics, ...]
+
+    @property
+    def pool_hit_rate(self) -> float:
+        hits = sum(p.hits for p in self.pools)
+        misses = sum(p.misses for p in self.pools)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    @property
+    def restores_per_launch(self) -> float:
+        return self.snapshot_restores / self.launches if self.launches else 0.0
+
+    def summary(self) -> str:
+        """A human-readable one-screen report."""
+        lines = [
+            f"launches={self.launches}  vms_created={self.vms_created}  "
+            f"pool_hit_rate={self.pool_hit_rate:.0%}",
+            f"snapshots: captures={self.snapshot_captures} "
+            f"restores={self.snapshot_restores}",
+            f"background cleaning: {self.background_operations} ops, "
+            f"{cycles_to_us(self.background_cycles):,.0f} us off the critical path",
+            f"host syscalls={self.host_syscalls}  "
+            f"clock={cycles_to_us(self.clock_cycles):,.0f} us",
+        ]
+        for pool in self.pools:
+            lines.append(
+                f"  pool[{pool.memory_size >> 20} MB]: free={pool.free_shells} "
+                f"hits={pool.hits} misses={pool.misses} ({pool.hit_rate:.0%})"
+            )
+        return "\n".join(lines)
+
+
+def collect(wasp: Wasp) -> WaspMetrics:
+    """Sample every counter of ``wasp`` at this instant."""
+    pools = tuple(
+        PoolMetrics(
+            memory_size=size,
+            free_shells=pool.free_count,
+            hits=pool.hits,
+            misses=pool.misses,
+        )
+        for size, pool in sorted(wasp._pools.items())
+    )
+    return WaspMetrics(
+        launches=wasp.launches,
+        vms_created=wasp.kvm.vms_created,
+        snapshot_captures=wasp.snapshots.captures,
+        snapshot_restores=wasp.snapshots.restores,
+        background_cycles=wasp.background.cycles,
+        background_operations=wasp.background.operations,
+        host_syscalls=wasp.kernel.syscall_count,
+        clock_cycles=wasp.clock.cycles,
+        pools=pools,
+    )

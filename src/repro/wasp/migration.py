@@ -1,0 +1,163 @@
+"""Virtine migration and distributed services (Section 7.3).
+
+"Because virtines implement an abstract machine model, are packaged
+with their runtime environment, and employ similar semantics to RPC,
+they allow for location transparency.  Virtines could therefore be
+migrated to execute on remote machines just like containers ... If
+virtines require host services or hardware not present in the local
+machine, they can be migrated to a machine that does."
+
+This module provides that: a :class:`Cluster` of Wasp nodes connected
+by :class:`MigrationLink` s.  A virtine image (and, optionally, its
+snapshot "reset state") migrates by transferring its bytes across the
+link; invocation is location-transparent -- :meth:`Cluster.call` picks
+a node that satisfies the image's capability requirements, migrates on
+first use, and returns the result as if the call had been local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.runtime.image import VirtineImage
+from repro.units import us_to_cycles
+from repro.wasp.hypervisor import Wasp
+from repro.wasp.virtine import VirtineResult
+
+
+class MigrationError(Exception):
+    """No node can host the virtine, or the transfer is invalid."""
+
+
+@dataclass(frozen=True)
+class MigrationLink:
+    """A network link between nodes (datacenter-RPC-flavoured)."""
+
+    bandwidth_gbps: float = 25.0
+    latency_us: float = 10.0
+
+    def transfer_cycles(self, nbytes: int) -> int:
+        """Cycles one side spends moving ``nbytes`` across the link."""
+        seconds = nbytes * 8 / (self.bandwidth_gbps * 1e9)
+        return us_to_cycles(self.latency_us + seconds * 1e6)
+
+
+@dataclass
+class Node:
+    """One machine in the cluster: a Wasp instance plus capabilities."""
+
+    name: str
+    wasp: Wasp = field(default_factory=Wasp)
+    #: Host services/hardware this node offers (e.g. "gpu", "blobstore").
+    capabilities: frozenset[str] = frozenset()
+    #: Images whose bytes (and snapshots) are already resident here.
+    resident: set[str] = field(default_factory=set)
+
+    def hosts(self, image: VirtineImage) -> bool:
+        return image.name in self.resident
+
+
+class Cluster:
+    """A set of nodes offering location-transparent virtine execution."""
+
+    def __init__(self, link: MigrationLink | None = None) -> None:
+        self.link = link if link is not None else MigrationLink()
+        self._nodes: dict[str, Node] = {}
+        self.migrations = 0
+
+    # -- topology -------------------------------------------------------------
+    def add_node(self, name: str, capabilities: set[str] | None = None,
+                 wasp: Wasp | None = None) -> Node:
+        if name in self._nodes:
+            raise MigrationError(f"node {name!r} already in cluster")
+        node = Node(
+            name=name,
+            wasp=wasp if wasp is not None else Wasp(),
+            capabilities=frozenset(capabilities or ()),
+        )
+        self._nodes[name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise MigrationError(f"no such node: {name!r}") from None
+
+    def nodes(self) -> tuple[Node, ...]:
+        return tuple(self._nodes.values())
+
+    # -- placement ------------------------------------------------------------------
+    def place(self, image: VirtineImage) -> Node:
+        """Pick a node satisfying the image's required capabilities.
+
+        Requirements come from ``image.metadata["requires"]`` (a set of
+        capability names).  Nodes already hosting the image win ties.
+        """
+        required = set(image.metadata.get("requires", ()))
+        candidates = [
+            node for node in self._nodes.values()
+            if required <= node.capabilities
+        ]
+        if not candidates:
+            raise MigrationError(
+                f"no node offers {sorted(required)} for image {image.name!r}"
+            )
+        resident = [node for node in candidates if node.hosts(image)]
+        return resident[0] if resident else candidates[0]
+
+    # -- migration -----------------------------------------------------------------------
+    def migrate(
+        self,
+        image: VirtineImage,
+        source: Node | None,
+        target: Node,
+        include_snapshot: bool = True,
+    ) -> int:
+        """Move an image (and optionally its reset state) to ``target``.
+
+        Returns the transferred byte count.  Transfer cycles are charged
+        on both sides' clocks (send and receive).
+        """
+        nbytes = image.size
+        snapshot = None
+        if include_snapshot and source is not None:
+            snapshot = source.wasp.snapshots.get(image.name)
+            if snapshot is not None:
+                nbytes += snapshot.copy_size
+        cost = self.link.transfer_cycles(nbytes)
+        if source is not None:
+            source.wasp.clock.advance(cost)
+        target.wasp.clock.advance(cost)
+        target.resident.add(image.name)
+        if snapshot is not None:
+            target.wasp.snapshots.put(image.name, snapshot)
+        self.migrations += 1
+        return nbytes
+
+    # -- location-transparent invocation -----------------------------------------------------
+    def call(
+        self,
+        image: VirtineImage,
+        args: Any = None,
+        source: Node | None = None,
+        **launch_kwargs: Any,
+    ) -> VirtineResult:
+        """Invoke a virtine somewhere in the cluster, RPC-style.
+
+        Placement is automatic; the image (and snapshot) migrates on
+        first use of a node.  The caller pays the request/response link
+        latency on the source clock; execution runs on the target.
+        """
+        target = self.place(image)
+        if not target.hosts(image):
+            self.migrate(image, source, target)
+        # Request hop (marshalled args are small; charge the latency).
+        if source is not None and source is not target:
+            source.wasp.clock.advance(self.link.transfer_cycles(256))
+        result = target.wasp.launch(image, args=args, **launch_kwargs)
+        # Response hop.
+        if source is not None and source is not target:
+            source.wasp.clock.advance(self.link.transfer_cycles(256))
+        return result

@@ -1,0 +1,120 @@
+"""The virtine shell pool (Section 5.2, Figure 6).
+
+"Wasp supports a pool of cached, uninitialized, virtines (shells) that
+can be reused. ... once we do this, and the relevant virtine returns, we
+can clear its context, preventing information leakage, and cache it in a
+pool of 'clean' virtines so the host OS need not pay the expensive cost
+of re-allocating virtual hardware contexts."
+
+Three cleaning disciplines correspond to the Figure 8 series:
+
+* scratch creation (no pool)           -> "Wasp"
+* pooled + synchronous clean           -> "Wasp+C"
+* pooled + asynchronous clean          -> "Wasp+CA" (cleaning charged to a
+  background accountant, off the request's critical path)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.hw.clock import BackgroundAccountant
+from repro.kvm.device import KVM, VcpuHandle, VMHandle
+
+
+class CleanMode(enum.Enum):
+    """When (and whether) a released shell's memory is scrubbed."""
+
+    SYNC = "sync"
+    ASYNC = "async"
+    #: No clearing at all -- only safe when the *same* trust domain reuses
+    #: the shell (the "no teardown" optimisation of Section 6.5).
+    NONE = "none"
+
+
+@dataclass
+class Shell:
+    """A cached, uninitialised hardware virtual context."""
+
+    handle: VMHandle
+    vcpu: VcpuHandle
+    memory_size: int
+    generation: int = 0
+
+    @property
+    def vm(self):
+        return self.vcpu.vm
+
+
+class ShellPool:
+    """A pool of reusable shells, keyed externally by memory size."""
+
+    def __init__(
+        self,
+        kvm: KVM,
+        memory_size: int,
+        background: BackgroundAccountant | None = None,
+        max_free: int = 64,
+    ) -> None:
+        self.kvm = kvm
+        self.memory_size = memory_size
+        self.background = background if background is not None else BackgroundAccountant()
+        self.max_free = max_free
+        self._free: list[Shell] = []
+        self.hits = 0
+        self.misses = 0
+
+    # -- provisioning --------------------------------------------------------
+    def acquire(self) -> Shell:
+        """Provision a shell: reuse a cached one or create from scratch.
+
+        A pool hit costs only the free-list bookkeeping; a miss pays the
+        full ``KVM_CREATE_VM`` + memory-region + vCPU construction.
+        """
+        if self._free:
+            self.kvm.clock.advance(self.kvm.costs.POOL_BOOKKEEPING)
+            self.hits += 1
+            shell = self._free.pop()
+            shell.generation += 1
+            return shell
+        self.misses += 1
+        return self._create()
+
+    def create_scratch(self) -> Shell:
+        """Create a shell from scratch, bypassing the cache (the "Wasp"
+        series of Figure 8 -- every invocation pays full construction)."""
+        self.misses += 1
+        return self._create()
+
+    def _create(self) -> Shell:
+        handle = self.kvm.create_vm()
+        handle.set_user_memory_region(self.memory_size)
+        vcpu = handle.create_vcpu()
+        return Shell(handle=handle, vcpu=vcpu, memory_size=self.memory_size)
+
+    # -- release -----------------------------------------------------------------
+    def release(self, shell: Shell, clean: CleanMode = CleanMode.SYNC) -> None:
+        """Return a shell to the pool under the given cleaning discipline."""
+        vm = shell.vm
+        vm.reset()
+        if clean is CleanMode.SYNC:
+            self.kvm.clock.advance(vm.clear_memory())
+        elif clean is CleanMode.ASYNC:
+            # The scrub still happens (state must not leak), but its cost
+            # lands on the background accountant, not request latency.
+            self.background.charge(vm.clear_memory())
+        if len(self._free) < self.max_free:
+            self.kvm.clock.advance(self.kvm.costs.POOL_BOOKKEEPING)
+            self._free.append(shell)
+        else:
+            shell.handle.close()
+
+    def prewarm(self, count: int) -> None:
+        """Populate the pool ahead of time (cold-start avoidance)."""
+        created = [self._create() for _ in range(count - len(self._free))]
+        self._free.extend(created)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)

@@ -1,0 +1,92 @@
+"""Virtine snapshotting (Section 5.2).
+
+"The first execution of a virtine must still go through the
+initialization process ... The virtine then takes a snapshot of its
+state, and continues executing.  Subsequent executions of the same
+virtine can then begin execution at the snapshot point and skip the
+initialization process."
+
+A snapshot captures the virtine's dirty pages (page-granular, so the
+restore cost scales with the *image working set* rather than the full
+guest memory -- this is the memcpy cost that dominates Figure 12), the
+architectural vCPU state, and -- for hosted runtimes -- an opaque payload
+(e.g. an initialised JS engine context).
+
+Security note from the paper: "by snapshotting a virtine's private
+state, that state is exposed to all future virtines that are created
+using that 'reset state'" -- which is why snapshots are keyed per image
+and never shared across images.
+"""
+
+from __future__ import annotations
+
+import copy
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.hw.memory import PAGE_SIZE
+
+
+class RestoreMode(enum.Enum):
+    """How a snapshot is installed into a shell.
+
+    * ``EAGER`` -- memcpy every captured page up front (the paper's
+      prototype; restore cost scales with image size, Figure 12).
+    * ``COW``   -- map pages shared/read-only and copy each page on its
+      first write (the SEUSS-style mechanism Section 7.2 anticipates;
+      restore cost scales with the *written* working set).
+    """
+
+    EAGER = "eager"
+    COW = "cow"
+
+
+@dataclass
+class Snapshot:
+    """One captured "reset state" for a virtine image."""
+
+    image_name: str
+    #: Dirty page contents at capture time (page number -> 4 KB bytes).
+    pages: dict[int, bytes]
+    #: Architectural vCPU state (from :meth:`repro.hw.cpu.CPU.save_state`).
+    cpu_state: dict
+    #: Opaque hosted-runtime payload (deep-copied on capture and on every
+    #: restore, so no state leaks *between* restored virtines).
+    hosted_payload: Any = None
+    #: Whether the snapshot was taken inside a hosted entry function.
+    hosted: bool = False
+
+    @property
+    def copy_size(self) -> int:
+        """Bytes a restore must copy (what the restore memcpy is charged)."""
+        return len(self.pages) * PAGE_SIZE
+
+    def payload_copy(self) -> Any:
+        """A private deep copy of the hosted payload for one restore."""
+        return copy.deepcopy(self.hosted_payload)
+
+
+class SnapshotStore:
+    """Per-image snapshot registry owned by a Wasp instance."""
+
+    def __init__(self) -> None:
+        self._snapshots: dict[str, Snapshot] = {}
+        self.captures = 0
+        self.restores = 0
+
+    def get(self, key: str) -> Snapshot | None:
+        return self._snapshots.get(key)
+
+    def put(self, key: str, snapshot: Snapshot) -> None:
+        self._snapshots[key] = snapshot
+        self.captures += 1
+
+    def drop(self, key: str) -> None:
+        self._snapshots.pop(key, None)
+
+    def note_restore(self) -> None:
+        self.restores += 1
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._snapshots

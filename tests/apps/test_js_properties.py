@@ -1,0 +1,88 @@
+"""Property-based differential tests: the JS engine vs Python semantics.
+
+Random arithmetic/comparison expressions are evaluated by the JS engine
+and by a Python reference; results must agree (within JS number
+semantics).  Also fuzzes the end-to-end base64 workload against
+Python's ``base64``.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.js.engine import Engine
+from repro.apps.js.virtine_js import BASE64_JS, python_base64
+
+_num = st.integers(min_value=-1000, max_value=1000)
+
+
+@st.composite
+def arith_expr(draw, depth=0):
+    """A random (expression_text, python_value) pair."""
+    if depth >= 3 or draw(st.booleans()):
+        value = draw(_num)
+        return (f"({value})", float(value))
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left_text, left_val = draw(arith_expr(depth=depth + 1))
+    right_text, right_val = draw(arith_expr(depth=depth + 1))
+    result = {"+": left_val + right_val, "-": left_val - right_val,
+              "*": left_val * right_val}[op]
+    return (f"({left_text} {op} {right_text})", float(result))
+
+
+class TestArithmeticDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(arith_expr())
+    def test_matches_python(self, pair):
+        text, expected = pair
+        assert Engine().eval(text) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(_num, _num)
+    def test_comparisons_match(self, a, b):
+        engine = Engine()
+        assert engine.eval(f"({a}) < ({b})") == (a < b)
+        assert engine.eval(f"({a}) === ({b})") == (a == b)
+        assert engine.eval(f"({a}) >= ({b})") == (a >= b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=-(2**31), max_value=2**31 - 1),
+           st.integers(min_value=0, max_value=31))
+    def test_bitwise_matches_int32(self, value, shift):
+        engine = Engine()
+        def to_i32(n):
+            n &= 0xFFFFFFFF
+            return n - (1 << 32) if n & 0x80000000 else n
+        assert engine.eval(f"({value}) >> ({shift})") == float(to_i32(value) >> shift)
+        assert engine.eval(f"({value}) & 255") == float(to_i32(value) & 255)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                                          exclude_characters="'\\"),
+                   max_size=30))
+    def test_string_length_and_upper(self, text):
+        engine = Engine()
+        assert engine.eval(f"'{text}'.length") == float(len(text))
+        assert engine.eval(f"'{text}'.toUpperCase()") == text.upper()
+
+
+class TestBase64Differential:
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(max_size=200))
+    def test_matches_python_base64(self, data):
+        engine = Engine()
+        outbox = {}
+        engine.bind("get_data", lambda: [float(b) for b in data])
+        engine.bind("return_data", lambda s: outbox.__setitem__("v", s))
+        engine.eval(BASE64_JS)
+        engine.call("run_request")
+        assert outbox["v"] == python_base64(data)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(max_size=100))
+    def test_encode_function_direct(self, data):
+        engine = Engine()
+        engine.eval(BASE64_JS)
+        result = engine.call("encode", [float(b) for b in data])
+        assert result == python_base64(data)

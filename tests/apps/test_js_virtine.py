@@ -1,0 +1,147 @@
+"""JS-in-a-virtine tests (the Figure 14 system + its security policy)."""
+
+import pytest
+
+from repro.apps.js.virtine_js import (
+    BASE64_JS,
+    DEFAULT_DATA_SIZE,
+    DUKTAPE_IMAGE_SIZE,
+    JsVirtineClient,
+    NativeJsBaseline,
+    python_base64,
+)
+from repro.wasp import Hypercall, Wasp
+from repro.wasp.virtine import VirtineCrash
+
+DATA = bytes((i * 31 + 7) & 0xFF for i in range(512))
+
+
+@pytest.fixture
+def wasp():
+    return Wasp()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("payload", [b"", b"M", b"Ma", b"Man", b"Manx", DATA])
+    def test_native_matches_python_base64(self, wasp, payload):
+        result = NativeJsBaseline(wasp).run(payload)
+        assert result.encoded == python_base64(payload)
+
+    def test_virtine_matches(self, wasp):
+        client = JsVirtineClient(wasp, use_snapshot=False)
+        assert client.run(DATA).encoded == python_base64(DATA)
+
+    def test_snapshot_run_matches(self, wasp):
+        client = JsVirtineClient(wasp, use_snapshot=True)
+        client.run(DATA)
+        assert client.run(DATA).encoded == python_base64(DATA)
+
+    def test_session_matches(self, wasp):
+        client = JsVirtineClient(wasp, use_snapshot=True, no_teardown=True)
+        with client.open_session() as session:
+            client.run_in_session(session, DATA)
+            assert client.run_in_session(session, DATA).encoded == python_base64(DATA)
+
+    def test_different_payloads_per_run(self, wasp):
+        client = JsVirtineClient(wasp, use_snapshot=True)
+        a = client.run(b"first payload")
+        b = client.run(b"second payload!!")
+        assert a.encoded == python_base64(b"first payload")
+        assert b.encoded == python_base64(b"second payload!!")
+
+
+class TestImage:
+    def test_duktape_image_size(self, wasp):
+        """Section 7.2: Duktape compiles into a ~578 KB image."""
+        client = JsVirtineClient(wasp)
+        assert client.image.size == DUKTAPE_IMAGE_SIZE == 578 * 1024
+
+
+class TestHypercallBudget:
+    def test_exactly_three_hypercalls_cold(self, wasp):
+        """Section 6.5: snapshot(), get_data(), return_data() -- only."""
+        client = JsVirtineClient(wasp, use_snapshot=True)
+        client._pending = {"data": DATA}
+        result = wasp.launch(
+            client.image, policy=client._policy(), handlers=client._handlers()
+        )
+        assert result.hypercall_count == 3
+
+    def test_two_hypercalls_warm(self, wasp):
+        """After the snapshot exists: just get_data + return_data."""
+        client = JsVirtineClient(wasp, use_snapshot=True)
+        client.run(DATA)
+        client._pending = {"data": DATA}
+        result = wasp.launch(
+            client.image, policy=client._policy(), handlers=client._handlers()
+        )
+        assert result.hypercall_count == 2
+
+
+class TestOneShotSecurity:
+    def test_double_get_data_kills(self, wasp):
+        client = JsVirtineClient(wasp, use_snapshot=False)
+
+        def exfiltrate(env):
+            env.hypercall(Hypercall.GET_DATA)
+            env.hypercall(Hypercall.GET_DATA)
+
+        client.image.hosted_entry = exfiltrate
+        client._pending = {"data": DATA}
+        with pytest.raises(VirtineCrash, match="GET_DATA denied"):
+            wasp.launch(client.image, policy=client._policy(), handlers=client._handlers())
+
+    def test_open_never_allowed(self, wasp):
+        client = JsVirtineClient(wasp, use_snapshot=False)
+
+        def escape(env):
+            env.hypercall(Hypercall.OPEN, "/etc/passwd")
+
+        client.image.hosted_entry = escape
+        client._pending = {"data": DATA}
+        with pytest.raises(VirtineCrash, match="OPEN denied"):
+            wasp.launch(client.image, policy=client._policy(), handlers=client._handlers())
+
+    def test_policy_resets_between_launches(self, wasp):
+        client = JsVirtineClient(wasp, use_snapshot=False)
+        client.run(DATA)
+        client.run(DATA)  # one-shot counters must not persist
+
+
+class TestFigure14Shape:
+    """The qualitative claims of Figure 14 / artifact claim C8."""
+
+    @pytest.fixture(scope="class")
+    def measurements(self):
+        data = bytes(i & 0xFF for i in range(DEFAULT_DATA_SIZE))
+        wasp = Wasp()
+        native = NativeJsBaseline(wasp).run(data).cycles
+
+        plain = JsVirtineClient(wasp, use_snapshot=False)
+        plain.run(data)
+        virtine = plain.run(data).cycles
+
+        snap = JsVirtineClient(wasp, use_snapshot=True)
+        snap.run(data)
+        snapshot = snap.run(data).cycles
+
+        nt = JsVirtineClient(wasp, use_snapshot=True, no_teardown=True)
+        with nt.open_session() as session:
+            nt.run_in_session(session, data)
+            nt_cycles = nt.run_in_session(session, data).cycles
+        return native, virtine, snapshot, nt_cycles
+
+    def test_virtine_slowdown_bounded(self, measurements):
+        native, virtine, _, _ = measurements
+        # Artifact C8: unoptimised slowdown in the ~1.5-2x range.
+        assert 1.2 < virtine / native < 2.2
+
+    def test_snapshot_improves(self, measurements):
+        _, virtine, snapshot, _ = measurements
+        assert snapshot < virtine
+
+    def test_no_teardown_beats_native(self, measurements):
+        """With snapshot + NT the virtine skips alloc AND teardown: the
+        paper's final configuration runs *faster* than native."""
+        native, _, _, nt_cycles = measurements
+        assert nt_cycles < native

@@ -1,0 +1,99 @@
+"""CBC mode + PKCS#7 padding tests, including the virtine seam."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.crypto.aes import AES128
+from repro.apps.crypto.modes import (
+    PaddingError,
+    cbc_decrypt,
+    cbc_encrypt,
+    pkcs7_pad,
+    pkcs7_unpad,
+)
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+IV = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+
+
+class TestPkcs7:
+    def test_pad_always_adds(self):
+        assert pkcs7_pad(b"") == b"\x10" * 16
+        assert pkcs7_pad(b"a" * 16)[-1] == 16
+
+    def test_pad_partial_block(self):
+        padded = pkcs7_pad(b"abc")
+        assert len(padded) == 16
+        assert padded[-1] == 13
+
+    def test_unpad_roundtrip(self):
+        for n in range(0, 40):
+            data = bytes(range(n % 256))[:n]
+            assert pkcs7_unpad(pkcs7_pad(data)) == data
+
+    def test_unpad_rejects_bad_length(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"123")
+
+    def test_unpad_rejects_zero_pad(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"a" * 15 + b"\x00")
+
+    def test_unpad_rejects_inconsistent(self):
+        with pytest.raises(PaddingError):
+            pkcs7_unpad(b"a" * 14 + b"\x01\x02")
+
+
+class TestCbc:
+    def test_sp800_38a_cbc_first_block(self):
+        plaintext = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        ciphertext = cbc_encrypt(KEY, IV, plaintext)
+        assert ciphertext[:16] == bytes.fromhex("7649abac8119b246cee98e9b12e9197d")
+
+    def test_roundtrip(self):
+        data = b"The quick brown fox jumps over the lazy dog"
+        assert cbc_decrypt(KEY, IV, cbc_encrypt(KEY, IV, data)) == data
+
+    def test_iv_matters(self):
+        data = b"same plaintext"
+        a = cbc_encrypt(KEY, bytes(16), data)
+        b = cbc_encrypt(KEY, b"\x01" * 16, data)
+        assert a != b
+
+    def test_chaining(self):
+        """Identical plaintext blocks must produce distinct ciphertext."""
+        data = bytes(16) * 2
+        ciphertext = cbc_encrypt(KEY, IV, data)
+        assert ciphertext[:16] != ciphertext[16:32]
+
+    def test_bad_iv_rejected(self):
+        with pytest.raises(ValueError):
+            cbc_encrypt(KEY, b"short", b"data")
+
+    def test_decrypt_unaligned_rejected(self):
+        with pytest.raises(PaddingError):
+            cbc_decrypt(KEY, IV, b"12345")
+
+    def test_custom_block_fn_seam(self):
+        """The Section 6.4 seam: a substituted block cipher is used."""
+        calls = []
+        real = AES128(KEY).encrypt_block
+
+        def spying_block(block):
+            calls.append(block)
+            return real(block)
+
+        data = b"x" * 33  # 3 blocks after padding
+        ciphertext = cbc_encrypt(KEY, IV, data, encrypt_block=spying_block)
+        assert len(calls) == 3
+        assert cbc_decrypt(KEY, IV, ciphertext) == data
+
+    @given(st.binary(max_size=500))
+    def test_roundtrip_property(self, data):
+        assert cbc_decrypt(KEY, IV, cbc_encrypt(KEY, IV, data)) == data
+
+    @given(st.binary(max_size=200))
+    def test_length_is_padded_multiple(self, data):
+        ciphertext = cbc_encrypt(KEY, IV, data)
+        assert len(ciphertext) % 16 == 0
+        assert len(ciphertext) >= len(data) + 1

@@ -1,0 +1,177 @@
+"""Serverless platform tests (Figure 15's system)."""
+
+import pytest
+
+from repro.apps.serverless import (
+    BurstyWorkload,
+    InvocationRecord,
+    OpenWhiskLikePlatform,
+    PlatformReport,
+    ServerlessPlatform,
+    VespidPlatform,
+    WorkloadPhase,
+)
+
+
+class TestWorkload:
+    def test_deterministic(self):
+        a = BurstyWorkload.paper_pattern(seed=7).arrivals()
+        b = BurstyWorkload.paper_pattern(seed=7).arrivals()
+        assert a == b
+
+    def test_seed_changes_arrivals(self):
+        a = BurstyWorkload.paper_pattern(seed=1).arrivals()
+        b = BurstyWorkload.paper_pattern(seed=2).arrivals()
+        assert a != b
+
+    def test_sorted_and_in_range(self):
+        workload = BurstyWorkload.paper_pattern(scale=0.2)
+        arrivals = workload.arrivals()
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= t < workload.total_duration_s for t in arrivals)
+
+    def test_burst_has_more_arrivals(self):
+        workload = BurstyWorkload.paper_pattern(scale=1.0)
+        arrivals = workload.arrivals()
+        quiet = sum(1 for t in arrivals if 5.0 <= t < 10.0)  # 60 rps phase
+        burst = sum(1 for t in arrivals if 10.0 <= t < 15.0)  # 400 rps phase
+        assert burst > 3 * quiet
+
+    def test_scale_multiplies(self):
+        full = len(BurstyWorkload.paper_pattern(scale=1.0).arrivals())
+        half = len(BurstyWorkload.paper_pattern(scale=0.5).arrivals())
+        assert half == pytest.approx(full / 2, rel=0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadPhase(duration_s=0, rate_rps=10)
+        with pytest.raises(ValueError):
+            WorkloadPhase(duration_s=1, rate_rps=-1)
+        with pytest.raises(ValueError):
+            BurstyWorkload(phases=())
+
+
+class FixedPlatform(ServerlessPlatform):
+    """Test double with fixed cold/warm costs."""
+
+    name = "fixed"
+
+    def __init__(self, cold_s, warm_s, **kwargs):
+        super().__init__(**kwargs)
+        self._cold = cold_s
+        self._warm = warm_s
+
+    def cold_start_s(self):
+        return self._cold
+
+    def warm_invoke_s(self):
+        return self._warm
+
+
+class TestScheduler:
+    def test_first_arrival_is_cold(self):
+        platform = FixedPlatform(0.1, 0.01, max_workers=2)
+        records = platform.run([0.0])
+        assert records[0].cold
+        assert records[0].latency_s == pytest.approx(0.1)
+
+    def test_reuse_within_keepalive_is_warm(self):
+        platform = FixedPlatform(0.1, 0.01, max_workers=1, keepalive_s=60)
+        records = platform.run([0.0, 1.0])
+        assert not records[1].cold
+        assert records[1].latency_s == pytest.approx(0.01)
+
+    def test_expired_keepalive_goes_cold(self):
+        platform = FixedPlatform(0.1, 0.01, max_workers=1, keepalive_s=5.0)
+        records = platform.run([0.0, 100.0])
+        assert records[1].cold
+
+    def test_queueing_when_saturated(self):
+        platform = FixedPlatform(0.0, 1.0, max_workers=1, keepalive_s=60)
+        records = platform.run([0.0, 0.0, 0.0])
+        latencies = sorted(r.latency_s for r in records)
+        # First is a free cold start; the next two queue behind 1 s warm
+        # invocations on the single worker.
+        assert latencies == pytest.approx([0.0, 1.0, 2.0])
+
+    def test_scales_out_to_max_workers(self):
+        platform = FixedPlatform(0.5, 0.01, max_workers=4, keepalive_s=60)
+        records = platform.run([0.0, 0.0, 0.0, 0.0])
+        assert sum(1 for r in records if r.cold) == 4
+        assert all(r.latency_s == pytest.approx(0.5) for r in records)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            FixedPlatform(0.1, 0.01, max_workers=0)
+
+
+class TestReport:
+    def _records(self):
+        return [
+            InvocationRecord(arrival_s=0.0, start_s=0.0, finish_s=0.010, cold=True),
+            InvocationRecord(arrival_s=0.5, start_s=0.5, finish_s=0.501, cold=False),
+            InvocationRecord(arrival_s=1.5, start_s=1.5, finish_s=1.501, cold=False),
+        ]
+
+    def test_percentiles(self):
+        report = PlatformReport(platform="t", records=self._records())
+        assert report.latency_percentile_ms(50) == pytest.approx(1.0)
+        assert report.cold_count == 1
+
+    def test_time_series_buckets(self):
+        report = PlatformReport(platform="t", records=self._records(), bucket_s=1.0)
+        rows = report.time_series()
+        assert rows[0][3] == 2.0  # two completions in the first second
+        assert rows[1][3] == 1.0
+
+
+class TestRealPlatforms:
+    @pytest.fixture(scope="class")
+    def reports(self):
+        workload = BurstyWorkload.paper_pattern(scale=0.3)
+        arrivals = workload.arrivals()
+        vespid = VespidPlatform(max_workers=8)
+        openwhisk = OpenWhiskLikePlatform(max_workers=8)
+        return (
+            PlatformReport(platform="vespid", records=vespid.run(arrivals)),
+            PlatformReport(platform="openwhisk", records=openwhisk.run(arrivals)),
+            vespid,
+            openwhisk,
+        )
+
+    def test_vespid_cold_start_sub_millisecond_scale(self, reports):
+        _, _, vespid, _ = reports
+        assert vespid.cold_start_s() < 0.005  # single-digit ms at worst
+
+    def test_openwhisk_cold_start_hundreds_of_ms(self, reports):
+        _, _, _, openwhisk = reports
+        assert openwhisk.cold_start_s() > 0.1
+
+    def test_vespid_latency_flat_through_bursts(self, reports):
+        vespid_report, _, _, _ = reports
+        p99 = vespid_report.latency_percentile_ms(99)
+        p50 = vespid_report.latency_percentile_ms(50)
+        assert p99 < 5.0  # milliseconds, never container-scale
+        assert p99 < 10 * max(p50, 0.1)
+
+    def test_openwhisk_p99_shows_cold_starts(self, reports):
+        _, openwhisk_report, _, _ = reports
+        assert openwhisk_report.latency_percentile_ms(99.9) > 100.0
+
+    def test_vespid_beats_openwhisk_on_tail(self, reports):
+        vespid_report, openwhisk_report, _, _ = reports
+        assert (
+            vespid_report.latency_percentile_ms(99)
+            < openwhisk_report.latency_percentile_ms(99)
+        )
+
+    def test_both_complete_all_requests(self, reports):
+        vespid_report, openwhisk_report, _, _ = reports
+        assert len(vespid_report.records) == len(openwhisk_report.records)
+
+    def test_vespid_output_is_correct_base64(self, reports):
+        _, _, vespid, _ = reports
+        from repro.apps.js.virtine_js import python_base64
+
+        payload = bytes(i & 0xFF for i in range(2048))
+        assert vespid.last_encoded == python_base64(payload)

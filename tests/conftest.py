@@ -1,0 +1,22 @@
+"""Shared fixtures for the virtines test suite."""
+
+import pytest
+
+from repro.hw.clock import Clock
+from repro.runtime.image import ImageBuilder
+from repro.wasp.hypervisor import Wasp
+
+
+@pytest.fixture
+def clock() -> Clock:
+    return Clock()
+
+
+@pytest.fixture
+def wasp() -> Wasp:
+    return Wasp()
+
+
+@pytest.fixture
+def builder() -> ImageBuilder:
+    return ImageBuilder()

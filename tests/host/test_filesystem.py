@@ -1,0 +1,83 @@
+"""In-memory filesystem tests."""
+
+import pytest
+
+from repro.host.filesystem import FsError, InMemoryFilesystem, O_CREAT, O_RDWR, O_WRONLY
+
+
+@pytest.fixture
+def fs():
+    filesystem = InMemoryFilesystem()
+    filesystem.add_file("/srv/index.html", b"<html>hi</html>")
+    return filesystem
+
+
+class TestOpenClose:
+    def test_open_missing_raises_enoent(self, fs):
+        with pytest.raises(FsError) as excinfo:
+            fs.open("/nope")
+        assert excinfo.value.errno_name == "ENOENT"
+
+    def test_open_creat_creates(self, fs):
+        fd = fs.open("/new.txt", O_CREAT | O_WRONLY)
+        fs.write(fd, b"data")
+        fs.close(fd)
+        assert fs.file_bytes("/new.txt") == b"data"
+
+    def test_fds_start_above_stdio(self, fs):
+        assert fs.open("/srv/index.html") >= 3
+
+    def test_close_invalidates_fd(self, fs):
+        fd = fs.open("/srv/index.html")
+        fs.close(fd)
+        with pytest.raises(FsError):
+            fs.read(fd, 10)
+
+    def test_double_close_raises(self, fs):
+        fd = fs.open("/srv/index.html")
+        fs.close(fd)
+        with pytest.raises(FsError):
+            fs.close(fd)
+
+    def test_open_fd_count(self, fs):
+        assert fs.open_fd_count() == 0
+        fd = fs.open("/srv/index.html")
+        assert fs.open_fd_count() == 1
+        fs.close(fd)
+        assert fs.open_fd_count() == 0
+
+
+class TestReadWrite:
+    def test_read_sequential(self, fs):
+        fd = fs.open("/srv/index.html")
+        assert fs.read(fd, 6) == b"<html>"
+        assert fs.read(fd, 2) == b"hi"
+
+    def test_read_past_eof_returns_short(self, fs):
+        fd = fs.open("/srv/index.html")
+        data = fs.read(fd, 10_000)
+        assert data == b"<html>hi</html>"
+        assert fs.read(fd, 10) == b""
+
+    def test_write_requires_write_flag(self, fs):
+        fd = fs.open("/srv/index.html")
+        with pytest.raises(FsError) as excinfo:
+            fs.write(fd, b"x")
+        assert excinfo.value.errno_name == "EBADF"
+
+    def test_write_extends_file(self, fs):
+        fd = fs.open("/log", O_CREAT | O_RDWR)
+        fs.write(fd, b"aaa")
+        fs.write(fd, b"bbb")
+        assert fs.file_bytes("/log") == b"aaabbb"
+
+    def test_stat(self, fs):
+        assert fs.stat("/srv/index.html").size == 15
+
+    def test_stat_missing(self, fs):
+        with pytest.raises(FsError):
+            fs.stat("/missing")
+
+    def test_add_file_replaces(self, fs):
+        fs.add_file("/srv/index.html", b"new")
+        assert fs.stat("/srv/index.html").size == 3

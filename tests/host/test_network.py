@@ -1,0 +1,97 @@
+"""Loopback network tests."""
+
+import pytest
+
+from repro.host.network import LoopbackNetwork, NetError
+
+
+@pytest.fixture
+def net():
+    return LoopbackNetwork()
+
+
+class TestListen:
+    def test_listen_and_connect(self, net):
+        listener = net.listen(80)
+        client = net.connect(80)
+        server = net.accept(listener)
+        assert client.peer is server
+        assert server.peer is client
+
+    def test_connect_refused_without_listener(self, net):
+        with pytest.raises(NetError) as excinfo:
+            net.connect(81)
+        assert excinfo.value.errno_name == "ECONNREFUSED"
+
+    def test_port_in_use(self, net):
+        net.listen(80)
+        with pytest.raises(NetError):
+            net.listen(80)
+
+    def test_accept_empty_backlog(self, net):
+        listener = net.listen(80)
+        with pytest.raises(NetError) as excinfo:
+            net.accept(listener)
+        assert excinfo.value.errno_name == "EWOULDBLOCK"
+
+    def test_backlog_is_fifo(self, net):
+        listener = net.listen(80)
+        first = net.connect(80)
+        second = net.connect(80)
+        assert net.accept(listener) is first.peer
+        assert net.accept(listener) is second.peer
+
+    def test_close_listener_frees_port(self, net):
+        listener = net.listen(80)
+        net.close_listener(listener)
+        net.listen(80)  # no EADDRINUSE
+
+
+class TestSockets:
+    def _pair(self, net):
+        listener = net.listen(80)
+        client = net.connect(80)
+        return client, net.accept(listener)
+
+    def test_send_recv(self, net):
+        client, server = self._pair(net)
+        client.send(b"ping")
+        assert server.recv(100) == b"ping"
+
+    def test_recv_respects_max_bytes(self, net):
+        client, server = self._pair(net)
+        client.send(b"abcdef")
+        assert server.recv(3) == b"abc"
+        assert server.recv(3) == b"def"
+
+    def test_recv_empty_would_block(self, net):
+        client, server = self._pair(net)
+        with pytest.raises(NetError) as excinfo:
+            server.recv(10)
+        assert excinfo.value.errno_name == "EWOULDBLOCK"
+
+    def test_recv_after_peer_close_is_eof(self, net):
+        client, server = self._pair(net)
+        client.send(b"bye")
+        client.close()
+        assert server.recv(10) == b"bye"  # drained first
+        assert server.recv(10) == b""  # then EOF
+
+    def test_send_to_closed_peer(self, net):
+        client, server = self._pair(net)
+        server.close()
+        with pytest.raises(NetError) as excinfo:
+            client.send(b"x")
+        assert excinfo.value.errno_name == "ECONNRESET"
+
+    def test_send_on_closed_socket(self, net):
+        client, server = self._pair(net)
+        client.close()
+        with pytest.raises(NetError) as excinfo:
+            client.send(b"x")
+        assert excinfo.value.errno_name == "EPIPE"
+
+    def test_pending(self, net):
+        client, server = self._pair(net)
+        client.send(b"12345")
+        assert server.pending() == 5

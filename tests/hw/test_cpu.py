@@ -1,0 +1,169 @@
+"""CPU mode-machine tests: the architectural legality of boot transitions."""
+
+import pytest
+
+from repro.hw.cpu import (
+    CPU,
+    CR0_PE,
+    CR0_PG,
+    CR4_PAE,
+    CpuFault,
+    EFER_LMA,
+    EFER_LME,
+    Mode,
+    MSR_EFER,
+)
+
+
+@pytest.fixture
+def cpu():
+    return CPU()
+
+
+class TestModes:
+    def test_powers_on_in_real_mode(self, cpu):
+        assert cpu.mode is Mode.REAL16
+
+    def test_mode_masks(self):
+        assert Mode.REAL16.mask == 0xFFFF
+        assert Mode.PROT32.mask == 0xFFFFFFFF
+        assert Mode.LONG64.mask == 0xFFFFFFFFFFFFFFFF
+
+    def test_register_width_follows_mode(self, cpu):
+        cpu.write_reg("ax", 0x123456)
+        assert cpu.read_reg("ax") == 0x3456  # masked to 16 bits
+
+    def test_unknown_register(self, cpu):
+        with pytest.raises(CpuFault):
+            cpu.read_reg("rax")
+
+
+class TestProtectedTransition:
+    def test_requires_pe(self, cpu):
+        with pytest.raises(CpuFault):
+            cpu.far_jump(Mode.PROT32, 0x9000)
+
+    def test_requires_gdt(self, cpu):
+        cpu.write_cr("cr0", CR0_PE)
+        with pytest.raises(CpuFault):
+            cpu.far_jump(Mode.PROT32, 0x9000)
+
+    def test_legal_transition(self, cpu):
+        cpu.gdtr.base = 0x6000
+        cpu.gdtr.loaded = True
+        events = cpu.write_cr("cr0", CR0_PE)
+        assert events["pe_set"]
+        cpu.far_jump(Mode.PROT32, 0x9000)
+        assert cpu.mode is Mode.PROT32
+        assert cpu.rip == 0x9000
+
+    def test_pe_set_event_only_on_flip(self, cpu):
+        cpu.write_cr("cr0", CR0_PE)
+        events = cpu.write_cr("cr0", CR0_PE)  # already set
+        assert not events["pe_set"]
+
+
+class TestLongTransition:
+    def _to_protected(self, cpu):
+        cpu.gdtr.loaded = True
+        cpu.write_cr("cr0", CR0_PE)
+        cpu.far_jump(Mode.PROT32, 0x9000)
+
+    def test_pg_requires_pe(self, cpu):
+        with pytest.raises(CpuFault):
+            cpu.write_cr("cr0", CR0_PG)
+
+    def test_long_requires_pae(self, cpu):
+        self._to_protected(cpu)
+        cpu.wrmsr(MSR_EFER, EFER_LME)
+        cpu.write_cr("cr3", 0x100000)
+        with pytest.raises(CpuFault, match="PAE"):
+            cpu.write_cr("cr0", CR0_PE | CR0_PG)
+
+    def test_long_requires_cr3(self, cpu):
+        self._to_protected(cpu)
+        cpu.write_cr("cr4", CR4_PAE)
+        cpu.wrmsr(MSR_EFER, EFER_LME)
+        with pytest.raises(CpuFault, match="CR3"):
+            cpu.write_cr("cr0", CR0_PE | CR0_PG)
+
+    def test_full_long_sequence(self, cpu):
+        self._to_protected(cpu)
+        cpu.write_cr("cr4", CR4_PAE)
+        cpu.write_cr("cr3", 0x100000)
+        cpu.wrmsr(MSR_EFER, EFER_LME)
+        events = cpu.write_cr("cr0", CR0_PE | CR0_PG)
+        assert events["pg_set"]
+        assert cpu.long_mode_active  # LMA set by hardware
+        cpu.far_jump(Mode.LONG64, 0xA000)
+        assert cpu.mode is Mode.LONG64
+
+    def test_ljmp64_without_long_mode(self, cpu):
+        self._to_protected(cpu)
+        with pytest.raises(CpuFault):
+            cpu.far_jump(Mode.LONG64, 0xA000)
+
+    def test_paging_off_clears_lma(self, cpu):
+        self._to_protected(cpu)
+        cpu.write_cr("cr4", CR4_PAE)
+        cpu.write_cr("cr3", 0x100000)
+        cpu.wrmsr(MSR_EFER, EFER_LME)
+        cpu.write_cr("cr0", CR0_PE | CR0_PG)
+        cpu.write_cr("cr0", CR0_PE)  # paging off
+        assert not cpu.long_mode_active
+
+    def test_no_return_to_real_mode(self, cpu):
+        self._to_protected(cpu)
+        with pytest.raises(CpuFault):
+            cpu.far_jump(Mode.REAL16, 0x8000)
+
+
+class TestMsr:
+    def test_efer_roundtrip(self, cpu):
+        cpu.wrmsr(MSR_EFER, EFER_LME)
+        assert cpu.rdmsr(MSR_EFER) & EFER_LME
+
+    def test_lma_not_writable(self, cpu):
+        cpu.wrmsr(MSR_EFER, EFER_LMA)
+        assert not cpu.rdmsr(MSR_EFER) & EFER_LMA
+
+    def test_unknown_msr(self, cpu):
+        with pytest.raises(CpuFault):
+            cpu.wrmsr(0x1234, 0)
+
+
+class TestStateSaveRestore:
+    def test_roundtrip(self, cpu):
+        cpu.write_reg("ax", 55)
+        cpu.gdtr.loaded = True
+        cpu.write_cr("cr0", CR0_PE)
+        cpu.far_jump(Mode.PROT32, 0xBEEF)
+        cpu.flags.zero = True
+        state = cpu.save_state()
+
+        other = CPU()
+        other.load_state(state)
+        assert other.mode is Mode.PROT32
+        assert other.rip == 0xBEEF
+        assert other.read_reg("ax") == 55
+        assert other.flags.zero
+
+    def test_saved_state_is_independent(self, cpu):
+        state = cpu.save_state()
+        cpu.write_reg("bx", 99)
+        other = CPU()
+        other.load_state(state)
+        assert other.read_reg("bx") == 0
+
+    def test_reset(self, cpu):
+        cpu.gdtr.loaded = True
+        cpu.write_cr("cr0", CR0_PE)
+        cpu.far_jump(Mode.PROT32, 0x9000)
+        cpu.write_reg("ax", 7)
+        cpu.halted = True
+        cpu.reset()
+        assert cpu.mode is Mode.REAL16
+        assert cpu.cr0 == 0
+        assert cpu.read_reg("ax") == 0
+        assert not cpu.halted
+        assert not cpu.gdtr.loaded

@@ -1,0 +1,160 @@
+"""Property-based differential tests for the mini-ISA.
+
+Random straight-line programs are executed both by the interpreter and
+by a direct Python model; register state must agree.  This is the
+deep-fuzz layer underneath the hand-written semantics tests.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.clock import Clock
+from repro.hw.costs import COSTS
+from repro.hw.cpu import CPU, Mode
+from repro.hw.isa import Assembler, Interpreter
+from repro.hw.memory import GuestMemory
+
+REGS = ("ax", "bx", "cx", "dx", "si", "di")
+
+_binary_op = st.sampled_from(["mov", "add", "sub", "and", "or", "xor"])
+_shift_op = st.sampled_from(["shl", "shr"])
+_unary_op = st.sampled_from(["inc", "dec"])
+_reg = st.sampled_from(REGS)
+_imm = st.integers(min_value=0, max_value=0xFFFF)
+
+
+@st.composite
+def instruction(draw):
+    kind = draw(st.sampled_from(["bin_imm", "bin_reg", "shift", "unary"]))
+    if kind == "bin_imm":
+        return (draw(_binary_op), draw(_reg), draw(_imm))
+    if kind == "bin_reg":
+        return (draw(_binary_op), draw(_reg), draw(_reg))
+    if kind == "shift":
+        return (draw(_shift_op), draw(_reg), draw(st.integers(min_value=0, max_value=15)))
+    return (draw(_unary_op), draw(_reg), None)
+
+
+def _python_model(program, mode):
+    """Reference semantics: plain Python with register-width masking."""
+    mask = mode.mask
+    regs = {r: 0 for r in REGS}
+
+    def value_of(operand):
+        return regs[operand] if isinstance(operand, str) else operand
+
+    for op, dst, src in program:
+        if op == "mov":
+            regs[dst] = value_of(src) & mask
+        elif op == "add":
+            regs[dst] = (regs[dst] + value_of(src)) & mask
+        elif op == "sub":
+            regs[dst] = (regs[dst] - value_of(src)) & mask
+        elif op == "and":
+            regs[dst] = regs[dst] & value_of(src)
+        elif op == "or":
+            regs[dst] = regs[dst] | value_of(src)
+        elif op == "xor":
+            regs[dst] = regs[dst] ^ value_of(src)
+        elif op == "shl":
+            regs[dst] = (regs[dst] << (value_of(src) & 63)) & mask
+        elif op == "shr":
+            regs[dst] = regs[dst] >> (value_of(src) & 63)
+        elif op == "inc":
+            regs[dst] = (regs[dst] + 1) & mask
+        elif op == "dec":
+            regs[dst] = (regs[dst] - 1) & mask
+    return regs
+
+
+def _to_source(program):
+    lines = []
+    for op, dst, src in program:
+        if src is None:
+            lines.append(f"{op} {dst}")
+        else:
+            lines.append(f"{op} {dst}, {src}")
+    lines.append("hlt")
+    return "\n".join(lines)
+
+
+def _run_interpreter(source, mode):
+    cpu = CPU()
+    cpu.mode = mode
+    interp = Interpreter(cpu, GuestMemory(1024 * 1024), Clock(), COSTS)
+    interp.load_program(Assembler(0x8000).assemble(source))
+    interp.run()
+    return {r: cpu.read_reg(r) for r in REGS}
+
+
+class TestDifferential:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(instruction(), min_size=1, max_size=25))
+    def test_real_mode_matches_model(self, program):
+        source = _to_source(program)
+        assert _run_interpreter(source, Mode.REAL16) == _python_model(program, Mode.REAL16)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(instruction(), min_size=1, max_size=25))
+    def test_prot_mode_matches_model(self, program):
+        source = _to_source(program)
+        assert _run_interpreter(source, Mode.PROT32) == _python_model(program, Mode.PROT32)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(instruction(), min_size=1, max_size=15))
+    def test_execution_is_deterministic(self, program):
+        source = _to_source(program)
+        assert _run_interpreter(source, Mode.REAL16) == _run_interpreter(source, Mode.REAL16)
+
+
+class TestAssemblerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(instruction(), min_size=1, max_size=25))
+    def test_layout_is_contiguous(self, program):
+        assembled = Assembler(0x8000).assemble(_to_source(program))
+        addr = 0x8000
+        for insn in assembled.instructions:
+            assert insn.addr == addr
+            addr += insn.size
+        assert len(assembled.image) == addr - 0x8000
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(instruction(), min_size=1, max_size=15))
+    def test_assembly_deterministic(self, program):
+        source = _to_source(program)
+        first = Assembler(0x8000).assemble(source)
+        second = Assembler(0x8000).assemble(source)
+        assert first.image == second.image
+
+
+class TestMemoryDifferential:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=200),  # slot (8-byte aligned)
+                st.integers(min_value=0, max_value=0xFFFF),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    def test_store_load_sequence(self, writes):
+        """Random store sequences read back like a Python dict model."""
+        lines = []
+        model = {}
+        for slot, value in writes:
+            addr = 0x1000 + slot * 8
+            lines.append(f"mov ax, {value}")
+            lines.append(f"mov [{addr:#x}], ax")
+            model[addr] = value
+        # Read every written slot back into a checksum.
+        lines.append("mov bx, 0")
+        expected = 0
+        for addr, value in model.items():
+            lines.append(f"mov ax, [{addr:#x}]")
+            lines.append("add bx, ax")
+            expected = (expected + value) & Mode.REAL16.mask
+        lines.append("hlt")
+        regs = _run_interpreter("\n".join(lines), Mode.REAL16)
+        assert regs["bx"] == expected

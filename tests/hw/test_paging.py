@@ -1,0 +1,95 @@
+"""Page-table structure tests: the 1 GB identity map with 2 MB pages."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw import paging
+from repro.hw.memory import GuestMemory
+
+
+@pytest.fixture
+def mapped():
+    mem = GuestMemory(4 * 1024 * 1024)
+    layout = paging.IdentityMapLayout.at(0x100000)
+    cr3 = paging.build_identity_map(mem, layout)
+    return mem, cr3
+
+
+class TestLayout:
+    def test_layout_at(self):
+        layout = paging.IdentityMapLayout.at(0x200000)
+        assert layout.pml4 == 0x200000
+        assert layout.pdpt == 0x201000
+        assert layout.pd == 0x202000
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ValueError):
+            paging.IdentityMapLayout.at(0x100)
+
+
+class TestIdentityMap:
+    def test_zero_maps_to_zero(self, mapped):
+        mem, cr3 = mapped
+        assert paging.translate(mem, cr3, 0) == 0
+
+    def test_arbitrary_offsets(self, mapped):
+        mem, cr3 = mapped
+        for vaddr in (0x8000, 0x123456, 2 * 1024 * 1024 + 17, 0x3FFFFFFF):
+            assert paging.translate(mem, cr3, vaddr) == vaddr
+
+    def test_full_gigabyte_identity(self, mapped):
+        mem, cr3 = mapped
+        assert paging.is_identity_mapped(mem, cr3, 1 << 30)
+
+    def test_beyond_gigabyte_faults(self, mapped):
+        mem, cr3 = mapped
+        with pytest.raises(paging.PageFault):
+            paging.translate(mem, cr3, 1 << 30)
+
+    def test_entry_count(self, mapped):
+        mem, cr3 = mapped
+        # 1 PML4 + 1 PDPT + 512 PD entries, 2 MB each.
+        pd_base = 0x102000
+        entries = [mem.read_u64(pd_base + i * 8) for i in range(512)]
+        assert all(e & paging.PTE_PRESENT for e in entries)
+        assert all(e & paging.PTE_LARGE for e in entries)
+
+    def test_negative_address_faults(self, mapped):
+        mem, cr3 = mapped
+        with pytest.raises(paging.PageFault):
+            paging.translate(mem, cr3, -1)
+
+    @given(st.integers(min_value=0, max_value=(1 << 30) - 1))
+    def test_identity_property(self, vaddr):
+        mem = GuestMemory(4 * 1024 * 1024)
+        cr3 = paging.build_identity_map(mem, paging.IdentityMapLayout.at(0x100000))
+        assert paging.translate(mem, cr3, vaddr) == vaddr
+
+
+class TestFaults:
+    def test_not_present_pml4(self):
+        mem = GuestMemory(1024 * 1024)
+        with pytest.raises(paging.PageFault, match="PML4"):
+            paging.translate(mem, 0x1000, 0)
+
+    def test_fault_carries_address(self):
+        mem = GuestMemory(1024 * 1024)
+        try:
+            paging.translate(mem, 0x1000, 0xABC)
+        except paging.PageFault as fault:
+            assert fault.vaddr == 0xABC
+
+    def test_4k_leaf_walk(self):
+        """A 4-level walk down to a 4 KB page also translates."""
+        mem = GuestMemory(4 * 1024 * 1024)
+        flags = paging.PTE_PRESENT | paging.PTE_WRITABLE
+        pml4, pdpt, pd, pt = 0x100000, 0x101000, 0x102000, 0x103000
+        mem.write_u64(pml4, pdpt | flags)
+        mem.write_u64(pdpt, pd | flags)
+        mem.write_u64(pd, pt | flags)  # no PS bit: points at a PT
+        mem.write_u64(pt + 5 * 8, 0x200000 | flags)  # page 5 -> 0x200000
+        assert paging.translate(mem, pml4, 5 * 4096 + 123) == 0x200000 + 123
+
+    def test_is_identity_mapped_false_on_empty(self):
+        mem = GuestMemory(1024 * 1024)
+        assert not paging.is_identity_mapped(mem, 0x1000, 1 << 21)

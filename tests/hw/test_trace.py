@@ -1,0 +1,78 @@
+"""Interpreter execution-trace tests."""
+
+import pytest
+
+from repro.hw.clock import Clock
+from repro.hw.costs import COSTS
+from repro.hw.cpu import CPU
+from repro.hw.isa import Assembler, Interpreter, TripleFault
+from repro.hw.memory import GuestMemory
+
+
+def make_interp(source):
+    interp = Interpreter(CPU(), GuestMemory(1024 * 1024), Clock(), COSTS)
+    interp.load_program(Assembler(0x8000).assemble(source))
+    return interp
+
+
+class TestTrace:
+    def test_disabled_by_default(self):
+        interp = make_interp("nop\nhlt")
+        interp.run()
+        assert interp.trace() == []
+
+    def test_records_executed_instructions(self):
+        interp = make_interp("mov ax, 1\nadd ax, 2\nhlt")
+        interp.enable_trace()
+        interp.run()
+        trace = interp.trace()
+        assert len(trace) == 3
+        assert "mov ax, 1" in trace[0]
+        assert "hlt" in trace[-1]
+
+    def test_ring_buffer_depth(self):
+        interp = make_interp("""
+            mov cx, 50
+        spin:
+            dec cx
+            jnz spin
+            hlt
+        """)
+        interp.enable_trace(depth=8)
+        interp.run()
+        trace = interp.trace()
+        assert len(trace) == 8
+        assert "hlt" in trace[-1]
+
+    def test_trace_survives_triple_fault(self):
+        interp = make_interp("mov ax, 5\njmp 0x10")
+        interp.enable_trace()
+        exit_event = interp.run()
+        assert isinstance(exit_event, TripleFault)
+        assert any("jmp" in line for line in interp.trace())
+
+    def test_addresses_in_trace(self):
+        interp = make_interp("nop\nhlt")
+        interp.enable_trace()
+        interp.run()
+        assert interp.trace()[0].startswith("0x8000:")
+
+    def test_disable(self):
+        interp = make_interp("nop\nnop\nhlt")
+        interp.enable_trace()
+        interp.disable_trace()
+        interp.run()
+        assert interp.trace() == []
+
+    def test_bad_depth(self):
+        interp = make_interp("hlt")
+        with pytest.raises(ValueError):
+            interp.enable_trace(depth=0)
+
+    def test_tracing_costs_no_cycles(self):
+        plain = make_interp("mov ax, 1\nhlt")
+        plain.run()
+        traced = make_interp("mov ax, 1\nhlt")
+        traced.enable_trace()
+        traced.run()
+        assert plain.clock.cycles == traced.clock.cycles

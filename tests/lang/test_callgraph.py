@@ -1,0 +1,144 @@
+"""Call-graph slicing tests.
+
+The module-level functions below are the slicing subjects -- the slicer
+reads their source, so they must live in a real file.
+"""
+
+import math
+
+import pytest
+
+from repro.lang.callgraph import SliceError, slice_call_graph
+
+SCALE = 10
+LOOKUP = {"a": 1, "b": 2}
+
+
+def leaf(x):
+    return x + 1
+
+
+def helper(x):
+    return leaf(x) * 2
+
+
+def root_simple(x):
+    return helper(x) + leaf(x)
+
+
+def recursive(n):
+    if n < 2:
+        return n
+    return recursive(n - 1) + recursive(n - 2)
+
+
+def uses_global(x):
+    return x * SCALE
+
+
+def uses_dict_global(key):
+    return LOOKUP[key]
+
+
+def uses_builtin(values):
+    return max(len(values), sum(values))
+
+
+def calls_stdlib(x):
+    return math.sqrt(x)
+
+
+def calls_print(x):
+    print(x)
+    return x
+
+
+def shadows_builtin(values):
+    # `len` here is a local, not the builtin.
+    len = 5
+    return len
+
+
+def local_helper_pattern(x):
+    def inner(y):
+        return y * 2
+
+    return inner(x)
+
+
+class UsesMethod:
+    def method(self):
+        return 1
+
+
+class TestSlicing:
+    def test_transitive_closure(self):
+        graph = slice_call_graph(root_simple)
+        assert set(graph.function_names) == {"root_simple", "helper", "leaf"}
+        assert graph.root == "root_simple"
+
+    def test_recursion_handled(self):
+        graph = slice_call_graph(recursive)
+        assert graph.function_names == ("recursive",)
+
+    def test_leaf_only(self):
+        graph = slice_call_graph(leaf)
+        assert graph.function_names == ("leaf",)
+
+    def test_code_bytes_positive(self):
+        graph = slice_call_graph(root_simple)
+        assert graph.code_bytes == sum(len(s.encode()) for s in graph.functions.values())
+        assert graph.code_bytes > 50
+
+    def test_sources_are_compilable(self):
+        graph = slice_call_graph(root_simple)
+        namespace = {}
+        for source in graph.functions.values():
+            exec(compile(source, "<t>", "exec"), namespace)
+        assert namespace["root_simple"](3) == 12
+
+
+class TestGlobals:
+    def test_scalar_global_captured(self):
+        graph = slice_call_graph(uses_global)
+        assert graph.globals_read == {"SCALE": 10}
+
+    def test_dict_global_captured(self):
+        graph = slice_call_graph(uses_dict_global)
+        assert graph.globals_read == {"LOOKUP": {"a": 1, "b": 2}}
+
+    def test_pure_function_reads_nothing(self):
+        assert slice_call_graph(leaf).globals_read == {}
+
+
+class TestRejections:
+    def test_safe_builtins_allowed(self):
+        graph = slice_call_graph(uses_builtin)
+        assert graph.function_names == ("uses_builtin",)
+
+    def test_stdlib_module_rejected(self):
+        with pytest.raises(SliceError):
+            slice_call_graph(calls_stdlib)
+
+    def test_unsafe_builtin_rejected(self):
+        with pytest.raises(SliceError, match="print"):
+            slice_call_graph(calls_print)
+
+    def test_method_not_sliceable(self):
+        with pytest.raises(SliceError):
+            slice_call_graph(UsesMethod().method)
+
+    def test_lambda_rejected(self):
+        with pytest.raises(SliceError):
+            slice_call_graph(lambda x: x)
+
+
+class TestLocalBinding:
+    def test_shadowed_builtin_is_local(self):
+        graph = slice_call_graph(shadows_builtin)
+        assert graph.function_names == ("shadows_builtin",)
+        assert "len" not in graph.globals_read
+
+    def test_nested_function_is_local(self):
+        graph = slice_call_graph(local_helper_pattern)
+        assert graph.function_names == ("local_helper_pattern",)

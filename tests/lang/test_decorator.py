@@ -1,0 +1,215 @@
+"""``@virtine`` decorator tests (the Section 5.3 language extension)."""
+
+import os
+
+import pytest
+
+from repro.lang import virtine, virtine_config, virtine_permissive
+from repro.wasp import Hypercall, VirtineConfig, Wasp
+from repro.wasp.virtine import VirtineCrash
+
+GREETING = "hello"
+TABLE = [10, 20, 30]
+
+
+def double(x):
+    return x * 2
+
+
+@virtine
+def fib(n):
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+
+@virtine
+def quadruple(x):
+    return double(double(x))
+
+
+@virtine
+def greet(name):
+    return GREETING + ", " + name
+
+
+@virtine
+def mutate_table():
+    TABLE.append(99)
+    return len(TABLE)
+
+
+@virtine(snapshot=False)
+def no_snap(x):
+    return x + 1
+
+
+@virtine
+def kwargs_fn(a, b=10, scale=1):
+    return (a + b) * scale
+
+
+@virtine
+def crashy(xs):
+    return xs[100]
+
+
+@virtine
+def inner_helper(x):
+    return x + 1
+
+
+@virtine
+def outer_caller(x):
+    # Calls another virtine-annotated function: per Section 5.3, "a
+    # nested virtine will not be created" -- the inner function runs
+    # inline inside this virtine.
+    return inner_helper(x) * 10
+
+
+@pytest.fixture(autouse=True)
+def fresh_wasp():
+    """Each test gets its own hypervisor (and snapshot store)."""
+    from repro.lang.decorator import set_default_wasp
+
+    wasp = Wasp()
+    set_default_wasp(wasp)
+    yield wasp
+    set_default_wasp(None)
+
+
+class TestBasicInvocation:
+    def test_result_matches_native(self):
+        assert fib(10) == 55 == fib.native(10)
+
+    def test_transitive_slice(self):
+        assert quadruple(3) == 12
+        assert set(quadruple.slice.function_names) == {"quadruple", "double"}
+
+    def test_kwargs(self):
+        assert kwargs_fn(1, b=2, scale=3) == 9
+        assert kwargs_fn(5) == 15
+
+    def test_invoke_returns_result_object(self):
+        result = fib.invoke(5)
+        assert result.value == 5
+        assert result.cycles > 0
+
+    def test_wrapper_metadata(self):
+        assert fib.__name__ == "fib"
+
+
+class TestImage:
+    def test_image_is_about_16kb(self):
+        """Basic C-extension images are ~16 KB (Section 2)."""
+        assert 14 * 1024 < fib.image.size < 20 * 1024
+
+    def test_image_size_override(self):
+        @virtine(image_size=64 * 1024)
+        def padded(x):
+            return x
+
+        assert padded.image.size == 64 * 1024
+
+    def test_image_built_once(self):
+        first = fib.image
+        fib(3)
+        assert fib.image is first
+
+
+class TestSnapshotBehaviour:
+    def test_second_call_uses_snapshot(self):
+        fib.invoke(1)
+        assert fib.invoke(1).from_snapshot
+
+    def test_snapshot_speeds_up(self):
+        cold = fib.invoke(0)
+        warm = fib.invoke(0)
+        assert warm.cycles < cold.cycles / 2
+
+    def test_snapshot_disabled_by_option(self):
+        no_snap.invoke(1)
+        assert not no_snap.invoke(1).from_snapshot
+
+    def test_env_var_disables_snapshot(self, monkeypatch):
+        monkeypatch.setenv("VIRTINE_NO_SNAPSHOT", "1")
+        fib.invoke(1)
+        assert not fib.invoke(1).from_snapshot
+
+
+class TestIsolation:
+    def test_globals_are_copied_not_shared(self):
+        """Section 5.3: global mutations happen on distinct copies."""
+        before = list(TABLE)
+        assert mutate_table() == 4
+        assert TABLE == before  # host copy untouched
+
+    def test_each_invocation_gets_fresh_globals(self):
+        assert mutate_table() == mutate_table() == 4
+
+    def test_string_global_readable(self):
+        assert greet("world") == "hello, world"
+
+    def test_guest_crash_contained(self):
+        with pytest.raises(VirtineCrash):
+            crashy([1, 2])
+        assert fib(5) == 5  # system still healthy
+
+    def test_amortization_with_computation(self):
+        """Figure 11's shape: overhead shrinks as work grows."""
+        fib.invoke(0)  # capture snapshot
+        small = fib.invoke(0).cycles
+        large = fib.invoke(15).cycles
+        overhead_ratio_small = small / max(1, small)
+        assert large > small  # work dominates eventually
+
+
+class TestNestedVirtines:
+    def test_no_nested_virtine_created(self, fresh_wasp):
+        """Section 5.3: calling a virtine-annotated function from inside
+        a virtine runs it inline, not in a second VM."""
+        assert outer_caller(4) == 50
+        # Exactly one launch for the outer call (plus none for inner).
+        assert fresh_wasp.launches == 1
+
+    def test_inner_function_in_outer_slice(self):
+        assert set(outer_caller.slice.function_names) == {"outer_caller", "inner_helper"}
+
+    def test_inner_still_works_standalone(self, fresh_wasp):
+        assert inner_helper(1) == 2
+        assert fresh_wasp.launches == 1
+
+
+class TestPolicyVariants:
+    def test_permissive_allows_hypercalls(self, fresh_wasp):
+        fresh_wasp.kernel.fs.add_file("/cfg", b"42")
+
+        # Hypercalls are not directly reachable from sliced guest code,
+        # so permissiveness is observable via the policy itself.
+        @virtine_permissive
+        def passthrough(x):
+            return x
+
+        assert passthrough(5) == 5
+        policy = passthrough._policy_factory()
+        assert policy.allows(Hypercall.OPEN)
+
+    def test_config_masks(self):
+        cfg = VirtineConfig.allowing(Hypercall.STAT)
+
+        @virtine_config(cfg)
+        def limited(x):
+            return x
+
+        assert limited(3) == 3
+        policy = limited._policy_factory()
+        assert policy.allows(Hypercall.STAT)
+        assert policy.allows(Hypercall.SNAPSHOT)  # needed for lang default
+        assert not policy.allows(Hypercall.OPEN)
+
+    def test_default_policy_denies_io(self):
+        policy = fib._policy_factory()
+        assert not policy.allows(Hypercall.OPEN)
+        assert not policy.allows(Hypercall.SEND)
+        assert policy.allows(Hypercall.EXIT)
+        assert policy.allows(Hypercall.SNAPSHOT)

@@ -1,0 +1,136 @@
+"""Copy-restore marshalling tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+import repro.lang.marshal as marshal
+from repro.hw.memory import GuestMemory
+
+
+@pytest.fixture
+def memory():
+    return GuestMemory(4 * 1024 * 1024)
+
+
+SAMPLES = [
+    None,
+    True,
+    False,
+    0,
+    -1,
+    2**62,
+    -(2**62),
+    3.14159,
+    b"",
+    b"\x00\xff binary",
+    "",
+    "unicode éè中文",
+    [],
+    [1, 2, 3],
+    (1, "two", 3.0),
+    {"key": "value", "n": 5},
+    [{"nested": [1, (2, b"3")]}],
+]
+
+
+class TestWireFormat:
+    @pytest.mark.parametrize("value", SAMPLES, ids=[repr(s)[:30] for s in SAMPLES])
+    def test_roundtrip(self, value):
+        assert marshal.decode(marshal.encode(value)) == value
+
+    def test_bool_is_not_int(self):
+        assert marshal.decode(marshal.encode(True)) is True
+        assert marshal.decode(marshal.encode(1)) == 1
+        assert not isinstance(marshal.decode(marshal.encode(1)), bool)
+
+    def test_tuple_list_distinguished(self):
+        assert isinstance(marshal.decode(marshal.encode((1,))), tuple)
+        assert isinstance(marshal.decode(marshal.encode([1])), list)
+
+    def test_oversized_int_rejected(self):
+        with pytest.raises(marshal.MarshalError):
+            marshal.encode(2**64)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(marshal.MarshalError):
+            marshal.encode(object())
+
+    def test_function_rejected(self):
+        """Host objects must never cross the boundary."""
+        with pytest.raises(marshal.MarshalError):
+            marshal.encode(lambda: None)
+
+    def test_depth_limit(self):
+        value = []
+        inner = value
+        for _ in range(20):
+            nested = []
+            inner.append(nested)
+            inner = nested
+        with pytest.raises(marshal.MarshalError):
+            marshal.encode(value)
+
+    def test_truncated_data_rejected(self):
+        wire = marshal.encode([1, 2, 3])
+        with pytest.raises(marshal.MarshalError):
+            marshal.decode(wire[:-4])
+
+    def test_bad_tag_rejected(self):
+        with pytest.raises(marshal.MarshalError):
+            marshal.decode(b"\xfe")
+
+    def test_marshalled_size(self):
+        assert marshal.marshalled_size(0) == 9  # tag + 8 bytes
+        assert marshal.marshalled_size(b"abc") == 8  # tag + len + 3
+
+
+class TestGuestMemoryTransfer:
+    def test_roundtrip_through_guest_memory(self, memory):
+        written = marshal.marshal(memory, {"arg": [1, 2]}, marshal.ARG_AREA)
+        assert written > 0
+        assert marshal.unmarshal(memory, marshal.ARG_AREA) == {"arg": [1, 2]}
+
+    def test_arg_area_is_address_zero(self):
+        """Section 6.1: 'The argument, n, is loaded into the virtine's
+        address space at address 0x0'."""
+        assert marshal.ARG_AREA == 0x0
+
+    def test_distinct_areas(self, memory):
+        marshal.marshal(memory, "args", marshal.ARG_AREA)
+        marshal.marshal(memory, "ret", marshal.RET_AREA)
+        assert marshal.unmarshal(memory, marshal.ARG_AREA) == "args"
+        assert marshal.unmarshal(memory, marshal.RET_AREA) == "ret"
+
+    def test_copy_restore_semantics(self, memory):
+        """Mutating the original after marshalling must not affect the
+        guest's copy."""
+        payload = [1, 2, 3]
+        marshal.marshal(memory, payload, marshal.ARG_AREA)
+        payload.append(4)
+        assert marshal.unmarshal(memory, marshal.ARG_AREA) == [1, 2, 3]
+
+    def test_corrupt_length_rejected(self, memory):
+        marshal.marshal(memory, "x", marshal.ARG_AREA)
+        memory.write_u32(marshal.ARG_AREA, 0xFFFFFFFF)
+        with pytest.raises(marshal.MarshalError):
+            marshal.unmarshal(memory, marshal.ARG_AREA)
+
+
+json_like = st.recursive(
+    st.none() | st.booleans() | st.integers(min_value=-(2**63), max_value=2**63 - 1)
+    | st.floats(allow_nan=False, allow_infinity=False) | st.binary(max_size=64)
+    | st.text(max_size=64),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+
+
+@given(json_like)
+def test_roundtrip_property(value):
+    assert marshal.decode(marshal.encode(value)) == value
+
+
+@given(json_like)
+def test_size_matches_encoding(value):
+    assert marshal.marshalled_size(value) == len(marshal.encode(value))

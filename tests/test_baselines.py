@@ -1,0 +1,59 @@
+"""Table 2 boundary-crossing baseline tests."""
+
+import pytest
+
+from repro.baselines import (
+    ALL_MECHANISMS,
+    EnclosuresBaseline,
+    HodorBaseline,
+    LwCBaseline,
+    SeCageBaseline,
+    VirtineBoundary,
+    WedgeBaseline,
+)
+from repro.hw.clock import Clock
+
+
+class TestModelledBaselines:
+    @pytest.mark.parametrize("cls", ALL_MECHANISMS)
+    def test_matches_published_latency(self, cls):
+        clock = Clock()
+        result = cls().cross(clock)
+        assert result.latency_us == pytest.approx(cls.paper_latency_us, rel=0.01)
+
+    def test_published_ordering(self):
+        clock = Clock()
+        latencies = {cls.system: cls().cross(clock).latency_us for cls in ALL_MECHANISMS}
+        assert (
+            latencies["Hodor"]
+            < latencies["SeCage"]
+            < latencies["Enclosures"]
+            < latencies["LwC"]
+            < latencies["Wedge"]
+        )
+
+
+class TestVirtineBoundary:
+    @pytest.fixture(scope="class")
+    def boundary(self):
+        return VirtineBoundary()
+
+    def test_measured_from_real_stack(self, boundary):
+        before = boundary.wasp.launches
+        boundary.cross(boundary.wasp.clock)
+        assert boundary.wasp.launches == before + 1
+
+    def test_latency_in_paper_regime(self, boundary):
+        """Paper: ~5 us.  Ours must land in single-digit microseconds,
+        between LwC (2 us) and Wedge (60 us)."""
+        result = boundary.cross(boundary.wasp.clock)
+        assert 2.0 < result.latency_us < 20.0
+
+    def test_crossing_is_stable(self, boundary):
+        first = boundary.cross(boundary.wasp.clock).cycles
+        second = boundary.cross(boundary.wasp.clock).cycles
+        assert second == pytest.approx(first, rel=0.05)
+
+    def test_mechanism_label(self, boundary):
+        result = boundary.cross(boundary.wasp.clock)
+        assert result.mechanism == "syscall interface + VMRUN"

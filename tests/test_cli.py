@@ -1,0 +1,39 @@
+"""CLI tests (the artifact's smoketest analogue)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_smoketest_passes(self, capsys):
+        assert main(["smoketest"]) == 0
+        out = capsys.readouterr().out
+        assert "smoketest passed" in out
+        assert "[FAIL]" not in out
+
+    def test_boot_breakdown(self, capsys):
+        assert main(["boot"]) == 0
+        out = capsys.readouterr().out
+        assert "ept faults" in out
+        assert "protected transition" in out
+
+    def test_creation_table(self, capsys):
+        assert main(["creation"]) == 0
+        out = capsys.readouterr().out
+        assert "vmrun (hardware limit)" in out
+        assert "Wasp+CA" in out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "tinker" in out
+        assert "6.7 GB/s" in out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            main([])

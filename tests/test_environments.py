@@ -1,0 +1,122 @@
+"""Execution-environment registry tests (Section 5.4 / Figure 10)."""
+
+import pytest
+
+from repro.hw.cpu import Mode
+from repro.runtime.environments import (
+    DEFAULT_REGISTRY,
+    Environment,
+    EnvironmentError_,
+    EnvironmentRegistry,
+    default_registry,
+)
+from repro.runtime.image import LIBC_FOOTPRINT
+from repro.wasp import Hypercall, Wasp
+
+
+class TestRegistry:
+    def test_defaults_present(self):
+        names = DEFAULT_REGISTRY.names()
+        for expected in ("raw", "real-mode", "posix", "posix-io", "js-engine"):
+            assert expected in names
+
+    def test_unknown_lookup(self):
+        with pytest.raises(EnvironmentError_):
+            DEFAULT_REGISTRY.get("windows-11")
+
+    def test_duplicate_rejected(self):
+        registry = EnvironmentRegistry()
+        registry.register(Environment(name="a", description="x"))
+        with pytest.raises(EnvironmentError_):
+            registry.register(Environment(name="a", description="y"))
+
+    def test_extends_must_exist(self):
+        registry = EnvironmentRegistry()
+        with pytest.raises(EnvironmentError_):
+            registry.register(Environment(name="b", description="x", extends=("nope",)))
+
+
+class TestResolution:
+    def test_raw_is_empty(self):
+        resolved = DEFAULT_REGISTRY.resolve("raw")
+        assert resolved.footprint == 0
+        assert resolved.init_cycles == 0
+        assert resolved.mode is Mode.LONG64
+
+    def test_posix_layers_on_raw(self):
+        resolved = DEFAULT_REGISTRY.resolve("posix")
+        assert [e.name for e in resolved.chain] == ["raw", "posix"]
+        assert resolved.footprint == LIBC_FOOTPRINT
+        assert resolved.init_cycles > 0
+
+    def test_posix_io_accumulates_hypercalls(self):
+        resolved = DEFAULT_REGISTRY.resolve("posix-io")
+        assert Hypercall.OPEN in resolved.required_hypercalls
+        assert Hypercall.SNAPSHOT in resolved.required_hypercalls  # from posix
+
+    def test_js_engine_is_duktape_sized(self):
+        resolved = DEFAULT_REGISTRY.resolve("js-engine")
+        assert resolved.footprint == pytest.approx(578 * 1024, rel=0.01)
+
+    def test_real_mode_environment(self):
+        resolved = DEFAULT_REGISTRY.resolve("real-mode")
+        assert resolved.mode is Mode.REAL16
+
+    def test_diamond_resolution_counts_once(self):
+        registry = default_registry()
+        registry.register(Environment(
+            name="app", description="x", extends=("posix", "posix-io"),
+        ))
+        resolved = registry.resolve("app")
+        # posix's footprint must not be double-counted via both parents.
+        assert resolved.footprint == LIBC_FOOTPRINT
+
+
+class TestPolicy:
+    def test_suggested_policy_is_least_privilege(self):
+        resolved = DEFAULT_REGISTRY.resolve("posix-io")
+        policy = resolved.suggested_policy()
+        assert policy.allows(Hypercall.OPEN)
+        assert not policy.allows(Hypercall.GET_DATA)
+
+    def test_extra_hypercalls(self):
+        resolved = DEFAULT_REGISTRY.resolve("raw")
+        policy = resolved.suggested_policy(Hypercall.GET_DATA)
+        assert policy.allows(Hypercall.GET_DATA)
+
+
+class TestImageBuilding:
+    def test_image_size_includes_footprint(self):
+        resolved = DEFAULT_REGISTRY.resolve("posix")
+        image = resolved.build_image("job", lambda env: 1)
+        assert image.size >= LIBC_FOOTPRINT
+        assert image.metadata["environment"] == "posix"
+        assert image.metadata["layers"] == ["raw", "posix"]
+
+    def test_real_mode_image_boots_fast(self):
+        wasp = Wasp()
+        fast = DEFAULT_REGISTRY.resolve("real-mode").build_image("f", lambda env: 1)
+        slow = DEFAULT_REGISTRY.resolve("raw").build_image("s", lambda env: 1)
+        wasp.launch(fast, use_snapshot=False)
+        wasp.launch(slow, use_snapshot=False)
+        fast_run = wasp.launch(fast, use_snapshot=False)
+        slow_run = wasp.launch(slow, use_snapshot=False)
+        assert fast_run.cycles < slow_run.cycles
+        assert fast_run.value == slow_run.value == 1
+
+    def test_init_charged_cold_skipped_warm(self):
+        wasp = Wasp()
+        resolved = DEFAULT_REGISTRY.resolve("posix")
+        image = resolved.build_image("init-test", lambda env: "done")
+        policy = resolved.suggested_policy()
+        cold = wasp.launch(image, policy=policy)
+        warm = wasp.launch(image, policy=policy)
+        assert warm.from_snapshot
+        assert warm.cycles < cold.cycles
+        assert warm.value == "done"
+
+    def test_entry_still_receives_env(self):
+        wasp = Wasp()
+        resolved = DEFAULT_REGISTRY.resolve("raw")
+        image = resolved.build_image("args", lambda env: env.args * 3)
+        assert wasp.launch(image, args=7).value == 21

@@ -1,0 +1,158 @@
+"""Failure-injection tests: host faults during virtine execution.
+
+The client's hypercall handlers sit between an untrusted guest and a
+host that can itself fail (files disappearing, sockets resetting).
+These tests inject faults mid-flight and assert the blast radius stays
+inside the affected virtine/query/request.
+"""
+
+import pytest
+
+from repro.apps.http.client import RequestGenerator
+from repro.apps.http.server import StaticHttpServer
+from repro.host.filesystem import FsError
+from repro.runtime.image import ImageBuilder
+from repro.wasp import (
+    BitmaskPolicy,
+    Hypercall,
+    HypercallError,
+    PermissivePolicy,
+    VirtineConfig,
+    VirtineCrash,
+    Wasp,
+)
+
+
+class FlakyFs:
+    """Wraps handler implementations to fail on chosen invocations."""
+
+    def __init__(self, fail_on: set[int]) -> None:
+        self.calls = 0
+        self.fail_on = fail_on
+
+    def maybe_fail(self) -> None:
+        self.calls += 1
+        if self.calls in self.fail_on:
+            raise FsError("EIO", "injected disk failure")
+
+
+class TestFilesystemFaults:
+    def test_file_deleted_between_stat_and_open(self):
+        """The HTTP handler's stat succeeds, then open races a delete."""
+        wasp = Wasp()
+        wasp.kernel.fs.add_file("/srv/index.html", b"payload")
+        server = StaticHttpServer(wasp, port=80, isolation="virtine")
+        generator = RequestGenerator(wasp.kernel, server, "/index.html")
+
+        original_stat = wasp.kernel.sys_stat
+
+        def racing_stat(path):
+            result = original_stat(path)
+            wasp.kernel.fs._files.pop("/srv/index.html", None)  # the race
+            return result
+
+        wasp.kernel.sys_stat = racing_stat
+        outcome = generator.one_request()
+        assert outcome.response.status == 404  # clean failure, no crash
+        # Server keeps serving once the file is back.
+        wasp.kernel.sys_stat = original_stat
+        wasp.kernel.fs.add_file("/srv/index.html", b"payload")
+        assert generator.one_request().response.status == 200
+
+    def test_injected_read_error_becomes_hypercall_error(self):
+        wasp = Wasp()
+        wasp.kernel.fs.add_file("/data", b"x" * 100)
+        flaky = FlakyFs(fail_on={1})
+        original = wasp.kernel.sys_read
+
+        def flaky_read(fd, count):
+            flaky.maybe_fail()
+            return original(fd, count)
+
+        wasp.kernel.sys_read = flaky_read
+
+        def entry(env):
+            fd = env.hypercall(Hypercall.OPEN, "/data")
+            try:
+                env.hypercall(Hypercall.READ, fd, 10)
+            except HypercallError as error:
+                return error.errno_name
+            return "no fault"
+
+        result = wasp.launch(ImageBuilder().hosted("flaky", entry),
+                             policy=PermissivePolicy())
+        assert result.value == "EIO"
+
+
+class TestNetworkFaults:
+    def test_peer_close_mid_request(self):
+        """The client vanishes before the virtine sends its response."""
+        wasp = Wasp()
+        wasp.kernel.fs.add_file("/srv/index.html", b"<html>x</html>")
+        server = StaticHttpServer(wasp, port=80, isolation="virtine")
+        conn = wasp.kernel.sys_connect(80)
+        wasp.kernel.sys_send(conn, b"GET /index.html HTTP/1.0\r\n\r\n")
+        wasp.kernel.sys_sock_close(conn)  # client gives up
+        with pytest.raises(VirtineCrash):
+            server.serve_one()
+        # Engine healthy; next request served.
+        generator = RequestGenerator(wasp.kernel, server, "/index.html")
+        assert generator.one_request().response.status == 200
+
+    def test_send_failure_surfaces_as_errno(self):
+        wasp = Wasp()
+        listener = wasp.kernel.sys_listen(81)
+        client = wasp.kernel.sys_connect(81)
+        server_sock = wasp.kernel.sys_accept(listener)
+        wasp.kernel.sys_sock_close(client)
+
+        def entry(env):
+            try:
+                env.hypercall(Hypercall.SEND, 0, b"hello?")
+            except HypercallError as error:
+                return error.errno_name
+            return "sent"
+
+        policy = BitmaskPolicy(VirtineConfig.allowing(Hypercall.SEND))
+        result = wasp.launch(
+            ImageBuilder().hosted("deadpeer", entry),
+            policy=policy,
+            resources={0: server_sock},
+        )
+        assert result.value == "ECONNRESET"
+
+
+class TestResourceExhaustion:
+    def test_many_sequential_launches_do_not_leak_vms(self):
+        """Shell recycling keeps the VM population constant."""
+        wasp = Wasp()
+        image = ImageBuilder().hosted("loop", lambda env: 0)
+        for _ in range(50):
+            wasp.launch(image)
+        assert wasp.kvm.vms_created == 1
+
+    def test_crashing_launches_do_not_leak_fds(self):
+        wasp = Wasp()
+        wasp.kernel.fs.add_file("/f", b"data")
+
+        def leak_then_crash(env):
+            env.hypercall(Hypercall.OPEN, "/f")
+            raise RuntimeError("bug after open")
+
+        image = ImageBuilder().hosted("leaker", leak_then_crash)
+        for _ in range(10):
+            with pytest.raises(VirtineCrash):
+                wasp.launch(image, policy=PermissivePolicy())
+        assert wasp.kernel.fs.open_fd_count() == 0
+
+    def test_pool_overflow_closes_shells(self):
+        from repro.wasp.pool import ShellPool
+        from repro.kvm.device import KVM
+        from repro.hw.clock import Clock
+
+        pool = ShellPool(KVM(Clock()), 4 * 1024 * 1024, max_free=2)
+        shells = [pool.create_scratch() for _ in range(5)]
+        for shell in shells:
+            pool.release(shell)
+        assert pool.free_count == 2
+        assert sum(1 for s in shells if s.handle.closed) == 3

@@ -1,0 +1,97 @@
+"""KVM device-model tests: the ioctl surface and its cost structure."""
+
+import pytest
+
+from repro.hw.clock import Clock
+from repro.hw.costs import COSTS
+from repro.hw.isa import Assembler
+from repro.hw.vmx import ExitReason
+from repro.kvm.device import KVM, KvmError
+
+
+@pytest.fixture
+def kvm():
+    return KVM(Clock())
+
+
+def hlt_program():
+    return Assembler(0x8000).assemble("hlt")
+
+
+class TestLifecycle:
+    def test_create_vm_charges(self, kvm):
+        before = kvm.clock.cycles
+        kvm.create_vm()
+        assert kvm.clock.cycles - before >= COSTS.KVM_CREATE_VM_BASE
+        assert kvm.vms_created == 1
+
+    def test_full_bringup_and_run(self, kvm):
+        handle = kvm.create_vm()
+        handle.set_user_memory_region(4 * 1024 * 1024)
+        vcpu = handle.create_vcpu()
+        handle.load_program(hlt_program())
+        info = vcpu.run()
+        assert info.reason is ExitReason.HLT
+
+    def test_vcpu_before_memory_rejected(self, kvm):
+        handle = kvm.create_vm()
+        with pytest.raises(KvmError):
+            handle.create_vcpu()
+
+    def test_double_memory_region_rejected(self, kvm):
+        handle = kvm.create_vm()
+        handle.set_user_memory_region(4 * 1024 * 1024)
+        with pytest.raises(KvmError):
+            handle.set_user_memory_region(4 * 1024 * 1024)
+
+    def test_double_vcpu_rejected(self, kvm):
+        handle = kvm.create_vm()
+        handle.set_user_memory_region(4 * 1024 * 1024)
+        handle.create_vcpu()
+        with pytest.raises(KvmError):
+            handle.create_vcpu()
+
+    def test_closed_fd_rejected(self, kvm):
+        handle = kvm.create_vm()
+        handle.close()
+        with pytest.raises(KvmError):
+            handle.set_user_memory_region(4 * 1024 * 1024)
+
+
+class TestCosts:
+    def test_vmrun_roundtrip_is_the_floor(self, kvm):
+        """KVM_RUN on a ready VM: the "vmrun" series of Figures 2/8."""
+        handle = kvm.create_vm()
+        handle.set_user_memory_region(4 * 1024 * 1024)
+        vcpu = handle.create_vcpu()
+        handle.load_program(hlt_program())
+        vcpu.run()  # warm: first-instruction charge happens here
+        before = kvm.clock.cycles
+        vcpu.handle.vm.reset()
+        vcpu.handle.vm.interp.attach_program(vcpu.handle.vm.interp.program)
+        vcpu.handle.vm.interp._first_instruction_pending = False
+        vcpu.run()
+        roundtrip = kvm.clock.cycles - before
+        # Must be within ~2% of the cost-model floor (plus the hlt itself).
+        assert roundtrip == pytest.approx(COSTS.vmrun_roundtrip(), rel=0.02)
+
+    def test_creation_dominates_run(self, kvm):
+        """Figure 2: creating a VM costs orders of magnitude more than
+        entering an existing one."""
+        with kvm.clock.region() as create_region:
+            handle = kvm.create_vm()
+            handle.set_user_memory_region(4 * 1024 * 1024)
+            vcpu = handle.create_vcpu()
+        handle.load_program(hlt_program())
+        with kvm.clock.region() as run_region:
+            vcpu.run()
+        assert create_region.elapsed > 50 * run_region.elapsed
+
+    def test_load_program_charges_memcpy(self, kvm):
+        handle = kvm.create_vm()
+        handle.set_user_memory_region(4 * 1024 * 1024)
+        handle.create_vcpu()
+        program = hlt_program()
+        before = kvm.clock.cycles
+        handle.load_program(program)
+        assert kvm.clock.cycles - before >= COSTS.memcpy(len(program.image))

@@ -1,0 +1,183 @@
+"""Guest libc tests: heap allocator, forwarded syscalls, snprintf."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime.image import ImageBuilder
+from repro.runtime.libc import GuestLibc, GuestLibcError, HEAP_BASE, HEAP_SIZE
+from repro.wasp import Hypercall, PermissivePolicy, Wasp
+
+
+def run_in_virtine(entry, wasp=None, **kwargs):
+    hypervisor = wasp if wasp is not None else Wasp()
+    image = ImageBuilder().hosted("libc-test", entry)
+    return hypervisor.launch(image, policy=PermissivePolicy(), **kwargs)
+
+
+class TestHeap:
+    def test_malloc_returns_in_heap_range(self):
+        def entry(env):
+            libc = GuestLibc(env)
+            addr = libc.malloc(64)
+            return HEAP_BASE <= addr < HEAP_BASE + HEAP_SIZE
+
+        assert run_in_virtine(entry).value is True
+
+    def test_allocations_disjoint(self):
+        def entry(env):
+            libc = GuestLibc(env)
+            a = libc.malloc(100)
+            b = libc.malloc(100)
+            return abs(a - b) >= 100
+
+        assert run_in_virtine(entry).value is True
+
+    def test_data_roundtrip_through_heap(self):
+        def entry(env):
+            libc = GuestLibc(env)
+            addr = libc.malloc(32)
+            libc.memcpy_in(addr, b"heap-resident data")
+            return libc.memcpy_out(addr, 18)
+
+        assert run_in_virtine(entry).value == b"heap-resident data"
+
+    def test_free_allows_reuse(self):
+        def entry(env):
+            libc = GuestLibc(env)
+            first = libc.malloc(1024)
+            libc.free(first)
+            second = libc.malloc(1024)
+            return first == second
+
+        assert run_in_virtine(entry).value is True
+
+    def test_coalescing(self):
+        def entry(env):
+            libc = GuestLibc(env)
+            a = libc.malloc(64)
+            b = libc.malloc(64)
+            libc.free(a)
+            libc.free(b)
+            big = libc.malloc(112)  # only fits if blocks merged
+            return big == a
+
+        assert run_in_virtine(entry).value is True
+
+    def test_exhaustion(self):
+        def entry(env):
+            libc = GuestLibc(env)
+            try:
+                libc.malloc(HEAP_SIZE * 2)
+            except GuestLibcError:
+                return "exhausted"
+            return "oops"
+
+        assert run_in_virtine(entry).value == "exhausted"
+
+    def test_double_free_rejected(self):
+        def entry(env):
+            libc = GuestLibc(env)
+            addr = libc.malloc(16)
+            libc.free(addr)
+            try:
+                libc.free(addr)
+            except GuestLibcError:
+                return "caught"
+            return "oops"
+
+        assert run_in_virtine(entry).value == "caught"
+
+    def test_accounting(self):
+        def entry(env):
+            libc = GuestLibc(env)
+            before = libc.heap.free_bytes
+            libc.malloc(160)
+            return before - libc.heap.free_bytes
+
+        assert run_in_virtine(entry).value == 160
+
+    @given(st.lists(st.integers(min_value=1, max_value=4096), min_size=1, max_size=30))
+    def test_property_alloc_free_restores_heap(self, sizes):
+        def entry(env):
+            libc = GuestLibc(env)
+            initial = libc.heap.free_bytes
+            addrs = [libc.malloc(size) for size in sizes]
+            assert len(set(addrs)) == len(addrs)
+            for addr in addrs:
+                libc.free(addr)
+            return libc.heap.free_bytes == initial
+
+        assert run_in_virtine(entry).value is True
+
+
+class TestForwardedSyscalls:
+    def test_file_io_through_hypercalls(self):
+        wasp = Wasp()
+        wasp.kernel.fs.add_file("/data/config", b"key=value")
+
+        def entry(env):
+            libc = GuestLibc(env)
+            size = libc.stat_size("/data/config")
+            fd = libc.open("/data/config")
+            data = libc.read(fd, size)
+            libc.close(fd)
+            return data
+
+        result = run_in_virtine(entry, wasp=wasp)
+        assert result.value == b"key=value"
+        assert result.hypercall_count == 4
+
+    def test_policy_still_applies(self):
+        from repro.wasp import DefaultDenyPolicy
+        from repro.wasp.virtine import VirtineCrash
+
+        def entry(env):
+            GuestLibc(env).open("/etc/passwd")
+
+        wasp = Wasp()
+        image = ImageBuilder().hosted("denied", entry)
+        with pytest.raises(VirtineCrash, match="denied"):
+            wasp.launch(image, policy=DefaultDenyPolicy())
+
+    def test_exit_via_libc(self):
+        def entry(env):
+            GuestLibc(env).exit(42)
+
+        assert run_in_virtine(entry).exit_code == 42
+
+
+class TestSnprintf:
+    def run_fmt(self, fmt, *args):
+        def entry(env):
+            return GuestLibc(env).snprintf(fmt, *args)
+
+        return run_in_virtine(entry).value
+
+    def test_basic_specifiers(self):
+        assert self.run_fmt("%s is %d years old", "ada", 36) == "ada is 36 years old"
+
+    def test_float_and_hex(self):
+        assert self.run_fmt("%f / %x", 1.5, 255) == "1.500000 / ff"
+
+    def test_percent_literal(self):
+        assert self.run_fmt("100%% done") == "100% done"
+
+    def test_missing_arg(self):
+        def entry(env):
+            try:
+                GuestLibc(env).snprintf("%d")
+            except GuestLibcError:
+                return "caught"
+            return "oops"
+
+        assert run_in_virtine(entry).value == "caught"
+
+    def test_bad_specifier(self):
+        def entry(env):
+            try:
+                GuestLibc(env).snprintf("%q", 1)
+            except GuestLibcError:
+                return "caught"
+            return "oops"
+
+        assert run_in_virtine(entry).value == "caught"

@@ -1,0 +1,208 @@
+"""Cross-cutting adversarial tests: the Section 3 safety objectives.
+
+Each class maps to one objective: host execution/data integrity,
+virtine execution/data integrity (inter-virtine secrecy), and virtine
+isolation (default-deny of everything outside the address space).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.host.filesystem import O_RDONLY
+from repro.runtime.image import ImageBuilder
+from repro.wasp import (
+    BitmaskPolicy,
+    DefaultDenyPolicy,
+    Hypercall,
+    HypercallDenied,
+    HypercallError,
+    PermissivePolicy,
+    VirtineConfig,
+    VirtineCrash,
+    Wasp,
+)
+
+
+@pytest.fixture
+def wasp():
+    w = Wasp()
+    w.kernel.fs.add_file("/public/data.txt", b"public")
+    w.kernel.fs.add_file("/secret/key.pem", b"PRIVATE KEY")
+    return w
+
+
+class TestHostIntegrity:
+    """An adversarial virtine cannot modify host state or crash Wasp."""
+
+    def test_guest_exception_cannot_take_down_host(self, wasp):
+        chaos_types = [ValueError, KeyError, RecursionError, MemoryError]
+
+        for error_type in chaos_types:
+            def entry(env, et=error_type):
+                raise et("chaos")
+
+            image = ImageBuilder().hosted(f"chaos-{error_type.__name__}", entry)
+            with pytest.raises(VirtineCrash):
+                wasp.launch(image)
+        # The hypervisor is intact and serving.
+        ok = wasp.launch(ImageBuilder().hosted("after", lambda env: "alive"))
+        assert ok.value == "alive"
+
+    def test_guest_cannot_mutate_host_fs_without_grant(self, wasp):
+        def entry(env):
+            env.hypercall(Hypercall.WRITE, 3, b"corruption")
+
+        image = ImageBuilder().hosted("writer", entry)
+        with pytest.raises(VirtineCrash):
+            wasp.launch(image, policy=DefaultDenyPolicy())
+        assert wasp.kernel.fs.file_bytes("/public/data.txt") == b"public"
+
+    def test_handler_validation_survives_garbage(self, wasp):
+        """Garbage hypercall arguments are rejected, never executed."""
+        garbage = [(), (None,), (-1, -1), ("", object()), (2**80,), (b"\x00" * 10, 1)]
+
+        for args in garbage:
+            def entry(env, a=args):
+                try:
+                    env.hypercall(Hypercall.READ, *a)
+                except (HypercallError, HypercallDenied):
+                    return "rejected"
+                return "accepted"
+
+            image = ImageBuilder().hosted("garbage", entry)
+            result = wasp.launch(image, policy=PermissivePolicy())
+            assert result.value == "rejected"
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.text(max_size=64))
+    def test_path_fuzzing_never_escapes_root(self, path):
+        wasp = Wasp()
+        wasp.kernel.fs.add_file("/secret/key.pem", b"PRIVATE KEY")
+        wasp.kernel.fs.add_file("/public/ok.txt", b"fine")
+
+        def entry(env):
+            try:
+                fd = env.hypercall(Hypercall.OPEN, path)
+                return env.hypercall(Hypercall.READ, fd, 1024)
+            except (HypercallError, HypercallDenied):
+                return b""
+
+        image = ImageBuilder().hosted("fuzz-path", entry)
+        result = wasp.launch(
+            image, policy=PermissivePolicy(), allowed_paths=("/public/",)
+        )
+        assert result.value != b"PRIVATE KEY"
+
+
+class TestInterVirtineSecrecy:
+    """No two virtines may observe each other's private state."""
+
+    def test_sequential_tenants_no_leak(self, wasp):
+        # 0x100000 is in the page-table area: after cleaning, tenant B's
+        # own boot rebuilds tables there, so it is non-zero but must
+        # never contain A's bytes.  The other addresses must read zero.
+        addresses = (0x3000, 0x100000, 0x240000, 0x280000)
+        secret = b"TENANT-A-SECRET!"
+
+        def writer(env):
+            for addr in addresses:
+                env.memory.write(addr, secret)
+
+        def prober(env):
+            return [bytes(env.memory.read(addr, 16)) for addr in addresses]
+
+        wasp.launch(ImageBuilder().hosted("tenant-a", writer))
+        probes = wasp.launch(ImageBuilder().hosted("tenant-b", prober)).value
+        assert all(chunk != secret for chunk in probes)
+        assert probes[0] == probes[2] == probes[3] == bytes(16)
+
+    def test_snapshot_of_one_image_not_visible_to_another(self, wasp):
+        policy = lambda: BitmaskPolicy(VirtineConfig.allowing(Hypercall.SNAPSHOT))
+
+        def secretive(env):
+            if not env.from_snapshot:
+                env.memory.write(0x3000, b"IMAGE-A-STATE")
+                env.snapshot(payload=None)
+            return 0
+
+        def prober(env):
+            return bytes(env.memory.read(0x3000, 13))
+
+        image_a = ImageBuilder().hosted("image-a", secretive)
+        image_b = ImageBuilder().hosted("image-b", prober)
+        wasp.launch(image_a, policy=policy())
+        leaked = wasp.launch(image_b, policy=policy()).value
+        assert leaked == bytes(13)
+
+    def test_fd_of_one_virtine_unusable_by_next(self, wasp):
+        stolen = {}
+
+        def opener(env):
+            stolen["fd"] = env.hypercall(Hypercall.OPEN, "/secret/key.pem")
+            return stolen["fd"]
+
+        def thief(env):
+            try:
+                return env.hypercall(Hypercall.READ, stolen["fd"], 100)
+            except HypercallError:
+                return b"blocked"
+
+        permissive = PermissivePolicy()
+        wasp.launch(ImageBuilder().hosted("opener", opener), policy=permissive)
+        result = wasp.launch(ImageBuilder().hosted("thief", thief), policy=PermissivePolicy())
+        assert result.value == b"blocked"
+
+    def test_snapshot_payload_mutation_isolated(self, wasp):
+        policy = lambda: BitmaskPolicy(VirtineConfig.allowing(Hypercall.SNAPSHOT))
+
+        def entry(env):
+            if not env.from_snapshot:
+                env.snapshot(payload={"list": []})
+                return 0
+            env.restored["list"].append("poison")
+            return len(env.restored["list"])
+
+        image = ImageBuilder().hosted("payload", entry)
+        wasp.launch(image, policy=policy())
+        first = wasp.launch(image, policy=policy()).value
+        second = wasp.launch(image, policy=policy()).value
+        assert first == second == 1
+
+
+class TestDefaultDeny:
+    """Objective 3: nothing outside the address space without permission."""
+
+    @pytest.mark.parametrize("nr", [
+        Hypercall.OPEN, Hypercall.READ, Hypercall.WRITE, Hypercall.STAT,
+        Hypercall.CLOSE, Hypercall.SEND, Hypercall.RECV,
+        Hypercall.GET_DATA, Hypercall.RETURN_DATA, Hypercall.SNAPSHOT,
+        Hypercall.INVOKE,
+    ])
+    def test_every_hypercall_denied_by_default(self, wasp, nr):
+        def entry(env, n=nr):
+            env.hypercall(n)
+
+        image = ImageBuilder().hosted(f"deny-{nr.name}", entry)
+        with pytest.raises(VirtineCrash, match="denied"):
+            wasp.launch(image, policy=DefaultDenyPolicy())
+
+    def test_denials_are_audited(self, wasp):
+        def entry(env):
+            for nr in (Hypercall.OPEN, Hypercall.SEND):
+                try:
+                    env.hypercall(nr)
+                except HypercallDenied:
+                    pass
+            return 0
+
+        result = wasp.launch(
+            ImageBuilder().hosted("audited", entry), policy=DefaultDenyPolicy()
+        )
+        assert result.audit.count(allowed=False) == 2
+
+    def test_exit_always_available(self, wasp):
+        def entry(env):
+            env.exit(5)
+
+        result = wasp.launch(ImageBuilder().hosted("exit", entry), policy=DefaultDenyPolicy())
+        assert result.exit_code == 5

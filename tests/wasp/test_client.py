@@ -1,0 +1,115 @@
+"""VirtineClient profile tests."""
+
+import pytest
+
+from repro.runtime.image import ImageBuilder
+from repro.wasp import (
+    BitmaskPolicy,
+    Hypercall,
+    PermissivePolicy,
+    VirtineConfig,
+    VirtineCrash,
+    Wasp,
+)
+from repro.wasp.client import VirtineClient
+
+
+@pytest.fixture
+def wasp():
+    w = Wasp()
+    w.kernel.fs.add_file("/srv/a.txt", b"alpha")
+    w.kernel.fs.add_file("/etc/secret", b"shh")
+    return w
+
+
+def read_file_entry(env):
+    fd = env.hypercall(Hypercall.OPEN, env.args)
+    data = env.hypercall(Hypercall.READ, fd, 64)
+    env.hypercall(Hypercall.CLOSE, fd)
+    return data
+
+
+class TestProfile:
+    def test_default_profile_denies(self, wasp):
+        client = VirtineClient(wasp)
+        image = ImageBuilder().hosted("reader", read_file_entry)
+        with pytest.raises(VirtineCrash, match="denied"):
+            client.launch(image, args="/srv/a.txt")
+
+    def test_profile_applies_policy_and_paths(self, wasp):
+        client = VirtineClient(
+            wasp,
+            policy_factory=PermissivePolicy,
+            allowed_paths=("/srv/",),
+        )
+        image = ImageBuilder().hosted("reader", read_file_entry)
+        assert client.launch(image, args="/srv/a.txt").value == b"alpha"
+        with pytest.raises(VirtineCrash):
+            client.launch(image, args="/etc/secret")
+
+    def test_fresh_policy_per_launch(self, wasp):
+        """Stateful (one-shot) policies must reset between launches."""
+        from repro.wasp.policy import OneShotPolicy
+
+        def factory():
+            return OneShotPolicy(PermissivePolicy(), once=(Hypercall.STAT,))
+
+        def stat_once(env):
+            return env.hypercall(Hypercall.STAT, "/srv/a.txt")
+
+        client = VirtineClient(wasp, policy_factory=factory)
+        image = ImageBuilder().hosted("stat", stat_once)
+        assert client.launch(image).value == 5
+        assert client.launch(image).value == 5  # would die if state leaked
+
+    def test_overrides_win(self, wasp):
+        client = VirtineClient(wasp, policy_factory=PermissivePolicy)
+        image = ImageBuilder().hosted("reader", read_file_entry)
+        from repro.wasp import DefaultDenyPolicy
+
+        with pytest.raises(VirtineCrash):
+            client.launch(image, args="/srv/a.txt", policy=DefaultDenyPolicy())
+
+    def test_launch_counter(self, wasp):
+        client = VirtineClient(wasp, policy_factory=PermissivePolicy)
+        image = ImageBuilder().hosted("noop", lambda env: 0)
+        client.launch(image)
+        client.launch(image)
+        assert client.launches == 2
+
+
+class TestProfileEvolution:
+    def test_with_handler(self, wasp):
+        base = VirtineClient(
+            wasp,
+            policy_factory=lambda: BitmaskPolicy(VirtineConfig.allowing(Hypercall.GET_DATA)),
+        )
+        extended = base.with_handler(Hypercall.GET_DATA, lambda req: "custom!")
+        image = ImageBuilder().hosted(
+            "getter", lambda env: env.hypercall(Hypercall.GET_DATA)
+        )
+        assert extended.launch(image).value == "custom!"
+        # The original profile is untouched (no handler: ENOSYS -> crash).
+        with pytest.raises(VirtineCrash, match="ENOSYS"):
+            base.launch(image)
+
+    def test_restricted_to(self, wasp):
+        open_profile = VirtineClient(wasp, policy_factory=PermissivePolicy)
+        jailed = open_profile.restricted_to("/srv/")
+        image = ImageBuilder().hosted("reader", read_file_entry)
+        assert open_profile.launch(image, args="/etc/secret").value == b"shh"
+        with pytest.raises(VirtineCrash):
+            jailed.launch(image, args="/etc/secret")
+
+    def test_session_under_profile(self, wasp):
+        client = VirtineClient(wasp, policy_factory=PermissivePolicy,
+                               use_snapshot=False)
+
+        def count(env):
+            env.persistent["n"] = env.persistent.get("n", 0) + 1
+            return env.persistent["n"]
+
+        image = ImageBuilder().hosted("counter", count)
+        with client.session(image) as session:
+            assert session.invoke().value == 1
+            assert session.invoke().value == 2

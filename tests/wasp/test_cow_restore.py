@@ -1,0 +1,123 @@
+"""Copy-on-write snapshot restore tests (the Section 7.2 extension)."""
+
+import pytest
+
+from repro.hw.memory import GuestMemory, PAGE_SIZE
+from repro.runtime.image import ImageBuilder
+from repro.wasp import BitmaskPolicy, Hypercall, VirtineConfig, Wasp
+from repro.wasp.snapshot import RestoreMode
+
+
+def snap_policy():
+    return BitmaskPolicy(VirtineConfig.allowing(Hypercall.SNAPSHOT))
+
+
+class TestMemoryCow:
+    def test_restore_cow_contents_visible(self):
+        src = GuestMemory(64 * 1024)
+        src.write(0x1000, b"shared page content")
+        pages = src.capture_dirty()
+        dst = GuestMemory(64 * 1024)
+        dst.restore_pages_cow(pages)
+        assert dst.read(0x1000, 19) == b"shared page content"
+        assert dst.cow_pending_pages == {1}
+
+    def test_write_breaks_cow_once(self):
+        mem = GuestMemory(64 * 1024)
+        mem.restore_pages_cow({1: bytes(PAGE_SIZE), 2: bytes(PAGE_SIZE)})
+        breaks = []
+        mem.on_cow_break = breaks.append
+        mem.write(PAGE_SIZE + 10, b"x")
+        mem.write(PAGE_SIZE + 20, b"y")  # same page: no second break
+        assert breaks == [1]
+        assert mem.cow_pending_pages == {2}
+
+    def test_reads_do_not_break(self):
+        mem = GuestMemory(64 * 1024)
+        mem.restore_pages_cow({1: bytes(PAGE_SIZE)})
+        breaks = []
+        mem.on_cow_break = breaks.append
+        mem.read(PAGE_SIZE, 100)
+        assert breaks == []
+
+    def test_host_load_bytes_breaks(self):
+        mem = GuestMemory(64 * 1024)
+        mem.restore_pages_cow({0: bytes(PAGE_SIZE)})
+        breaks = []
+        mem.on_cow_break = breaks.append
+        mem.load_bytes(b"marshalled args", 0)
+        assert breaks == [0]
+
+    def test_clear_dirty_drops_pending(self):
+        mem = GuestMemory(64 * 1024)
+        mem.restore_pages_cow({1: b"\xaa" * PAGE_SIZE})
+        mem.clear_dirty()
+        assert mem.cow_pending_pages == frozenset()
+
+
+def _make_sparse_image(builder, size):
+    """A hosted virtine that writes only one captured page per run."""
+
+    def entry(env):
+        if not env.from_snapshot:
+            env.memory.write(0x240000, b"captured page")
+            env.snapshot(payload=None)
+        env.memory.write(0x240000, b"one page of output")
+        return 0
+
+    return builder.hosted("sparse", entry, size=size)
+
+
+class TestWaspCowRestore:
+    def test_cow_restore_correct(self):
+        wasp = Wasp()
+        image = _make_sparse_image(ImageBuilder(), 256 * 1024)
+        wasp.launch(image, policy=snap_policy())  # capture
+        result = wasp.launch(image, policy=snap_policy(), restore_mode=RestoreMode.COW)
+        assert result.from_snapshot
+        assert result.exit_code == 0
+
+    def test_cow_faster_for_sparse_writers(self):
+        """A big image whose occupant writes little: CoW restore must be
+        much cheaper than the eager memcpy (the SEUSS expectation)."""
+        wasp = Wasp()
+        image = _make_sparse_image(ImageBuilder(), 2 * 1024 * 1024)
+        wasp.launch(image, policy=snap_policy())  # capture snapshot
+        eager = wasp.launch(image, policy=snap_policy(),
+                            restore_mode=RestoreMode.EAGER).cycles
+        cow = wasp.launch(image, policy=snap_policy(),
+                          restore_mode=RestoreMode.COW).cycles
+        assert cow < eager / 2
+
+    def test_cow_break_counted(self):
+        wasp = Wasp()
+        image = _make_sparse_image(ImageBuilder(), 128 * 1024)
+        wasp.launch(image, policy=snap_policy())
+        pool = wasp.pool_for(wasp.memory_size_for(image))
+        wasp.launch(image, policy=snap_policy(), restore_mode=RestoreMode.COW)
+        shell = pool.acquire()  # the shell just used
+        assert shell.vm.cow_breaks >= 1
+
+    def test_cow_isolation_preserved(self):
+        """CoW restores must still give each virtine private state."""
+        wasp = Wasp()
+        builder = ImageBuilder()
+        outputs = []
+
+        def entry(env):
+            if not env.from_snapshot:
+                env.memory.write(0x250000, b"base")
+                env.snapshot(payload=None)
+            current = env.memory.read(0x250000, 4)
+            outputs.append(bytes(current))
+            env.memory.write(0x250000, b"MUT!")
+            return 0
+
+        image = builder.hosted("cow-iso", entry)
+        wasp.launch(image, policy=snap_policy())
+        wasp.launch(image, policy=snap_policy(), restore_mode=RestoreMode.COW)
+        wasp.launch(image, policy=snap_policy(), restore_mode=RestoreMode.COW)
+        # Every restored virtine must see the snapshot's "base", never a
+        # sibling's mutation.
+        assert outputs[-1] == b"base"
+        assert outputs[-2] == b"base"

@@ -1,0 +1,62 @@
+"""Hypercall ABI type tests: numbers, bitmasks, audit log."""
+
+import pytest
+
+from repro.wasp.hypercall import (
+    AuditLog,
+    HCALL_PORT,
+    Hypercall,
+    HypercallDenied,
+    HypercallError,
+)
+
+
+class TestNumbers:
+    def test_exit_is_zero(self):
+        assert int(Hypercall.EXIT) == 0
+
+    def test_bits_are_positional(self):
+        assert Hypercall.EXIT.bit == 1
+        assert Hypercall.READ.bit == 2
+        assert Hypercall.SNAPSHOT.bit == 1 << 8
+
+    def test_port_clear_of_debug_port(self):
+        from repro.hw.vmx import DEBUG_PORT
+
+        assert HCALL_PORT != DEBUG_PORT
+
+    def test_values_dense_and_unique(self):
+        values = sorted(int(nr) for nr in Hypercall)
+        assert values == list(range(len(values)))
+
+
+class TestErrors:
+    def test_denied_carries_number(self):
+        error = HypercallDenied(Hypercall.OPEN)
+        assert error.nr is Hypercall.OPEN
+        assert "OPEN" in str(error)
+
+    def test_error_carries_errno(self):
+        error = HypercallError(Hypercall.READ, "EBADF", "fd 42")
+        assert error.errno_name == "EBADF"
+        assert "READ" in str(error) and "fd 42" in str(error)
+
+
+class TestAuditLog:
+    def test_records_in_order(self):
+        log = AuditLog()
+        log.record(Hypercall.OPEN, allowed=True)
+        log.record(Hypercall.SEND, allowed=False, detail="policy")
+        assert [r.nr for r in log.records] == [Hypercall.OPEN, Hypercall.SEND]
+        assert log.records[1].detail == "policy"
+
+    def test_count_filters(self):
+        log = AuditLog()
+        log.record(Hypercall.OPEN, allowed=True)
+        log.record(Hypercall.OPEN, allowed=False)
+        log.record(Hypercall.READ, allowed=True)
+        assert log.count() == 3
+        assert log.count(nr=Hypercall.OPEN) == 2
+        assert log.count(allowed=False) == 1
+        assert log.count(nr=Hypercall.OPEN, allowed=True) == 1
+        assert log.count(nr=Hypercall.SEND) == 0

@@ -1,0 +1,79 @@
+"""Wasp metrics tests."""
+
+import pytest
+
+from repro.hw.cpu import Mode
+from repro.runtime.image import ImageBuilder
+from repro.wasp import CleanMode, Wasp
+from repro.wasp.metrics import collect
+
+
+@pytest.fixture
+def wasp():
+    return Wasp()
+
+
+class TestCollect:
+    def test_fresh_instance_is_zeroed(self, wasp):
+        metrics = collect(wasp)
+        assert metrics.launches == 0
+        assert metrics.vms_created == 0
+        assert metrics.pools == ()
+
+    def test_launch_counters(self, wasp):
+        image = ImageBuilder().minimal(Mode.LONG64)
+        wasp.launch(image, use_snapshot=False)
+        wasp.launch(image, use_snapshot=False)
+        metrics = collect(wasp)
+        assert metrics.launches == 2
+        assert metrics.vms_created == 1  # second launch reused the shell
+        assert metrics.pool_hit_rate == 0.5
+
+    def test_snapshot_counters(self, wasp):
+        from repro.wasp import BitmaskPolicy, Hypercall, VirtineConfig
+
+        def entry(env):
+            if not env.from_snapshot:
+                env.snapshot(payload=None)
+            return 0
+
+        image = ImageBuilder().hosted("snap", entry)
+        policy = BitmaskPolicy(VirtineConfig.allowing(Hypercall.SNAPSHOT))
+        wasp.launch(image, policy=policy)
+        wasp.launch(image, policy=policy)
+        metrics = collect(wasp)
+        assert metrics.snapshot_captures == 1
+        assert metrics.snapshot_restores == 1
+        assert metrics.restores_per_launch == 0.5
+
+    def test_background_accounting(self, wasp):
+        image = ImageBuilder().minimal(Mode.LONG64)
+        wasp.launch(image, use_snapshot=False, clean=CleanMode.ASYNC)
+        metrics = collect(wasp)
+        assert metrics.background_operations >= 1
+        assert metrics.background_cycles > 0
+
+    def test_pool_metrics(self, wasp):
+        image = ImageBuilder().minimal(Mode.LONG64)
+        wasp.launch(image, use_snapshot=False)
+        metrics = collect(wasp)
+        assert len(metrics.pools) == 1
+        pool = metrics.pools[0]
+        assert pool.free_shells == 1
+        assert pool.misses == 1
+
+    def test_sample_is_immutable_snapshot(self, wasp):
+        image = ImageBuilder().minimal(Mode.LONG64)
+        wasp.launch(image, use_snapshot=False)
+        before = collect(wasp)
+        wasp.launch(image, use_snapshot=False)
+        assert before.launches == 1  # unchanged by later activity
+        with pytest.raises(AttributeError):
+            before.launches = 99
+
+    def test_summary_renders(self, wasp):
+        image = ImageBuilder().minimal(Mode.LONG64)
+        wasp.launch(image, use_snapshot=False)
+        text = collect(wasp).summary()
+        assert "launches=1" in text
+        assert "pool[" in text

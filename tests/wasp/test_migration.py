@@ -1,0 +1,130 @@
+"""Virtine migration / distributed-services tests (Section 7.3)."""
+
+import pytest
+
+from repro.runtime.image import ImageBuilder
+from repro.wasp import BitmaskPolicy, Hypercall, VirtineConfig
+from repro.wasp.migration import Cluster, MigrationError, MigrationLink
+
+
+def job_entry(env):
+    if not env.from_snapshot:
+        env.charge(50_000)  # expensive init, snapshot-worthy
+        env.snapshot(payload={"ready": True})
+    return (env.args or 0) + 1
+
+
+def snap_policy():
+    return BitmaskPolicy(VirtineConfig.allowing(Hypercall.SNAPSHOT))
+
+
+@pytest.fixture
+def cluster():
+    cluster = Cluster(link=MigrationLink(bandwidth_gbps=25.0, latency_us=10.0))
+    cluster.add_node("edge", capabilities={"cpu"})
+    cluster.add_node("storage", capabilities={"cpu", "blobstore"})
+    cluster.add_node("accel", capabilities={"cpu", "gpu"})
+    return cluster
+
+
+@pytest.fixture
+def image():
+    return ImageBuilder().hosted("job", job_entry)
+
+
+class TestLink:
+    def test_latency_floor(self):
+        link = MigrationLink(latency_us=10.0)
+        assert link.transfer_cycles(0) == pytest.approx(26_900, rel=0.01)
+
+    def test_bandwidth_term(self):
+        link = MigrationLink(bandwidth_gbps=25.0, latency_us=0.0)
+        one_mb = link.transfer_cycles(1 << 20)
+        two_mb = link.transfer_cycles(2 << 20)
+        assert two_mb == pytest.approx(2 * one_mb, rel=0.01)
+
+
+class TestTopology:
+    def test_duplicate_node(self, cluster):
+        with pytest.raises(MigrationError):
+            cluster.add_node("edge")
+
+    def test_unknown_node(self, cluster):
+        with pytest.raises(MigrationError):
+            cluster.node("mainframe")
+
+
+class TestPlacement:
+    def test_capability_requirement(self, cluster):
+        image = ImageBuilder().hosted("gpu-job", job_entry,
+                                      metadata={"requires": {"gpu"}})
+        assert cluster.place(image).name == "accel"
+
+    def test_unsatisfiable_requirement(self, cluster):
+        image = ImageBuilder().hosted("quantum", job_entry,
+                                      metadata={"requires": {"qpu"}})
+        with pytest.raises(MigrationError):
+            cluster.place(image)
+
+    def test_resident_node_preferred(self, cluster, image):
+        cluster.node("storage").resident.add(image.name)
+        assert cluster.place(image).name == "storage"
+
+
+class TestMigration:
+    def test_transfer_charges_both_sides(self, cluster, image):
+        source = cluster.node("edge")
+        target = cluster.node("storage")
+        before_src = source.wasp.clock.cycles
+        before_dst = target.wasp.clock.cycles
+        moved = cluster.migrate(image, source, target)
+        assert moved >= image.size
+        assert source.wasp.clock.cycles > before_src
+        assert target.wasp.clock.cycles > before_dst
+        assert target.hosts(image)
+
+    def test_snapshot_travels(self, cluster, image):
+        """A warmed virtine migrates with its reset state: the remote
+        node starts warm (the paper's service-migration scenario)."""
+        source = cluster.node("edge")
+        source.wasp.launch(image, policy=snap_policy(), args=1)  # captures
+        target = cluster.node("accel")
+        cluster.migrate(image, source, target)
+        result = target.wasp.launch(image, policy=snap_policy(), args=1)
+        assert result.from_snapshot  # warm on arrival
+        assert result.value == 2
+
+    def test_migration_without_snapshot(self, cluster, image):
+        target = cluster.node("storage")
+        cluster.migrate(image, None, target, include_snapshot=False)
+        result = target.wasp.launch(image, policy=snap_policy(), args=1)
+        assert not result.from_snapshot
+        assert result.value == 2
+
+
+class TestLocationTransparency:
+    def test_call_returns_like_local(self, cluster, image):
+        result = cluster.call(image, args=41, policy=snap_policy())
+        assert result.value == 42
+
+    def test_first_call_migrates_then_sticks(self, cluster, image):
+        cluster.call(image, args=1, policy=snap_policy())
+        assert cluster.migrations == 1
+        cluster.call(image, args=1, policy=snap_policy())
+        assert cluster.migrations == 1  # resident now
+
+    def test_remote_call_charges_caller(self, cluster, image):
+        caller = cluster.node("edge")
+        gpu_image = ImageBuilder().hosted("gpu-job", job_entry,
+                                          metadata={"requires": {"gpu"}})
+        before = caller.wasp.clock.cycles
+        result = cluster.call(gpu_image, args=1, source=caller, policy=snap_policy())
+        assert result.value == 2
+        assert caller.wasp.clock.cycles > before  # request+response hops
+
+    def test_warm_across_calls(self, cluster, image):
+        first = cluster.call(image, args=1, policy=snap_policy())
+        second = cluster.call(image, args=1, policy=snap_policy())
+        assert not first.from_snapshot
+        assert second.from_snapshot
+        assert second.cycles < first.cycles

@@ -1,0 +1,117 @@
+"""Hypercall policy tests (default-deny, bitmask, one-shot, dynamic)."""
+
+import pytest
+
+from repro.wasp.hypercall import Hypercall
+from repro.wasp.policy import (
+    BitmaskPolicy,
+    DefaultDenyPolicy,
+    DynamicDisablePolicy,
+    OneShotPolicy,
+    PermissivePolicy,
+    VirtineConfig,
+)
+
+
+class TestDefaultDeny:
+    def test_only_exit_allowed(self):
+        policy = DefaultDenyPolicy()
+        assert policy.allows(Hypercall.EXIT)
+        for nr in Hypercall:
+            if nr is not Hypercall.EXIT:
+                assert not policy.allows(nr), nr
+
+
+class TestPermissive:
+    def test_everything_allowed(self):
+        policy = PermissivePolicy()
+        assert all(policy.allows(nr) for nr in Hypercall)
+
+
+class TestVirtineConfig:
+    def test_allowing_builds_mask(self):
+        config = VirtineConfig.allowing(Hypercall.READ, Hypercall.WRITE)
+        assert config.allowed_mask == Hypercall.READ.bit | Hypercall.WRITE.bit
+
+    def test_exit_always_allowed(self):
+        config = VirtineConfig(allowed_mask=0)
+        assert config.allows(Hypercall.EXIT)
+
+    def test_mask_respected(self):
+        policy = BitmaskPolicy(VirtineConfig.allowing(Hypercall.SEND))
+        assert policy.allows(Hypercall.SEND)
+        assert not policy.allows(Hypercall.RECV)
+
+    def test_config_is_frozen(self):
+        config = VirtineConfig.allowing(Hypercall.READ)
+        with pytest.raises(AttributeError):
+            config.allowed_mask = 0xFFFF
+
+    def test_bit_positions_unique(self):
+        bits = {nr.bit for nr in Hypercall}
+        assert len(bits) == len(list(Hypercall))
+
+
+class TestOneShot:
+    def make(self):
+        inner = BitmaskPolicy(
+            VirtineConfig.allowing(Hypercall.GET_DATA, Hypercall.SNAPSHOT, Hypercall.RETURN_DATA)
+        )
+        return OneShotPolicy(inner, once=(Hypercall.GET_DATA, Hypercall.SNAPSHOT))
+
+    def test_first_use_allowed_second_denied(self):
+        policy = self.make()
+        assert policy.allows(Hypercall.GET_DATA)
+        assert not policy.allows(Hypercall.GET_DATA)
+
+    def test_non_once_calls_unlimited(self):
+        policy = self.make()
+        for _ in range(5):
+            assert policy.allows(Hypercall.RETURN_DATA)
+
+    def test_inner_denials_pass_through(self):
+        policy = self.make()
+        assert not policy.allows(Hypercall.OPEN)
+
+    def test_denied_by_inner_does_not_consume(self):
+        inner = DefaultDenyPolicy()
+        policy = OneShotPolicy(inner, once=(Hypercall.GET_DATA,))
+        assert not policy.allows(Hypercall.GET_DATA)  # inner denies
+        assert Hypercall.GET_DATA not in policy._used
+
+    def test_reset_restores_uses(self):
+        policy = self.make()
+        policy.allows(Hypercall.GET_DATA)
+        policy.reset()
+        assert policy.allows(Hypercall.GET_DATA)
+
+    def test_exit_still_allowed_after_exhaustion(self):
+        """Section 6.5: after get_data, 'the only permitted hypercall
+        would terminate the virtine'."""
+        policy = self.make()
+        policy.allows(Hypercall.GET_DATA)
+        policy.allows(Hypercall.SNAPSHOT)
+        assert not policy.allows(Hypercall.GET_DATA)
+        assert not policy.allows(Hypercall.SNAPSHOT)
+        assert policy.allows(Hypercall.EXIT)
+
+
+class TestDynamicDisable:
+    def test_disable_narrows(self):
+        policy = DynamicDisablePolicy(PermissivePolicy())
+        assert policy.allows(Hypercall.OPEN)
+        policy.disable(Hypercall.OPEN)
+        assert not policy.allows(Hypercall.OPEN)
+
+    def test_enable_restores(self):
+        policy = DynamicDisablePolicy(PermissivePolicy())
+        policy.disable(Hypercall.READ)
+        policy.enable(Hypercall.READ)
+        assert policy.allows(Hypercall.READ)
+
+    def test_reset_keeps_disabled(self):
+        """Narrowing is deliberate; per-invocation reset must not undo it."""
+        policy = DynamicDisablePolicy(PermissivePolicy())
+        policy.disable(Hypercall.WRITE)
+        policy.reset()
+        assert not policy.allows(Hypercall.WRITE)

@@ -1,0 +1,124 @@
+"""Shell-pool tests: the Figure 6/8 caching behaviour."""
+
+import pytest
+
+from repro.hw.clock import BackgroundAccountant, Clock
+from repro.hw.costs import COSTS
+from repro.kvm.device import KVM
+from repro.wasp.pool import CleanMode, ShellPool
+
+MEM = 4 * 1024 * 1024
+
+
+@pytest.fixture
+def pool():
+    return ShellPool(KVM(Clock()), MEM, background=BackgroundAccountant())
+
+
+class TestAcquire:
+    def test_cold_acquire_is_a_miss(self, pool):
+        pool.acquire()
+        assert pool.misses == 1
+        assert pool.hits == 0
+
+    def test_reuse_is_a_hit(self, pool):
+        shell = pool.acquire()
+        pool.release(shell)
+        again = pool.acquire()
+        assert again is shell
+        assert pool.hits == 1
+
+    def test_generation_bumps_on_reuse(self, pool):
+        shell = pool.acquire()
+        pool.release(shell)
+        assert pool.acquire().generation == 1
+
+    def test_hit_is_cheap_miss_is_expensive(self, pool):
+        clock = pool.kvm.clock
+        with clock.region() as miss:
+            shell = pool.acquire()
+        pool.release(shell, CleanMode.NONE)
+        with clock.region() as hit:
+            pool.acquire()
+        assert miss.elapsed > 1000 * hit.elapsed
+        assert hit.elapsed == COSTS.POOL_BOOKKEEPING
+
+    def test_scratch_bypasses_cache(self, pool):
+        shell = pool.acquire()
+        pool.release(shell)
+        scratch = pool.create_scratch()
+        assert scratch is not shell
+        assert pool.free_count == 1  # cached shell untouched
+
+    def test_prewarm(self, pool):
+        pool.prewarm(3)
+        assert pool.free_count == 3
+        pool.acquire()
+        assert pool.free_count == 2
+
+
+class TestRelease:
+    def _dirty_shell(self, pool):
+        shell = pool.acquire()
+        shell.vm.memory.write(0x100, b"secret data")
+        return shell
+
+    def test_sync_clean_scrubs_and_charges(self, pool):
+        shell = self._dirty_shell(pool)
+        clock = pool.kvm.clock
+        before = clock.cycles
+        pool.release(shell, CleanMode.SYNC)
+        assert clock.cycles > before
+        assert shell.vm.memory.read(0x100, 11) == bytes(11)
+
+    def test_async_clean_scrubs_but_charges_background(self, pool):
+        shell = self._dirty_shell(pool)
+        clock = pool.kvm.clock
+        before = clock.cycles
+        pool.release(shell, CleanMode.ASYNC)
+        # Only bookkeeping lands on the critical path.
+        assert clock.cycles - before <= COSTS.POOL_BOOKKEEPING
+        assert pool.background.cycles > 0
+        assert shell.vm.memory.read(0x100, 11) == bytes(11)
+
+    def test_none_leaves_memory(self, pool):
+        shell = self._dirty_shell(pool)
+        pool.release(shell, CleanMode.NONE)
+        assert shell.vm.memory.read(0x100, 6) == b"secret"
+
+    def test_release_resets_cpu(self, pool):
+        shell = pool.acquire()
+        shell.vm.cpu.write_reg("ax", 55)
+        shell.vm.cpu.halted = True
+        pool.release(shell)
+        assert shell.vm.cpu.read_reg("ax") == 0
+        assert not shell.vm.cpu.halted
+
+    def test_max_free_cap(self):
+        pool = ShellPool(KVM(Clock()), MEM, max_free=1)
+        a = pool.acquire()
+        b = pool.create_scratch()
+        pool.release(a)
+        pool.release(b)
+        assert pool.free_count == 1
+        assert b.handle.closed  # overflow shells are destroyed
+
+
+class TestInformationLeakage:
+    def test_cleaned_shell_has_no_prior_state(self, pool):
+        """The isolation property behind pooling: a recycled shell must
+        not expose the previous occupant's memory (Section 5.2)."""
+        shell = pool.acquire()
+        shell.vm.memory.write(0x2000, b"tenant A's key material")
+        pool.release(shell, CleanMode.SYNC)
+        reused = pool.acquire()
+        assert reused is shell
+        contents = reused.vm.memory.read(0x2000, 23)
+        assert contents == bytes(23)
+
+    def test_async_clean_also_prevents_leakage(self, pool):
+        shell = pool.acquire()
+        shell.vm.memory.write(0x2000, b"tenant A")
+        pool.release(shell, CleanMode.ASYNC)
+        reused = pool.acquire()
+        assert reused.vm.memory.read(0x2000, 8) == bytes(8)
