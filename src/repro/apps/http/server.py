@@ -30,7 +30,8 @@ from repro.wasp.hypercall import Hypercall, HypercallError
 from repro.wasp.hypervisor import Wasp
 from repro.wasp.policy import BitmaskPolicy, VirtineConfig
 from repro.wasp.pool import CleanMode
-from repro.wasp.virtine import VirtineResult
+from repro.wasp.supervisor import BreakerOpen, Supervisor
+from repro.wasp.virtine import VirtineCrash, VirtineResult
 
 #: Cycles to parse a request line + headers in guest/native code.
 HTTP_PARSE_COST = 900
@@ -116,6 +117,7 @@ class StaticHttpServer:
         port: int = 8000,
         isolation: str = "native",
         docroot: str = "/srv",
+        supervisor: Supervisor | None = None,
     ) -> None:
         if isolation not in self.ISOLATION_MODES:
             raise ValueError(f"unknown isolation mode {isolation!r}")
@@ -124,6 +126,13 @@ class StaticHttpServer:
         self.port = port
         self.isolation = isolation
         self.docroot = docroot.rstrip("/")
+        #: Optional supervision: virtine crashes become 503 responses
+        #: (with retries/breaker per the supervisor's policy) instead of
+        #: propagating out of :meth:`serve_one` and killing the server.
+        self.supervisor = supervisor
+        #: Connections answered 503 because the handler virtine could
+        #: not be run to completion.
+        self.unavailable = 0
         self.listener: Listener = self.kernel.sys_listen(port)
         self.served: list[ServedRequest] = []
         self.image = ImageBuilder().hosted(
@@ -205,8 +214,7 @@ class StaticHttpServer:
         return status
 
     def _handle_virtine(self, conn: Socket, use_snapshot: bool) -> ServedRequest:
-        result = self.wasp.launch(
-            self.image,
+        launch_kwargs = dict(
             policy=self._policy(),
             handlers=None,
             resources={CONN_HANDLE: conn},
@@ -214,11 +222,40 @@ class StaticHttpServer:
             use_snapshot=use_snapshot,
             clean=CleanMode.ASYNC,
         )
+        if self.supervisor is None:
+            result = self.wasp.launch(self.image, **launch_kwargs)
+        else:
+            start = self.kernel.clock.cycles
+            try:
+                result = self.supervisor.launch(self.image, **launch_kwargs)
+            except (BreakerOpen, VirtineCrash):
+                return self._serve_unavailable(conn, start)
         return ServedRequest(
             path="?",
             status=result.exit_code,
             cycles=result.cycles,
             hypercalls=result.hypercall_count,
+        )
+
+    def _serve_unavailable(self, conn: Socket, start: int) -> ServedRequest:
+        """Degrade gracefully: answer 503 instead of dropping the server.
+
+        The crashed virtine is already quarantined and accounted; the
+        client gets a well-formed response from the host side.  The send
+        is best-effort -- the connection may be the thing that failed.
+        """
+        self.unavailable += 1
+        self.kernel.clock.advance(HTTP_BUILD_COST)
+        response = build_response(503, "Service Unavailable", b"try again later")
+        try:
+            self.kernel.sys_send(conn, response)
+        except NetError:
+            pass
+        return ServedRequest(
+            path="?",
+            status=503,
+            cycles=self.kernel.clock.cycles - start,
+            hypercalls=0,
         )
 
     # -- serving loop -------------------------------------------------------------------

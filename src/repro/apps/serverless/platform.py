@@ -15,8 +15,17 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.stats import percentile
+from repro.wasp.hypervisor import Wasp
+from repro.wasp.supervisor import (
+    BreakerConfig,
+    BreakerOpen,
+    RetryPolicy,
+    Supervisor,
+)
+from repro.wasp.virtine import VirtineCrash, VirtineResult
 
 
 @dataclass
@@ -144,3 +153,110 @@ class PlatformReport:
                 rows.append((bucket_start, 0.0, 0.0, completed / self.bucket_s))
             bucket_start = bucket_end
         return rows
+
+
+# ---------------------------------------------------------------------------
+# Supervised execution: graceful degradation under faults
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SupervisedRequest:
+    """How one client request was ultimately served."""
+
+    request_id: int
+    #: "primary" or "fallback" -- which Wasp node produced the result.
+    served_by: str
+    #: True if the primary failed (crash or open breaker) first.
+    degraded: bool
+    #: Simulated end-to-end cycles on the serving node's clock.
+    cycles: int
+    value: Any
+
+
+@dataclass
+class SupervisedReport:
+    """Outcome of a supervised workload run."""
+
+    requests: list[SupervisedRequest]
+    #: Requests that no node could serve (exceptions surfaced to the
+    #: client).  The robustness acceptance bar is zero.
+    client_visible_failures: int
+
+    @property
+    def degraded_count(self) -> int:
+        return sum(1 for r in self.requests if r.degraded)
+
+    @property
+    def served(self) -> int:
+        return len(self.requests)
+
+
+class SupervisedPlatform:
+    """A serverless front end that degrades gracefully under faults.
+
+    Every request is a *real* virtine launch driven through a
+    :class:`~repro.wasp.supervisor.Supervisor` on the primary node:
+    transient crashes are retried there, deterministic ones trip the
+    image's circuit breaker.  When the primary cannot serve (breaker
+    open, retries exhausted), the request is re-routed to an optional
+    fallback node -- a different Wasp whose host plane does not share
+    the primary's failures -- so the client sees a slower answer, never
+    an error.
+    """
+
+    def __init__(
+        self,
+        primary: Wasp,
+        fallback: Wasp | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: BreakerConfig | None = None,
+    ) -> None:
+        self.primary = Supervisor(primary, retry=retry, breaker=breaker)
+        self.fallback = (
+            Supervisor(fallback, retry=retry, breaker=breaker)
+            if fallback is not None else None
+        )
+        #: Requests the primary could not serve.
+        self.degraded_requests = 0
+        #: Requests no node could serve.
+        self.client_failures = 0
+
+    def invoke(self, image: Any, args: Any = None, **launch_kwargs: Any) -> VirtineResult:
+        """Serve one request; raises only when every route is exhausted."""
+        try:
+            return self.primary.launch(image, args=args, **launch_kwargs)
+        except (BreakerOpen, VirtineCrash):
+            if self.fallback is None:
+                self.client_failures += 1
+                raise
+            self.degraded_requests += 1
+            try:
+                return self.fallback.launch(image, args=args, **launch_kwargs)
+            except (BreakerOpen, VirtineCrash):
+                self.client_failures += 1
+                raise
+
+    def run_workload(
+        self, image: Any, request_args: list[Any], **launch_kwargs: Any
+    ) -> SupervisedReport:
+        """Serve a whole request stream, recording how each was routed."""
+        requests: list[SupervisedRequest] = []
+        failures = 0
+        for request_id, args in enumerate(request_args):
+            degraded_before = self.degraded_requests
+            try:
+                result = self.invoke(image, args=args, **launch_kwargs)
+            except (BreakerOpen, VirtineCrash):
+                failures += 1
+                continue
+            degraded = self.degraded_requests > degraded_before
+            requests.append(SupervisedRequest(
+                request_id=request_id,
+                served_by="fallback" if degraded else "primary",
+                degraded=degraded,
+                cycles=result.cycles,
+                value=result.value,
+            ))
+        return SupervisedReport(
+            requests=requests, client_visible_failures=failures,
+        )

@@ -6,6 +6,8 @@ runners.  Commands:
 * ``smoketest`` -- exercise every subsystem end-to-end and report.
 * ``boot``      -- print the Table 1 boot breakdown.
 * ``creation``  -- print the Figure 8 creation-latency comparison.
+* ``metrics``   -- run a supervised workload under injected faults and
+  dump the supervision counters.
 * ``info``      -- version, cost-model calibration summary.
 """
 
@@ -127,6 +129,63 @@ def cmd_creation(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Supervised faulty workload + counter dump (deterministic per seed)."""
+    from repro.apps.serverless.platform import SupervisedPlatform
+    from repro.faults import FaultPlan, FaultSite
+    from repro.host.filesystem import O_RDONLY
+    from repro.runtime.image import ImageBuilder
+    from repro.wasp import Hypercall, PermissivePolicy, Wasp
+    from repro.wasp.guestenv import GuestEnv
+    from repro.wasp.metrics import collect
+
+    plan = (
+        FaultPlan(seed=args.seed)
+        .fail(FaultSite.VCPU_RUN, rate=0.06)
+        .fail(FaultSite.HOST_SYSCALL, rate=0.04)
+        .fail(FaultSite.POOL_ACQUIRE, rate=0.04)
+        .fail(FaultSite.SNAPSHOT_RESTORE, rate=0.03)
+    )
+    primary = Wasp(fault_plan=plan)
+    fallback = Wasp()
+    for wasp in (primary, fallback):
+        wasp.kernel.fs.add_file("/data/blob", b"x" * 4096)
+
+    def entry(env: GuestEnv) -> int:
+        if not env.from_snapshot:
+            env.charge(20_000)  # init work that snapshotting elides
+            env.snapshot()
+        fd = env.hypercall(Hypercall.OPEN, "/data/blob", O_RDONLY)
+        data = env.hypercall(Hypercall.READ, fd, 4096)
+        env.hypercall(Hypercall.CLOSE, fd)
+        env.charge_bytes(len(data))
+        return len(data)
+
+    image = ImageBuilder().hosted(name="metrics-job", entry=entry)
+    platform = SupervisedPlatform(primary, fallback)
+    report = platform.run_workload(
+        image,
+        [None] * args.requests,
+        policy=PermissivePolicy(),
+        use_snapshot=True,
+    )
+
+    print(f"supervised workload: seed={args.seed} requests={args.requests}")
+    print(
+        f"  served={report.served} degraded_to_fallback={report.degraded_count} "
+        f"client_visible_failures={report.client_visible_failures}"
+    )
+    print("primary node:")
+    print(collect(primary).summary())
+    print("fallback node:")
+    print(collect(fallback).summary())
+    print(f"fault trace: {len(plan.trace)} injected fault(s)")
+    for event in plan.trace:
+        detail = f" {event.detail}" if event.detail else ""
+        print(f"  {event.site.value}#{event.nth}{detail}")
+    return 0 if report.client_visible_failures == 0 else 1
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     from repro.hw.costs import COSTS
     from repro.units import TINKER_HZ
@@ -157,6 +216,14 @@ def main(argv: list[str] | None = None) -> int:
     subparsers.add_parser("creation", help="Figure 8 creation latencies").set_defaults(
         handler=cmd_creation
     )
+    metrics = subparsers.add_parser(
+        "metrics", help="supervision counters under injected faults"
+    )
+    metrics.add_argument("--seed", type=int, default=1234,
+                         help="fault-plan seed (default 1234)")
+    metrics.add_argument("--requests", type=int, default=200,
+                         help="requests to serve (default 200)")
+    metrics.set_defaults(handler=cmd_metrics)
     subparsers.add_parser("info", help="version + calibration").set_defaults(
         handler=cmd_info
     )

@@ -1,0 +1,27 @@
+"""Deterministic fault injection for the Wasp stack.
+
+Public surface::
+
+    from repro.faults import FaultPlan, FaultSite, InjectedFault
+
+    plan = FaultPlan(seed=7).fail(FaultSite.HOST_SYSCALL, rate=0.05)
+    wasp = Wasp(fault_plan=plan)
+"""
+
+from repro.faults.plan import (
+    NO_FAULTS,
+    FaultEvent,
+    FaultPlan,
+    FaultSite,
+    FaultSpec,
+    InjectedFault,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSite",
+    "FaultSpec",
+    "FaultEvent",
+    "InjectedFault",
+    "NO_FAULTS",
+]

@@ -103,6 +103,9 @@ class CostModel:
     #: Copy-on-write break: the write-protection fault taken on the
     #: first store to a shared page (the 4 KB copy is charged on top).
     COW_BREAK_FAULT: int = 2200
+    #: Integrity-checksum cost per byte (hardware ``crc32`` sustains
+    #: ~8 bytes/cycle; snapshot verification before restore).
+    CHECKSUM_CYCLES_PER_BYTE: float = 0.125
 
     # --- host kernel -------------------------------------------------------
     #: User->kernel->user ring transition pair for one syscall.
@@ -172,6 +175,10 @@ class CostModel:
     def memset(self, nbytes: int) -> int:
         """Cycles to clear ``nbytes`` (same bandwidth as memcpy)."""
         return int(nbytes * self.MEMCPY_CYCLES_PER_BYTE)
+
+    def checksum(self, nbytes: int) -> int:
+        """Cycles to checksum ``nbytes`` (snapshot integrity checks)."""
+        return int(nbytes * self.CHECKSUM_CYCLES_PER_BYTE)
 
     def syscall(self) -> int:
         """Cycles for one ordinary host syscall round trip."""

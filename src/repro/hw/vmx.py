@@ -36,6 +36,11 @@ from repro.hw.memory import GuestMemory
 #: Magic, zero-cost instrumentation port (simulation-only; see module doc).
 DEBUG_PORT = 0xE9
 
+#: ``ExitInfo.detail`` value when a run exhausted its step budget.  The
+#: hypervisor promotes this to a typed ``VirtineTimeout`` so a runaway
+#: guest is distinguishable from a clean halt.
+STEP_BUDGET_EXHAUSTED = "step budget exhausted"
+
 
 class ExitReason(enum.Enum):
     """Why control returned to the hypervisor."""
@@ -55,6 +60,8 @@ class ExitInfo:
     value: int = 0
     in_dest: str = ""
     detail: str = ""
+    #: Interpreter steps executed during this run (timeout accounting).
+    steps: int = 0
 
 
 @dataclass
@@ -135,17 +142,17 @@ class VirtualMachine:
                 self.interp.step()
                 steps += 1
             except HaltExit:
-                return ExitInfo(reason=ExitReason.HLT)
+                return ExitInfo(reason=ExitReason.HLT, steps=steps)
             except IOOutExit as io:
                 if io.port == DEBUG_PORT:
                     self.milestones.append(Milestone(marker=io.value, cycles=self.clock.cycles))
                     continue
-                return ExitInfo(reason=ExitReason.IO_OUT, port=io.port, value=io.value)
+                return ExitInfo(reason=ExitReason.IO_OUT, port=io.port, value=io.value, steps=steps)
             except IOInExit as io:
-                return ExitInfo(reason=ExitReason.IO_IN, port=io.port, in_dest=io.dest)
+                return ExitInfo(reason=ExitReason.IO_IN, port=io.port, in_dest=io.dest, steps=steps)
             except TripleFault as fault:
-                return ExitInfo(reason=ExitReason.SHUTDOWN, detail=fault.reason)
-        return ExitInfo(reason=ExitReason.SHUTDOWN, detail="step budget exhausted")
+                return ExitInfo(reason=ExitReason.SHUTDOWN, detail=fault.reason, steps=steps)
+        return ExitInfo(reason=ExitReason.SHUTDOWN, detail=STEP_BUDGET_EXHAUSTED, steps=steps)
 
     def complete_io_in(self, dest: str, value: int) -> None:
         """Provide the value for a pending ``in`` before re-entering."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.faults import NO_FAULTS, FaultPlan, FaultSite
 from repro.hw.clock import Clock
 from repro.hw.costs import COSTS, CostModel
 from repro.hw.isa import Program
@@ -46,9 +47,15 @@ class HyperV:
 
     backend_name = "hyperv"
 
-    def __init__(self, clock: Clock, costs: CostModel = COSTS) -> None:
+    def __init__(
+        self,
+        clock: Clock,
+        costs: CostModel = COSTS,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         self.clock = clock
         self.costs = costs
+        self.fault_plan = fault_plan if fault_plan is not None else NO_FAULTS
         self.vms_created = 0
 
     def create_vm(self) -> "PartitionHandle":
@@ -120,7 +127,12 @@ class WhvVcpuHandle:
     def run(self, max_steps: int = 50_000_000) -> ExitInfo:
         """``WHvRunVirtualProcessor``: run until the next exit."""
         self.handle._check_open()
-        self.handle.hyperv.clock.advance(WHV_RUN_OVERHEAD)
+        hyperv = self.handle.hyperv
+        hyperv.clock.advance(WHV_RUN_OVERHEAD)
+        if hyperv.fault_plan.draw(FaultSite.VCPU_RUN):
+            raise hyperv.fault_plan.fault(
+                FaultSite.VCPU_RUN, "WHvRunVirtualProcessor aborted"
+            )
         return self.vm.vmrun(max_steps=max_steps)
 
     def complete_io_in(self, dest: str, value: int) -> None:

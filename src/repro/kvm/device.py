@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.faults import NO_FAULTS, FaultPlan, FaultSite
 from repro.hw.clock import Clock
 from repro.hw.costs import COSTS, CostModel
 from repro.hw.isa import Program
@@ -32,9 +33,15 @@ class KvmError(Exception):
 class KVM:
     """The ``/dev/kvm`` system device."""
 
-    def __init__(self, clock: Clock, costs: CostModel = COSTS) -> None:
+    def __init__(
+        self,
+        clock: Clock,
+        costs: CostModel = COSTS,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         self.clock = clock
         self.costs = costs
+        self.fault_plan = fault_plan if fault_plan is not None else NO_FAULTS
         self.vms_created = 0
 
     def create_vm(self) -> "VMHandle":
@@ -111,8 +118,12 @@ class VcpuHandle:
         bare world switch (Section 6.3).
         """
         self.handle._check_open()
-        costs = self.handle.kvm.costs
-        self.handle.kvm.clock.advance(costs.ioctl() + costs.KVM_RUN_CHECKS)
+        kvm = self.handle.kvm
+        kvm.clock.advance(kvm.costs.ioctl() + kvm.costs.KVM_RUN_CHECKS)
+        if kvm.fault_plan.draw(FaultSite.VCPU_RUN):
+            # The ioctl returns -1 without ever entering the guest (the
+            # ring transitions above were still paid).
+            raise kvm.fault_plan.fault(FaultSite.VCPU_RUN, "KVM_RUN aborted")
         return self.vm.vmrun(max_steps=max_steps)
 
     def complete_io_in(self, dest: str, value: int) -> None:

@@ -23,7 +23,18 @@ from repro.wasp.hypercall import (
 from repro.wasp.client import VirtineClient
 from repro.wasp.futures import VirtineExecutor, VirtineFuture
 from repro.wasp.hypervisor import VirtineSession, Wasp
-from repro.wasp.migration import Cluster, MigrationLink, Node
+from repro.wasp.migration import Cluster, MigrationLink, Node, TransferDropped
+from repro.wasp.supervisor import (
+    BreakerConfig,
+    BreakerOpen,
+    BreakerState,
+    CircuitBreaker,
+    CrashClass,
+    RetryPolicy,
+    SupervisionEvent,
+    Supervisor,
+    classify,
+)
 from repro.wasp.policy import (
     BitmaskPolicy,
     DefaultDenyPolicy,
@@ -35,7 +46,15 @@ from repro.wasp.policy import (
 )
 from repro.wasp.pool import CleanMode, Shell, ShellPool
 from repro.wasp.snapshot import RestoreMode, Snapshot, SnapshotStore
-from repro.wasp.virtine import Virtine, VirtineCrash, VirtineResult
+from repro.wasp.virtine import (
+    GuestFault,
+    HostFault,
+    PolicyKill,
+    Virtine,
+    VirtineCrash,
+    VirtineResult,
+    VirtineTimeout,
+)
 
 __all__ = [
     "Wasp",
@@ -46,6 +65,16 @@ __all__ = [
     "Cluster",
     "MigrationLink",
     "Node",
+    "TransferDropped",
+    "Supervisor",
+    "SupervisionEvent",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "BreakerConfig",
+    "BreakerOpen",
+    "BreakerState",
+    "CrashClass",
+    "classify",
     "RestoreMode",
     "GuestEnv",
     "GuestExitRequested",
@@ -70,5 +99,9 @@ __all__ = [
     "SnapshotStore",
     "Virtine",
     "VirtineCrash",
+    "GuestFault",
+    "HostFault",
+    "PolicyKill",
+    "VirtineTimeout",
     "VirtineResult",
 ]

@@ -63,17 +63,24 @@ class GuestEnv:
         self.persistent = persistent if persistent is not None else {}
 
     # -- compute cost model -----------------------------------------------------
+    # Every charge is also a preemption point: launches carrying a cycle
+    # deadline are killed here with a typed VirtineTimeout once the clock
+    # passes it (hosted compute has no instruction stream to interrupt,
+    # so the cost-model charges stand in for the timer tick).
     def charge(self, cycles: float) -> None:
         """Charge raw guest compute cycles."""
         self._wasp.clock.advance(cycles)
+        self._wasp.check_deadline(self._virtine)
 
     def charge_call(self, count: int = 1) -> None:
         """Charge ``count`` guest function calls (GUEST_CALL each)."""
         self._wasp.clock.advance(self._wasp.costs.GUEST_CALL * count)
+        self._wasp.check_deadline(self._virtine)
 
     def charge_bytes(self, nbytes: int) -> None:
         """Charge bulk data processing (GUEST_BYTE per byte)."""
         self._wasp.clock.advance(self._wasp.costs.GUEST_BYTE * nbytes)
+        self._wasp.check_deadline(self._virtine)
 
     # -- guest memory -------------------------------------------------------------
     @property

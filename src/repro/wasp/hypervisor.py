@@ -17,10 +17,11 @@ from __future__ import annotations
 import copy
 from typing import Any, Callable
 
+from repro.faults import NO_FAULTS, FaultPlan, FaultSite, InjectedFault
 from repro.host.kernel import HostKernel
 from repro.hw.clock import BackgroundAccountant
 from repro.hw.costs import COSTS, CostModel
-from repro.hw.vmx import ExitReason
+from repro.hw.vmx import STEP_BUDGET_EXHAUSTED, ExitReason
 from repro.kvm.device import KVM
 from repro.runtime.image import HOSTED_ENTER_PORT, VirtineImage
 from repro.wasp.guestenv import GuestEnv, GuestExitRequested
@@ -35,12 +36,25 @@ from repro.wasp.hypercall import (
 from repro.wasp.policy import DefaultDenyPolicy, Policy
 from repro.wasp.pool import CleanMode, Shell, ShellPool
 from repro.wasp.snapshot import RestoreMode, Snapshot, SnapshotStore
-from repro.wasp.virtine import Virtine, VirtineCrash, VirtineResult
+from repro.wasp.virtine import (
+    GuestFault,
+    HostFault,
+    PolicyKill,
+    Virtine,
+    VirtineCrash,
+    VirtineResult,
+    VirtineTimeout,
+)
 
 #: Guest memory below the image: boot scratch, GDT, real-mode stack.
 _LOW_RESERVED = 0x8000
 #: Guest memory above the image: page tables + protected/long stack.
 _RUNTIME_HEADROOM = 0x300000
+
+#: Errno names that indicate the *host* plane failed underneath the
+#: virtine (vs. the guest passing bad arguments).  A crash rooted in one
+#: of these classifies as a retryable :class:`HostFault`.
+HOST_PLANE_ERRNOS = frozenset({"EIO", "ENOSPC", "ENOMEM", "ECONNRESET", "EPIPE", "ETIMEDOUT"})
 
 
 def _bucket_size(required: int) -> int:
@@ -61,16 +75,23 @@ class Wasp:
         kernel: HostKernel | None = None,
         costs: CostModel = COSTS,
         backend: str = "kvm",
+        fault_plan: FaultPlan | None = None,
     ) -> None:
-        self.kernel = kernel if kernel is not None else HostKernel(costs=costs)
+        self.fault_plan = fault_plan if fault_plan is not None else NO_FAULTS
+        if kernel is not None:
+            self.kernel = kernel
+            if fault_plan is not None:
+                self.kernel.fault_plan = self.fault_plan
+        else:
+            self.kernel = HostKernel(costs=costs, fault_plan=self.fault_plan)
         self.costs = costs
         self.clock = self.kernel.clock
         if backend == "kvm":
-            self.kvm = KVM(self.clock, costs)
+            self.kvm = KVM(self.clock, costs, fault_plan=self.fault_plan)
         elif backend == "hyperv":
             from repro.hyperv.device import HyperV
 
-            self.kvm = HyperV(self.clock, costs)
+            self.kvm = HyperV(self.clock, costs, fault_plan=self.fault_plan)
         else:
             raise ValueError(f"unknown VMM backend {backend!r} (use one of {self.BACKENDS})")
         self.backend = backend
@@ -81,6 +102,13 @@ class Wasp:
         self.canned = CannedHandlers(self.kernel)
         self._pools: dict[int, ShellPool] = {}
         self.launches = 0
+        #: Launches killed by step budget or cycle deadline.
+        self.timeouts = 0
+        #: Snapshot restores that failed integrity and fell back cold.
+        self.snapshot_fallbacks = 0
+        #: The attached :class:`repro.wasp.supervisor.Supervisor`, if any
+        #: (set by the supervisor; read by :func:`repro.wasp.metrics.collect`).
+        self.supervisor = None
 
     # -- pools ---------------------------------------------------------------
     def memory_size_for(self, image: VirtineImage) -> int:
@@ -91,7 +119,8 @@ class Wasp:
     def pool_for(self, memory_size: int) -> ShellPool:
         if memory_size not in self._pools:
             self._pools[memory_size] = ShellPool(
-                self.kvm, memory_size, background=self.background
+                self.kvm, memory_size, background=self.background,
+                fault_plan=self.fault_plan,
             )
         return self._pools[memory_size]
 
@@ -111,6 +140,7 @@ class Wasp:
         pooled: bool = True,
         clean: CleanMode = CleanMode.SYNC,
         max_steps: int = 50_000_000,
+        deadline_cycles: int | None = None,
     ) -> VirtineResult:
         """Run ``image`` in a fresh virtine and return its result.
 
@@ -118,7 +148,15 @@ class Wasp:
         series of Figure 8); otherwise shells are drawn from and returned
         to the per-size pool under the ``clean`` discipline.  When
         ``use_snapshot`` is set and the image has a stored reset state,
-        boot and runtime initialisation are skipped (Figure 7).
+        boot and runtime initialisation are skipped (Figure 7) -- unless
+        its integrity checksum mismatches, in which case the launch falls
+        back to a cold boot and the rotted snapshot is dropped.
+
+        ``deadline_cycles`` bounds the launch's *total* simulated-cycle
+        budget; exceeding it (or ``max_steps``) raises a typed
+        :class:`VirtineTimeout`.  A launch that crashes for any reason
+        never returns its shell to the pool unscrubbed -- the shell is
+        quarantined (scrub + generation bump) instead.
         """
         self.launches += 1
         pool = self.pool_for(self.memory_size_for(image))
@@ -126,9 +164,13 @@ class Wasp:
         shell = pool.acquire() if pooled else pool.create_scratch()
         virtine = self._make_virtine(image, shell, policy, handlers, resources, allowed_paths)
         virtine.snapshot_key = snapshot_key or image.name
+        virtine.started_cycles = self.clock.cycles
+        if deadline_cycles is not None:
+            virtine.deadline = self.clock.cycles + deadline_cycles
         from_snapshot = False
+        crashed = False
         try:
-            snap = self.snapshots.get(virtine.snapshot_key) if use_snapshot else None
+            snap = self._usable_snapshot(virtine.snapshot_key) if use_snapshot else None
             if snap is not None:
                 from_snapshot = True
                 self._restore_snapshot(virtine, snap, restore_mode)
@@ -141,10 +183,16 @@ class Wasp:
                 self._run_loop(virtine, args, max_steps)
             final_ax = shell.vm.cpu.regs["ax"]
             milestones = [(m.marker, m.cycles) for m in shell.vm.milestones]
+        except BaseException:
+            crashed = True
+            raise
         finally:
             self._close_virtine_fds(virtine)
             if pooled:
-                pool.release(shell, clean)
+                if crashed:
+                    pool.quarantine(shell)
+                else:
+                    pool.release(shell, clean)
             else:
                 shell.handle.close()
         return VirtineResult(
@@ -196,6 +244,44 @@ class Wasp:
         vm.memory.load_bytes(image.image_bytes, image.program.base)
         vm.interp.attach_program(image.program)
 
+    def _usable_snapshot(self, key: str) -> Snapshot | None:
+        """Fetch and integrity-check a stored reset state.
+
+        This is the snapshot-corruption injection point: the plan can rot
+        a stored bit here, exactly like cold storage would.  Verification
+        is charged at checksum bandwidth; a mismatch drops the snapshot
+        (it would poison every future restore) and returns ``None`` so
+        the caller boots cold -- graceful degradation, not a crash.
+        """
+        snap = self.snapshots.get(key)
+        if snap is None:
+            return None
+        if self.fault_plan.draw(FaultSite.SNAPSHOT_RESTORE, key):
+            snap.corrupt()
+        self.clock.advance(self.costs.checksum(snap.copy_size))
+        if not snap.verify():
+            self.snapshots.drop(key)
+            self.snapshots.integrity_failures += 1
+            self.snapshot_fallbacks += 1
+            return None
+        return snap
+
+    def check_deadline(self, virtine: Virtine) -> None:
+        """Kill a virtine that has outlived its cycle deadline.
+
+        Called at every natural preemption point (hypercall dispatch,
+        vCPU exits, hosted compute charges); raises a typed
+        :class:`VirtineTimeout` carrying what the launch consumed.
+        """
+        if virtine.deadline is not None and self.clock.cycles > virtine.deadline:
+            self.timeouts += 1
+            consumed = self.clock.cycles - virtine.started_cycles
+            raise VirtineTimeout(
+                f"virtine {virtine.name!r} exceeded its cycle deadline "
+                f"({consumed:,} cycles consumed)",
+                cycles=consumed,
+            )
+
     def _restore_snapshot(
         self,
         virtine: Virtine,
@@ -223,7 +309,15 @@ class Wasp:
         while True:
             if shell.vm.cpu.halted:
                 return
-            info = shell.vcpu.run(max_steps)
+            try:
+                info = shell.vcpu.run(max_steps)
+            except InjectedFault as fault:
+                # The KVM_RUN ioctl itself failed: a host-plane fault,
+                # not the guest's doing.
+                raise HostFault(
+                    f"virtine {virtine.name!r} lost its vCPU: {fault}"
+                ) from fault
+            self.check_deadline(virtine)
             if info.reason is ExitReason.HLT:
                 return
             if info.reason is ExitReason.IO_OUT:
@@ -234,14 +328,22 @@ class Wasp:
                     if self._isa_hypercall(virtine, info.value):
                         return
                     continue
-                raise VirtineCrash(
+                raise GuestFault(
                     f"virtine {virtine.name!r} wrote unknown port {info.port:#x}"
                 )
             if info.reason is ExitReason.IO_IN:
                 # No device model exists; reads of unknown ports yield 0.
                 shell.vcpu.complete_io_in(info.in_dest, 0)
                 continue
-            raise VirtineCrash(f"virtine {virtine.name!r} shut down: {info.detail}")
+            if info.detail == STEP_BUDGET_EXHAUSTED:
+                self.timeouts += 1
+                raise VirtineTimeout(
+                    f"virtine {virtine.name!r} exhausted its step budget "
+                    f"({info.steps:,} steps)",
+                    steps=info.steps,
+                    cycles=self.clock.cycles - virtine.started_cycles,
+                )
+            raise GuestFault(f"virtine {virtine.name!r} shut down: {info.detail}")
 
     def _run_hosted(self, virtine: Virtine, args: Any, restored: Any,
                     persistent: dict | None = None,
@@ -259,17 +361,27 @@ class Wasp:
             virtine.result = entry(env)
         except GuestExitRequested:
             pass
-        except (HypercallDenied, HypercallError) as error:
-            # A guest that trips the policy or handler validation dies;
-            # the host and other virtines are unaffected (Section 3.3).
-            raise VirtineCrash(f"virtine {virtine.name!r} killed: {error}") from error
+        except HypercallDenied as error:
+            # A guest that trips the policy dies; the host and other
+            # virtines are unaffected (Section 3.3).
+            raise PolicyKill(f"virtine {virtine.name!r} killed: {error}") from error
+        except HypercallError as error:
+            # An unhandled hypercall error kills the virtine.  Who is at
+            # fault decides retryability: a host-plane errno (EIO,
+            # ECONNRESET...) means the host failed underneath a valid
+            # request; anything else means the guest passed bad arguments.
+            if error.errno_name in HOST_PLANE_ERRNOS:
+                raise HostFault(
+                    f"virtine {virtine.name!r} killed by host failure: {error}"
+                ) from error
+            raise GuestFault(f"virtine {virtine.name!r} killed: {error}") from error
         except VirtineCrash:
             raise
         except Exception as error:
             # An errant guest (the paper's example: a bad strcpy) crashes
             # only its own virtine; the fault is reported, not propagated
             # as a host failure.
-            raise VirtineCrash(
+            raise GuestFault(
                 f"virtine {virtine.name!r} faulted: {type(error).__name__}: {error}"
             ) from error
 
@@ -294,7 +406,7 @@ class Wasp:
         try:
             nr = Hypercall(nr_value)
         except ValueError:
-            raise VirtineCrash(f"virtine {virtine.name!r}: bad hypercall {nr_value}")
+            raise GuestFault(f"virtine {virtine.name!r}: bad hypercall {nr_value}")
         vm = virtine.shell.vm
         cpu = vm.cpu
         bx = cpu.read_reg("bx")
@@ -305,7 +417,7 @@ class Wasp:
             return self._isa_hypercall_body(virtine, nr, bx, cx, dx)
         except HypercallDenied as denied:
             # Same fate as a hosted guest tripping the policy.
-            raise VirtineCrash(f"virtine {virtine.name!r} killed: {denied}") from denied
+            raise PolicyKill(f"virtine {virtine.name!r} killed: {denied}") from denied
 
     def _isa_hypercall_body(
         self, virtine: Virtine, nr: Hypercall, bx: int, cx: int, dx: int
@@ -367,6 +479,7 @@ class Wasp:
         costs = self.costs
         self.clock.advance(costs.VMRUN_EXIT + costs.ioctl())
         virtine.hypercall_count += 1
+        self.check_deadline(virtine)
         try:
             result = self._dispatch(virtine, nr, args)
             self._charge_marshalling(args, result)
@@ -466,8 +579,28 @@ class VirtineSession:
         self._allowed_paths = allowed_paths
         self.invocations = 0
 
-    def invoke(self, args: Any = None, max_steps: int = 50_000_000) -> VirtineResult:
-        """Run one invocation, reusing the retained context if present."""
+    def invoke(
+        self,
+        args: Any = None,
+        max_steps: int = 50_000_000,
+        deadline_cycles: int | None = None,
+    ) -> VirtineResult:
+        """Run one invocation, reusing the retained context if present.
+
+        A crashing invocation poisons the retained context: the shell is
+        quarantined (never blindly reinserted into the shared pool), the
+        persistent state is discarded, and the next :meth:`invoke`
+        rebuilds from scratch.
+        """
+        try:
+            return self._invoke(args, max_steps, deadline_cycles)
+        except VirtineCrash:
+            self._abandon_crashed()
+            raise
+
+    def _invoke(
+        self, args: Any, max_steps: int, deadline_cycles: int | None
+    ) -> VirtineResult:
         wasp = self.wasp
         region = wasp.clock.region()
         from_snapshot = False
@@ -478,7 +611,8 @@ class VirtineSession:
                 self._resources, self._allowed_paths,
             )
             self._virtine.snapshot_key = self.image.name
-            snap = wasp.snapshots.get(self.image.name) if self.use_snapshot else None
+            self._arm(deadline_cycles)
+            snap = wasp._usable_snapshot(self.image.name) if self.use_snapshot else None
             if snap is not None and snap.hosted:
                 from_snapshot = True
                 wasp._restore_snapshot(self._virtine, snap)
@@ -497,6 +631,7 @@ class VirtineSession:
             virtine = self._virtine
             assert virtine is not None
             virtine.policy.reset()
+            self._arm(deadline_cycles)
             wasp.clock.advance(wasp.costs.vmrun_roundtrip())
             wasp._run_hosted(virtine, args, restored=self._persistent.get("state"),
                              persistent=self._persistent)
@@ -513,13 +648,37 @@ class VirtineSession:
             ax=self._shell.vm.cpu.regs["ax"],
         )
 
+    def _arm(self, deadline_cycles: int | None) -> None:
+        """Reset the per-invocation timeout accounting."""
+        virtine = self._virtine
+        assert virtine is not None
+        virtine.started_cycles = self.wasp.clock.cycles
+        virtine.deadline = (
+            self.wasp.clock.cycles + deadline_cycles
+            if deadline_cycles is not None else None
+        )
+
+    def _abandon_crashed(self) -> None:
+        """Quarantine the shell and drop all retained state post-crash."""
+        if self._shell is not None:
+            self._pool.quarantine(self._shell)
+            self._shell = None
+            self._virtine = None
+            self._persistent.clear()
+
     def _run_cold(self, args: Any, max_steps: int) -> None:
         virtine = self._virtine
         assert virtine is not None
         wasp = self.wasp
         shell = virtine.shell
         while True:
-            info = shell.vcpu.run(max_steps)
+            try:
+                info = shell.vcpu.run(max_steps)
+            except InjectedFault as fault:
+                raise HostFault(
+                    f"session virtine {virtine.name!r} lost its vCPU: {fault}"
+                ) from fault
+            wasp.check_deadline(virtine)
             if info.reason is ExitReason.HLT:
                 return
             if info.reason is ExitReason.IO_OUT and info.port == HOSTED_ENTER_PORT:
@@ -530,7 +689,15 @@ class VirtineSession:
                 if wasp._isa_hypercall(virtine, info.value):
                     return
                 continue
-            raise VirtineCrash(f"session virtine stopped unexpectedly: {info}")
+            if info.detail == STEP_BUDGET_EXHAUSTED:
+                wasp.timeouts += 1
+                raise VirtineTimeout(
+                    f"session virtine {virtine.name!r} exhausted its step "
+                    f"budget ({info.steps:,} steps)",
+                    steps=info.steps,
+                    cycles=wasp.clock.cycles - virtine.started_cycles,
+                )
+            raise GuestFault(f"session virtine stopped unexpectedly: {info}")
 
     def close(self, clean: CleanMode = CleanMode.SYNC) -> None:
         """Release the retained shell back to the pool."""

@@ -9,7 +9,7 @@ checks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.units import cycles_to_us
 from repro.wasp.hypervisor import Wasp
@@ -23,6 +23,10 @@ class PoolMetrics:
     free_shells: int
     hits: int
     misses: int
+    #: Shells quarantined after hosting a crash.
+    quarantines: int = 0
+    #: Cached shells found defective on acquire and rebuilt.
+    defects: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -43,6 +47,26 @@ class WaspMetrics:
     host_syscalls: int
     clock_cycles: int
     pools: tuple[PoolMetrics, ...]
+    # -- supervision plane (all zero when no faults and no supervisor) ----
+    #: Launches killed for exceeding a deadline or step budget.
+    timeouts: int = 0
+    #: Snapshot restores that failed verification and fell back cold.
+    snapshot_fallbacks: int = 0
+    #: Snapshot integrity failures recorded by the store.
+    snapshot_integrity_failures: int = 0
+    #: Shells quarantined across all pools.
+    quarantined_shells: int = 0
+    #: Defective cached shells discarded across all pools.
+    pool_defects: int = 0
+    #: Supervisor retries performed.
+    retries: int = 0
+    #: Launches rejected by an open circuit breaker.
+    breaker_rejections: int = 0
+    #: Crash counts keyed by :class:`~repro.wasp.supervisor.CrashClass`
+    #: value ("guest_fault", "host_fault", "policy_kill", "timeout").
+    crashes_by_class: dict = field(default_factory=dict)
+    #: Image name -> breaker state value ("closed"/"open"/"half_open").
+    breaker_states: dict = field(default_factory=dict)
 
     @property
     def pool_hit_rate(self) -> float:
@@ -67,6 +91,29 @@ class WaspMetrics:
             f"host syscalls={self.host_syscalls}  "
             f"clock={cycles_to_us(self.clock_cycles):,.0f} us",
         ]
+        crashes = sum(self.crashes_by_class.values())
+        if crashes or self.retries or self.breaker_rejections or self.timeouts:
+            by_class = " ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.crashes_by_class.items())
+                if count
+            ) or "none"
+            lines.append(
+                f"supervision: crashes={crashes} ({by_class}) "
+                f"retries={self.retries} timeouts={self.timeouts} "
+                f"breaker_rejections={self.breaker_rejections}"
+            )
+            lines.append(
+                f"  quarantined_shells={self.quarantined_shells} "
+                f"pool_defects={self.pool_defects} "
+                f"snapshot_fallbacks={self.snapshot_fallbacks}"
+            )
+            if self.breaker_states:
+                states = " ".join(
+                    f"{image}={state}"
+                    for image, state in self.breaker_states.items()
+                )
+                lines.append(f"  breakers: {states}")
         for pool in self.pools:
             lines.append(
                 f"  pool[{pool.memory_size >> 20} MB]: free={pool.free_shells} "
@@ -83,9 +130,23 @@ def collect(wasp: Wasp) -> WaspMetrics:
             free_shells=pool.free_count,
             hits=pool.hits,
             misses=pool.misses,
+            quarantines=pool.quarantines,
+            defects=pool.defects,
         )
         for size, pool in sorted(wasp._pools.items())
     )
+    supervisor = getattr(wasp, "supervisor", None)
+    crashes_by_class: dict[str, int] = {}
+    breaker_states: dict[str, str] = {}
+    retries = breaker_rejections = 0
+    if supervisor is not None:
+        crashes_by_class = {
+            crash_class.value: count
+            for crash_class, count in supervisor.crashes_by_class.items()
+        }
+        breaker_states = supervisor.breaker_states()
+        retries = supervisor.retries
+        breaker_rejections = supervisor.breaker_rejections
     return WaspMetrics(
         launches=wasp.launches,
         vms_created=wasp.kvm.vms_created,
@@ -96,4 +157,13 @@ def collect(wasp: Wasp) -> WaspMetrics:
         host_syscalls=wasp.kernel.syscall_count,
         clock_cycles=wasp.clock.cycles,
         pools=pools,
+        timeouts=wasp.timeouts,
+        snapshot_fallbacks=wasp.snapshot_fallbacks,
+        snapshot_integrity_failures=wasp.snapshots.integrity_failures,
+        quarantined_shells=sum(p.quarantines for p in pools),
+        pool_defects=sum(p.defects for p in pools),
+        retries=retries,
+        breaker_rejections=breaker_rejections,
+        crashes_by_class=crashes_by_class,
+        breaker_states=breaker_states,
     )

@@ -20,14 +20,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.faults import NO_FAULTS, FaultPlan, FaultSite
 from repro.runtime.image import VirtineImage
 from repro.units import us_to_cycles
 from repro.wasp.hypervisor import Wasp
-from repro.wasp.virtine import VirtineResult
+from repro.wasp.supervisor import CrashClass, classify
+from repro.wasp.virtine import VirtineCrash, VirtineResult
 
 
 class MigrationError(Exception):
     """No node can host the virtine, or the transfer is invalid."""
+
+
+class TransferDropped(MigrationError):
+    """An image/snapshot transfer died on the wire (injected fault).
+
+    Both sides have already paid the cycles for the partial transfer;
+    the target has *not* gained residency.
+    """
 
 
 @dataclass(frozen=True)
@@ -61,10 +71,19 @@ class Node:
 class Cluster:
     """A set of nodes offering location-transparent virtine execution."""
 
-    def __init__(self, link: MigrationLink | None = None) -> None:
+    def __init__(
+        self,
+        link: MigrationLink | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         self.link = link if link is not None else MigrationLink()
+        self.fault_plan = fault_plan if fault_plan is not None else NO_FAULTS
         self._nodes: dict[str, Node] = {}
         self.migrations = 0
+        #: Transfers that died on the wire (injected faults).
+        self.dropped_transfers = 0
+        #: Calls completed on a second node after the first one failed.
+        self.failovers = 0
 
     # -- topology -------------------------------------------------------------
     def add_node(self, name: str, capabilities: set[str] | None = None,
@@ -89,20 +108,25 @@ class Cluster:
         return tuple(self._nodes.values())
 
     # -- placement ------------------------------------------------------------------
-    def place(self, image: VirtineImage) -> Node:
+    def place(
+        self, image: VirtineImage, exclude: frozenset[str] = frozenset()
+    ) -> Node:
         """Pick a node satisfying the image's required capabilities.
 
         Requirements come from ``image.metadata["requires"]`` (a set of
         capability names).  Nodes already hosting the image win ties.
+        ``exclude`` removes nodes from consideration (failover placement
+        after a node-local crash).
         """
         required = set(image.metadata.get("requires", ()))
         candidates = [
             node for node in self._nodes.values()
-            if required <= node.capabilities
+            if required <= node.capabilities and node.name not in exclude
         ]
         if not candidates:
             raise MigrationError(
                 f"no node offers {sorted(required)} for image {image.name!r}"
+                + (f" (excluding {sorted(exclude)})" if exclude else "")
             )
         resident = [node for node in candidates if node.hosts(image)]
         return resident[0] if resident else candidates[0]
@@ -127,6 +151,17 @@ class Cluster:
             if snapshot is not None:
                 nbytes += snapshot.copy_size
         cost = self.link.transfer_cycles(nbytes)
+        if self.fault_plan.draw(FaultSite.MIGRATION_TRANSFER, image.name):
+            # The link died mid-transfer: both sides burned (half) the
+            # cycles, residency did not change hands.
+            if source is not None:
+                source.wasp.clock.advance(cost // 2)
+            target.wasp.clock.advance(cost // 2)
+            self.dropped_transfers += 1
+            raise TransferDropped(
+                f"transfer of image {image.name!r} to node {target.name!r} "
+                "dropped mid-flight"
+            )
         if source is not None:
             source.wasp.clock.advance(cost)
         target.wasp.clock.advance(cost)
@@ -149,15 +184,48 @@ class Cluster:
         Placement is automatic; the image (and snapshot) migrates on
         first use of a node.  The caller pays the request/response link
         latency on the source clock; execution runs on the target.
+
+        Failover: a dropped transfer or a *transient* crash on the
+        target (host fault, timeout) fails the call over to a different
+        node rather than back to the caller.  Deterministic crashes
+        (guest faults, policy kills) would reproduce anywhere, so they
+        propagate immediately.
         """
-        target = self.place(image)
-        if not target.hosts(image):
-            self.migrate(image, source, target)
-        # Request hop (marshalled args are small; charge the latency).
-        if source is not None and source is not target:
-            source.wasp.clock.advance(self.link.transfer_cycles(256))
-        result = target.wasp.launch(image, args=args, **launch_kwargs)
-        # Response hop.
-        if source is not None and source is not target:
-            source.wasp.clock.advance(self.link.transfer_cycles(256))
-        return result
+        excluded: set[str] = set()
+        while True:
+            target = self.place(image, exclude=frozenset(excluded))
+            try:
+                if not target.hosts(image):
+                    self.migrate(image, source, target)
+                # Request hop (marshalled args are small; charge the
+                # latency).
+                if source is not None and source is not target:
+                    source.wasp.clock.advance(self.link.transfer_cycles(256))
+                result = target.wasp.launch(image, args=args, **launch_kwargs)
+            except TransferDropped:
+                excluded.add(target.name)
+                if not self._has_alternative(image, excluded):
+                    raise
+                self.failovers += 1
+                continue
+            except VirtineCrash as crash:
+                transient = classify(crash) in (
+                    CrashClass.HOST_FAULT, CrashClass.TIMEOUT,
+                )
+                excluded.add(target.name)
+                if not transient or not self._has_alternative(image, excluded):
+                    raise
+                self.failovers += 1
+                continue
+            # Response hop.
+            if source is not None and source is not target:
+                source.wasp.clock.advance(self.link.transfer_cycles(256))
+            return result
+
+    def _has_alternative(self, image: VirtineImage, excluded: set[str]) -> bool:
+        """Whether a failover target remains after excluding ``excluded``."""
+        try:
+            self.place(image, exclude=frozenset(excluded))
+        except MigrationError:
+            return False
+        return True

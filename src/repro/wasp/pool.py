@@ -19,6 +19,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.faults import NO_FAULTS, FaultPlan, FaultSite
 from repro.hw.clock import BackgroundAccountant
 from repro.kvm.device import KVM, VcpuHandle, VMHandle
 
@@ -56,23 +57,40 @@ class ShellPool:
         memory_size: int,
         background: BackgroundAccountant | None = None,
         max_free: int = 64,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         self.kvm = kvm
         self.memory_size = memory_size
         self.background = background if background is not None else BackgroundAccountant()
         self.max_free = max_free
+        self.fault_plan = fault_plan if fault_plan is not None else NO_FAULTS
         self._free: list[Shell] = []
         self.hits = 0
         self.misses = 0
+        #: Shells quarantined after hosting a crash (scrubbed + generation
+        #: bumped before any reuse).
+        self.quarantines = 0
+        #: Cached shells found defective on acquire (discarded, rebuilt).
+        self.defects = 0
 
     # -- provisioning --------------------------------------------------------
     def acquire(self) -> Shell:
         """Provision a shell: reuse a cached one or create from scratch.
 
         A pool hit costs only the free-list bookkeeping; a miss pays the
-        full ``KVM_CREATE_VM`` + memory-region + vCPU construction.
+        full ``KVM_CREATE_VM`` + memory-region + vCPU construction.  A
+        cached shell can be found defective (injected fault: its virtual
+        context no longer validates); it is destroyed and replaced with a
+        scratch build rather than handed to the caller -- the fault is
+        absorbed here, at the cost of a miss.
         """
         if self._free:
+            if self.fault_plan.draw(FaultSite.POOL_ACQUIRE):
+                bad = self._free.pop()
+                bad.handle.close()
+                self.defects += 1
+                self.misses += 1
+                return self._create()
             self.kvm.clock.advance(self.kvm.costs.POOL_BOOKKEEPING)
             self.hits += 1
             shell = self._free.pop()
@@ -104,6 +122,28 @@ class ShellPool:
             # The scrub still happens (state must not leak), but its cost
             # lands on the background accountant, not request latency.
             self.background.charge(vm.clear_memory())
+        if len(self._free) < self.max_free:
+            self.kvm.clock.advance(self.kvm.costs.POOL_BOOKKEEPING)
+            self._free.append(shell)
+        else:
+            shell.handle.close()
+
+    def quarantine(self, shell: Shell) -> None:
+        """Reclaim a shell that hosted a crash.
+
+        A crashed virtine's shell must never be blindly reinserted: its
+        memory may hold the poisoned state that killed it, and an
+        attacker-triggered crash followed by reuse is an information
+        leak.  Quarantine resets the vCPU, scrubs *synchronously* (the
+        scrub is a security boundary here, so it is never deferred to
+        the background accountant), and bumps the generation so stale
+        references to the pre-crash occupancy are detectable.
+        """
+        self.quarantines += 1
+        vm = shell.vm
+        vm.reset()
+        self.kvm.clock.advance(vm.clear_memory())
+        shell.generation += 1
         if len(self._free) < self.max_free:
             self.kvm.clock.advance(self.kvm.costs.POOL_BOOKKEEPING)
             self._free.append(shell)

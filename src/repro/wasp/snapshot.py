@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import copy
 import enum
+import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -56,6 +57,14 @@ class Snapshot:
     hosted_payload: Any = None
     #: Whether the snapshot was taken inside a hosted entry function.
     hosted: bool = False
+    #: Integrity tag over the pages and vCPU state, computed at capture.
+    #: A restore whose recomputed checksum mismatches falls back to a
+    #: cold boot instead of installing rotted state.
+    checksum: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.checksum == -1:
+            self.checksum = self.compute_checksum()
 
     @property
     def copy_size(self) -> int:
@@ -66,6 +75,38 @@ class Snapshot:
         """A private deep copy of the hosted payload for one restore."""
         return copy.deepcopy(self.hosted_payload)
 
+    # -- integrity ----------------------------------------------------------
+    def compute_checksum(self) -> int:
+        """CRC over the captured pages and architectural vCPU state.
+
+        The hosted payload is excluded: it is an opaque host object whose
+        representation need not be stable, and it is deep-copied (never
+        shared) on both capture and restore.
+        """
+        crc = 0
+        for page in sorted(self.pages):
+            crc = zlib.crc32(self.pages[page], crc)
+            crc = zlib.crc32(page.to_bytes(8, "little"), crc)
+        crc = zlib.crc32(repr(sorted(self.cpu_state.items())).encode(), crc)
+        return crc
+
+    def verify(self) -> bool:
+        """True if the stored checksum still matches the contents."""
+        return self.compute_checksum() == self.checksum
+
+    def corrupt(self) -> None:
+        """Flip one stored bit (the fault-injection plane's bit rot)."""
+        if self.pages:
+            page = min(self.pages)
+            data = bytearray(self.pages[page])
+            if data:
+                data[0] ^= 0x01
+                self.pages[page] = bytes(data)
+                return
+        # No page bytes to rot: corrupt the tag itself (same detection
+        # path -- the recomputed CRC no longer matches the stored one).
+        self.checksum ^= 0x1
+
 
 class SnapshotStore:
     """Per-image snapshot registry owned by a Wasp instance."""
@@ -74,6 +115,8 @@ class SnapshotStore:
         self._snapshots: dict[str, Snapshot] = {}
         self.captures = 0
         self.restores = 0
+        #: Restores that failed checksum verification (fell back cold).
+        self.integrity_failures = 0
 
     def get(self, key: str) -> Snapshot | None:
         return self._snapshots.get(key)

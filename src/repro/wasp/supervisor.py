@@ -1,0 +1,295 @@
+"""Virtine supervision: retries, circuit breaking, crash accounting.
+
+The paper's isolation story (Section 3) is about *containing* failures:
+an errant virtine dies alone.  This module adds the operational half a
+serverless platform needs on top of containment -- deciding what to do
+*after* a virtine dies.  The decision tree hinges on the crash taxonomy
+of :mod:`repro.wasp.virtine`:
+
+* :class:`~repro.wasp.virtine.HostFault` -- the host plane failed under
+  a well-behaved guest (``KVM_RUN`` abort, disk EIO).  Transient;
+  retrying on a fresh shell usually succeeds.
+* :class:`~repro.wasp.virtine.VirtineTimeout` -- the guest overran its
+  cycle deadline or step budget.  Possibly load-induced; worth a
+  bounded number of retries.
+* :class:`~repro.wasp.virtine.GuestFault` -- a bug in the untrusted
+  code.  Deterministic: the same input reproduces it, so retries only
+  burn cycles.  Repeated guest faults open the per-image circuit
+  breaker instead.
+* :class:`~repro.wasp.virtine.PolicyKill` -- the client's policy said
+  no.  Never retried; the same policy gives the same answer.
+
+All supervision costs are *simulated* costs: retry backoff is charged
+to the Wasp clock, so the latency of a supervised workload under faults
+is measurable the same way every other figure in the reproduction is.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.units import us_to_cycles
+from repro.wasp.virtine import (
+    GuestFault,
+    HostFault,
+    PolicyKill,
+    VirtineCrash,
+    VirtineResult,
+    VirtineTimeout,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.image import VirtineImage
+    from repro.wasp.hypervisor import Wasp
+
+
+class CrashClass(enum.Enum):
+    """Why a virtine died, as the supervision layer sees it."""
+
+    GUEST_FAULT = "guest_fault"
+    HOST_FAULT = "host_fault"
+    POLICY_KILL = "policy_kill"
+    TIMEOUT = "timeout"
+
+
+def classify(error: BaseException) -> CrashClass:
+    """Map a crash exception onto the supervision taxonomy.
+
+    An untyped :class:`VirtineCrash` (legacy raisers, external code)
+    classifies as a guest fault -- the conservative reading, since
+    retrying an unknown crash must not be the default.
+    """
+    if isinstance(error, VirtineTimeout):
+        return CrashClass.TIMEOUT
+    if isinstance(error, PolicyKill):
+        return CrashClass.POLICY_KILL
+    if isinstance(error, HostFault):
+        return CrashClass.HOST_FAULT
+    if isinstance(error, (GuestFault, VirtineCrash)):
+        return CrashClass.GUEST_FAULT
+    raise TypeError(f"not a virtine crash: {type(error).__name__}")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff (cycles on the sim clock)."""
+
+    #: Total launch attempts, including the first (1 = no retries).
+    max_attempts: int = 3
+    #: Backoff charged before the first retry.
+    backoff_cycles: int = us_to_cycles(200.0)
+    #: Growth factor for each subsequent retry's backoff.
+    backoff_multiplier: float = 2.0
+    #: Crash classes worth retrying.  Deterministic classes (guest
+    #: faults, policy kills) are excluded by default on purpose.
+    retry_on: tuple[CrashClass, ...] = (CrashClass.HOST_FAULT, CrashClass.TIMEOUT)
+
+    def backoff_for(self, attempt: int) -> int:
+        """Cycles to wait after failed attempt number ``attempt`` (1-based)."""
+        return int(self.backoff_cycles * self.backoff_multiplier ** (attempt - 1))
+
+
+class BreakerState(enum.Enum):
+    """Classic three-state circuit breaker."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Per-image circuit-breaker tuning."""
+
+    #: Consecutive failures that trip the breaker open.
+    failure_threshold: int = 5
+    #: Cycles the breaker stays open before admitting one probe launch.
+    cooldown_cycles: int = us_to_cycles(10_000.0)
+
+
+class BreakerOpen(Exception):
+    """A launch was rejected because the image's breaker is open.
+
+    Deliberately *not* a :class:`VirtineCrash`: no virtine ran.  Callers
+    (the serverless platform, the HTTP server) treat it as load-shedding
+    and degrade gracefully rather than report a crash.
+    """
+
+    def __init__(self, image_name: str, retry_after_cycles: int) -> None:
+        super().__init__(
+            f"circuit breaker open for image {image_name!r} "
+            f"(retry after {retry_after_cycles:,} cycles)"
+        )
+        self.image_name = image_name
+        #: Cycles until the breaker will admit a probe.
+        self.retry_after_cycles = retry_after_cycles
+
+
+class CircuitBreaker:
+    """Tracks one image's health; trips open after repeated failures.
+
+    CLOSED -> (failure_threshold consecutive failures) -> OPEN
+    OPEN   -> (cooldown elapses) -> HALF_OPEN (one probe admitted)
+    HALF_OPEN -> success -> CLOSED, failure -> OPEN (fresh cooldown)
+    """
+
+    def __init__(self, config: BreakerConfig | None = None) -> None:
+        self.config = config if config is not None else BreakerConfig()
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0
+        #: Launches rejected while open.
+        self.rejections = 0
+        #: Times the breaker transitioned CLOSED/HALF_OPEN -> OPEN.
+        self.trips = 0
+
+    def allow(self, now: int) -> bool:
+        """Whether a launch may proceed at simulated time ``now``."""
+        if self.state is BreakerState.OPEN:
+            if now - self.opened_at >= self.config.cooldown_cycles:
+                self.state = BreakerState.HALF_OPEN
+                return True
+            self.rejections += 1
+            return False
+        return True
+
+    def retry_after(self, now: int) -> int:
+        """Cycles until an open breaker will admit a probe (0 if not open)."""
+        if self.state is not BreakerState.OPEN:
+            return 0
+        return max(0, self.opened_at + self.config.cooldown_cycles - now)
+
+    def record_success(self) -> None:
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+
+    def record_failure(self, now: int) -> None:
+        self.consecutive_failures += 1
+        if (
+            self.state is BreakerState.HALF_OPEN
+            or self.consecutive_failures >= self.config.failure_threshold
+        ):
+            self.state = BreakerState.OPEN
+            self.opened_at = now
+            self.trips += 1
+
+
+@dataclass(frozen=True)
+class SupervisionEvent:
+    """One entry in a supervisor's decision trace."""
+
+    seq: int
+    image: str
+    #: Launch attempt this event belongs to (1-based; 0 for rejections,
+    #: where no attempt was made).
+    attempt: int
+    #: Crash classification, or None for non-crash events.
+    crash_class: CrashClass | None
+    #: What the supervisor did: "crash", "retry", "give_up",
+    #: "rejected", or "recovered".
+    action: str
+    #: Simulated clock reading when the event was recorded.
+    cycles: int
+
+
+class Supervisor:
+    """Per-Wasp supervision: breaker gate -> launch -> classify -> retry.
+
+    Registers itself on the Wasp instance (``wasp.supervisor``) so
+    :func:`repro.wasp.metrics.collect` picks its counters up.
+    """
+
+    def __init__(
+        self,
+        wasp: "Wasp",
+        retry: RetryPolicy | None = None,
+        breaker: BreakerConfig | None = None,
+    ) -> None:
+        self.wasp = wasp
+        wasp.supervisor = self
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker_config = breaker if breaker is not None else BreakerConfig()
+        self._breakers: dict[str, CircuitBreaker] = {}
+        #: Chronological decision trace (determinism: same seed, same
+        #: workload => identical trace).
+        self.trace: list[SupervisionEvent] = []
+        self.crashes_by_class: dict[CrashClass, int] = {c: 0 for c in CrashClass}
+        self.retries = 0
+        self.breaker_rejections = 0
+        self.give_ups = 0
+        self.completions = 0
+
+    # -- introspection ------------------------------------------------------
+    def breaker_for(self, image_name: str) -> CircuitBreaker:
+        breaker = self._breakers.get(image_name)
+        if breaker is None:
+            breaker = self._breakers[image_name] = CircuitBreaker(self.breaker_config)
+        return breaker
+
+    def breaker_states(self) -> dict[str, str]:
+        """Image name -> breaker state value, for metrics export."""
+        return {name: b.state.value for name, b in sorted(self._breakers.items())}
+
+    def signature(self) -> tuple[tuple[str, int, str | None, str], ...]:
+        """The trace minus clock readings -- the replay-equality check."""
+        return tuple(
+            (e.image, e.attempt, e.crash_class.value if e.crash_class else None,
+             e.action)
+            for e in self.trace
+        )
+
+    def _record(
+        self, image: str, attempt: int, crash_class: CrashClass | None, action: str
+    ) -> None:
+        self.trace.append(SupervisionEvent(
+            seq=len(self.trace),
+            image=image,
+            attempt=attempt,
+            crash_class=crash_class,
+            action=action,
+            cycles=self.wasp.clock.cycles,
+        ))
+
+    # -- the supervised launch ---------------------------------------------
+    def launch(self, image: "VirtineImage", **launch_kwargs: Any) -> VirtineResult:
+        """Launch under supervision.
+
+        Raises :class:`BreakerOpen` without running anything when the
+        image's breaker is open, and re-raises the final crash when
+        retries are exhausted or the crash class is not retryable.
+        """
+        breaker = self.breaker_for(image.name)
+        now = self.wasp.clock.cycles
+        if not breaker.allow(now):
+            self.breaker_rejections += 1
+            self._record(image.name, 0, None, "rejected")
+            raise BreakerOpen(image.name, breaker.retry_after(now))
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                result = self.wasp.launch(image, **launch_kwargs)
+            except VirtineCrash as crash:
+                crash_class = classify(crash)
+                self.crashes_by_class[crash_class] += 1
+                breaker.record_failure(self.wasp.clock.cycles)
+                self._record(image.name, attempt, crash_class, "crash")
+                if (
+                    crash_class in self.retry.retry_on
+                    and attempt < self.retry.max_attempts
+                ):
+                    self.retries += 1
+                    # Backoff is simulated time like everything else.
+                    self.wasp.clock.advance(self.retry.backoff_for(attempt))
+                    self._record(image.name, attempt, crash_class, "retry")
+                    continue
+                self.give_ups += 1
+                self._record(image.name, attempt, crash_class, "give_up")
+                raise
+            breaker.record_success()
+            self.completions += 1
+            if attempt > 1:
+                self._record(image.name, attempt, None, "recovered")
+            return result

@@ -20,7 +20,48 @@ from repro.wasp.pool import Shell
 
 
 class VirtineCrash(Exception):
-    """The virtine shut down abnormally (triple fault, denied+killed...)."""
+    """The virtine shut down abnormally (triple fault, denied+killed...).
+
+    Subclasses classify the crash for the supervision layer
+    (:mod:`repro.wasp.supervisor`): who is at fault decides whether a
+    retry can help (host faults and timeouts are transient; guest bugs
+    and policy kills are deterministic).
+    """
+
+
+class GuestFault(VirtineCrash):
+    """The guest itself faulted: a bug in untrusted code (bad strcpy,
+    triple fault, unhandled errno).  Deterministic -- retrying the same
+    input reproduces it, so supervisors should open the breaker rather
+    than burn retries."""
+
+
+class HostFault(VirtineCrash):
+    """The *host* plane failed under the virtine: a ``KVM_RUN`` abort,
+    an EIO from the host filesystem surfacing through a hypercall.
+    Transient by nature -- the canonical retry candidate."""
+
+
+class PolicyKill(VirtineCrash):
+    """The client's policy killed the virtine (denied hypercall).
+    Never retried: the same policy gives the same answer."""
+
+
+class VirtineTimeout(VirtineCrash):
+    """The virtine exceeded its step budget or cycle deadline.
+
+    Today's alternative -- ``max_steps`` exhaustion falling through as a
+    generic stop -- made a runaway guest indistinguishable from a clean
+    halt; this carries what the guest consumed before the kill.
+    """
+
+    def __init__(self, message: str, steps: int = 0, cycles: int = 0) -> None:
+        super().__init__(message)
+        #: Interpreter steps executed before the budget ran out (0 for
+        #: hosted guests, which are metered in cycles only).
+        self.steps = steps
+        #: Simulated cycles consumed by the launch before the kill.
+        self.cycles = cycles
 
 
 @dataclass
@@ -43,6 +84,12 @@ class Virtine:
     audit: AuditLog = field(default_factory=AuditLog)
     #: Key under which this virtine's snapshot is stored/looked up.
     snapshot_key: str = ""
+    #: Absolute cycle deadline (None = no deadline).  Checked at every
+    #: natural preemption point: hypercall dispatch, vCPU exits, and
+    #: hosted-guest compute charges.
+    deadline: int | None = None
+    #: Clock reading when the launch began (for timeout accounting).
+    started_cycles: int = 0
     exit_code: int = 0
     hypercall_count: int = 0
     result: Any = None

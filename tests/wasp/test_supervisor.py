@@ -1,0 +1,338 @@
+"""Supervision-layer tests: crash taxonomy, retries, breakers, deadlines."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSite
+from repro.runtime.image import ImageBuilder
+from repro.wasp import (
+    BreakerConfig,
+    BreakerOpen,
+    BreakerState,
+    CircuitBreaker,
+    CrashClass,
+    GuestFault,
+    HostFault,
+    Hypercall,
+    PermissivePolicy,
+    PolicyKill,
+    RetryPolicy,
+    Supervisor,
+    VirtineCrash,
+    VirtineSession,
+    VirtineTimeout,
+    Wasp,
+    classify,
+)
+from repro.wasp.policy import DefaultDenyPolicy
+
+
+def ok_entry(env):
+    env.charge_call(5)
+    return "ok"
+
+
+def crash_entry(env):
+    raise RuntimeError("guest bug")
+
+
+def busy_entry(env):
+    for _ in range(100):
+        env.charge(10_000)
+    return "done"
+
+
+class TestClassify:
+    def test_taxonomy(self):
+        assert classify(GuestFault("x")) is CrashClass.GUEST_FAULT
+        assert classify(HostFault("x")) is CrashClass.HOST_FAULT
+        assert classify(PolicyKill("x")) is CrashClass.POLICY_KILL
+        assert classify(VirtineTimeout("x")) is CrashClass.TIMEOUT
+
+    def test_untyped_crash_is_guest_fault(self):
+        """Legacy raisers stay supported -- and stay non-retryable."""
+        assert classify(VirtineCrash("legacy")) is CrashClass.GUEST_FAULT
+
+    def test_non_crash_rejected(self):
+        with pytest.raises(TypeError):
+            classify(ValueError("not a crash"))
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(backoff_cycles=1000, backoff_multiplier=2.0)
+        assert policy.backoff_for(1) == 1000
+        assert policy.backoff_for(2) == 2000
+        assert policy.backoff_for(3) == 4000
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=3,
+                                               cooldown_cycles=100))
+        for _ in range(2):
+            breaker.record_failure(now=0)
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure(now=0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+
+    def test_rejects_while_open_then_probes(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=1,
+                                               cooldown_cycles=100))
+        breaker.record_failure(now=0)
+        assert not breaker.allow(now=50)
+        assert breaker.rejections == 1
+        assert breaker.retry_after(now=50) == 50
+        assert breaker.allow(now=100)  # cooldown elapsed: one probe
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=1,
+                                               cooldown_cycles=100))
+        breaker.record_failure(now=0)
+        breaker.allow(now=100)
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.consecutive_failures == 0
+
+    def test_probe_failure_reopens(self):
+        breaker = CircuitBreaker(BreakerConfig(failure_threshold=5,
+                                               cooldown_cycles=100))
+        for _ in range(5):
+            breaker.record_failure(now=0)
+        breaker.allow(now=100)
+        breaker.record_failure(now=100)  # HALF_OPEN failure: instant reopen
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.opened_at == 100
+
+
+class TestSupervisedLaunch:
+    def test_clean_launch_passes_through(self):
+        wasp = Wasp()
+        supervisor = Supervisor(wasp)
+        result = supervisor.launch(ImageBuilder().hosted("clean", ok_entry),
+                                   policy=PermissivePolicy())
+        assert result.value == "ok"
+        assert supervisor.completions == 1
+        assert supervisor.retries == 0
+        assert supervisor.trace == []
+        assert wasp.supervisor is supervisor
+
+    def test_retry_until_success(self):
+        """A transient host fault on the first attempt is retried away."""
+        plan = FaultPlan(seed=1).fail(FaultSite.VCPU_RUN, on={1})
+        wasp = Wasp(fault_plan=plan)
+        supervisor = Supervisor(wasp)
+        result = supervisor.launch(ImageBuilder().hosted("flaky", ok_entry),
+                                   policy=PermissivePolicy())
+        assert result.value == "ok"
+        assert supervisor.retries == 1
+        assert supervisor.crashes_by_class[CrashClass.HOST_FAULT] == 1
+        assert [e.action for e in supervisor.trace] == [
+            "crash", "retry", "recovered",
+        ]
+
+    def test_backoff_charged_to_sim_clock(self):
+        plan = FaultPlan(seed=1).fail(FaultSite.VCPU_RUN, on={1})
+        wasp = Wasp(fault_plan=plan)
+        retry = RetryPolicy(backoff_cycles=123_456)
+        supervisor = Supervisor(wasp, retry=retry)
+        crash_event_cycles = None
+        supervisor.launch(ImageBuilder().hosted("flaky", ok_entry),
+                          policy=PermissivePolicy())
+        crash, retry_event = supervisor.trace[0], supervisor.trace[1]
+        assert retry_event.cycles - crash.cycles == 123_456
+
+    def test_guest_fault_not_retried(self):
+        wasp = Wasp()
+        supervisor = Supervisor(wasp)
+        with pytest.raises(GuestFault):
+            supervisor.launch(ImageBuilder().hosted("buggy", crash_entry),
+                              policy=PermissivePolicy())
+        assert supervisor.retries == 0
+        assert supervisor.give_ups == 1
+        assert supervisor.crashes_by_class[CrashClass.GUEST_FAULT] == 1
+
+    def test_policy_kill_not_retried(self):
+        wasp = Wasp()
+        supervisor = Supervisor(wasp)
+
+        def denied(env):
+            return env.hypercall(Hypercall.OPEN, "/etc/shadow")
+
+        with pytest.raises(PolicyKill):
+            supervisor.launch(ImageBuilder().hosted("denied", denied),
+                              policy=DefaultDenyPolicy())
+        assert supervisor.retries == 0
+        assert supervisor.crashes_by_class[CrashClass.POLICY_KILL] == 1
+
+    def test_retries_exhausted_reraises(self):
+        plan = FaultPlan(seed=1).fail(FaultSite.VCPU_RUN, rate=1.0)
+        wasp = Wasp(fault_plan=plan)
+        supervisor = Supervisor(wasp, retry=RetryPolicy(max_attempts=3))
+        with pytest.raises(HostFault):
+            supervisor.launch(ImageBuilder().hosted("doomed", ok_entry),
+                              policy=PermissivePolicy())
+        assert supervisor.retries == 2  # 3 attempts = 2 retries
+        assert supervisor.give_ups == 1
+        assert supervisor.trace[-1].action == "give_up"
+
+    def test_breaker_opens_and_rejects(self):
+        wasp = Wasp()
+        supervisor = Supervisor(
+            wasp, breaker=BreakerConfig(failure_threshold=2,
+                                        cooldown_cycles=10**9),
+        )
+        image = ImageBuilder().hosted("buggy", crash_entry)
+        for _ in range(2):
+            with pytest.raises(GuestFault):
+                supervisor.launch(image, policy=PermissivePolicy())
+        launches_before = wasp.launches
+        with pytest.raises(BreakerOpen) as exc:
+            supervisor.launch(image, policy=PermissivePolicy())
+        assert wasp.launches == launches_before  # nothing ran
+        assert exc.value.retry_after_cycles > 0
+        assert supervisor.breaker_rejections == 1
+        assert supervisor.breaker_states() == {"buggy": "open"}
+
+    def test_breaker_probe_recovers(self):
+        """After the cooldown one probe runs; success closes the breaker."""
+        wasp = Wasp()
+        supervisor = Supervisor(
+            wasp, breaker=BreakerConfig(failure_threshold=1,
+                                        cooldown_cycles=1000),
+        )
+        attempts = {"n": 0}
+
+        def flaky_once(env):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise RuntimeError("first run bug")
+            return "recovered"
+
+        image = ImageBuilder().hosted("flaky-once", flaky_once)
+        with pytest.raises(GuestFault):
+            supervisor.launch(image, policy=PermissivePolicy())
+        wasp.clock.advance(1000)  # ride out the cooldown
+        result = supervisor.launch(image, policy=PermissivePolicy())
+        assert result.value == "recovered"
+        assert supervisor.breaker_states() == {"flaky-once": "closed"}
+
+
+class TestDeadlines:
+    def test_hosted_deadline_timeout(self):
+        wasp = Wasp()
+        image = ImageBuilder().hosted("busy", busy_entry)
+        with pytest.raises(VirtineTimeout) as exc:
+            wasp.launch(image, policy=PermissivePolicy(),
+                        deadline_cycles=200_000)
+        assert exc.value.cycles > 200_000
+        assert wasp.timeouts == 1
+
+    def test_step_budget_timeout_is_typed(self):
+        from repro.hw.cpu import Mode
+
+        wasp = Wasp()
+        image = ImageBuilder().fib(Mode.LONG64, 25)
+        with pytest.raises(VirtineTimeout) as exc:
+            wasp.launch(image, use_snapshot=False, max_steps=100)
+        assert exc.value.steps == 100
+
+    def test_timeout_is_retried_then_surfaced(self):
+        wasp = Wasp()
+        supervisor = Supervisor(wasp, retry=RetryPolicy(max_attempts=2))
+        image = ImageBuilder().hosted("busy", busy_entry)
+        with pytest.raises(VirtineTimeout):
+            supervisor.launch(image, policy=PermissivePolicy(),
+                              deadline_cycles=200_000)
+        assert supervisor.retries == 1
+        assert supervisor.crashes_by_class[CrashClass.TIMEOUT] == 2
+
+    def test_no_deadline_no_timeout(self):
+        wasp = Wasp()
+        result = wasp.launch(ImageBuilder().hosted("busy", busy_entry),
+                             policy=PermissivePolicy())
+        assert result.value == "done"
+        assert wasp.timeouts == 0
+
+
+class TestQuarantine:
+    def test_crashed_shell_is_quarantined_and_scrubbed(self):
+        wasp = Wasp()
+        image = ImageBuilder().hosted("buggy", crash_entry)
+        with pytest.raises(GuestFault):
+            wasp.launch(image, policy=PermissivePolicy())
+        pool = wasp.pool_for(wasp.memory_size_for(image))
+        assert pool.quarantines == 1
+        assert pool.free_count == 1  # reclaimed, not leaked
+        # The scrub is unconditional: no page survives the crash.
+        shell = pool.acquire()
+        assert shell.vm.memory.capture_dirty() == {}
+
+    def test_generation_bumped_on_quarantine(self):
+        wasp = Wasp()
+        image = ImageBuilder().hosted("buggy", crash_entry)
+        with pytest.raises(GuestFault):
+            wasp.launch(image, policy=PermissivePolicy())
+        pool = wasp.pool_for(wasp.memory_size_for(image))
+        shell = pool.acquire()
+        assert shell.generation >= 2  # quarantine bump + acquire bump
+
+    def test_session_crash_abandons_context(self):
+        wasp = Wasp()
+
+        def entry(env):
+            if env.args == "boom":
+                raise RuntimeError("poisoned")
+            env.persistent["count"] = env.persistent.get("count", 0) + 1
+            return env.persistent["count"]
+
+        session = VirtineSession(wasp, ImageBuilder().hosted("svc", entry),
+                                 policy=PermissivePolicy(), use_snapshot=False)
+        assert session.invoke("a").value == 1
+        assert session.invoke("b").value == 2
+        with pytest.raises(GuestFault):
+            session.invoke("boom")
+        pool = wasp.pool_for(wasp.memory_size_for(session.image))
+        assert pool.quarantines == 1
+        # Context rebuilt from scratch: persistent state did not survive.
+        assert session.invoke("c").value == 1
+
+
+class TestDeterminism:
+    @staticmethod
+    def _run(seed):
+        plan = (
+            FaultPlan(seed=seed)
+            .fail(FaultSite.VCPU_RUN, rate=0.15)
+            .fail(FaultSite.HOST_SYSCALL, rate=0.1)
+            .fail(FaultSite.POOL_ACQUIRE, rate=0.1)
+        )
+        wasp = Wasp(fault_plan=plan)
+        wasp.kernel.fs.add_file("/data", b"d" * 512)
+        supervisor = Supervisor(wasp)
+
+        def entry(env):
+            fd = env.hypercall(Hypercall.OPEN, "/data")
+            data = env.hypercall(Hypercall.READ, fd, 512)
+            env.hypercall(Hypercall.CLOSE, fd)
+            return len(data)
+
+        image = ImageBuilder().hosted("det", entry)
+        outcomes = []
+        for _ in range(40):
+            try:
+                outcomes.append(supervisor.launch(
+                    image, policy=PermissivePolicy()).value)
+            except (BreakerOpen, VirtineCrash) as error:
+                outcomes.append(type(error).__name__)
+        return outcomes, supervisor.signature(), plan.signature(), \
+            wasp.clock.cycles
+
+    def test_same_seed_same_supervision_trace(self):
+        first = self._run(seed=42)
+        second = self._run(seed=42)
+        assert first == second  # outcomes, traces, and clock all match
+
+    def test_different_seed_different_trace(self):
+        assert self._run(seed=42)[2] != self._run(seed=43)[2]
