@@ -17,6 +17,7 @@ the file, (3) ``open``, (4) ``read``, (5) ``send`` the response,
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any
 
@@ -25,13 +26,22 @@ from repro.host.filesystem import FsError, O_RDONLY
 from repro.host.network import Listener, NetError, Socket
 from repro.hw.cpu import Mode
 from repro.runtime.image import ImageBuilder
+from repro.units import cycles_to_seconds
+from repro.wasp.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionRejected,
+    AdmissionTicket,
+    BrownoutLevel,
+    Deadline,
+)
 from repro.wasp.guestenv import GuestEnv
 from repro.wasp.hypercall import Hypercall, HypercallError
 from repro.wasp.hypervisor import Wasp
 from repro.wasp.policy import BitmaskPolicy, VirtineConfig
 from repro.wasp.pool import CleanMode
 from repro.wasp.supervisor import BreakerOpen, Supervisor
-from repro.wasp.virtine import VirtineCrash, VirtineResult
+from repro.wasp.virtine import VirtineCrash, VirtineResult, VirtineTimeout
 
 #: Cycles to parse a request line + headers in guest/native code.
 HTTP_PARSE_COST = 900
@@ -118,6 +128,8 @@ class StaticHttpServer:
         isolation: str = "native",
         docroot: str = "/srv",
         supervisor: Supervisor | None = None,
+        admission: AdmissionController | None = None,
+        deadline_cycles: int | None = None,
     ) -> None:
         if isolation not in self.ISOLATION_MODES:
             raise ValueError(f"unknown isolation mode {isolation!r}")
@@ -130,9 +142,23 @@ class StaticHttpServer:
         #: (with retries/breaker per the supervisor's policy) instead of
         #: propagating out of :meth:`serve_one` and killing the server.
         self.supervisor = supervisor
+        #: Optional overload gate: shed connections are answered 429
+        #: (rate-limited -- the client should back off) or 503 (the
+        #: server is saturated), both with a Retry-After header, before
+        #: any virtine work is provisioned for them.  Attach the
+        #: controller here *or* on the supervisor, not both -- double
+        #: gating would record every request twice.
+        self.admission = admission
+        #: Per-request cycle budget minted at accept time when admission
+        #: is enabled (time on the backlog counts against it).
+        self.deadline_cycles = deadline_cycles
         #: Connections answered 503 because the handler virtine could
         #: not be run to completion.
         self.unavailable = 0
+        #: Connections shed with 429 (rate limit) / 503 (overload).
+        self.rejected_429 = 0
+        self.rejected_503 = 0
+        self._last_request_id = 0
         self.listener: Listener = self.kernel.sys_listen(port)
         self.served: list[ServedRequest] = []
         self.image = ImageBuilder().hosted(
@@ -213,7 +239,8 @@ class StaticHttpServer:
         env.exit(status)  # (7)
         return status
 
-    def _handle_virtine(self, conn: Socket, use_snapshot: bool) -> ServedRequest:
+    def _handle_virtine(self, conn: Socket, use_snapshot: bool,
+                        deadline: Deadline | None = None) -> ServedRequest:
         launch_kwargs = dict(
             policy=self._policy(),
             handlers=None,
@@ -221,14 +248,35 @@ class StaticHttpServer:
             allowed_paths=(self.docroot + "/",),
             use_snapshot=use_snapshot,
             clean=CleanMode.ASYNC,
+            deadline=deadline,
         )
         if self.supervisor is None:
-            result = self.wasp.launch(self.image, **launch_kwargs)
+            start = self.kernel.clock.cycles
+            try:
+                result = self.wasp.launch(self.image, **launch_kwargs)
+            except VirtineTimeout:
+                # Cancelled at its deadline: record the overload outcome
+                # and degrade, exactly like a supervised crash would.
+                if self.admission is not None:
+                    self.admission.record_timeout(
+                        self.image.name, self.kernel.clock.cycles,
+                        request_id=self._last_request_id,
+                    )
+                return self._serve_unavailable(conn, start)
         else:
             start = self.kernel.clock.cycles
             try:
                 result = self.supervisor.launch(self.image, **launch_kwargs)
-            except (BreakerOpen, VirtineCrash):
+            except VirtineTimeout:
+                if self.admission is not None:
+                    # This server's gate admitted the request, so the
+                    # supervisor (gate-less) did not record the timeout.
+                    self.admission.record_timeout(
+                        self.image.name, self.kernel.clock.cycles,
+                        request_id=self._last_request_id,
+                    )
+                return self._serve_unavailable(conn, start)
+            except (AdmissionRejected, BreakerOpen, VirtineCrash):
                 return self._serve_unavailable(conn, start)
         return ServedRequest(
             path="?",
@@ -258,15 +306,84 @@ class StaticHttpServer:
             hypercalls=0,
         )
 
+    # -- overload plane -----------------------------------------------------------------
+    def _retry_after_header(self, retry_after_cycles: float) -> dict:
+        """Retry-After in whole seconds (floor 1; unknown horizon -> 60)."""
+        if not math.isfinite(retry_after_cycles):
+            return {"Retry-After": "60"}
+        seconds = max(1, math.ceil(cycles_to_seconds(retry_after_cycles)))
+        return {"Retry-After": str(seconds)}
+
+    def _serve_shed(self, conn: Socket, ticket: AdmissionTicket,
+                    start: int) -> ServedRequest:
+        """Answer a shed connection without provisioning any virtine.
+
+        Rate-limited clients get 429 (their fault: back off); everything
+        else (queue full, dead-on-arrival deadline) gets 503 (our fault:
+        the server is saturated).  Both carry Retry-After.
+        """
+        if ticket.decision is AdmissionDecision.SHED_RATE_LIMIT:
+            status, reason = 429, "Too Many Requests"
+            self.rejected_429 += 1
+        else:
+            status, reason = 503, "Service Unavailable"
+            self.rejected_503 += 1
+        self.kernel.clock.advance(HTTP_BUILD_COST)
+        response = build_response(
+            status, reason, b"overloaded, try again later",
+            extra_headers=self._retry_after_header(ticket.retry_after),
+        )
+        try:
+            self.kernel.sys_send(conn, response)
+        except NetError:
+            pass
+        return ServedRequest(
+            path="?",
+            status=status,
+            cycles=self.kernel.clock.cycles - start,
+            hypercalls=0,
+        )
+
+    def brownout_level(self) -> BrownoutLevel:
+        """The gate's current posture (NORMAL without a controller)."""
+        if self.admission is None:
+            return BrownoutLevel.NORMAL
+        return self.admission.brownout_level(queue_depth=self.pending_connections())
+
     # -- serving loop -------------------------------------------------------------------
     def serve_one(self) -> ServedRequest:
-        """Accept and fully serve one pending connection."""
+        """Accept and fully serve one pending connection.
+
+        With an admission controller attached, the accepted connection
+        passes the overload gate first: the listener backlog is the
+        bounded queue, and shed connections are answered 429/503 with
+        Retry-After *before* any virtine is provisioned.  Admitted
+        connections carry a request-scoped deadline into the launch.
+        """
         conn = self.kernel.sys_accept(self.listener)
         try:
+            deadline = None
+            if self.admission is not None:
+                now = self.kernel.clock.cycles
+                if self.deadline_cycles is not None:
+                    deadline = Deadline.after(now, self.deadline_cycles)
+                ticket = self.admission.admit(
+                    self.image.name, now,
+                    deadline=deadline,
+                    queue_depth=self.pending_connections(),
+                )
+                self._last_request_id = ticket.request_id
+                if not ticket.admitted:
+                    served = self._serve_shed(conn, ticket, now)
+                    self.served.append(served)
+                    return served
             if self.isolation == "native":
                 served = self._handle_native(conn)
             else:
-                served = self._handle_virtine(conn, use_snapshot=self.isolation == "snapshot")
+                served = self._handle_virtine(
+                    conn, use_snapshot=self.isolation == "snapshot",
+                    deadline=deadline,
+                )
         finally:
             self.kernel.sys_sock_close(conn)
         self.served.append(served)

@@ -15,6 +15,7 @@ from repro.apps.serverless.platform import ServerlessPlatform
 from repro.host.kernel import HostKernel
 from repro.host.process import ContainerRuntime
 from repro.units import cycles_to_seconds, us_to_cycles
+from repro.wasp.admission import AdmissionController
 
 #: Node.js + V8 initialisation inside a fresh container.
 NODE_V8_INIT_CYCLES = us_to_cycles(180_000.0)  # ~180 ms
@@ -39,8 +40,11 @@ class OpenWhiskLikePlatform(ServerlessPlatform):
         kernel: HostKernel | None = None,
         max_workers: int = 16,
         keepalive_s: float = 60.0,
+        admission: AdmissionController | None = None,
+        deadline_s: float | None = None,
     ) -> None:
-        super().__init__(max_workers=max_workers, keepalive_s=keepalive_s)
+        super().__init__(max_workers=max_workers, keepalive_s=keepalive_s,
+                         admission=admission, deadline_s=deadline_s)
         self.kernel = kernel if kernel is not None else HostKernel()
         self.containers = ContainerRuntime(self.kernel)
         # Calibrate by exercising the container runtime once each way.

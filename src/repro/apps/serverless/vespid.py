@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.apps.js.virtine_js import DEFAULT_DATA_SIZE, JsVirtineClient
 from repro.apps.serverless.platform import ServerlessPlatform
 from repro.units import cycles_to_seconds
+from repro.wasp.admission import AdmissionController
 from repro.wasp.hypervisor import Wasp
 
 
@@ -32,8 +33,11 @@ class VespidPlatform(ServerlessPlatform):
         max_workers: int = 16,
         keepalive_s: float = 60.0,
         payload_size: int = DEFAULT_DATA_SIZE,
+        admission: AdmissionController | None = None,
+        deadline_s: float | None = None,
     ) -> None:
-        super().__init__(max_workers=max_workers, keepalive_s=keepalive_s)
+        super().__init__(max_workers=max_workers, keepalive_s=keepalive_s,
+                         admission=admission, deadline_s=deadline_s)
         self.wasp = wasp if wasp is not None else Wasp()
         self.client = JsVirtineClient(self.wasp, use_snapshot=True)
         payload = bytes(i & 0xFF for i in range(payload_size))

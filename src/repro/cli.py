@@ -8,6 +8,9 @@ runners.  Commands:
 * ``creation``  -- print the Figure 8 creation-latency comparison.
 * ``metrics``   -- run a supervised workload under injected faults and
   dump the supervision counters.
+* ``admission-replay`` -- run a seeded burst workload through the
+  overload-protected scheduler twice and verify the recorded admission
+  trace replays identically (IRIS-style record-and-replay).
 * ``info``      -- version, cost-model calibration summary.
 """
 
@@ -186,6 +189,92 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0 if report.client_visible_failures == 0 else 1
 
 
+def cmd_admission_replay(args: argparse.Namespace) -> int:
+    """Deterministic overload demo + trace replay check.
+
+    Runs the seeded burst workload through an overload-protected Vespid
+    platform twice with identical configuration and asserts the two
+    admission traces (shed / eviction / expiry / timeout decisions) are
+    identical.  Exit 0 requires the replay to match, the queue to stay
+    within its bound, and admitted p99 latency to stay within the
+    configured deadline -- the platform sheds load instead of collapsing.
+    """
+    from repro.apps.serverless.vespid import VespidPlatform
+    from repro.apps.serverless.workload import BurstyWorkload
+    from repro.faults import FaultPlan, FaultSite
+    from repro.wasp.admission import (
+        AdmissionConfig,
+        AdmissionController,
+        AdmissionTrace,
+        ShedPolicy,
+    )
+
+    arrivals = BurstyWorkload.paper_pattern(scale=args.scale, seed=args.seed).arrivals()
+
+    def one_run():
+        plan = FaultPlan(seed=args.seed)
+        if args.burst_fault_rate > 0:
+            plan.fail(FaultSite.BURST_ARRIVAL, rate=args.burst_fault_rate)
+        controller = AdmissionController(
+            AdmissionConfig(
+                max_queue_depth=args.queue_depth,
+                shed_policy=ShedPolicy(args.policy),
+                rate=args.rate,
+                burst=args.burst,
+            ),
+            fault_plan=plan,
+        )
+        platform = VespidPlatform(
+            max_workers=args.workers,
+            admission=controller,
+            deadline_s=args.deadline_s,
+        )
+        return platform.run_with_admission(arrivals)
+
+    recorded = one_run()
+    replayed = one_run()
+    match = recorded.signature() == replayed.signature()
+
+    p99_ms = recorded.latency_percentile_ms(99.0)
+    deadline_ms = args.deadline_s * 1000.0
+    p99_ok = p99_ms <= deadline_ms
+    queue_ok = recorded.queue_high_water <= args.queue_depth
+
+    ctrl = recorded.admission
+    print(f"admission replay: seed={args.seed} scale={args.scale} "
+          f"workers={args.workers} policy={args.policy}")
+    print(f"  arrivals={len(arrivals)} admitted={recorded.admitted} "
+          f"completed={recorded.completed} timeouts={recorded.timeouts}")
+    shed_detail = " ".join(
+        f"{reason}={count}"
+        for reason, count in sorted(ctrl.shed_by_reason.items()) if count
+    ) or "none"
+    print(f"  shed={recorded.shed} ({shed_detail})")
+    print(f"  queue high water={recorded.queue_high_water}/{args.queue_depth} "
+          f"[{'ok' if queue_ok else 'OVERFLOW'}]")
+    print(f"  admitted p99={p99_ms:.1f} ms vs deadline={deadline_ms:.0f} ms "
+          f"[{'ok' if p99_ok else 'MISSED'}]")
+    print(f"  trace: {len(ctrl.trace)} decisions, replay "
+          f"{'identical' if match else 'DIVERGED'}")
+
+    if args.trace:
+        import os
+
+        if os.path.exists(args.trace):
+            with open(args.trace, "r", encoding="utf-8") as fh:
+                stored = AdmissionTrace.from_json(fh.read())
+            disk_match = stored.signature() == ctrl.trace.signature()
+            print(f"  stored trace {args.trace}: "
+                  f"{'identical' if disk_match else 'DIVERGED'}")
+            match = match and disk_match
+        else:
+            with open(args.trace, "w", encoding="utf-8") as fh:
+                fh.write(ctrl.trace.to_json())
+            print(f"  recorded trace -> {args.trace}")
+
+    return 0 if (match and p99_ok and queue_ok) else 1
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     from repro.hw.costs import COSTS
     from repro.units import TINKER_HZ
@@ -224,6 +313,32 @@ def main(argv: list[str] | None = None) -> int:
     metrics.add_argument("--requests", type=int, default=200,
                          help="requests to serve (default 200)")
     metrics.set_defaults(handler=cmd_metrics)
+    replay = subparsers.add_parser(
+        "admission-replay",
+        help="deterministic overload demo + admission-trace replay check",
+    )
+    replay.add_argument("--seed", type=int, default=42,
+                        help="workload + fault seed (default 42)")
+    replay.add_argument("--scale", type=float, default=0.25,
+                        help="workload rate multiplier (default 0.25)")
+    replay.add_argument("--workers", type=int, default=8,
+                        help="platform worker cap (default 8)")
+    replay.add_argument("--queue-depth", type=int, default=32,
+                        help="bounded admission queue depth (default 32)")
+    replay.add_argument("--policy", default="reject_newest",
+                        choices=["reject_newest", "reject_oldest", "priority"],
+                        help="load-shedding policy (default reject_newest)")
+    replay.add_argument("--rate", type=float, default=None,
+                        help="per-image token refill rate, req/s (default off)")
+    replay.add_argument("--burst", type=float, default=16.0,
+                        help="token bucket capacity (default 16)")
+    replay.add_argument("--deadline-s", type=float, default=2.0,
+                        help="per-request deadline, seconds (default 2.0)")
+    replay.add_argument("--burst-fault-rate", type=float, default=0.0,
+                        help="BURST_ARRIVAL fault probability (default 0)")
+    replay.add_argument("--trace", default=None,
+                        help="record/verify the admission trace at this path")
+    replay.set_defaults(handler=cmd_admission_replay)
     subparsers.add_parser("info", help="version + calibration").set_defaults(
         handler=cmd_info
     )

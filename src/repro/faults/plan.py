@@ -20,6 +20,12 @@ production:
   :mod:`repro.wasp.migration`.
 * :data:`FaultSite.POOL_ACQUIRE`    -- a defective recycled shell in
   :mod:`repro.wasp.pool` (discarded and rebuilt, never handed out).
+* :data:`FaultSite.BURST_ARRIVAL`   -- a thundering herd hitting the
+  admission gate in :mod:`repro.wasp.admission` (phantom arrivals drain
+  the image's token bucket).
+* :data:`FaultSite.GUEST_STALL`     -- a guest wedging mid-hypercall in
+  :mod:`repro.wasp.hypervisor` (cycles pass with no heartbeat, tripping
+  the watchdog).
 
 Determinism: every site draws from its **own** RNG stream derived from
 ``(seed, site)``, so the nth decision at a site is a pure function of the
@@ -44,6 +50,8 @@ class FaultSite(enum.Enum):
     SNAPSHOT_RESTORE = "snapshot_restore"
     MIGRATION_TRANSFER = "migration_transfer"
     POOL_ACQUIRE = "pool_acquire"
+    BURST_ARRIVAL = "burst_arrival"
+    GUEST_STALL = "guest_stall"
 
 
 class InjectedFault(Exception):

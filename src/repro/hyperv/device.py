@@ -57,6 +57,9 @@ class HyperV:
         self.costs = costs
         self.fault_plan = fault_plan if fault_plan is not None else NO_FAULTS
         self.vms_created = 0
+        #: Partitions released via ``PartitionHandle.close`` (leak
+        #: accounting mirrors the KVM device).
+        self.vms_closed = 0
 
     def create_vm(self) -> "PartitionHandle":
         """``WHvCreatePartition`` + ``WHvSetupPartition``."""
@@ -108,6 +111,8 @@ class PartitionHandle:
 
     def close(self) -> None:
         """``WHvDeletePartition`` (teardown is off the critical path)."""
+        if not self.closed:
+            self.hyperv.vms_closed += 1
         self.closed = True
 
 

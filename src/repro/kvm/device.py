@@ -43,6 +43,9 @@ class KVM:
         self.costs = costs
         self.fault_plan = fault_plan if fault_plan is not None else NO_FAULTS
         self.vms_created = 0
+        #: VM fds released via ``VMHandle.close`` (leak accounting:
+        #: ``vms_created - vms_closed`` is the live-handle population).
+        self.vms_closed = 0
 
     def create_vm(self) -> "VMHandle":
         """``KVM_CREATE_VM``: allocate in-kernel VM state."""
@@ -93,6 +96,8 @@ class VMHandle:
 
     def close(self) -> None:
         """Release the VM (host-side teardown is off the critical path)."""
+        if not self.closed:
+            self.kvm.vms_closed += 1
         self.closed = True
 
 

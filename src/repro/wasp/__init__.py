@@ -10,6 +10,22 @@ Public surface::
     result = wasp.launch(image, policy=PermissivePolicy())
 """
 
+from repro.wasp.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionEvent,
+    AdmissionRejected,
+    AdmissionTicket,
+    AdmissionTrace,
+    BoundedQueue,
+    BrownoutLevel,
+    Deadline,
+    QueuedRequest,
+    ShedPolicy,
+    TokenBucket,
+    Watchdog,
+)
 from repro.wasp.guestenv import GuestEnv, GuestExitRequested
 from repro.wasp.handlers import CannedHandlers
 from repro.wasp.hypercall import (
@@ -48,10 +64,12 @@ from repro.wasp.pool import CleanMode, Shell, ShellPool
 from repro.wasp.snapshot import RestoreMode, Snapshot, SnapshotStore
 from repro.wasp.virtine import (
     GuestFault,
+    HangKind,
     HostFault,
     PolicyKill,
     Virtine,
     VirtineCrash,
+    VirtineHang,
     VirtineResult,
     VirtineTimeout,
 )
@@ -66,6 +84,20 @@ __all__ = [
     "MigrationLink",
     "Node",
     "TransferDropped",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionEvent",
+    "AdmissionRejected",
+    "AdmissionTicket",
+    "AdmissionTrace",
+    "BoundedQueue",
+    "BrownoutLevel",
+    "Deadline",
+    "QueuedRequest",
+    "ShedPolicy",
+    "TokenBucket",
+    "Watchdog",
     "Supervisor",
     "SupervisionEvent",
     "RetryPolicy",
@@ -103,5 +135,7 @@ __all__ = [
     "HostFault",
     "PolicyKill",
     "VirtineTimeout",
+    "VirtineHang",
+    "HangKind",
     "VirtineResult",
 ]

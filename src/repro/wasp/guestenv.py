@@ -66,21 +66,22 @@ class GuestEnv:
     # Every charge is also a preemption point: launches carrying a cycle
     # deadline are killed here with a typed VirtineTimeout once the clock
     # passes it (hosted compute has no instruction stream to interrupt,
-    # so the cost-model charges stand in for the timer tick).
+    # so the cost-model charges stand in for the timer tick).  Charges go
+    # through Wasp.charge_guest, which *clamps* at the deadline: a charge
+    # that would overrun only consumes the remaining budget before the
+    # cancellation fires -- work is cut off mid-compute, not completed on
+    # borrowed time and discarded.
     def charge(self, cycles: float) -> None:
         """Charge raw guest compute cycles."""
-        self._wasp.clock.advance(cycles)
-        self._wasp.check_deadline(self._virtine)
+        self._wasp.charge_guest(self._virtine, cycles)
 
     def charge_call(self, count: int = 1) -> None:
         """Charge ``count`` guest function calls (GUEST_CALL each)."""
-        self._wasp.clock.advance(self._wasp.costs.GUEST_CALL * count)
-        self._wasp.check_deadline(self._virtine)
+        self._wasp.charge_guest(self._virtine, self._wasp.costs.GUEST_CALL * count)
 
     def charge_bytes(self, nbytes: int) -> None:
         """Charge bulk data processing (GUEST_BYTE per byte)."""
-        self._wasp.clock.advance(self._wasp.costs.GUEST_BYTE * nbytes)
-        self._wasp.check_deadline(self._virtine)
+        self._wasp.charge_guest(self._virtine, self._wasp.costs.GUEST_BYTE * nbytes)
 
     # -- guest memory -------------------------------------------------------------
     @property
@@ -96,6 +97,9 @@ class GuestEnv:
         from repro.hw.vmx import Milestone
 
         vm.milestones.append(Milestone(marker=marker, cycles=self._wasp.clock.cycles))
+        # A milestone is observable progress: it heartbeats the watchdog
+        # (long computes can stay alive by checkpointing).
+        self._wasp._beat(self._virtine)
 
     # -- the external channel ---------------------------------------------------------
     def hypercall(self, nr: Hypercall, *args: Any) -> Any:

@@ -19,6 +19,7 @@ from typing import Any, Callable
 
 from repro.faults import NO_FAULTS, FaultPlan, FaultSite, InjectedFault
 from repro.host.kernel import HostKernel
+from repro.units import us_to_cycles
 from repro.hw.clock import BackgroundAccountant
 from repro.hw.costs import COSTS, CostModel
 from repro.hw.vmx import STEP_BUDGET_EXHAUSTED, ExitReason
@@ -42,9 +43,13 @@ from repro.wasp.virtine import (
     PolicyKill,
     Virtine,
     VirtineCrash,
+    VirtineHang,
     VirtineResult,
     VirtineTimeout,
 )
+
+if False:  # pragma: no cover - typing only (avoids a module-load cycle)
+    from repro.wasp.admission import Deadline
 
 #: Guest memory below the image: boot scratch, GDT, real-mode stack.
 _LOW_RESERVED = 0x8000
@@ -55,6 +60,11 @@ _RUNTIME_HEADROOM = 0x300000
 #: virtine (vs. the guest passing bad arguments).  A crash rooted in one
 #: of these classifies as a retryable :class:`HostFault`.
 HOST_PLANE_ERRNOS = frozenset({"EIO", "ENOSPC", "ENOMEM", "ECONNRESET", "EPIPE", "ETIMEDOUT"})
+
+#: Cycles a :data:`FaultSite.GUEST_STALL` fault wedges the guest for
+#: before its hypercall lands: long enough to trip the default watchdog
+#: no-progress threshold (1.5 ms) with margin.
+GUEST_STALL_CYCLES = us_to_cycles(5_000.0)
 
 
 def _bucket_size(required: int) -> int:
@@ -109,6 +119,9 @@ class Wasp:
         #: The attached :class:`repro.wasp.supervisor.Supervisor`, if any
         #: (set by the supervisor; read by :func:`repro.wasp.metrics.collect`).
         self.supervisor = None
+        #: The attached :class:`repro.wasp.admission.Watchdog`, if any
+        #: (set by the watchdog; consulted at every preemption point).
+        self.watchdog = None
 
     # -- pools ---------------------------------------------------------------
     def memory_size_for(self, image: VirtineImage) -> int:
@@ -141,6 +154,7 @@ class Wasp:
         clean: CleanMode = CleanMode.SYNC,
         max_steps: int = 50_000_000,
         deadline_cycles: int | None = None,
+        deadline: "Deadline | None" = None,
     ) -> VirtineResult:
         """Run ``image`` in a fresh virtine and return its result.
 
@@ -154,7 +168,12 @@ class Wasp:
 
         ``deadline_cycles`` bounds the launch's *total* simulated-cycle
         budget; exceeding it (or ``max_steps``) raises a typed
-        :class:`VirtineTimeout`.  A launch that crashes for any reason
+        :class:`VirtineTimeout`.  ``deadline`` instead carries an
+        *absolute* request-scoped
+        :class:`~repro.wasp.admission.Deadline` minted where the request
+        entered the system, so time already burned upstream (queueing,
+        admission) counts against the same budget; when both are given
+        the absolute deadline wins.  A launch that crashes for any reason
         never returns its shell to the pool unscrubbed -- the shell is
         quarantined (scrub + generation bump) instead.
         """
@@ -165,7 +184,10 @@ class Wasp:
         virtine = self._make_virtine(image, shell, policy, handlers, resources, allowed_paths)
         virtine.snapshot_key = snapshot_key or image.name
         virtine.started_cycles = self.clock.cycles
-        if deadline_cycles is not None:
+        virtine.last_beat_cycles = self.clock.cycles
+        if deadline is not None:
+            virtine.deadline = int(deadline.expires_at)
+        elif deadline_cycles is not None:
             virtine.deadline = self.clock.cycles + deadline_cycles
         from_snapshot = False
         crashed = False
@@ -267,11 +289,14 @@ class Wasp:
         return snap
 
     def check_deadline(self, virtine: Virtine) -> None:
-        """Kill a virtine that has outlived its cycle deadline.
+        """Kill a virtine that has outlived its cycle deadline (or hung).
 
         Called at every natural preemption point (hypercall dispatch,
         vCPU exits, hosted compute charges); raises a typed
-        :class:`VirtineTimeout` carrying what the launch consumed.
+        :class:`VirtineTimeout` carrying what the launch consumed.  When
+        a :class:`~repro.wasp.admission.Watchdog` is attached it is
+        consulted at the same points, so hangs (no heartbeat) are killed
+        even on launches with no explicit deadline.
         """
         if virtine.deadline is not None and self.clock.cycles > virtine.deadline:
             self.timeouts += 1
@@ -281,6 +306,41 @@ class Wasp:
                 f"({consumed:,} cycles consumed)",
                 cycles=consumed,
             )
+        if self.watchdog is not None:
+            try:
+                self.watchdog.check(virtine, self.clock.cycles)
+            except VirtineHang:
+                self.timeouts += 1
+                raise
+
+    def charge_guest(self, virtine: Virtine, cycles: int) -> None:
+        """Advance the clock for hosted-guest compute, clamped at the
+        deadline.
+
+        When the charge would blow past the virtine's deadline, only the
+        remaining budget (plus the single cycle that trips the strict
+        check) is consumed and the work is cancelled *mid-compute* -- the
+        guest does not finish on borrowed time only to have the result
+        discarded.
+        """
+        if virtine.deadline is not None:
+            remaining = virtine.deadline - self.clock.cycles
+            if cycles > remaining:
+                self.clock.advance(max(0, remaining) + 1)
+                self.timeouts += 1
+                consumed = self.clock.cycles - virtine.started_cycles
+                raise VirtineTimeout(
+                    f"virtine {virtine.name!r} cancelled at its cycle "
+                    f"deadline mid-compute ({consumed:,} cycles consumed)",
+                    cycles=consumed,
+                )
+        self.clock.advance(cycles)
+        self.check_deadline(virtine)
+
+    def _beat(self, virtine: Virtine) -> None:
+        """Record observable guest progress (the watchdog's heartbeat)."""
+        virtine.last_beat_cycles = self.clock.cycles
+        virtine.beats += 1
 
     def _restore_snapshot(
         self,
@@ -303,20 +363,35 @@ class Wasp:
         vm.milestones.clear()
         self.snapshots.note_restore()
 
+    def _deadline_slice(self, virtine: Virtine, steps_left: int) -> int:
+        """Bound one KVM_RUN's step budget by the virtine's deadline.
+
+        Every interpreter step costs at least one cycle, so ``remaining
+        + 1`` steps provably crosses the deadline; slicing the budget
+        guarantees a spinning guest is cancelled at its deadline instead
+        of running out its full (possibly enormous) step budget first.
+        """
+        if virtine.deadline is None:
+            return steps_left
+        remaining = virtine.deadline - self.clock.cycles
+        return max(1, min(steps_left, remaining + 1))
+
     def _run_loop(self, virtine: Virtine, args: Any, max_steps: int) -> None:
         """Drive KVM_RUN until the guest halts or exits."""
         shell = virtine.shell
+        steps_left = max_steps
         while True:
             if shell.vm.cpu.halted:
                 return
             try:
-                info = shell.vcpu.run(max_steps)
+                info = shell.vcpu.run(self._deadline_slice(virtine, steps_left))
             except InjectedFault as fault:
                 # The KVM_RUN ioctl itself failed: a host-plane fault,
                 # not the guest's doing.
                 raise HostFault(
                     f"virtine {virtine.name!r} lost its vCPU: {fault}"
                 ) from fault
+            steps_left -= info.steps
             self.check_deadline(virtine)
             if info.reason is ExitReason.HLT:
                 return
@@ -336,11 +411,16 @@ class Wasp:
                 shell.vcpu.complete_io_in(info.in_dest, 0)
                 continue
             if info.detail == STEP_BUDGET_EXHAUSTED:
+                if steps_left > 0:
+                    # Only the deadline slice ran dry, not the caller's
+                    # budget, and the deadline check above let us
+                    # through -- keep driving the guest.
+                    continue
                 self.timeouts += 1
                 raise VirtineTimeout(
                     f"virtine {virtine.name!r} exhausted its step budget "
-                    f"({info.steps:,} steps)",
-                    steps=info.steps,
+                    f"({max_steps - steps_left:,} steps)",
+                    steps=max_steps - steps_left,
                     cycles=self.clock.cycles - virtine.started_cycles,
                 )
             raise GuestFault(f"virtine {virtine.name!r} shut down: {info.detail}")
@@ -413,6 +493,7 @@ class Wasp:
         cx = cpu.read_reg("cx")
         dx = cpu.read_reg("dx")
         virtine.hypercall_count += 1
+        self._beat(virtine)
         try:
             return self._isa_hypercall_body(virtine, nr, bx, cx, dx)
         except HypercallDenied as denied:
@@ -479,7 +560,13 @@ class Wasp:
         costs = self.costs
         self.clock.advance(costs.VMRUN_EXIT + costs.ioctl())
         virtine.hypercall_count += 1
+        if self.fault_plan.draw(FaultSite.GUEST_STALL, virtine.name):
+            # The guest wedged before this hypercall landed: cycles pass
+            # with no heartbeat, which an armed watchdog classifies as a
+            # no-progress hang at the check below.
+            self.clock.advance(GUEST_STALL_CYCLES)
         self.check_deadline(virtine)
+        self._beat(virtine)
         try:
             result = self._dispatch(virtine, nr, args)
             self._charge_marshalling(args, result)
@@ -584,6 +671,7 @@ class VirtineSession:
         args: Any = None,
         max_steps: int = 50_000_000,
         deadline_cycles: int | None = None,
+        deadline: "Deadline | None" = None,
     ) -> VirtineResult:
         """Run one invocation, reusing the retained context if present.
 
@@ -593,13 +681,14 @@ class VirtineSession:
         rebuilds from scratch.
         """
         try:
-            return self._invoke(args, max_steps, deadline_cycles)
+            return self._invoke(args, max_steps, deadline_cycles, deadline)
         except VirtineCrash:
             self._abandon_crashed()
             raise
 
     def _invoke(
-        self, args: Any, max_steps: int, deadline_cycles: int | None
+        self, args: Any, max_steps: int, deadline_cycles: int | None,
+        deadline: "Deadline | None" = None,
     ) -> VirtineResult:
         wasp = self.wasp
         region = wasp.clock.region()
@@ -611,7 +700,7 @@ class VirtineSession:
                 self._resources, self._allowed_paths,
             )
             self._virtine.snapshot_key = self.image.name
-            self._arm(deadline_cycles)
+            self._arm(deadline_cycles, deadline)
             snap = wasp._usable_snapshot(self.image.name) if self.use_snapshot else None
             if snap is not None and snap.hosted:
                 from_snapshot = True
@@ -631,7 +720,7 @@ class VirtineSession:
             virtine = self._virtine
             assert virtine is not None
             virtine.policy.reset()
-            self._arm(deadline_cycles)
+            self._arm(deadline_cycles, deadline)
             wasp.clock.advance(wasp.costs.vmrun_roundtrip())
             wasp._run_hosted(virtine, args, restored=self._persistent.get("state"),
                              persistent=self._persistent)
@@ -648,15 +737,20 @@ class VirtineSession:
             ax=self._shell.vm.cpu.regs["ax"],
         )
 
-    def _arm(self, deadline_cycles: int | None) -> None:
+    def _arm(self, deadline_cycles: int | None,
+             deadline: "Deadline | None" = None) -> None:
         """Reset the per-invocation timeout accounting."""
         virtine = self._virtine
         assert virtine is not None
         virtine.started_cycles = self.wasp.clock.cycles
-        virtine.deadline = (
-            self.wasp.clock.cycles + deadline_cycles
-            if deadline_cycles is not None else None
-        )
+        virtine.last_beat_cycles = self.wasp.clock.cycles
+        if deadline is not None:
+            virtine.deadline = int(deadline.expires_at)
+        else:
+            virtine.deadline = (
+                self.wasp.clock.cycles + deadline_cycles
+                if deadline_cycles is not None else None
+            )
 
     def _abandon_crashed(self) -> None:
         """Quarantine the shell and drop all retained state post-crash."""
@@ -671,13 +765,15 @@ class VirtineSession:
         assert virtine is not None
         wasp = self.wasp
         shell = virtine.shell
+        steps_left = max_steps
         while True:
             try:
-                info = shell.vcpu.run(max_steps)
+                info = shell.vcpu.run(wasp._deadline_slice(virtine, steps_left))
             except InjectedFault as fault:
                 raise HostFault(
                     f"session virtine {virtine.name!r} lost its vCPU: {fault}"
                 ) from fault
+            steps_left -= info.steps
             wasp.check_deadline(virtine)
             if info.reason is ExitReason.HLT:
                 return
@@ -690,11 +786,13 @@ class VirtineSession:
                     return
                 continue
             if info.detail == STEP_BUDGET_EXHAUSTED:
+                if steps_left > 0:
+                    continue
                 wasp.timeouts += 1
                 raise VirtineTimeout(
                     f"session virtine {virtine.name!r} exhausted its step "
-                    f"budget ({info.steps:,} steps)",
-                    steps=info.steps,
+                    f"budget ({max_steps - steps_left:,} steps)",
+                    steps=max_steps - steps_left,
                     cycles=wasp.clock.cycles - virtine.started_cycles,
                 )
             raise GuestFault(f"session virtine stopped unexpectedly: {info}")

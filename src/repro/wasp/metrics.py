@@ -67,6 +67,19 @@ class WaspMetrics:
     crashes_by_class: dict = field(default_factory=dict)
     #: Image name -> breaker state value ("closed"/"open"/"half_open").
     breaker_states: dict = field(default_factory=dict)
+    # -- overload plane (all zero without an admission controller) --------
+    #: VM fds released back to the device (created - closed = live).
+    vms_closed: int = 0
+    #: Requests the admission gate let through.
+    admission_admitted: int = 0
+    #: Requests shed before any work ran, keyed by decision value.
+    admission_shed: dict = field(default_factory=dict)
+    #: Admitted requests cancelled at their deadline.
+    admission_timeouts: int = 0
+    #: Deepest the bounded admission queue ever got.
+    admission_queue_high_water: int = 0
+    #: Watchdog kills keyed by hang kind ("no_progress"/"slow_progress").
+    hangs_by_kind: dict = field(default_factory=dict)
 
     @property
     def pool_hit_rate(self) -> float:
@@ -114,6 +127,27 @@ class WaspMetrics:
                     for image, state in self.breaker_states.items()
                 )
                 lines.append(f"  breakers: {states}")
+        shed_total = sum(self.admission_shed.values())
+        hangs_total = sum(self.hangs_by_kind.values())
+        if self.admission_admitted or shed_total or hangs_total:
+            by_reason = " ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.admission_shed.items())
+                if count
+            ) or "none"
+            lines.append(
+                f"admission: admitted={self.admission_admitted} "
+                f"shed={shed_total} ({by_reason}) "
+                f"timeouts={self.admission_timeouts} "
+                f"queue_high_water={self.admission_queue_high_water}"
+            )
+            if hangs_total:
+                by_kind = " ".join(
+                    f"{kind}={count}"
+                    for kind, count in sorted(self.hangs_by_kind.items())
+                    if count
+                )
+                lines.append(f"  watchdog kills: {by_kind}")
         for pool in self.pools:
             lines.append(
                 f"  pool[{pool.memory_size >> 20} MB]: free={pool.free_shells} "
@@ -139,6 +173,8 @@ def collect(wasp: Wasp) -> WaspMetrics:
     crashes_by_class: dict[str, int] = {}
     breaker_states: dict[str, str] = {}
     retries = breaker_rejections = 0
+    hangs_by_kind: dict[str, int] = {}
+    admission = None
     if supervisor is not None:
         crashes_by_class = {
             crash_class.value: count
@@ -147,6 +183,26 @@ def collect(wasp: Wasp) -> WaspMetrics:
         breaker_states = supervisor.breaker_states()
         retries = supervisor.retries
         breaker_rejections = supervisor.breaker_rejections
+        hangs_by_kind = {
+            kind.value: count
+            for kind, count in supervisor.hangs_by_kind.items()
+        }
+        admission = supervisor.admission
+    watchdog = getattr(wasp, "watchdog", None)
+    if watchdog is not None:
+        # The watchdog's own kill counters are authoritative (they fire
+        # even on unsupervised launches).
+        hangs_by_kind = {
+            kind.value: count
+            for kind, count in watchdog.kills_by_kind.items()
+        }
+    admission_admitted = admission_timeouts = admission_queue_high_water = 0
+    admission_shed: dict[str, int] = {}
+    if admission is not None:
+        admission_admitted = admission.admitted
+        admission_timeouts = admission.timeouts
+        admission_queue_high_water = admission.queue_depth_high_water
+        admission_shed = dict(admission.shed_by_reason)
     return WaspMetrics(
         launches=wasp.launches,
         vms_created=wasp.kvm.vms_created,
@@ -166,4 +222,10 @@ def collect(wasp: Wasp) -> WaspMetrics:
         breaker_rejections=breaker_rejections,
         crashes_by_class=crashes_by_class,
         breaker_states=breaker_states,
+        vms_closed=wasp.kvm.vms_closed,
+        admission_admitted=admission_admitted,
+        admission_shed=admission_shed,
+        admission_timeouts=admission_timeouts,
+        admission_queue_high_water=admission_queue_high_water,
+        hangs_by_kind=hangs_by_kind,
     )

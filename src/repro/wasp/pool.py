@@ -86,6 +86,10 @@ class ShellPool:
         """
         if self._free:
             if self.fault_plan.draw(FaultSite.POOL_ACQUIRE):
+                # Detecting and discarding the defective shell is free-list
+                # work like any other: charge the bookkeeping cost so the
+                # Wasp+C series does not understate latency under faults.
+                self.kvm.clock.advance(self.kvm.costs.POOL_BOOKKEEPING)
                 bad = self._free.pop()
                 bad.handle.close()
                 self.defects += 1
@@ -151,8 +155,14 @@ class ShellPool:
             shell.handle.close()
 
     def prewarm(self, count: int) -> None:
-        """Populate the pool ahead of time (cold-start avoidance)."""
-        created = [self._create() for _ in range(count - len(self._free))]
+        """Populate the pool ahead of time (cold-start avoidance).
+
+        ``count`` is clamped to ``max_free``: the pool never caches more
+        shells than ``release``/``quarantine`` would retain, so a
+        too-eager prewarm cannot grow the free list past the cap.
+        """
+        target = min(count, self.max_free)
+        created = [self._create() for _ in range(target - len(self._free))]
         self._free.extend(created)
 
     @property

@@ -31,11 +31,14 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from repro.units import us_to_cycles
+from repro.wasp.admission import AdmissionController, AdmissionRejected
 from repro.wasp.virtine import (
     GuestFault,
+    HangKind,
     HostFault,
     PolicyKill,
     VirtineCrash,
+    VirtineHang,
     VirtineResult,
     VirtineTimeout,
 )
@@ -206,11 +209,16 @@ class Supervisor:
         wasp: "Wasp",
         retry: RetryPolicy | None = None,
         breaker: BreakerConfig | None = None,
+        admission: AdmissionController | None = None,
     ) -> None:
         self.wasp = wasp
         wasp.supervisor = self
         self.retry = retry if retry is not None else RetryPolicy()
         self.breaker_config = breaker if breaker is not None else BreakerConfig()
+        #: Optional overload gate consulted *before* the breaker: the
+        #: breaker protects against broken images, admission protects
+        #: against too many healthy ones.
+        self.admission = admission
         self._breakers: dict[str, CircuitBreaker] = {}
         #: Chronological decision trace (determinism: same seed, same
         #: workload => identical trace).
@@ -220,6 +228,10 @@ class Supervisor:
         self.breaker_rejections = 0
         self.give_ups = 0
         self.completions = 0
+        #: Launches shed by the admission gate (nothing ran).
+        self.shed = 0
+        #: Watchdog kills among the TIMEOUT crashes, by hang kind.
+        self.hangs_by_kind: dict[HangKind, int] = {k: 0 for k in HangKind}
 
     # -- introspection ------------------------------------------------------
     def breaker_for(self, image_name: str) -> CircuitBreaker:
@@ -256,12 +268,23 @@ class Supervisor:
     def launch(self, image: "VirtineImage", **launch_kwargs: Any) -> VirtineResult:
         """Launch under supervision.
 
-        Raises :class:`BreakerOpen` without running anything when the
-        image's breaker is open, and re-raises the final crash when
-        retries are exhausted or the crash class is not retryable.
+        Raises :class:`~repro.wasp.admission.AdmissionRejected` when the
+        attached admission controller sheds the request (overload),
+        :class:`BreakerOpen` without running anything when the image's
+        breaker is open, and re-raises the final crash when retries are
+        exhausted or the crash class is not retryable.
         """
-        breaker = self.breaker_for(image.name)
         now = self.wasp.clock.cycles
+        ticket = None
+        if self.admission is not None:
+            ticket = self.admission.admit(
+                image.name, now, deadline=launch_kwargs.get("deadline"),
+            )
+            if not ticket.admitted:
+                self.shed += 1
+                self._record(image.name, 0, None, "shed")
+                raise AdmissionRejected(image.name, ticket)
+        breaker = self.breaker_for(image.name)
         if not breaker.allow(now):
             self.breaker_rejections += 1
             self._record(image.name, 0, None, "rejected")
@@ -274,6 +297,16 @@ class Supervisor:
             except VirtineCrash as crash:
                 crash_class = classify(crash)
                 self.crashes_by_class[crash_class] += 1
+                if isinstance(crash, VirtineHang):
+                    self.hangs_by_kind[crash.kind] += 1
+                if crash_class is CrashClass.TIMEOUT and ticket is not None:
+                    # Deadline overruns and watchdog kills land in the
+                    # admission trace too: a timeout is an overload
+                    # outcome, and the replay check covers it.
+                    self.admission.record_timeout(
+                        image.name, self.wasp.clock.cycles,
+                        request_id=ticket.request_id,
+                    )
                 breaker.record_failure(self.wasp.clock.cycles)
                 self._record(image.name, attempt, crash_class, "crash")
                 if (

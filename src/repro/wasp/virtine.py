@@ -10,6 +10,7 @@ invocations; see :class:`repro.wasp.hypervisor.VirtineSession`).
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -64,6 +65,32 @@ class VirtineTimeout(VirtineCrash):
         self.cycles = cycles
 
 
+class HangKind(enum.Enum):
+    """How a hung virtine failed to finish (watchdog classification)."""
+
+    #: Silent past the no-progress threshold: no hypercalls, no
+    #: milestones -- a wedged guest spinning without host interaction.
+    NO_PROGRESS = "no_progress"
+    #: Still heartbeating, but alive past the slow-progress threshold:
+    #: grinding toward an answer nobody is waiting for any more.
+    SLOW_PROGRESS = "slow_progress"
+
+
+class VirtineHang(VirtineTimeout):
+    """The watchdog killed a hung virtine.
+
+    A :class:`VirtineTimeout` subclass so the supervision layer's
+    retry/breaker machinery (which already treats timeouts as
+    transient) handles watchdog kills with no new wiring; ``kind``
+    preserves the hang classification for metrics and triage.
+    """
+
+    def __init__(self, message: str, kind: HangKind,
+                 steps: int = 0, cycles: int = 0) -> None:
+        super().__init__(message, steps=steps, cycles=cycles)
+        self.kind = kind
+
+
 @dataclass
 class Virtine:
     """One virtine invocation's state."""
@@ -90,6 +117,11 @@ class Virtine:
     deadline: int | None = None
     #: Clock reading when the launch began (for timeout accounting).
     started_cycles: int = 0
+    #: Clock reading of the last observable sign of progress (hypercall
+    #: or milestone); the watchdog's heartbeat.
+    last_beat_cycles: int = 0
+    #: Total heartbeats recorded this launch.
+    beats: int = 0
     exit_code: int = 0
     hypercall_count: int = 0
     result: Any = None

@@ -175,3 +175,118 @@ class TestRealPlatforms:
 
         payload = bytes(i & 0xFF for i in range(2048))
         assert vespid.last_encoded == python_base64(payload)
+
+
+class TestPlatformValidation:
+    def test_negative_keepalive_rejected(self):
+        with pytest.raises(ValueError, match="keepalive"):
+            FixedPlatform(0.01, 0.001, keepalive_s=-1.0)
+
+    def test_zero_keepalive_allowed(self):
+        platform = FixedPlatform(0.01, 0.001, keepalive_s=0.0)
+        assert platform.keepalive_s == 0.0
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline"):
+            FixedPlatform(0.01, 0.001, deadline_s=0.0)
+
+
+class TestOverloadScheduler:
+    """The admission-gated scheduler: shed, queue, expire, cancel."""
+
+    def _platform(self, **config_kwargs):
+        from repro.wasp.admission import AdmissionConfig, AdmissionController
+
+        ctrl = AdmissionController(AdmissionConfig(**config_kwargs))
+        return FixedPlatform(0.05, 0.01, max_workers=2,
+                             admission=ctrl, deadline_s=0.5)
+
+    def test_underload_admits_everything(self):
+        platform = self._platform(max_queue_depth=8)
+        report = platform.run_with_admission([0.0, 1.0, 2.0, 3.0])
+        assert report.admitted == 4
+        assert report.completed == 4
+        assert report.shed == 0
+
+    def test_overload_sheds_instead_of_collapsing(self):
+        platform = self._platform(max_queue_depth=4)
+        arrivals = [i * 0.001 for i in range(200)]  # 200 rps burst, 2 workers
+        report = platform.run_with_admission(arrivals)
+        assert report.shed > 0
+        assert report.queue_high_water <= 4
+        # Every arrival reaches exactly one terminal state.
+        assert report.completed + report.timeouts + report.shed == 200
+
+    def test_admitted_p99_within_deadline(self):
+        """The headline guarantee: completed requests finish inside the
+        budget; load that cannot is shed or cancelled, never served late."""
+        platform = self._platform(max_queue_depth=4)
+        arrivals = [i * 0.001 for i in range(500)]
+        report = platform.run_with_admission(arrivals)
+        assert report.latency_percentile_ms(99) <= 500.0
+        for record in report.records:
+            assert record.finish_s - record.arrival_s <= 0.5 + 1e-9
+
+    def test_reject_oldest_evicts_stale_waiters(self):
+        from repro.wasp.admission import (
+            AdmissionConfig,
+            AdmissionController,
+            ShedPolicy,
+        )
+
+        ctrl = AdmissionController(AdmissionConfig(
+            max_queue_depth=1, shed_policy=ShedPolicy.REJECT_OLDEST))
+        # One slow worker, a one-slot queue, a flood: newcomers keep
+        # displacing the parked request.
+        platform = FixedPlatform(1.0, 1.0, max_workers=1,
+                                 admission=ctrl, deadline_s=5.0)
+        report = platform.run_with_admission([i * 0.01 for i in range(10)])
+        assert ctrl.shed_by_reason["evicted"] >= 1
+        assert report.queue_high_water <= 1
+
+    def test_running_request_cancelled_at_deadline(self):
+        """A request whose service time overruns is cancelled *at* the
+        deadline: the worker frees early, it does not finish late."""
+        from repro.wasp.admission import AdmissionConfig, AdmissionController
+
+        ctrl = AdmissionController(AdmissionConfig(max_queue_depth=16))
+        platform = FixedPlatform(1.0, 1.0, max_workers=1,
+                                 admission=ctrl, deadline_s=0.2)
+        report = platform.run_with_admission([0.0, 0.25])
+        assert report.timeouts == 2  # both cancelled (1 s service, 0.2 budget)
+        assert report.completed == 0
+
+    def test_replay_is_deterministic(self):
+        from repro.faults import FaultPlan, FaultSite
+        from repro.wasp.admission import AdmissionConfig, AdmissionController
+
+        arrivals = BurstyWorkload.paper_pattern(scale=0.05, seed=13).arrivals()
+
+        def one_run():
+            plan = FaultPlan(seed=13)
+            plan.fail(FaultSite.BURST_ARRIVAL, rate=0.1)
+            ctrl = AdmissionController(
+                AdmissionConfig(max_queue_depth=8, rate=30.0, burst=8.0),
+                fault_plan=plan)
+            platform = FixedPlatform(0.05, 0.01, max_workers=2,
+                                     admission=ctrl, deadline_s=0.5)
+            return platform.run_with_admission(arrivals)
+
+        first, second = one_run(), one_run()
+        assert first.signature() == second.signature()
+        assert len(first.signature()) >= len(arrivals)
+
+    def test_run_delegates_to_admission_scheduler(self):
+        platform = self._platform(max_queue_depth=4)
+        records = platform.run([0.0, 1.0])
+        assert len(records) == 2
+        assert platform.admission.admitted == 2
+
+    def test_real_platforms_accept_admission(self):
+        from repro.wasp.admission import AdmissionController
+
+        vespid = VespidPlatform(max_workers=2,
+                                admission=AdmissionController(),
+                                deadline_s=1.0)
+        report = vespid.run_with_admission([0.0, 0.01, 0.02])
+        assert report.completed == 3

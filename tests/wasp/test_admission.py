@@ -1,0 +1,460 @@
+"""Overload-plane tests: admission control, deadlines, watchdog."""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSite
+from repro.runtime.image import ImageBuilder
+from repro.units import us_to_cycles
+from repro.wasp import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionRejected,
+    AdmissionTrace,
+    BoundedQueue,
+    BrownoutLevel,
+    Deadline,
+    HangKind,
+    Hypercall,
+    PermissivePolicy,
+    QueuedRequest,
+    ShedPolicy,
+    Supervisor,
+    TokenBucket,
+    VirtineHang,
+    VirtineTimeout,
+    Wasp,
+    Watchdog,
+)
+
+
+class TestDeadline:
+    def test_after_mints_absolute_expiry(self):
+        deadline = Deadline.after(100.0, 50.0)
+        assert deadline.expires_at == 150.0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline.after(0.0, -1.0)
+
+    def test_remaining_clamps_at_zero(self):
+        deadline = Deadline.after(0.0, 10.0)
+        assert deadline.remaining(4.0) == 6.0
+        assert deadline.remaining(25.0) == 0.0
+
+    def test_expiry_is_strict(self):
+        """At exactly the expiry the budget is spent but not exceeded,
+        matching Wasp.check_deadline's strict comparison."""
+        deadline = Deadline(expires_at=10.0)
+        assert not deadline.expired(10.0)
+        assert deadline.expired(10.0 + 1e-9)
+
+
+class TestTokenBucket:
+    def test_burst_then_exhaustion(self):
+        bucket = TokenBucket(rate=0.0, burst=3.0)
+        assert all(bucket.take(now=0.0) for _ in range(3))
+        assert not bucket.take(now=0.0)
+
+    def test_refill_restores_tokens(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0)
+        bucket.take(0.0)
+        bucket.take(0.0)
+        assert not bucket.take(0.0)
+        assert bucket.take(0.5)  # 0.5 s * 2 tokens/s = 1 token back
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2.0)
+        bucket.take(0.0)
+        bucket._refill(1_000.0)
+        assert bucket.tokens == 2.0
+
+    def test_time_never_runs_backwards(self):
+        bucket = TokenBucket(rate=1.0, burst=4.0)
+        bucket.take(10.0)
+        bucket.take(3.0)  # stale clock reading must not refill
+        assert bucket.tokens == pytest.approx(2.0)
+
+    def test_retry_after_advice(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0)
+        bucket.take(0.0)
+        assert bucket.retry_after(0.0) == pytest.approx(0.5)
+
+    def test_retry_after_infinite_without_refill(self):
+        bucket = TokenBucket(rate=0.0, burst=1.0)
+        bucket.take(0.0)
+        assert bucket.retry_after(0.0) == float("inf")
+
+    def test_drain_forces_deficit(self):
+        bucket = TokenBucket(rate=0.0, burst=8.0)
+        bucket.drain(0.0, 8.0)
+        assert not bucket.take(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+def _request(rid, image="img", priority=0, deadline=None, at=0.0):
+    return QueuedRequest(request_id=rid, image=image, priority=priority,
+                         deadline=deadline, enqueued_at=at)
+
+
+class TestBoundedQueue:
+    def test_reject_newest_refuses_overflow(self):
+        queue = BoundedQueue(max_depth=2, policy=ShedPolicy.REJECT_NEWEST)
+        assert queue.offer(_request(0)) == (True, [])
+        assert queue.offer(_request(1)) == (True, [])
+        accepted, evicted = queue.offer(_request(2))
+        assert not accepted and evicted == []
+        assert len(queue) == 2
+
+    def test_reject_oldest_evicts_head(self):
+        queue = BoundedQueue(max_depth=2, policy=ShedPolicy.REJECT_OLDEST)
+        queue.offer(_request(0))
+        queue.offer(_request(1))
+        accepted, evicted = queue.offer(_request(2))
+        assert accepted
+        assert [victim.request_id for victim in evicted] == [0]
+        entry, _ = queue.pop(now=0.0)
+        assert entry.request_id == 1
+
+    def test_priority_evicts_lowest_when_outranked(self):
+        queue = BoundedQueue(max_depth=2, policy=ShedPolicy.PRIORITY)
+        queue.offer(_request(0, priority=1))
+        queue.offer(_request(1, priority=5))
+        accepted, evicted = queue.offer(_request(2, priority=3))
+        assert accepted
+        assert [victim.request_id for victim in evicted] == [0]
+
+    def test_priority_tie_favours_incumbent(self):
+        queue = BoundedQueue(max_depth=1, policy=ShedPolicy.PRIORITY)
+        queue.offer(_request(0, priority=2))
+        accepted, evicted = queue.offer(_request(1, priority=2))
+        assert not accepted and evicted == []
+
+    def test_priority_pop_serves_highest_first(self):
+        queue = BoundedQueue(max_depth=4, policy=ShedPolicy.PRIORITY)
+        queue.offer(_request(0, priority=1, at=0.0))
+        queue.offer(_request(1, priority=9, at=1.0))
+        queue.offer(_request(2, priority=9, at=2.0))
+        entry, _ = queue.pop(now=3.0)
+        assert entry.request_id == 1  # highest priority, FIFO within ties
+
+    def test_pop_sheds_expired_waiters(self):
+        queue = BoundedQueue(max_depth=4)
+        queue.offer(_request(0, deadline=Deadline(expires_at=1.0)))
+        queue.offer(_request(1, deadline=Deadline(expires_at=100.0)))
+        entry, expired = queue.pop(now=50.0)
+        assert entry.request_id == 1
+        assert [victim.request_id for victim in expired] == [0]
+
+    def test_zero_depth_accepts_nothing(self):
+        queue = BoundedQueue(max_depth=0, policy=ShedPolicy.REJECT_OLDEST)
+        assert queue.offer(_request(0)) == (False, [])
+
+    def test_high_water_tracks_peak(self):
+        queue = BoundedQueue(max_depth=8)
+        for rid in range(3):
+            queue.offer(_request(rid))
+        queue.pop(now=0.0)
+        assert queue.high_water == 3
+
+
+class TestAdmissionController:
+    def test_admit_records_trace(self):
+        ctrl = AdmissionController()
+        ticket = ctrl.admit("img", now=0.0)
+        assert ticket.admitted
+        assert ctrl.admitted == 1
+        assert ctrl.signature() == ((0, "img", "admit"),)
+
+    def test_rate_limit_sheds_with_retry_advice(self):
+        ctrl = AdmissionController(AdmissionConfig(rate=0.5, burst=1.0))
+        assert ctrl.admit("img", now=0.0).admitted
+        ticket = ctrl.admit("img", now=0.0)
+        assert ticket.decision is AdmissionDecision.SHED_RATE_LIMIT
+        assert ticket.retry_after == pytest.approx(2.0)
+        assert ctrl.shed_by_reason["shed_rate_limit"] == 1
+
+    def test_rate_limit_is_per_image(self):
+        ctrl = AdmissionController(AdmissionConfig(rate=0.0, burst=1.0))
+        assert ctrl.admit("a", now=0.0).admitted
+        assert not ctrl.admit("a", now=0.0).admitted
+        assert ctrl.admit("b", now=0.0).admitted  # b's bucket untouched
+
+    def test_dead_on_arrival_deadline_sheds(self):
+        ctrl = AdmissionController()
+        ticket = ctrl.admit("img", now=10.0, deadline=Deadline(expires_at=5.0))
+        assert ticket.decision is AdmissionDecision.SHED_DEADLINE
+
+    def test_external_queue_bound_sheds(self):
+        ctrl = AdmissionController(AdmissionConfig(max_queue_depth=4))
+        ticket = ctrl.admit("img", now=0.0, queue_depth=4)
+        assert ticket.decision is AdmissionDecision.SHED_QUEUE_FULL
+
+    def test_eviction_and_expiry_land_in_trace(self):
+        ctrl = AdmissionController(AdmissionConfig(
+            max_queue_depth=1, shed_policy=ShedPolicy.REJECT_OLDEST))
+        first = ctrl.admit("img", now=0.0)
+        ctrl.enqueue("img", 0.0, request_id=first.request_id,
+                     deadline=Deadline(expires_at=1.0))
+        second = ctrl.admit("img", now=0.5)
+        ctrl.enqueue("img", 0.5, request_id=second.request_id,
+                     deadline=Deadline(expires_at=0.6))
+        assert ctrl.shed_by_reason["evicted"] == 1
+        assert ctrl.pop_ready(now=5.0) is None  # survivor expired waiting
+        assert ctrl.shed_by_reason["expired_in_queue"] == 1
+
+    def test_burst_fault_drains_bucket_deterministically(self):
+        def run():
+            plan = FaultPlan(seed=11)
+            plan.fail(FaultSite.BURST_ARRIVAL, rate=0.3)
+            ctrl = AdmissionController(
+                AdmissionConfig(rate=1.0, burst=4.0, burst_fault_cost=8.0),
+                fault_plan=plan)
+            for i in range(40):
+                ctrl.admit("img", now=i * 0.1)
+            return ctrl
+
+        first, second = run(), run()
+        assert first.shed_by_reason["shed_rate_limit"] > 0
+        assert first.signature() == second.signature()
+
+    def test_brownout_by_occupancy(self):
+        ctrl = AdmissionController(AdmissionConfig(
+            max_queue_depth=10, brownout_at=0.5, degraded_at=0.9))
+        assert ctrl.brownout_level(queue_depth=0) is BrownoutLevel.NORMAL
+        assert ctrl.brownout_level(queue_depth=5) is BrownoutLevel.BROWNOUT
+        assert ctrl.brownout_level(queue_depth=9) is BrownoutLevel.DEGRADED
+
+    def test_brownout_by_consecutive_sheds(self):
+        ctrl = AdmissionController(AdmissionConfig(
+            rate=0.0, burst=1.0, brownout_shed_run=2, degraded_shed_run=4))
+        ctrl.admit("img", now=0.0)
+        for _ in range(2):
+            ctrl.admit("img", now=0.0)
+        assert ctrl.brownout_level() is BrownoutLevel.BROWNOUT
+        for _ in range(2):
+            ctrl.admit("img", now=0.0)
+        assert ctrl.brownout_level() is BrownoutLevel.DEGRADED
+        # One admit resets the run.
+        ctrl.bucket_for("img").tokens = 1.0
+        ctrl.admit("img", now=0.0)
+        assert ctrl.brownout_level() is BrownoutLevel.NORMAL
+
+    def test_trace_json_roundtrip(self):
+        ctrl = AdmissionController(AdmissionConfig(rate=0.0, burst=1.0))
+        ctrl.admit("img", now=0.0)
+        ctrl.admit("img", now=1.0)
+        restored = AdmissionTrace.from_json(ctrl.trace.to_json())
+        assert restored.signature() == ctrl.trace.signature()
+        assert len(restored) == 2
+
+
+def stall_handler(req):
+    return "pong"
+
+
+class TestDeadlinePropagation:
+    def _busy_image(self, builder, chunk=100_000, chunks=100):
+        def entry(env):
+            for _ in range(chunks):
+                env.charge(chunk)
+            return "done"
+
+        return builder.hosted("busy", entry)
+
+    def test_absolute_deadline_cancels_launch(self):
+        wasp = Wasp()
+        image = self._busy_image(ImageBuilder())
+        deadline = Deadline.after(wasp.clock.cycles, 500_000)
+        with pytest.raises(VirtineTimeout):
+            wasp.launch(image, deadline=deadline)
+        assert wasp.timeouts == 1
+
+    def test_work_is_cancelled_mid_compute(self):
+        """A single charge far larger than the budget must not run to
+        completion on borrowed time: the clock stops at the deadline."""
+        wasp = Wasp()
+
+        def entry(env):
+            env.charge(50_000_000)  # ~18 ms in one indivisible charge
+            return "never"
+
+        image = ImageBuilder().hosted("hog", entry)
+        deadline_at = wasp.clock.cycles + 2_000_000
+        with pytest.raises(VirtineTimeout, match="mid-compute"):
+            wasp.launch(image, deadline=Deadline(expires_at=deadline_at))
+        # Cancelled at the deadline (plus post-crash shell quarantine
+        # scrubbing), nowhere near the 50M-cycle completion time.
+        assert wasp.clock.cycles <= deadline_at + 100_000
+
+    def test_absolute_deadline_wins_over_relative(self):
+        wasp = Wasp()
+        image = self._busy_image(ImageBuilder())
+        expired = Deadline(expires_at=wasp.clock.cycles)  # no budget at all
+        with pytest.raises(VirtineTimeout):
+            wasp.launch(image, deadline=expired, deadline_cycles=10**12)
+
+    def test_assembly_run_loop_is_deadline_sliced(self):
+        from repro.hw.cpu import Mode
+
+        wasp = Wasp()
+        builder = ImageBuilder()
+        with pytest.raises(VirtineTimeout):
+            wasp.launch(builder.fib(Mode.LONG64, 30), use_snapshot=False,
+                        deadline=Deadline.after(wasp.clock.cycles, 1_000))
+
+    def test_generous_deadline_does_not_perturb_result(self):
+        from repro.hw.cpu import Mode
+
+        wasp = Wasp()
+        builder = ImageBuilder()
+        result = wasp.launch(builder.fib(Mode.LONG64, 12), use_snapshot=False,
+                             deadline=Deadline.after(wasp.clock.cycles, 10**12))
+        assert result.ax == 144
+
+
+class TestWatchdog:
+    def test_registers_on_wasp(self):
+        wasp = Wasp()
+        dog = Watchdog(wasp)
+        assert wasp.watchdog is dog
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Watchdog(no_progress_cycles=0)
+        with pytest.raises(ValueError):
+            Watchdog(slow_progress_cycles=-1)
+
+    def test_no_progress_hang_killed(self):
+        """A silent compute grind past the threshold is a hang."""
+        wasp = Wasp()
+        dog = Watchdog(wasp, no_progress_cycles=us_to_cycles(1_000.0))
+
+        def entry(env):
+            env.charge(us_to_cycles(5_000.0))  # silent the whole time
+            return "never"
+
+        with pytest.raises(VirtineHang) as excinfo:
+            wasp.launch(ImageBuilder().hosted("wedged", entry))
+        assert excinfo.value.kind is HangKind.NO_PROGRESS
+        assert dog.kills_by_kind[HangKind.NO_PROGRESS] == 1
+
+    def test_milestones_keep_long_computes_alive(self):
+        """Checkpointing via milestones heartbeats the watchdog."""
+        wasp = Wasp()
+        Watchdog(wasp, no_progress_cycles=us_to_cycles(1_000.0))
+
+        def entry(env):
+            for _ in range(20):
+                env.charge(us_to_cycles(500.0))
+                env.milestone(1)
+            return "done"
+
+        assert wasp.launch(ImageBuilder().hosted("steady", entry)).value == "done"
+
+    def test_slow_progress_hang_killed(self):
+        """Beating but hopeless: alive past the slow-progress bound."""
+        wasp = Wasp()
+        dog = Watchdog(wasp, no_progress_cycles=us_to_cycles(1_000.0),
+                       slow_progress_cycles=us_to_cycles(3_000.0))
+
+        def entry(env):
+            for _ in range(100):
+                env.charge(us_to_cycles(500.0))
+                env.milestone(1)
+            return "never"
+
+        with pytest.raises(VirtineHang) as excinfo:
+            wasp.launch(ImageBuilder().hosted("grinder", entry))
+        assert excinfo.value.kind is HangKind.SLOW_PROGRESS
+        assert dog.kills_by_kind[HangKind.SLOW_PROGRESS] == 1
+
+    def test_guest_stall_fault_trips_watchdog(self):
+        """An injected GUEST_STALL wedges the guest ahead of a hypercall
+        long enough for the default watchdog to declare no-progress."""
+        plan = FaultPlan(seed=3)
+        plan.fail(FaultSite.GUEST_STALL, rate=1.0)
+        wasp = Wasp(fault_plan=plan)
+        Watchdog(wasp)
+
+        def entry(env):
+            return env.hypercall(Hypercall.INVOKE)
+
+        image = ImageBuilder().hosted("stalls", entry)
+        with pytest.raises(VirtineHang) as excinfo:
+            wasp.launch(image, policy=PermissivePolicy(),
+                        handlers={Hypercall.INVOKE: stall_handler})
+        assert excinfo.value.kind is HangKind.NO_PROGRESS
+
+    def test_hang_is_a_timeout_for_the_taxonomy(self):
+        """VirtineHang must flow through the PR-1 supervision machinery
+        as a TIMEOUT, with zero new wiring."""
+        from repro.wasp import CrashClass, classify
+
+        hang = VirtineHang("x", kind=HangKind.NO_PROGRESS)
+        assert isinstance(hang, VirtineTimeout)
+        assert classify(hang) is CrashClass.TIMEOUT
+
+
+class TestSupervisorAdmissionGate:
+    def test_shed_raises_admission_rejected(self):
+        wasp = Wasp()
+        ctrl = AdmissionController(AdmissionConfig(rate=0.0, burst=1.0))
+        supervisor = Supervisor(wasp, admission=ctrl)
+        image = ImageBuilder().hosted("ok", lambda env: "ok")
+        assert supervisor.launch(image, policy=PermissivePolicy()).value == "ok"
+        with pytest.raises(AdmissionRejected) as excinfo:
+            supervisor.launch(image, policy=PermissivePolicy())
+        assert excinfo.value.ticket.decision is AdmissionDecision.SHED_RATE_LIMIT
+        assert supervisor.shed == 1
+        assert ctrl.shed_total == 1
+
+    def test_shed_never_reaches_the_hypervisor(self):
+        wasp = Wasp()
+        ctrl = AdmissionController(AdmissionConfig(rate=0.0, burst=1.0))
+        supervisor = Supervisor(wasp, admission=ctrl)
+        image = ImageBuilder().hosted("ok", lambda env: "ok")
+        supervisor.launch(image, policy=PermissivePolicy())
+        launches_before = wasp.launches
+        with pytest.raises(AdmissionRejected):
+            supervisor.launch(image, policy=PermissivePolicy())
+        assert wasp.launches == launches_before
+
+    def test_supervised_timeout_lands_in_trace(self):
+        wasp = Wasp()
+        ctrl = AdmissionController()
+        supervisor = Supervisor(wasp, admission=ctrl)
+
+        def entry(env):
+            env.charge(50_000_000)
+            return "never"
+
+        image = ImageBuilder().hosted("hog", entry)
+        deadline = Deadline.after(wasp.clock.cycles, 1_000_000)
+        with pytest.raises(VirtineTimeout):
+            supervisor.launch(image, policy=PermissivePolicy(),
+                              deadline=deadline)
+        assert ctrl.timeouts >= 1
+        assert AdmissionDecision.TIMEOUT.value in {
+            event.decision.value for event in ctrl.trace.events}
+
+    def test_hang_counted_by_kind(self):
+        plan = FaultPlan(seed=5)
+        plan.fail(FaultSite.GUEST_STALL, rate=1.0)
+        wasp = Wasp(fault_plan=plan)
+        Watchdog(wasp)
+        supervisor = Supervisor(wasp)
+
+        def entry(env):
+            return env.hypercall(Hypercall.INVOKE)
+
+        image = ImageBuilder().hosted("stalls", entry)
+        with pytest.raises(VirtineTimeout):
+            supervisor.launch(image, policy=PermissivePolicy(),
+                              handlers={Hypercall.INVOKE: stall_handler})
+        assert supervisor.hangs_by_kind[HangKind.NO_PROGRESS] >= 1

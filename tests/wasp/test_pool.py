@@ -56,6 +56,40 @@ class TestAcquire:
         pool.acquire()
         assert pool.free_count == 2
 
+    def test_prewarm_clamped_to_max_free(self):
+        """An over-eager prewarm must not grow the free list past the
+        cap that release/quarantine enforce."""
+        pool = ShellPool(KVM(Clock()), MEM, max_free=2)
+        pool.prewarm(10)
+        assert pool.free_count == 2
+
+    def test_prewarm_tops_up_without_overshoot(self):
+        pool = ShellPool(KVM(Clock()), MEM, max_free=4)
+        pool.prewarm(2)
+        pool.prewarm(4)
+        assert pool.free_count == 4
+        pool.prewarm(1)  # already above target: no-op, no shrink
+        assert pool.free_count == 4
+
+    def test_defective_shell_charges_bookkeeping(self):
+        """Discarding a defective cached shell is free-list work: the
+        POOL_ACQUIRE fault path must charge POOL_BOOKKEEPING, not be
+        free."""
+        from repro.faults import FaultPlan, FaultSite
+
+        plan = FaultPlan(seed=9)
+        plan.fail(FaultSite.POOL_ACQUIRE, rate=1.0)
+        kvm = KVM(Clock())
+        pool = ShellPool(kvm, MEM, fault_plan=plan)
+        pool.release(pool.acquire(), CleanMode.NONE)
+        bad = pool._free[0]
+        with kvm.clock.region() as region:
+            shell = pool.acquire()
+        assert pool.defects == 1
+        assert shell is not bad
+        assert bad.handle.closed
+        assert region.elapsed >= COSTS.POOL_BOOKKEEPING
+
 
 class TestRelease:
     def _dirty_shell(self, pool):
@@ -102,6 +136,37 @@ class TestRelease:
         pool.release(b)
         assert pool.free_count == 1
         assert b.handle.closed  # overflow shells are destroyed
+
+    def test_overflow_release_closes_vm_on_device(self):
+        """The overflow shell's handle must actually be torn down at the
+        KVM device, not just dropped from the free list."""
+        kvm = KVM(Clock())
+        pool = ShellPool(kvm, MEM, max_free=1)
+        a = pool.acquire()
+        b = pool.create_scratch()
+        pool.release(a)
+        assert kvm.vms_closed == 0
+        pool.release(b)
+        assert kvm.vms_closed == 1
+
+    def test_overflow_quarantine_closes_vm_on_device(self):
+        kvm = KVM(Clock())
+        pool = ShellPool(kvm, MEM, max_free=1)
+        a = pool.acquire()
+        b = pool.create_scratch()
+        pool.release(a)
+        pool.quarantine(b)
+        assert kvm.vms_closed == 1
+        assert pool.quarantines == 1
+        assert pool.free_count == 1
+
+    def test_close_is_idempotent_in_bookkeeping(self):
+        kvm = KVM(Clock())
+        pool = ShellPool(kvm, MEM, max_free=0)
+        shell = pool.acquire()
+        pool.release(shell)
+        shell.handle.close()  # double close must not double count
+        assert kvm.vms_closed == 1
 
 
 class TestInformationLeakage:
