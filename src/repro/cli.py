@@ -7,7 +7,10 @@ runners.  Commands:
 * ``boot``      -- print the Table 1 boot breakdown.
 * ``creation``  -- print the Figure 8 creation-latency comparison.
 * ``metrics``   -- run a supervised workload under injected faults and
-  dump the supervision counters.
+  dump the supervision counters (``--json`` for machine-readable).
+* ``trace``     -- run a traced workload and emit the span timeline,
+  per-phase histograms, and attribution (``--format json`` writes a
+  Chrome trace-event file loadable at https://ui.perfetto.dev).
 * ``admission-replay`` -- run a seeded burst workload through the
   overload-protected scheduler twice and verify the recorded admission
   trace replays identically (IRIS-style record-and-replay).
@@ -173,6 +176,26 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         use_snapshot=True,
     )
 
+    if args.json:
+        import json
+
+        payload = {
+            "seed": args.seed,
+            "requests": args.requests,
+            "served": report.served,
+            "degraded_to_fallback": report.degraded_count,
+            "client_visible_failures": report.client_visible_failures,
+            "primary": collect(primary).to_dict(),
+            "fallback": collect(fallback).to_dict(),
+            "fault_trace": [
+                {"site": event.site.value, "nth": event.nth,
+                 "detail": event.detail}
+                for event in plan.trace
+            ],
+        }
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0 if report.client_visible_failures == 0 else 1
+
     print(f"supervised workload: seed={args.seed} requests={args.requests}")
     print(
         f"  served={report.served} degraded_to_fallback={report.degraded_count} "
@@ -275,6 +298,117 @@ def cmd_admission_replay(args: argparse.Namespace) -> int:
     return 0 if (match and p99_ok and queue_ok) else 1
 
 
+def _traced_echo(seed: int, requests: int):
+    from repro.apps.http.server import EchoServer
+    from repro.wasp import Wasp
+
+    wasp = Wasp(trace=True)
+    echo = EchoServer(wasp, port=7)
+    for i in range(requests):
+        conn = wasp.kernel.sys_connect(7)
+        wasp.kernel.sys_send(conn, b"ping %d" % i)
+        echo.handle_one()
+    return wasp
+
+
+def _traced_http(seed: int, requests: int):
+    from repro.apps.http.client import RequestGenerator
+    from repro.apps.http.server import StaticHttpServer
+    from repro.wasp import Wasp
+
+    wasp = Wasp(trace=True)
+    wasp.kernel.fs.add_file("/srv/index.html", b"<html>trace</html>")
+    server = StaticHttpServer(wasp, port=8080, isolation="snapshot")
+    generator = RequestGenerator(wasp.kernel, server, "/index.html")
+    for _ in range(requests):
+        generator.one_request()
+    return wasp
+
+
+def _traced_serverless(seed: int, requests: int):
+    """A seeded faulty burst, so shed/retry/quarantine spans appear."""
+    from repro.apps.serverless.platform import SupervisedPlatform
+    from repro.faults import FaultPlan, FaultSite
+    from repro.runtime.image import ImageBuilder
+    from repro.wasp import PermissivePolicy, Wasp
+    from repro.wasp.guestenv import GuestEnv
+
+    plan = (
+        FaultPlan(seed=seed)
+        .fail(FaultSite.VCPU_RUN, rate=0.08)
+        .fail(FaultSite.POOL_ACQUIRE, rate=0.05)
+        .fail(FaultSite.SNAPSHOT_RESTORE, rate=0.05)
+    )
+    primary = Wasp(fault_plan=plan, trace=True)
+    fallback = Wasp()
+
+    def entry(env: GuestEnv) -> int:
+        if not env.from_snapshot:
+            env.charge(20_000)
+            env.snapshot()
+        env.charge_bytes(4096)
+        return 0
+
+    image = ImageBuilder().hosted(name="trace-job", entry=entry)
+    SupervisedPlatform(primary, fallback).run_workload(
+        image, [None] * requests, policy=PermissivePolicy(), use_snapshot=True,
+    )
+    return primary
+
+
+TRACE_WORKLOADS = {
+    "echo": _traced_echo,
+    "http": _traced_http,
+    "serverless": _traced_serverless,
+}
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Trace a workload; print a timeline or write a Perfetto-loadable file."""
+    import json
+
+    from repro.trace import (
+        attribution,
+        phase_histograms,
+        render_timeline,
+        to_chrome_json,
+        validate_chrome_trace,
+    )
+
+    wasp = TRACE_WORKLOADS[args.workload](args.seed, args.requests)
+    tracer = wasp.tracer
+
+    if args.format == "json":
+        payload = to_chrome_json(tracer)
+        validate_chrome_trace(json.loads(payload))
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            print(f"wrote {args.out} ({len(payload):,} bytes; "
+                  "load it at https://ui.perfetto.dev)")
+        else:
+            sys.stdout.write(payload)
+        return 0
+
+    print(f"traced workload: {args.workload} seed={args.seed} "
+          f"requests={args.requests} ({len(list(tracer.walk()))} spans)")
+    if tracer.roots:
+        print()
+        print(f"last root span timeline (of {len(tracer.roots)}):")
+        print(render_timeline(tracer.roots[-1]))
+    print()
+    print("attribution (leaf cycles by category):")
+    folded = attribution(tracer, by="category")
+    total = sum(folded.values()) or 1
+    for category, cycles in sorted(folded.items(), key=lambda kv: -kv[1]):
+        print(f"  {category:12s} {cycles:>12,} cyc  {cycles / total:>6.1%}")
+    print()
+    print("per-phase latency histograms (cycles):")
+    for name, histogram in sorted(phase_histograms(tracer).items()):
+        print(f"  {name:28s} {histogram.summary()}")
+    return 0
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     from repro.hw.costs import COSTS
     from repro.units import TINKER_HZ
@@ -312,7 +446,24 @@ def main(argv: list[str] | None = None) -> int:
                          help="fault-plan seed (default 1234)")
     metrics.add_argument("--requests", type=int, default=200,
                          help="requests to serve (default 200)")
+    metrics.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON instead of text")
     metrics.set_defaults(handler=cmd_metrics)
+    trace = subparsers.add_parser(
+        "trace", help="cycle-accurate span trace of a workload"
+    )
+    trace.add_argument("workload", nargs="?", default="echo",
+                       choices=sorted(TRACE_WORKLOADS),
+                       help="workload to trace (default echo)")
+    trace.add_argument("--seed", type=int, default=1234,
+                       help="fault-plan seed for faulty workloads (default 1234)")
+    trace.add_argument("--requests", type=int, default=3,
+                       help="requests to run (default 3)")
+    trace.add_argument("--format", default="text", choices=["text", "json"],
+                       help="text timeline or Chrome trace-event JSON")
+    trace.add_argument("--out", default=None,
+                       help="write JSON output to this path instead of stdout")
+    trace.set_defaults(handler=cmd_trace)
     replay = subparsers.add_parser(
         "admission-replay",
         help="deterministic overload demo + admission-trace replay check",

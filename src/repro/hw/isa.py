@@ -34,6 +34,7 @@ from repro.hw.clock import Clock
 from repro.hw.cpu import CPU, CpuFault, GPRS, MSR_EFER, Mode
 from repro.hw.memory import GuestMemory
 from repro.hw.paging import PageFault, translate
+from repro.trace.tracer import NO_TRACE, Category, Tracer
 
 
 class AssemblyError(Exception):
@@ -355,11 +356,14 @@ class Interpreter:
         memory: GuestMemory,
         clock: Clock,
         costs: CostModel = COSTS,
+        tracer: Tracer | None = None,
     ) -> None:
         self.cpu = cpu
         self.memory = memory
         self.clock = clock
         self.costs = costs
+        #: Cycle tracer (disabled by default; never charges cycles).
+        self.tracer = tracer if tracer is not None else NO_TRACE
         self.program: Program | None = None
         self._by_addr: dict[int, Instr] = {}
         self.instructions_retired = 0
@@ -471,6 +475,7 @@ class Interpreter:
         self.component_cycles[component] = (
             self.component_cycles.get(component, 0) + cycles
         )
+        self.tracer.component(component, cycles)
 
     # -- stack ---------------------------------------------------------------------
     def _push(self, value: int) -> None:
@@ -635,9 +640,11 @@ class Interpreter:
             if bits == 32:
                 self._charge_component("jump to 32-bit (ljmp)", costs.LJMP_TO_32)
                 cpu.far_jump(Mode.PROT32, target_addr)
+                self.tracer.instant("cpu.mode:PROT32", Category.BOOT)
             elif bits == 64:
                 self._charge_component("jump to 64-bit (ljmp)", costs.LJMP_TO_64)
                 cpu.far_jump(Mode.LONG64, target_addr)
+                self.tracer.instant("cpu.mode:LONG64", Category.BOOT)
             else:
                 raise ExecutionError(f"ljmp to unsupported width {bits}")
             return

@@ -32,6 +32,7 @@ from repro.hw.isa import (
     TripleFault,
 )
 from repro.hw.memory import GuestMemory
+from repro.trace.tracer import NO_TRACE, Category, Tracer
 
 #: Magic, zero-cost instrumentation port (simulation-only; see module doc).
 DEBUG_PORT = 0xE9
@@ -80,14 +81,18 @@ class VirtualMachine:
         memory_size: int,
         clock: Clock,
         costs: CostModel = COSTS,
+        tracer: Tracer | None = None,
     ) -> None:
         self.clock = clock
         self.costs = costs
+        #: Cycle tracer (disabled by default; charges nothing, ever).
+        self.tracer = tracer if tracer is not None else NO_TRACE
         self.cpu = CPU()
         self.memory = GuestMemory(memory_size)
         self.memory.on_first_touch = self._ept_fault
         self.memory.on_cow_break = self._cow_break
-        self.interp = Interpreter(self.cpu, self.memory, clock, costs)
+        self.interp = Interpreter(self.cpu, self.memory, clock, costs,
+                                  tracer=self.tracer)
         self.milestones: list[Milestone] = []
         self.ept_faults = 0
         self.ept_fault_cycles = 0
@@ -106,14 +111,18 @@ class VirtualMachine:
         self.ept_fault_cycles += self.costs.EPT_FIRST_TOUCH_FAULT
         comp = self.interp.component_cycles
         comp["ept faults"] = comp.get("ept faults", 0) + self.costs.EPT_FIRST_TOUCH_FAULT
+        self.tracer.component("ept faults", self.costs.EPT_FIRST_TOUCH_FAULT,
+                              Category.VMM)
 
     def _cow_break(self, page: int) -> None:
         # First write to a page restored copy-on-write: take the
         # write-protection fault and copy the 4 KB page.  Charged whether
         # the writer is the guest or a host-side marshalling copy (both
         # materialise the private page).
-        self.clock.advance(self.costs.COW_BREAK_FAULT + self.costs.memcpy(4096))
+        cost = self.costs.COW_BREAK_FAULT + self.costs.memcpy(4096)
+        self.clock.advance(cost)
         self.cow_breaks += 1
+        self.tracer.component("cow break", int(cost), Category.VMM)
 
     # -- program management -------------------------------------------------------
     def load_program(self, program: Program) -> None:
@@ -127,13 +136,17 @@ class VirtualMachine:
         The entry and exit world-switch costs are charged here; the KVM
         layer adds its ioctl/ring costs on top.
         """
+        span = self.tracer.begin("vmrun", Category.VMM)
         self.clock.advance(self.costs.VMRUN_ENTRY)
         self._in_guest = True
         try:
-            return self._run_until_exit(max_steps)
+            info = self._run_until_exit(max_steps)
+            span.annotate(exit_reason=info.reason.value, steps=info.steps)
+            return info
         finally:
             self._in_guest = False
             self.clock.advance(self.costs.VMRUN_EXIT)
+            self.tracer.end(span)
 
     def _run_until_exit(self, max_steps: int) -> ExitInfo:
         steps = 0
@@ -146,6 +159,8 @@ class VirtualMachine:
             except IOOutExit as io:
                 if io.port == DEBUG_PORT:
                     self.milestones.append(Milestone(marker=io.value, cycles=self.clock.cycles))
+                    self.tracer.instant(f"milestone:{io.value}", Category.GUEST,
+                                        marker=io.value)
                     continue
                 return ExitInfo(reason=ExitReason.IO_OUT, port=io.port, value=io.value, steps=steps)
             except IOInExit as io:

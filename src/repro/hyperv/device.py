@@ -24,6 +24,7 @@ from repro.hw.clock import Clock
 from repro.hw.costs import COSTS, CostModel
 from repro.hw.isa import Program
 from repro.hw.vmx import ExitInfo, VirtualMachine
+from repro.trace.tracer import NO_TRACE, Category, Tracer
 
 #: WHvCreatePartition + WHvSetupPartition (two API round trips; slightly
 #: heavier than KVM_CREATE_VM).
@@ -52,10 +53,12 @@ class HyperV:
         clock: Clock,
         costs: CostModel = COSTS,
         fault_plan: FaultPlan | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.clock = clock
         self.costs = costs
         self.fault_plan = fault_plan if fault_plan is not None else NO_FAULTS
+        self.tracer = tracer if tracer is not None else NO_TRACE
         self.vms_created = 0
         #: Partitions released via ``PartitionHandle.close`` (leak
         #: accounting mirrors the KVM device).
@@ -64,6 +67,9 @@ class HyperV:
     def create_vm(self) -> "PartitionHandle":
         """``WHvCreatePartition`` + ``WHvSetupPartition``."""
         self.clock.advance(WHV_CREATE_PARTITION + WHV_SETUP_PARTITION)
+        self.tracer.component("WHvCreatePartition",
+                              WHV_CREATE_PARTITION + WHV_SETUP_PARTITION,
+                              Category.VMM)
         self.vms_created += 1
         return PartitionHandle(hyperv=self)
 
@@ -87,8 +93,11 @@ class PartitionHandle:
         if self.vm is not None:
             raise HypervError("GPA range already mapped")
         self.hyperv.clock.advance(WHV_MAP_GPA_RANGE)
+        self.hyperv.tracer.component("WHvMapGpaRange", WHV_MAP_GPA_RANGE,
+                                     Category.VMM)
         self.vm = VirtualMachine(
-            memory_size=size, clock=self.hyperv.clock, costs=self.hyperv.costs
+            memory_size=size, clock=self.hyperv.clock, costs=self.hyperv.costs,
+            tracer=self.hyperv.tracer,
         )
 
     def create_vcpu(self) -> "WhvVcpuHandle":
@@ -99,6 +108,8 @@ class PartitionHandle:
         if self.vcpu is not None:
             raise HypervError("virtual processor already created")
         self.hyperv.clock.advance(WHV_CREATE_VCPU)
+        self.hyperv.tracer.component("WHvCreateVirtualProcessor",
+                                     WHV_CREATE_VCPU, Category.VMM)
         self.vcpu = WhvVcpuHandle(self)
         return self.vcpu
 
@@ -133,12 +144,19 @@ class WhvVcpuHandle:
         """``WHvRunVirtualProcessor``: run until the next exit."""
         self.handle._check_open()
         hyperv = self.handle.hyperv
-        hyperv.clock.advance(WHV_RUN_OVERHEAD)
-        if hyperv.fault_plan.draw(FaultSite.VCPU_RUN):
-            raise hyperv.fault_plan.fault(
-                FaultSite.VCPU_RUN, "WHvRunVirtualProcessor aborted"
-            )
-        return self.vm.vmrun(max_steps=max_steps)
+        span = hyperv.tracer.begin("WHvRunVirtualProcessor", Category.VMM)
+        try:
+            hyperv.clock.advance(WHV_RUN_OVERHEAD)
+            if hyperv.fault_plan.draw(FaultSite.VCPU_RUN):
+                span.annotate(error="InjectedFault")
+                raise hyperv.fault_plan.fault(
+                    FaultSite.VCPU_RUN, "WHvRunVirtualProcessor aborted"
+                )
+            info = self.vm.vmrun(max_steps=max_steps)
+            span.annotate(exit_reason=info.reason.value)
+            return info
+        finally:
+            hyperv.tracer.end(span)
 
     def complete_io_in(self, dest: str, value: int) -> None:
         self.vm.complete_io_in(dest, value)

@@ -24,6 +24,7 @@ from repro.hw.clock import Clock
 from repro.hw.costs import COSTS, CostModel
 from repro.hw.isa import Program
 from repro.hw.vmx import ExitInfo, VirtualMachine
+from repro.trace.tracer import NO_TRACE, Category, Tracer
 
 
 class KvmError(Exception):
@@ -38,10 +39,12 @@ class KVM:
         clock: Clock,
         costs: CostModel = COSTS,
         fault_plan: FaultPlan | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.clock = clock
         self.costs = costs
         self.fault_plan = fault_plan if fault_plan is not None else NO_FAULTS
+        self.tracer = tracer if tracer is not None else NO_TRACE
         self.vms_created = 0
         #: VM fds released via ``VMHandle.close`` (leak accounting:
         #: ``vms_created - vms_closed`` is the live-handle population).
@@ -49,7 +52,9 @@ class KVM:
 
     def create_vm(self) -> "VMHandle":
         """``KVM_CREATE_VM``: allocate in-kernel VM state."""
-        self.clock.advance(self.costs.ioctl() + self.costs.KVM_CREATE_VM_BASE)
+        cost = self.costs.ioctl() + self.costs.KVM_CREATE_VM_BASE
+        self.clock.advance(cost)
+        self.tracer.component("KVM_CREATE_VM", cost, Category.VMM)
         self.vms_created += 1
         return VMHandle(kvm=self)
 
@@ -72,8 +77,11 @@ class VMHandle:
         self._check_open()
         if self.vm is not None:
             raise KvmError("memory region already registered")
-        self.kvm.clock.advance(self.kvm.costs.ioctl() + self.kvm.costs.KVM_SET_MEMORY_REGION)
-        self.vm = VirtualMachine(memory_size=size, clock=self.kvm.clock, costs=self.kvm.costs)
+        cost = self.kvm.costs.ioctl() + self.kvm.costs.KVM_SET_MEMORY_REGION
+        self.kvm.clock.advance(cost)
+        self.kvm.tracer.component("KVM_SET_USER_MEMORY_REGION", cost, Category.VMM)
+        self.vm = VirtualMachine(memory_size=size, clock=self.kvm.clock,
+                                 costs=self.kvm.costs, tracer=self.kvm.tracer)
 
     def create_vcpu(self) -> "VcpuHandle":
         """``KVM_CREATE_VCPU``: allocate a vCPU."""
@@ -82,7 +90,9 @@ class VMHandle:
             raise KvmError("create_vcpu before set_user_memory_region")
         if self.vcpu is not None:
             raise KvmError("vCPU already created")
-        self.kvm.clock.advance(self.kvm.costs.ioctl() + self.kvm.costs.KVM_CREATE_VCPU)
+        cost = self.kvm.costs.ioctl() + self.kvm.costs.KVM_CREATE_VCPU
+        self.kvm.clock.advance(cost)
+        self.kvm.tracer.component("KVM_CREATE_VCPU", cost, Category.VMM)
         self.vcpu = VcpuHandle(self)
         return self.vcpu
 
@@ -124,12 +134,19 @@ class VcpuHandle:
         """
         self.handle._check_open()
         kvm = self.handle.kvm
-        kvm.clock.advance(kvm.costs.ioctl() + kvm.costs.KVM_RUN_CHECKS)
-        if kvm.fault_plan.draw(FaultSite.VCPU_RUN):
-            # The ioctl returns -1 without ever entering the guest (the
-            # ring transitions above were still paid).
-            raise kvm.fault_plan.fault(FaultSite.VCPU_RUN, "KVM_RUN aborted")
-        return self.vm.vmrun(max_steps=max_steps)
+        span = kvm.tracer.begin("KVM_RUN", Category.VMM)
+        try:
+            kvm.clock.advance(kvm.costs.ioctl() + kvm.costs.KVM_RUN_CHECKS)
+            if kvm.fault_plan.draw(FaultSite.VCPU_RUN):
+                # The ioctl returns -1 without ever entering the guest (the
+                # ring transitions above were still paid).
+                span.annotate(error="InjectedFault")
+                raise kvm.fault_plan.fault(FaultSite.VCPU_RUN, "KVM_RUN aborted")
+            info = self.vm.vmrun(max_steps=max_steps)
+            span.annotate(exit_reason=info.reason.value)
+            return info
+        finally:
+            kvm.tracer.end(span)
 
     def complete_io_in(self, dest: str, value: int) -> None:
         """Deliver the result of an ``in`` port read before re-entry."""

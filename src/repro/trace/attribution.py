@@ -1,0 +1,102 @@
+"""Folding span trees into attribution totals and per-phase histograms.
+
+:func:`attribution` is the flamegraph fold: every *leaf* span's cycles
+land in exactly one bucket (keyed by name or category), so the totals
+sum to the traced interval with nothing counted twice -- the span-tree
+invariant (children sum to parents, gaps become explicit ``other``
+leaves) guarantees it.
+
+:func:`boot_breakdown` reproduces Table 1's boot rows from trace data
+alone: the transition components come straight from the interpreter's
+component leaf spans, and the "paging identity mapping" row is recovered
+from the guest's milestone instants exactly the way the benchmark (and
+the paper's guest-side ``rdtsc`` instrumentation) computes it.
+"""
+
+from __future__ import annotations
+
+from repro.trace.histogram import CycleHistogram
+from repro.trace.tracer import Span, Tracer
+
+#: Prefix milestone instants are recorded under (see ``hw.vmx``).
+MILESTONE_PREFIX = "milestone:"
+
+
+def attribution(root: Span | Tracer, by: str = "name") -> dict[str, int]:
+    """Fold a span tree (or a whole trace) into cycle totals per leaf key.
+
+    ``by`` selects the fold key: ``"name"`` (the Table 1 style component
+    fold) or ``"category"`` (which plane of the stack the cycles belong
+    to).  Only leaves contribute, so ``sum(result.values())`` equals the
+    traced cycles exactly.
+    """
+    if by not in ("name", "category"):
+        raise ValueError(f"unknown fold key {by!r} (use 'name' or 'category')")
+    spans = root.walk() if isinstance(root, (Tracer, Span)) else root
+    totals: dict[str, int] = {}
+    for span in spans:
+        if span.children:
+            continue
+        key = span.name if by == "name" else span.category.value
+        totals[key] = totals.get(key, 0) + span.cycles
+    return totals
+
+
+def milestone_deltas(root: Span | Tracer) -> dict[int, int]:
+    """Marker id -> cycles since the previous milestone instant.
+
+    The trace-side equivalent of ``VirtualMachine.milestone_deltas``:
+    rebuilt purely from the ``milestone:<marker>`` instants the traced
+    guest emitted through the debug port.
+    """
+    events = (root.all_events() if isinstance(root, Tracer)
+              else [e for s in root.walk() for e in s.events])
+    deltas: dict[int, int] = {}
+    prev: int | None = None
+    for event in sorted(events, key=lambda e: e.cycles):
+        if not event.name.startswith(MILESTONE_PREFIX):
+            continue
+        marker = int(event.name[len(MILESTONE_PREFIX):])
+        if prev is not None:
+            deltas[marker] = event.cycles - prev
+        prev = event.cycles
+    return deltas
+
+
+def boot_breakdown(root: Span | Tracer) -> dict[str, int]:
+    """Table 1's boot components, recovered from trace data alone.
+
+    The direct rows (mode transitions, GDT loads, first instruction) are
+    the component leaf spans; "paging identity mapping" -- table stores,
+    the EPT construction they trigger, and the paging-enable controls --
+    is the span of simulated time between the guest's ident-map
+    milestones, exactly the formula the Table 1 benchmark uses.
+    """
+    # Imported here, not at module top: the hw layers import repro.trace
+    # for NO_TRACE, and runtime.boot sits above them in the stack.
+    from repro.runtime import boot
+
+    components = attribution(root, by="name")
+    deltas = milestone_deltas(root)
+    ident = deltas.get(boot.MS_AFTER_IDENT_MAP, 0) + deltas.get(boot.MS_PAGING_ON, 0)
+    if ident:
+        components["paging identity mapping"] = ident
+    return components
+
+
+def phase_histograms(tracer: Tracer) -> dict[str, CycleHistogram]:
+    """Per-phase latency histograms across every span in the trace.
+
+    Every span (leaf or interior) records its duration into the
+    histogram for its name, so `launch:*` roots give end-to-end
+    distributions while `KVM_RUN` / `hypercall:*` / `pool.acquire` give
+    the per-phase ones -- Figure 8's creation paths and Figure 4's
+    milestones as distributions rather than single numbers.
+    """
+    histograms: dict[str, CycleHistogram] = {}
+    for span in tracer.walk():
+        histogram = histograms.get(span.name)
+        if histogram is None:
+            histogram = histograms[span.name] = CycleHistogram()
+        histogram.record(span.cycles)
+    return histograms

@@ -1,0 +1,173 @@
+"""Trace export: Chrome ``trace_event`` JSON and a text timeline.
+
+The JSON form follows the Trace Event Format (the ``traceEvents`` array
+of ``ph: "X"`` complete events and ``ph: "i"`` instants) and loads
+directly in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+Timestamps are **simulated cycles**, not microseconds -- the viewer's
+time axis reads in cycles (recorded in ``otherData.clock_domain``).
+
+Byte-for-byte determinism contract: ``to_chrome_json`` sorts keys,
+fixes separators, and contains nothing derived from wall-clock time or
+object identity, so the same seed + workload yields an identical file.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.trace.tracer import Category, Event, Span, Tracer
+
+#: ``pid``/``tid`` used for every event: the simulation is one process,
+#: one logical thread of simulated time.
+SIM_PID = 1
+SIM_TID = 1
+
+
+def _args_json(args: dict) -> dict:
+    """Annotation dict -> JSON-safe dict (values stringified, keys sorted)."""
+    safe = {}
+    for key in sorted(args):
+        value = args[key]
+        if isinstance(value, (bool, int, float, str)) or value is None:
+            safe[key] = value
+        else:
+            safe[key] = str(value)
+    return safe
+
+
+def _span_event(span: Span) -> dict:
+    event = {
+        "name": span.name,
+        "cat": span.category.value,
+        "ph": "X",
+        "ts": span.begin,
+        "dur": span.cycles,
+        "pid": SIM_PID,
+        "tid": SIM_TID,
+    }
+    args = _args_json(span.args)
+    args["sid"] = span.sid
+    if span.parent is not None:
+        args["parent"] = span.parent
+    event["args"] = args
+    return event
+
+
+def _instant_event(event: Event) -> dict:
+    return {
+        "name": event.name,
+        "cat": event.category.value,
+        "ph": "i",
+        "ts": event.cycles,
+        "s": "t",
+        "pid": SIM_PID,
+        "tid": SIM_TID,
+        "args": _args_json(event.args),
+    }
+
+
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """Render a finished tracer as a Trace Event Format object."""
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": SIM_PID, "tid": SIM_TID,
+         "args": {"name": "virtines-sim"}},
+        {"name": "thread_name", "ph": "M", "pid": SIM_PID, "tid": SIM_TID,
+         "args": {"name": "simulated cycles"}},
+    ]
+    spans = sorted(tracer.walk(), key=lambda s: (s.begin, s.sid))
+    events.extend(_span_event(span) for span in spans)
+    events.extend(_instant_event(e) for e in tracer.all_events())
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "clock_domain": "simulated-cycles",
+            "source": "repro.trace",
+        },
+    }
+
+
+def to_chrome_json(tracer: Tracer) -> str:
+    """The byte-stable JSON serialization of :func:`to_chrome_trace`."""
+    return json.dumps(to_chrome_trace(tracer), sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+#: Phase letters the validator accepts (the subset this module emits).
+_VALID_PHASES = {"X", "i", "M"}
+
+
+def validate_chrome_trace(obj: object) -> int:
+    """Check ``obj`` against the Trace Event Format; returns event count.
+
+    A dependency-free structural validator (the CI trace-smoke step and
+    the tests share it): top-level shape, required per-event fields, and
+    the duration/timestamp sanity every ``ph: "X"`` event must satisfy.
+    Raises :class:`ValueError` on the first violation.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError("trace must be a JSON object with 'traceEvents'")
+    events = obj.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("'traceEvents' must be a non-empty array")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        phase = event.get("ph")
+        if phase not in _VALID_PHASES:
+            raise ValueError(f"traceEvents[{i}] has unknown phase {phase!r}")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"traceEvents[{i}] lacks a name")
+        if not isinstance(event.get("pid"), int):
+            raise ValueError(f"traceEvents[{i}] lacks an integer pid")
+        if phase == "M":
+            continue
+        if not isinstance(event.get("ts"), int) or event["ts"] < 0:
+            raise ValueError(f"traceEvents[{i}] lacks a non-negative ts")
+        if not isinstance(event.get("cat"), str):
+            raise ValueError(f"traceEvents[{i}] lacks a category")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, int) or dur < 0:
+                raise ValueError(f"traceEvents[{i}] lacks a non-negative dur")
+    return len(events)
+
+
+# ---------------------------------------------------------------------------
+# Text timeline
+# ---------------------------------------------------------------------------
+
+def render_span(span: Span, origin: int | None = None, indent: int = 0) -> list[str]:
+    """Render one span tree as indented timeline lines.
+
+    Cycles are shown relative to ``origin`` (defaults to the span's own
+    begin), so a launch timeline starts at 0 regardless of how much
+    simulated time passed before it.
+    """
+    if origin is None:
+        origin = span.begin
+    pad = "  " * indent
+    notes = " ".join(
+        f"{key}={span.args[key]}" for key in sorted(span.args)
+    )
+    lines = [
+        f"{pad}[{span.begin - origin:>10,} +{span.cycles:>9,}] "
+        f"{span.name}" + (f"  ({notes})" if notes else "")
+    ]
+    marks = [(e.cycles, 1, e) for e in span.events]
+    kids = [(c.begin, 0, c) for c in span.children]
+    for _, _, item in sorted(marks + kids, key=lambda t: (t[0], t[1])):
+        if isinstance(item, Span):
+            lines.extend(render_span(item, origin, indent + 1))
+        else:
+            note = " ".join(f"{k}={item.args[k]}" for k in sorted(item.args))
+            lines.append(
+                f"{'  ' * (indent + 1)}[{item.cycles - origin:>10,}          ] "
+                f"* {item.name}" + (f"  ({note})" if note else "")
+            )
+    return lines
+
+
+def render_timeline(span: Span) -> str:
+    """A launch's span tree as a one-screen indented timeline."""
+    return "\n".join(render_span(span))

@@ -25,6 +25,7 @@ from repro.hw.costs import COSTS, CostModel
 from repro.hw.vmx import STEP_BUDGET_EXHAUSTED, ExitReason
 from repro.kvm.device import KVM
 from repro.runtime.image import HOSTED_ENTER_PORT, VirtineImage
+from repro.trace.tracer import NO_TRACE, Category, Tracer
 from repro.wasp.guestenv import GuestEnv, GuestExitRequested
 from repro.wasp.handlers import CannedHandlers
 from repro.wasp.hypercall import (
@@ -86,6 +87,8 @@ class Wasp:
         costs: CostModel = COSTS,
         backend: str = "kvm",
         fault_plan: FaultPlan | None = None,
+        tracer: Tracer | None = None,
+        trace: bool = False,
     ) -> None:
         self.fault_plan = fault_plan if fault_plan is not None else NO_FAULTS
         if kernel is not None:
@@ -96,12 +99,24 @@ class Wasp:
             self.kernel = HostKernel(costs=costs, fault_plan=self.fault_plan)
         self.costs = costs
         self.clock = self.kernel.clock
+        #: Tracing is off by default: every instrumentation site calls the
+        #: :data:`~repro.trace.tracer.NO_TRACE` no-op unconditionally, so
+        #: the disabled path adds zero simulated cycles and no branches.
+        if tracer is not None:
+            self.tracer = tracer
+        elif trace:
+            self.tracer = Tracer(self.clock)
+        else:
+            self.tracer = NO_TRACE
+        self.tracer.bind(self.clock)
         if backend == "kvm":
-            self.kvm = KVM(self.clock, costs, fault_plan=self.fault_plan)
+            self.kvm = KVM(self.clock, costs, fault_plan=self.fault_plan,
+                           tracer=self.tracer)
         elif backend == "hyperv":
             from repro.hyperv.device import HyperV
 
-            self.kvm = HyperV(self.clock, costs, fault_plan=self.fault_plan)
+            self.kvm = HyperV(self.clock, costs, fault_plan=self.fault_plan,
+                              tracer=self.tracer)
         else:
             raise ValueError(f"unknown VMM backend {backend!r} (use one of {self.BACKENDS})")
         self.backend = backend
@@ -180,43 +195,58 @@ class Wasp:
         self.launches += 1
         pool = self.pool_for(self.memory_size_for(image))
         region = self.clock.region()
-        shell = pool.acquire() if pooled else pool.create_scratch()
-        virtine = self._make_virtine(image, shell, policy, handlers, resources, allowed_paths)
-        virtine.snapshot_key = snapshot_key or image.name
-        virtine.started_cycles = self.clock.cycles
-        virtine.last_beat_cycles = self.clock.cycles
-        if deadline is not None:
-            virtine.deadline = int(deadline.expires_at)
-        elif deadline_cycles is not None:
-            virtine.deadline = self.clock.cycles + deadline_cycles
-        from_snapshot = False
-        crashed = False
+        # The launch root span opens with the measurement region and
+        # closes (in the outer ``finally``) after teardown, so its cycle
+        # count equals ``VirtineResult.cycles`` exactly: nothing advances
+        # the clock between ``region.stop()`` and the span's end.
+        launch_span = self.tracer.begin(
+            f"launch:{image.name}", Category.LAUNCH,
+            image=image.name, pooled=pooled,
+        )
         try:
-            snap = self._usable_snapshot(virtine.snapshot_key) if use_snapshot else None
-            if snap is not None:
-                from_snapshot = True
-                self._restore_snapshot(virtine, snap, restore_mode)
-                if snap.hosted:
-                    self._run_hosted(virtine, args, restored=snap.payload_copy(),
-                                     from_snapshot=True)
-                self._run_loop(virtine, args, max_steps)
-            else:
-                self._install_image(virtine)
-                self._run_loop(virtine, args, max_steps)
-            final_ax = shell.vm.cpu.regs["ax"]
-            milestones = [(m.marker, m.cycles) for m in shell.vm.milestones]
-        except BaseException:
-            crashed = True
+            shell = pool.acquire() if pooled else pool.create_scratch()
+            virtine = self._make_virtine(image, shell, policy, handlers, resources, allowed_paths)
+            virtine.snapshot_key = snapshot_key or image.name
+            virtine.started_cycles = self.clock.cycles
+            virtine.last_beat_cycles = self.clock.cycles
+            if deadline is not None:
+                virtine.deadline = int(deadline.expires_at)
+            elif deadline_cycles is not None:
+                virtine.deadline = self.clock.cycles + deadline_cycles
+            from_snapshot = False
+            crashed = False
+            try:
+                snap = self._usable_snapshot(virtine.snapshot_key) if use_snapshot else None
+                if snap is not None:
+                    from_snapshot = True
+                    self._restore_snapshot(virtine, snap, restore_mode)
+                    if snap.hosted:
+                        self._run_hosted(virtine, args, restored=snap.payload_copy(),
+                                         from_snapshot=True)
+                    self._run_loop(virtine, args, max_steps)
+                else:
+                    self._install_image(virtine)
+                    self._run_loop(virtine, args, max_steps)
+                final_ax = shell.vm.cpu.regs["ax"]
+                milestones = [(m.marker, m.cycles) for m in shell.vm.milestones]
+            except BaseException:
+                crashed = True
+                raise
+            finally:
+                self._close_virtine_fds(virtine)
+                if pooled:
+                    if crashed:
+                        pool.quarantine(shell)
+                    else:
+                        pool.release(shell, clean)
+                else:
+                    shell.handle.close()
+            launch_span.annotate(from_snapshot=from_snapshot)
+        except BaseException as error:
+            launch_span.annotate(error=type(error).__name__)
             raise
         finally:
-            self._close_virtine_fds(virtine)
-            if pooled:
-                if crashed:
-                    pool.quarantine(shell)
-                else:
-                    pool.release(shell, clean)
-            else:
-                shell.handle.close()
+            self.tracer.end(launch_span)
         return VirtineResult(
             value=virtine.result,
             exit_code=virtine.exit_code,
@@ -261,10 +291,11 @@ class Wasp:
         """Cold path: copy the image into guest memory and reset the vCPU."""
         image = virtine.image
         vm = virtine.shell.vm
-        vm.reset()
-        self.clock.advance(self.costs.memcpy(image.size))
-        vm.memory.load_bytes(image.image_bytes, image.program.base)
-        vm.interp.attach_program(image.program)
+        with self.tracer.span("image.install", Category.BOOT, bytes=image.size):
+            vm.reset()
+            self.clock.advance(self.costs.memcpy(image.size))
+            vm.memory.load_bytes(image.image_bytes, image.program.base)
+            vm.interp.attach_program(image.program)
 
     def _usable_snapshot(self, key: str) -> Snapshot | None:
         """Fetch and integrity-check a stored reset state.
@@ -278,15 +309,18 @@ class Wasp:
         snap = self.snapshots.get(key)
         if snap is None:
             return None
-        if self.fault_plan.draw(FaultSite.SNAPSHOT_RESTORE, key):
-            snap.corrupt()
-        self.clock.advance(self.costs.checksum(snap.copy_size))
-        if not snap.verify():
-            self.snapshots.drop(key)
-            self.snapshots.integrity_failures += 1
-            self.snapshot_fallbacks += 1
-            return None
-        return snap
+        with self.tracer.span("snapshot.verify", Category.SNAPSHOT, key=key) as span:
+            if self.fault_plan.draw(FaultSite.SNAPSHOT_RESTORE, key):
+                snap.corrupt()
+            self.clock.advance(self.costs.checksum(snap.copy_size))
+            if not snap.verify():
+                self.snapshots.drop(key)
+                self.snapshots.integrity_failures += 1
+                self.snapshot_fallbacks += 1
+                span.annotate(outcome="corrupt")
+                return None
+            span.annotate(outcome="ok")
+            return snap
 
     def check_deadline(self, virtine: Virtine) -> None:
         """Kill a virtine that has outlived its cycle deadline (or hung).
@@ -301,6 +335,8 @@ class Wasp:
         if virtine.deadline is not None and self.clock.cycles > virtine.deadline:
             self.timeouts += 1
             consumed = self.clock.cycles - virtine.started_cycles
+            self.tracer.instant("deadline.exceeded", Category.SUPERVISION,
+                                consumed=consumed)
             raise VirtineTimeout(
                 f"virtine {virtine.name!r} exceeded its cycle deadline "
                 f"({consumed:,} cycles consumed)",
@@ -309,8 +345,12 @@ class Wasp:
         if self.watchdog is not None:
             try:
                 self.watchdog.check(virtine, self.clock.cycles)
-            except VirtineHang:
+            except VirtineHang as hang:
                 self.timeouts += 1
+                self.tracer.instant(
+                    "watchdog.kill", Category.SUPERVISION,
+                    kind=getattr(getattr(hang, "kind", None), "value", None),
+                )
                 raise
 
     def charge_guest(self, virtine: Virtine, cycles: int) -> None:
@@ -326,7 +366,9 @@ class Wasp:
         if virtine.deadline is not None:
             remaining = virtine.deadline - self.clock.cycles
             if cycles > remaining:
-                self.clock.advance(max(0, remaining) + 1)
+                charged = max(0, remaining) + 1
+                self.clock.advance(charged)
+                self.tracer.component("guest.compute", charged, Category.GUEST)
                 self.timeouts += 1
                 consumed = self.clock.cycles - virtine.started_cycles
                 raise VirtineTimeout(
@@ -335,6 +377,7 @@ class Wasp:
                     cycles=consumed,
                 )
         self.clock.advance(cycles)
+        self.tracer.component("guest.compute", cycles, Category.GUEST)
         self.check_deadline(virtine)
 
     def _beat(self, virtine: Virtine) -> None:
@@ -350,18 +393,20 @@ class Wasp:
     ) -> None:
         """Warm path: install the reset state instead of booting."""
         vm = virtine.shell.vm
-        if mode is RestoreMode.EAGER:
-            self.clock.advance(self.costs.memcpy(snap.copy_size))
-            vm.memory.restore_pages(dict(snap.pages))
-        else:
-            # CoW: cheap shared mappings now, per-page copies on write.
-            self.clock.advance(self.costs.COW_MAP_PER_PAGE * len(snap.pages))
-            vm.memory.restore_pages_cow(dict(snap.pages))
-        vm.memory.mark_touched(snap.pages.keys())
-        vm.cpu.load_state(snap.cpu_state)
-        vm.interp.attach_program(virtine.image.program, reset_rip=False)
-        vm.milestones.clear()
-        self.snapshots.note_restore()
+        with self.tracer.span("snapshot.restore", Category.SNAPSHOT,
+                              mode=mode.value, pages=len(snap.pages)):
+            if mode is RestoreMode.EAGER:
+                self.clock.advance(self.costs.memcpy(snap.copy_size))
+                vm.memory.restore_pages(dict(snap.pages))
+            else:
+                # CoW: cheap shared mappings now, per-page copies on write.
+                self.clock.advance(self.costs.COW_MAP_PER_PAGE * len(snap.pages))
+                vm.memory.restore_pages_cow(dict(snap.pages))
+            vm.memory.mark_touched(snap.pages.keys())
+            vm.cpu.load_state(snap.cpu_state)
+            vm.interp.attach_program(virtine.image.program, reset_rip=False)
+            vm.milestones.clear()
+            self.snapshots.note_restore()
 
     def _deadline_slice(self, virtine: Virtine, steps_left: int) -> int:
         """Bound one KVM_RUN's step budget by the virtine's deadline.
@@ -438,7 +483,8 @@ class Wasp:
         env = GuestEnv(self, virtine, args=args, restored=restored,
                        persistent=persistent, from_snapshot=from_snapshot)
         try:
-            virtine.result = entry(env)
+            with self.tracer.span("guest.hosted", Category.GUEST):
+                virtine.result = entry(env)
         except GuestExitRequested:
             pass
         except HypercallDenied as error:
@@ -495,7 +541,8 @@ class Wasp:
         virtine.hypercall_count += 1
         self._beat(virtine)
         try:
-            return self._isa_hypercall_body(virtine, nr, bx, cx, dx)
+            with self.tracer.span(f"hypercall:{nr.name}", Category.HYPERCALL):
+                return self._isa_hypercall_body(virtine, nr, bx, cx, dx)
         except HypercallDenied as denied:
             # Same fate as a hosted guest tripping the policy.
             raise PolicyKill(f"virtine {virtine.name!r} killed: {denied}") from denied
@@ -558,21 +605,24 @@ class Wasp:
         syscalls, and the ioctl + world switch back in.
         """
         costs = self.costs
-        self.clock.advance(costs.VMRUN_EXIT + costs.ioctl())
-        virtine.hypercall_count += 1
-        if self.fault_plan.draw(FaultSite.GUEST_STALL, virtine.name):
-            # The guest wedged before this hypercall landed: cycles pass
-            # with no heartbeat, which an armed watchdog classifies as a
-            # no-progress hang at the check below.
-            self.clock.advance(GUEST_STALL_CYCLES)
-        self.check_deadline(virtine)
-        self._beat(virtine)
-        try:
-            result = self._dispatch(virtine, nr, args)
-            self._charge_marshalling(args, result)
-            return result
-        finally:
-            self.clock.advance(costs.ioctl() + costs.KVM_RUN_CHECKS + costs.VMRUN_ENTRY)
+        with self.tracer.span(f"hypercall:{nr.name}", Category.HYPERCALL):
+            self.clock.advance(costs.VMRUN_EXIT + costs.ioctl())
+            virtine.hypercall_count += 1
+            if self.fault_plan.draw(FaultSite.GUEST_STALL, virtine.name):
+                # The guest wedged before this hypercall landed: cycles pass
+                # with no heartbeat, which an armed watchdog classifies as a
+                # no-progress hang at the check below.
+                self.tracer.instant("guest.stall", Category.GUEST,
+                                    virtine=virtine.name)
+                self.clock.advance(GUEST_STALL_CYCLES)
+            self.check_deadline(virtine)
+            self._beat(virtine)
+            try:
+                result = self._dispatch(virtine, nr, args)
+                self._charge_marshalling(args, result)
+                return result
+            finally:
+                self.clock.advance(costs.ioctl() + costs.KVM_RUN_CHECKS + costs.VMRUN_ENTRY)
 
     def _charge_marshalling(self, args: tuple, result: Any) -> None:
         """Data crossing the boundary is copied, not shared (Section 3)."""
@@ -599,26 +649,29 @@ class Wasp:
     def capture_snapshot(self, virtine: Virtine, payload: Any) -> None:
         """SNAPSHOT hypercall from a hosted guest (policy-checked)."""
         costs = self.costs
-        self.clock.advance(costs.VMRUN_EXIT + costs.ioctl())
-        virtine.hypercall_count += 1
-        try:
-            self._policy_gate(virtine, Hypercall.SNAPSHOT)
-            self._capture(virtine, payload, hosted=True)
-        finally:
-            self.clock.advance(costs.ioctl() + costs.KVM_RUN_CHECKS + costs.VMRUN_ENTRY)
+        with self.tracer.span("hypercall:SNAPSHOT", Category.HYPERCALL):
+            self.clock.advance(costs.VMRUN_EXIT + costs.ioctl())
+            virtine.hypercall_count += 1
+            try:
+                self._policy_gate(virtine, Hypercall.SNAPSHOT)
+                self._capture(virtine, payload, hosted=True)
+            finally:
+                self.clock.advance(costs.ioctl() + costs.KVM_RUN_CHECKS + costs.VMRUN_ENTRY)
 
     def _capture(self, virtine: Virtine, payload: Any, hosted: bool) -> None:
         vm = virtine.shell.vm
-        pages = vm.memory.capture_dirty()
-        snap = Snapshot(
-            image_name=virtine.image.name,
-            pages=pages,
-            cpu_state=vm.cpu.save_state(),
-            hosted_payload=copy.deepcopy(payload),
-            hosted=hosted,
-        )
-        self.clock.advance(self.costs.memcpy(snap.copy_size))
-        self.snapshots.put(getattr(virtine, "snapshot_key", virtine.image.name), snap)
+        with self.tracer.span("snapshot.capture", Category.SNAPSHOT) as span:
+            pages = vm.memory.capture_dirty()
+            snap = Snapshot(
+                image_name=virtine.image.name,
+                pages=pages,
+                cpu_state=vm.cpu.save_state(),
+                hosted_payload=copy.deepcopy(payload),
+                hosted=hosted,
+            )
+            self.clock.advance(self.costs.memcpy(snap.copy_size))
+            span.annotate(pages=len(pages))
+            self.snapshots.put(getattr(virtine, "snapshot_key", virtine.image.name), snap)
 
     # -- cleanup --------------------------------------------------------------------------
     def _close_virtine_fds(self, virtine: Virtine) -> None:
@@ -680,11 +733,13 @@ class VirtineSession:
         persistent state is discarded, and the next :meth:`invoke`
         rebuilds from scratch.
         """
-        try:
-            return self._invoke(args, max_steps, deadline_cycles, deadline)
-        except VirtineCrash:
-            self._abandon_crashed()
-            raise
+        with self.wasp.tracer.span(f"invoke:{self.image.name}", Category.LAUNCH,
+                                   image=self.image.name, session=True):
+            try:
+                return self._invoke(args, max_steps, deadline_cycles, deadline)
+            except VirtineCrash:
+                self._abandon_crashed()
+                raise
 
     def _invoke(
         self, args: Any, max_steps: int, deadline_cycles: int | None,

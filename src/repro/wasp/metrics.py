@@ -92,6 +92,53 @@ class WaspMetrics:
     def restores_per_launch(self) -> float:
         return self.snapshot_restores / self.launches if self.launches else 0.0
 
+    def to_dict(self) -> dict:
+        """A JSON-ready view of the sample (``repro metrics --json``).
+
+        Nested dicts are key-sorted and pools are emitted in bucket-size
+        order, so two samples of identical state serialize identically --
+        stable under diff, like every other exported artifact.
+        """
+        return {
+            "launches": self.launches,
+            "vms_created": self.vms_created,
+            "vms_closed": self.vms_closed,
+            "snapshot_captures": self.snapshot_captures,
+            "snapshot_restores": self.snapshot_restores,
+            "restores_per_launch": self.restores_per_launch,
+            "background_cycles": self.background_cycles,
+            "background_operations": self.background_operations,
+            "host_syscalls": self.host_syscalls,
+            "clock_cycles": self.clock_cycles,
+            "pool_hit_rate": self.pool_hit_rate,
+            "pools": [
+                {
+                    "memory_size": pool.memory_size,
+                    "free_shells": pool.free_shells,
+                    "hits": pool.hits,
+                    "misses": pool.misses,
+                    "hit_rate": pool.hit_rate,
+                    "quarantines": pool.quarantines,
+                    "defects": pool.defects,
+                }
+                for pool in self.pools
+            ],
+            "timeouts": self.timeouts,
+            "snapshot_fallbacks": self.snapshot_fallbacks,
+            "snapshot_integrity_failures": self.snapshot_integrity_failures,
+            "quarantined_shells": self.quarantined_shells,
+            "pool_defects": self.pool_defects,
+            "retries": self.retries,
+            "breaker_rejections": self.breaker_rejections,
+            "crashes_by_class": dict(sorted(self.crashes_by_class.items())),
+            "breaker_states": dict(sorted(self.breaker_states.items())),
+            "admission_admitted": self.admission_admitted,
+            "admission_shed": dict(sorted(self.admission_shed.items())),
+            "admission_timeouts": self.admission_timeouts,
+            "admission_queue_high_water": self.admission_queue_high_water,
+            "hangs_by_kind": dict(sorted(self.hangs_by_kind.items())),
+        }
+
     def summary(self) -> str:
         """A human-readable one-screen report."""
         lines = [
@@ -190,12 +237,14 @@ def collect(wasp: Wasp) -> WaspMetrics:
         admission = supervisor.admission
     watchdog = getattr(wasp, "watchdog", None)
     if watchdog is not None:
-        # The watchdog's own kill counters are authoritative (they fire
-        # even on unsupervised launches).
-        hangs_by_kind = {
-            kind.value: count
-            for kind, count in watchdog.kills_by_kind.items()
-        }
+        # Merge, don't overwrite: the watchdog's kill counters are
+        # authoritative *per kind* (they fire even on unsupervised
+        # launches), but its map carries zero entries for every kind, so
+        # replacing the supervisor's view wholesale would erase hangs the
+        # supervisor observed for kinds the watchdog never killed.
+        for kind, count in watchdog.kills_by_kind.items():
+            if count:
+                hangs_by_kind[kind.value] = count
     admission_admitted = admission_timeouts = admission_queue_high_water = 0
     admission_shed: dict[str, int] = {}
     if admission is not None:

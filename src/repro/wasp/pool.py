@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from repro.faults import NO_FAULTS, FaultPlan, FaultSite
 from repro.hw.clock import BackgroundAccountant
 from repro.kvm.device import KVM, VcpuHandle, VMHandle
+from repro.trace.tracer import Category
 
 
 class CleanMode(enum.Enum):
@@ -84,30 +85,35 @@ class ShellPool:
         scratch build rather than handed to the caller -- the fault is
         absorbed here, at the cost of a miss.
         """
-        if self._free:
-            if self.fault_plan.draw(FaultSite.POOL_ACQUIRE):
-                # Detecting and discarding the defective shell is free-list
-                # work like any other: charge the bookkeeping cost so the
-                # Wasp+C series does not understate latency under faults.
+        with self.kvm.tracer.span("pool.acquire", Category.POOL) as span:
+            if self._free:
+                if self.fault_plan.draw(FaultSite.POOL_ACQUIRE):
+                    # Detecting and discarding the defective shell is free-list
+                    # work like any other: charge the bookkeeping cost so the
+                    # Wasp+C series does not understate latency under faults.
+                    self.kvm.clock.advance(self.kvm.costs.POOL_BOOKKEEPING)
+                    bad = self._free.pop()
+                    bad.handle.close()
+                    self.defects += 1
+                    self.misses += 1
+                    span.annotate(outcome="defect")
+                    return self._create()
                 self.kvm.clock.advance(self.kvm.costs.POOL_BOOKKEEPING)
-                bad = self._free.pop()
-                bad.handle.close()
-                self.defects += 1
-                self.misses += 1
-                return self._create()
-            self.kvm.clock.advance(self.kvm.costs.POOL_BOOKKEEPING)
-            self.hits += 1
-            shell = self._free.pop()
-            shell.generation += 1
-            return shell
-        self.misses += 1
-        return self._create()
+                self.hits += 1
+                shell = self._free.pop()
+                shell.generation += 1
+                span.annotate(outcome="hit")
+                return shell
+            self.misses += 1
+            span.annotate(outcome="miss")
+            return self._create()
 
     def create_scratch(self) -> Shell:
         """Create a shell from scratch, bypassing the cache (the "Wasp"
         series of Figure 8 -- every invocation pays full construction)."""
-        self.misses += 1
-        return self._create()
+        with self.kvm.tracer.span("pool.acquire", Category.POOL, outcome="scratch"):
+            self.misses += 1
+            return self._create()
 
     def _create(self) -> Shell:
         handle = self.kvm.create_vm()
@@ -118,19 +124,21 @@ class ShellPool:
     # -- release -----------------------------------------------------------------
     def release(self, shell: Shell, clean: CleanMode = CleanMode.SYNC) -> None:
         """Return a shell to the pool under the given cleaning discipline."""
-        vm = shell.vm
-        vm.reset()
-        if clean is CleanMode.SYNC:
-            self.kvm.clock.advance(vm.clear_memory())
-        elif clean is CleanMode.ASYNC:
-            # The scrub still happens (state must not leak), but its cost
-            # lands on the background accountant, not request latency.
-            self.background.charge(vm.clear_memory())
-        if len(self._free) < self.max_free:
-            self.kvm.clock.advance(self.kvm.costs.POOL_BOOKKEEPING)
-            self._free.append(shell)
-        else:
-            shell.handle.close()
+        with self.kvm.tracer.span("pool.release", Category.TEARDOWN,
+                                  clean=clean.value):
+            vm = shell.vm
+            vm.reset()
+            if clean is CleanMode.SYNC:
+                self.kvm.clock.advance(vm.clear_memory())
+            elif clean is CleanMode.ASYNC:
+                # The scrub still happens (state must not leak), but its cost
+                # lands on the background accountant, not request latency.
+                self.background.charge(vm.clear_memory())
+            if len(self._free) < self.max_free:
+                self.kvm.clock.advance(self.kvm.costs.POOL_BOOKKEEPING)
+                self._free.append(shell)
+            else:
+                shell.handle.close()
 
     def quarantine(self, shell: Shell) -> None:
         """Reclaim a shell that hosted a crash.
@@ -143,16 +151,17 @@ class ShellPool:
         the background accountant), and bumps the generation so stale
         references to the pre-crash occupancy are detectable.
         """
-        self.quarantines += 1
-        vm = shell.vm
-        vm.reset()
-        self.kvm.clock.advance(vm.clear_memory())
-        shell.generation += 1
-        if len(self._free) < self.max_free:
-            self.kvm.clock.advance(self.kvm.costs.POOL_BOOKKEEPING)
-            self._free.append(shell)
-        else:
-            shell.handle.close()
+        with self.kvm.tracer.span("pool.quarantine", Category.TEARDOWN):
+            self.quarantines += 1
+            vm = shell.vm
+            vm.reset()
+            self.kvm.clock.advance(vm.clear_memory())
+            shell.generation += 1
+            if len(self._free) < self.max_free:
+                self.kvm.clock.advance(self.kvm.costs.POOL_BOOKKEEPING)
+                self._free.append(shell)
+            else:
+                shell.handle.close()
 
     def prewarm(self, count: int) -> None:
         """Populate the pool ahead of time (cold-start avoidance).

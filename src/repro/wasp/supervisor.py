@@ -30,6 +30,7 @@ import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from repro.trace.tracer import Category
 from repro.units import us_to_cycles
 from repro.wasp.admission import AdmissionController, AdmissionRejected
 from repro.wasp.virtine import (
@@ -275,54 +276,75 @@ class Supervisor:
         exhausted or the crash class is not retryable.
         """
         now = self.wasp.clock.cycles
-        ticket = None
-        if self.admission is not None:
-            ticket = self.admission.admit(
-                image.name, now, deadline=launch_kwargs.get("deadline"),
-            )
-            if not ticket.admitted:
-                self.shed += 1
-                self._record(image.name, 0, None, "shed")
-                raise AdmissionRejected(image.name, ticket)
-        breaker = self.breaker_for(image.name)
-        if not breaker.allow(now):
-            self.breaker_rejections += 1
-            self._record(image.name, 0, None, "rejected")
-            raise BreakerOpen(image.name, breaker.retry_after(now))
-        attempt = 0
-        while True:
-            attempt += 1
-            try:
-                result = self.wasp.launch(image, **launch_kwargs)
-            except VirtineCrash as crash:
-                crash_class = classify(crash)
-                self.crashes_by_class[crash_class] += 1
-                if isinstance(crash, VirtineHang):
-                    self.hangs_by_kind[crash.kind] += 1
-                if crash_class is CrashClass.TIMEOUT and ticket is not None:
-                    # Deadline overruns and watchdog kills land in the
-                    # admission trace too: a timeout is an overload
-                    # outcome, and the replay check covers it.
-                    self.admission.record_timeout(
-                        image.name, self.wasp.clock.cycles,
-                        request_id=ticket.request_id,
-                    )
-                breaker.record_failure(self.wasp.clock.cycles)
-                self._record(image.name, attempt, crash_class, "crash")
-                if (
-                    crash_class in self.retry.retry_on
-                    and attempt < self.retry.max_attempts
-                ):
-                    self.retries += 1
-                    # Backoff is simulated time like everything else.
-                    self.wasp.clock.advance(self.retry.backoff_for(attempt))
-                    self._record(image.name, attempt, crash_class, "retry")
-                    continue
-                self.give_ups += 1
-                self._record(image.name, attempt, crash_class, "give_up")
-                raise
-            breaker.record_success()
-            self.completions += 1
-            if attempt > 1:
-                self._record(image.name, attempt, None, "recovered")
-            return result
+        tracer = self.wasp.tracer
+        span = tracer.begin(f"supervise:{image.name}", Category.SUPERVISION,
+                            image=image.name)
+        try:
+            ticket = None
+            if self.admission is not None:
+                ticket = self.admission.admit(
+                    image.name, now, deadline=launch_kwargs.get("deadline"),
+                )
+                if not ticket.admitted:
+                    self.shed += 1
+                    self._record(image.name, 0, None, "shed")
+                    tracer.instant("admission.shed", Category.SUPERVISION,
+                                   image=image.name,
+                                   reason=ticket.decision.value)
+                    span.annotate(outcome="shed")
+                    raise AdmissionRejected(image.name, ticket)
+                tracer.instant("admission.admit", Category.SUPERVISION,
+                               image=image.name)
+            breaker = self.breaker_for(image.name)
+            if not breaker.allow(now):
+                self.breaker_rejections += 1
+                self._record(image.name, 0, None, "rejected")
+                tracer.instant("breaker.open", Category.SUPERVISION,
+                               image=image.name)
+                span.annotate(outcome="rejected")
+                raise BreakerOpen(image.name, breaker.retry_after(now))
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    result = self.wasp.launch(image, **launch_kwargs)
+                except VirtineCrash as crash:
+                    crash_class = classify(crash)
+                    self.crashes_by_class[crash_class] += 1
+                    if isinstance(crash, VirtineHang):
+                        self.hangs_by_kind[crash.kind] += 1
+                    if crash_class is CrashClass.TIMEOUT and ticket is not None:
+                        # Deadline overruns and watchdog kills land in the
+                        # admission trace too: a timeout is an overload
+                        # outcome, and the replay check covers it.
+                        self.admission.record_timeout(
+                            image.name, self.wasp.clock.cycles,
+                            request_id=ticket.request_id,
+                        )
+                    breaker.record_failure(self.wasp.clock.cycles)
+                    self._record(image.name, attempt, crash_class, "crash")
+                    if (
+                        crash_class in self.retry.retry_on
+                        and attempt < self.retry.max_attempts
+                    ):
+                        self.retries += 1
+                        # Backoff is simulated time like everything else.
+                        backoff = self.retry.backoff_for(attempt)
+                        self.wasp.clock.advance(backoff)
+                        tracer.component("retry.backoff", backoff,
+                                         Category.SUPERVISION, attempt=attempt)
+                        self._record(image.name, attempt, crash_class, "retry")
+                        continue
+                    self.give_ups += 1
+                    self._record(image.name, attempt, crash_class, "give_up")
+                    span.annotate(outcome="give_up",
+                                  crash_class=crash_class.value)
+                    raise
+                breaker.record_success()
+                self.completions += 1
+                if attempt > 1:
+                    self._record(image.name, attempt, None, "recovered")
+                span.annotate(outcome="ok", attempts=attempt)
+                return result
+        finally:
+            tracer.end(span)

@@ -63,3 +63,69 @@ class TestAdmissionReplay:
         assert "recorded trace" in capsys.readouterr().out
         assert main(args) == 0  # second run verifies against the file
         assert "stored trace" in capsys.readouterr().out
+
+
+class TestMetricsJson:
+    def test_json_output_is_machine_readable(self, capsys):
+        import json
+
+        assert main(["metrics", "--json", "--seed", "7",
+                     "--requests", "25"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["requests"] == 25
+        assert payload["client_visible_failures"] == 0
+        assert payload["primary"]["launches"] > 0
+        assert isinstance(payload["fault_trace"], list)
+
+    def test_json_is_deterministic_per_seed(self, capsys):
+        def run() -> str:
+            assert main(["metrics", "--json", "--seed", "7",
+                         "--requests", "25"]) == 0
+            return capsys.readouterr().out
+
+        assert run() == run()
+
+
+class TestTrace:
+    def test_text_timeline(self, capsys):
+        assert main(["trace", "echo", "--requests", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "launch:echo-server" in out
+        assert "attribution (leaf cycles by category):" in out
+        assert "per-phase latency histograms" in out
+        assert "pool.acquire" in out
+
+    def test_json_validates_and_is_deterministic(self, capsys):
+        import json
+
+        from repro.trace import validate_chrome_trace
+
+        def run() -> str:
+            assert main(["trace", "echo", "--format", "json",
+                         "--seed", "3"]) == 0
+            return capsys.readouterr().out
+
+        first, second = run(), run()
+        assert first == second
+        assert validate_chrome_trace(json.loads(first)) > 0
+
+    def test_json_to_file(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "echo", "--format", "json",
+                     "--out", str(out_path)]) == 0
+        assert "perfetto" in capsys.readouterr().out
+        obj = json.loads(out_path.read_text())
+        assert obj["otherData"]["clock_domain"] == "simulated-cycles"
+
+    def test_serverless_workload_shows_supervision(self, capsys):
+        assert main(["trace", "serverless", "--requests", "8",
+                     "--seed", "1234"]) == 0
+        out = capsys.readouterr().out
+        assert "supervise:trace-job" in out
+
+    def test_http_workload(self, capsys):
+        assert main(["trace", "http", "--requests", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "hypercall" in out

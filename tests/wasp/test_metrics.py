@@ -77,3 +77,158 @@ class TestCollect:
         text = collect(wasp).summary()
         assert "launches=1" in text
         assert "pool[" in text
+
+
+class TestHangMerge:
+    """Regression: watchdog kill counts merge with supervisor-observed
+    hangs instead of overwriting them (the watchdog map carries zero
+    entries for every kind, so wholesale replacement erased data)."""
+
+    def test_watchdog_zeros_do_not_clobber_supervisor_counts(self, wasp):
+        from repro.wasp.admission import Watchdog
+        from repro.wasp.supervisor import Supervisor
+        from repro.wasp.virtine import HangKind
+
+        supervisor = Supervisor(wasp)
+        supervisor.hangs_by_kind[HangKind.SLOW_PROGRESS] = 3
+        watchdog = Watchdog(wasp)  # fresh: all kinds zero
+        metrics = collect(wasp)
+        assert metrics.hangs_by_kind["slow_progress"] == 3
+        assert watchdog.kills_by_kind[HangKind.SLOW_PROGRESS] == 0
+
+    def test_watchdog_is_authoritative_per_kind(self, wasp):
+        from repro.wasp.admission import Watchdog
+        from repro.wasp.supervisor import Supervisor
+        from repro.wasp.virtine import HangKind
+
+        supervisor = Supervisor(wasp)
+        # The supervisor undercounts NO_PROGRESS (it only sees supervised
+        # launches) but is the only observer of this SLOW_PROGRESS hang.
+        supervisor.hangs_by_kind[HangKind.NO_PROGRESS] = 1
+        supervisor.hangs_by_kind[HangKind.SLOW_PROGRESS] = 2
+        watchdog = Watchdog(wasp)
+        watchdog.kills_by_kind[HangKind.NO_PROGRESS] = 4
+        metrics = collect(wasp)
+        assert metrics.hangs_by_kind["no_progress"] == 4
+        assert metrics.hangs_by_kind["slow_progress"] == 2
+
+    def test_watchdog_only_reports_its_kills(self, wasp):
+        from repro.wasp.admission import Watchdog
+        from repro.wasp.virtine import HangKind
+
+        watchdog = Watchdog(wasp)
+        watchdog.kills_by_kind[HangKind.NO_PROGRESS] = 2
+        metrics = collect(wasp)
+        assert metrics.hangs_by_kind == {"no_progress": 2}
+
+    def test_end_to_end_watchdog_kill_counted_once(self, wasp):
+        from repro.units import us_to_cycles
+        from repro.wasp.admission import Watchdog
+        from repro.wasp.supervisor import RetryPolicy, Supervisor
+        from repro.wasp.virtine import VirtineHang
+
+        supervisor = Supervisor(wasp, retry=RetryPolicy(max_attempts=1))
+        Watchdog(wasp, no_progress_cycles=us_to_cycles(100.0))
+
+        def entry(env):
+            env.charge(us_to_cycles(5_000.0))  # consumption, not progress
+            return 0
+
+        image = ImageBuilder().hosted("hanger", entry)
+        with pytest.raises(VirtineHang):
+            supervisor.launch(image, use_snapshot=False)
+        metrics = collect(wasp)
+        assert metrics.hangs_by_kind["no_progress"] == 1
+
+
+class TestSummaryBranches:
+    def test_supervision_block_rendered(self, wasp):
+        from repro.faults import FaultPlan, FaultSite
+        from repro.wasp.supervisor import Supervisor
+        from repro.wasp.virtine import VirtineCrash
+
+        plan = FaultPlan(seed=9).fail(FaultSite.VCPU_RUN, rate=1.0)
+        faulty = Wasp(fault_plan=plan)
+        supervisor = Supervisor(faulty)
+        image = ImageBuilder().minimal(Mode.LONG64)
+        with pytest.raises(VirtineCrash):
+            supervisor.launch(image, use_snapshot=False)
+        text = collect(faulty).summary()
+        assert "supervision:" in text
+        assert "host_fault=" in text
+        assert "quarantined_shells=" in text
+
+    def test_breaker_state_line(self, wasp):
+        from repro.wasp.supervisor import Supervisor
+
+        supervisor = Supervisor(wasp)
+        supervisor.breaker_for("hot-image").state = (
+            __import__("repro.wasp.supervisor", fromlist=["BreakerState"])
+            .BreakerState.OPEN
+        )
+        supervisor.retries = 1  # enter the supervision block
+        text = collect(wasp).summary()
+        assert "breakers: hot-image=open" in text
+
+    def test_admission_block_rendered(self, wasp):
+        from repro.wasp.admission import AdmissionConfig, AdmissionController
+        from repro.wasp.supervisor import Supervisor
+
+        controller = AdmissionController(AdmissionConfig(max_queue_depth=4))
+        Supervisor(wasp, admission=controller)
+        controller.admitted = 2
+        controller.shed_by_reason["shed_queue_full"] = 1
+        text = collect(wasp).summary()
+        assert "admission: admitted=2 shed=1" in text
+        assert "shed_queue_full=1" in text
+
+    def test_watchdog_kill_line(self, wasp):
+        from repro.wasp.admission import Watchdog
+        from repro.wasp.virtine import HangKind
+
+        watchdog = Watchdog(wasp)
+        watchdog.kills_by_kind[HangKind.NO_PROGRESS] = 2
+        text = collect(wasp).summary()
+        assert "watchdog kills: no_progress=2" in text
+
+    def test_empty_pool_hit_rate_is_zero(self, wasp):
+        metrics = collect(wasp)
+        assert metrics.pool_hit_rate == 0.0
+        assert metrics.restores_per_launch == 0.0
+        assert "pool_hit_rate=0%" in metrics.summary()
+
+
+class TestToDict:
+    def test_round_trips_through_json(self, wasp):
+        import json
+
+        image = ImageBuilder().minimal(Mode.LONG64)
+        wasp.launch(image, use_snapshot=False)
+        payload = collect(wasp).to_dict()
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["launches"] == 1
+        assert decoded["pools"][0]["misses"] == 1
+        assert decoded["pool_hit_rate"] == 0.0
+
+    def test_dicts_are_key_sorted(self, wasp):
+        from repro.wasp.supervisor import Supervisor
+
+        supervisor = Supervisor(wasp)
+        supervisor.breaker_for("zeta")
+        supervisor.breaker_for("alpha")
+        payload = collect(wasp).to_dict()
+        assert list(payload["breaker_states"]) == ["alpha", "zeta"]
+        assert list(payload["crashes_by_class"]) == sorted(
+            payload["crashes_by_class"]
+        )
+
+    def test_identical_state_serializes_identically(self):
+        import json
+
+        def sample() -> str:
+            wasp = Wasp()
+            image = ImageBuilder().minimal(Mode.LONG64)
+            wasp.launch(image, use_snapshot=False)
+            return json.dumps(collect(wasp).to_dict(), sort_keys=True)
+
+        assert sample() == sample()
