@@ -1,0 +1,198 @@
+"""Host throughput of the simulator's fast-path engine.
+
+This benchmark measures *host* wall-clock time, not simulated cycles:
+how fast the interpreter chews through guest work with the fast-path
+engine (software TLB, predecoded dispatch, bulk-memory paths) on versus
+off.  Simulated cycles are asserted bit-identical in both modes -- the
+fast paths change how quickly the simulation runs, never what it
+computes.
+
+Three workloads cover the engine's distinct hot paths:
+
+* ``fib``           -- instruction-dense: recursive fib(22) in LONG64,
+                       ~460K guest instructions through paged memory.
+* ``boot_storm``    -- transition-heavy: repeated cold boots to 64-bit
+                       (GDT loads, CR writes, 514 page-table stores, TLB
+                       flushes) via the raw KVM interface.
+* ``http_snapshot`` -- runtime-heavy: the static HTTP server with
+                       snapshot isolation, exercising pool recycling and
+                       bulk snapshot restores.
+
+Results land in ``results/BENCH_host_throughput.json``.  If a committed
+baseline is present it is read *before* being overwritten and each
+workload's fast/slow speedup must stay within 30% of it (the ratio is
+host-independent to first order: both sides run on the same machine in
+the same process).
+"""
+
+import json
+import pathlib
+from functools import partial
+
+import pytest
+
+from repro.hw.clock import Clock
+from repro.hw.cpu import Mode
+from repro.hw.vmx import ExitReason, VirtualMachine
+from repro.kvm.device import KVM
+from repro.runtime.image import ImageBuilder
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_host_throughput.json"
+
+FIB_N = 22
+BOOT_LAUNCHES = 30
+HTTP_REQUESTS = 80
+#: Host wall-clock repeats per (workload, mode); best-of is reported.
+REPEATS = 3
+#: A fresh run must keep each workload's speedup within 30% of the
+#: committed baseline's (satellite: CI regression gate).
+BASELINE_RATIO_FLOOR = 0.7
+
+
+def run_fib(fast_paths: bool):
+    """Instruction-dense: boot to LONG64, compute fib(22) recursively."""
+    image = ImageBuilder().fib(Mode.LONG64, FIB_N)
+    clock = Clock()
+    vm = VirtualMachine(4 * 1024 * 1024, clock, fast_paths=fast_paths)
+    vm.load_program(image.program)
+    info = vm.vmrun()
+    assert info.reason is ExitReason.HLT, info
+    assert vm.cpu.regs["ax"] == 17_711  # fib(22)
+    return clock.cycles, vm.interp.instructions_retired
+
+
+def run_boot_storm(fast_paths: bool):
+    """Transition-heavy: repeated cold boots through the raw KVM path."""
+    image = ImageBuilder().minimal(Mode.LONG64)
+    clock = Clock()
+    kvm = KVM(clock, fast_paths=fast_paths)
+    instructions = 0
+    for _ in range(BOOT_LAUNCHES):
+        handle = kvm.create_vm()
+        handle.set_user_memory_region(4 * 1024 * 1024)
+        vcpu = handle.create_vcpu()
+        handle.load_program(image.program)
+        info = vcpu.run()
+        assert info.reason is ExitReason.HLT, info
+        instructions += handle.vm.interp.instructions_retired
+    return clock.cycles, instructions
+
+
+def run_http_snapshot(fast_paths: bool):
+    """Runtime-heavy: snapshot-isolated HTTP serving on the Wasp stack."""
+    from repro.apps.http.client import RequestGenerator
+    from repro.apps.http.server import StaticHttpServer
+    from repro.wasp import Wasp
+
+    wasp = Wasp(fast_paths=fast_paths)
+    wasp.kernel.fs.add_file("/srv/index.html", b"<html>bench</html>")
+    server = StaticHttpServer(wasp, port=8080, isolation="snapshot")
+    generator = RequestGenerator(wasp.kernel, server, "/index.html")
+    for _ in range(HTTP_REQUESTS):
+        outcome = generator.one_request()
+        assert outcome.response.status == 200
+    return wasp.clock.cycles, None
+
+
+WORKLOADS = {
+    "fib": run_fib,
+    "boot_storm": run_boot_storm,
+    "http_snapshot": run_http_snapshot,
+}
+
+
+@pytest.fixture(scope="module")
+def measured(report, host_timer):
+    report.owns_results_file = True
+
+    baseline = None
+    if RESULTS_PATH.exists():
+        try:
+            baseline = json.loads(RESULTS_PATH.read_text())
+        except ValueError:
+            baseline = None
+
+    workloads = {}
+    for name, fn in WORKLOADS.items():
+        (cycles_fast, insns_fast), fast_s = host_timer.best_of(
+            partial(fn, True), REPEATS)
+        (cycles_slow, insns_slow), slow_s = host_timer.best_of(
+            partial(fn, False), REPEATS)
+        entry = {
+            "simulated_cycles": {"fast": cycles_fast, "slow": cycles_slow},
+            "host_seconds": {"fast": round(fast_s, 6), "slow": round(slow_s, 6)},
+            "speedup": round(slow_s / fast_s, 3),
+            "cycles_per_host_second": {
+                "fast": int(cycles_fast / fast_s),
+                "slow": int(cycles_slow / slow_s),
+            },
+        }
+        if insns_fast is not None:
+            entry["guest_instructions"] = insns_fast
+            entry["insns_per_host_second"] = {
+                "fast": int(insns_fast / fast_s),
+                "slow": int(insns_slow / slow_s),
+            }
+        workloads[name] = entry
+        report.row(f"{name}: fast-path speedup",
+                   ">= 3x (fib)" if name == "fib" else "n/a",
+                   f"{entry['speedup']:.2f}x")
+        report.row(f"{name}: Mcycles / host s", "n/a",
+                   f"{entry['cycles_per_host_second']['fast'] / 1e6:,.1f}")
+    report.note(f"best of {REPEATS} host timings per mode; simulated cycles "
+                f"are asserted identical fast vs slow")
+
+    data = {
+        "repeats": REPEATS,
+        "workload_params": {
+            "fib_n": FIB_N,
+            "boot_launches": BOOT_LAUNCHES,
+            "http_requests": HTTP_REQUESTS,
+        },
+        "workloads": workloads,
+    }
+    if baseline is not None:
+        data["previous_speedups"] = {
+            name: entry.get("speedup")
+            for name, entry in baseline.get("workloads", {}).items()
+        }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    data["_baseline"] = baseline
+    return data
+
+
+class TestHostThroughput:
+    def test_simulated_cycles_identical(self, measured):
+        """Fast paths change host time only; the virtual clock is bit-exact."""
+        for name, entry in measured["workloads"].items():
+            assert (entry["simulated_cycles"]["fast"]
+                    == entry["simulated_cycles"]["slow"]), name
+
+    def test_instruction_dense_speedup(self, measured):
+        """The predecode+TLB engine must pay off where instructions dominate.
+
+        The committed baseline records >= 3x; the in-test floor is looser
+        because shared CI runners time noisily even under best-of.
+        """
+        assert measured["workloads"]["fib"]["speedup"] >= 2.0
+
+    def test_no_pathological_slowdown(self, measured):
+        for name, entry in measured["workloads"].items():
+            assert entry["speedup"] >= 0.7, (name, entry["speedup"])
+
+    def test_no_regression_vs_baseline(self, measured):
+        baseline = measured["_baseline"]
+        if baseline is None:
+            pytest.skip("no committed baseline to compare against")
+        for name, entry in baseline.get("workloads", {}).items():
+            if name not in measured["workloads"] or "speedup" not in entry:
+                continue
+            fresh = measured["workloads"][name]["speedup"]
+            assert fresh >= BASELINE_RATIO_FLOOR * entry["speedup"], (
+                f"{name}: speedup fell to {fresh:.2f}x from baseline "
+                f"{entry['speedup']:.2f}x (floor {BASELINE_RATIO_FLOOR:.0%})")
+
+    def test_results_file_written(self, measured):
+        stored = json.loads(RESULTS_PATH.read_text())
+        assert len(stored["workloads"]) >= 3

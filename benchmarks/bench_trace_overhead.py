@@ -48,6 +48,7 @@ def noop_call_cost(calls: int = 200_000) -> float:
 
 @pytest.fixture(scope="module")
 def measured(report):
+    report.owns_results_file = True  # this module writes RESULTS_PATH itself
     sim_off, host_off, _ = run_workload(trace=False)
     sim_on, host_on, tracer = run_workload(trace=True)
     spans = sum(1 for _ in tracer.walk())

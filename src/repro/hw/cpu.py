@@ -42,10 +42,13 @@ class Mode(enum.Enum):
     PROT32 = 32
     LONG64 = 64
 
+    def __init__(self, bits: int) -> None:
+        self._mask = (1 << bits) - 1
+
     @property
     def mask(self) -> int:
         """Register-width mask for arithmetic in this mode."""
-        return (1 << self.value) - 1
+        return self._mask
 
 
 class CpuFault(Exception):
@@ -94,17 +97,30 @@ class CPU:
         self.gdtr = GDTR()
         self.halted = False
 
+    # -- mode (cached width/mask) ---------------------------------------------
+    @property
+    def mode(self) -> Mode:
+        return self._mode
+
+    @mode.setter
+    def mode(self, mode: Mode) -> None:
+        # mask/nbytes are hot on every operand access; cache them so the
+        # interpreter never re-derives them per instruction.
+        self._mode = mode
+        self.mask = mode.mask
+        self.nbytes = mode.value // 8
+
     # -- register access -----------------------------------------------------
     def read_reg(self, name: str) -> int:
         try:
-            return self.regs[name] & self.mode.mask
+            return self.regs[name] & self.mask
         except KeyError:
             raise CpuFault(f"unknown register {name!r}") from None
 
     def write_reg(self, name: str, value: int) -> None:
         if name not in self.regs:
             raise CpuFault(f"unknown register {name!r}")
-        self.regs[name] = value & self.mode.mask
+        self.regs[name] = value & self.mask
 
     # -- control registers ----------------------------------------------------
     def read_cr(self, name: str) -> int:
@@ -214,8 +230,14 @@ class CPU:
         }
 
     def load_state(self, state: dict) -> None:
-        """Restore architectural state captured by :meth:`save_state`."""
-        self.regs = dict(state["regs"])
+        """Restore architectural state captured by :meth:`save_state`.
+
+        ``regs`` is updated in place: the interpreter's predecoded
+        handlers bind the register file once, so the dict object must
+        stay the same for the CPU's lifetime.
+        """
+        self.regs.clear()
+        self.regs.update(state["regs"])
         self.rip = state["rip"]
         saved_flags = state["flags"]
         self.flags = Flags(

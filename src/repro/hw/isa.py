@@ -26,14 +26,15 @@ from __future__ import annotations
 
 import re
 import struct
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.hw.costs import COSTS, CostModel
 from repro.hw.clock import Clock
-from repro.hw.cpu import CPU, CpuFault, GPRS, MSR_EFER, Mode
+from repro.hw.cpu import CPU, CR0_PG, CpuFault, GPRS, MSR_EFER, Mode
 from repro.hw.memory import GuestMemory
-from repro.hw.paging import PageFault, translate
+from repro.hw.paging import PageFault, translate, translate_watched
 from repro.trace.tracer import NO_TRACE, Category, Tracer
 
 
@@ -337,6 +338,31 @@ class TripleFault(GuestExit):
 # Interpreter
 # --------------------------------------------------------------------------
 
+#: ALU semantics, looked up once per instruction (or once at predecode);
+#: only the selected operation is ever evaluated.
+_ALU_OPS: dict[str, Callable[[int, int], int]] = {
+    "add": lambda lhs, rhs: lhs + rhs,
+    "sub": lambda lhs, rhs: lhs - rhs,
+    "and": lambda lhs, rhs: lhs & rhs,
+    "or": lambda lhs, rhs: lhs | rhs,
+    "xor": lambda lhs, rhs: lhs ^ rhs,
+    "shl": lambda lhs, rhs: lhs << (rhs & 63),
+    "shr": lambda lhs, rhs: lhs >> (rhs & 63),
+    "mul": lambda lhs, rhs: lhs * rhs,
+}
+
+#: Conditional-jump predicates over the flags register.
+_JCC: dict[str, Callable[..., bool]] = {
+    "je": lambda f: f.zero,
+    "jne": lambda f: not f.zero,
+    "jl": lambda f: f.sign,
+    "jle": lambda f: f.sign or f.zero,
+    "jg": lambda f: not f.sign and not f.zero,
+    "jge": lambda f: not f.sign,
+    "jc": lambda f: f.carry,
+    "jnc": lambda f: not f.carry,
+}
+
 
 class Interpreter:
     """Executes an assembled :class:`Program` against CPU + memory.
@@ -350,6 +376,11 @@ class Interpreter:
 
     STACK_WIDTH = {Mode.REAL16: 2, Mode.PROT32: 4, Mode.LONG64: 8}
 
+    #: Predecode results kept per program object (LRU); shells re-attach
+    #: the same ``Program`` on every snapshot restore, so the compile cost
+    #: is paid once per image rather than once per launch.
+    DECODE_CACHE_PROGRAMS = 8
+
     def __init__(
         self,
         cpu: CPU,
@@ -357,6 +388,8 @@ class Interpreter:
         clock: Clock,
         costs: CostModel = COSTS,
         tracer: Tracer | None = None,
+        *,
+        fast_paths: bool = True,
     ) -> None:
         self.cpu = cpu
         self.memory = memory
@@ -364,12 +397,40 @@ class Interpreter:
         self.costs = costs
         #: Cycle tracer (disabled by default; never charges cycles).
         self.tracer = tracer if tracer is not None else NO_TRACE
+        #: Escape hatch: ``False`` disables the software TLB and the
+        #: predecoded dispatch, reverting to the reference interpretation
+        #: path.  Simulated cycles are identical either way (the
+        #: golden-equivalence test enforces this).
+        self.fast_paths = fast_paths
         self.program: Program | None = None
         self._by_addr: dict[int, Instr] = {}
+        self._decoded: dict[int, Callable[[], None]] = {}
+        self._decode_cache: "OrderedDict[int, tuple[Program, dict]]" = OrderedDict()
         self.instructions_retired = 0
         self.component_cycles: dict[str, int] = {}
         self._first_instruction_pending = True
         self._trace: "deque[str] | None" = None
+        # Width -> preresolved memory accessors (hoisted out of _load/_store).
+        self._mem_read = {1: memory.read_u8, 2: memory.read_u16,
+                          4: memory.read_u32, 8: memory.read_u64}
+        self._mem_write = {1: memory.write_u8, 2: memory.write_u16,
+                           4: memory.write_u32, 8: memory.write_u64}
+        # Software TLB: virtual page -> physical frame.  The memory clears
+        # it directly (push invalidation) whenever a watched page-table
+        # page is written or a bulk mutation rewrites memory, so lookups
+        # need no validity check.
+        self._tlb: dict[int, int] | None = {} if fast_paths else None
+        if self._tlb is not None:
+            memory.register_tlb(self._tlb)
+            # Fused accessors shadow the _load/_store methods: TLB lookup
+            # inlined, one call layer fewer per guest memory access.
+            self._load, self._store = self._build_fast_mem()
+        self.tlb_hits = 0
+        self.tlb_misses = 0
+        self.tlb_flushes = 0
+        #: Instructions completed before the exception in the last
+        #: :meth:`run_steps` call (exact step-budget accounting for the VM).
+        self.last_run_steps = 0
 
     # -- program management ---------------------------------------------------
     def load_program(self, program: Program) -> None:
@@ -381,13 +442,16 @@ class Interpreter:
         """Attach ``program`` without rewriting memory (snapshot resume)."""
         self.program = program
         self._by_addr = {insn.addr: insn for insn in program.instructions}
+        self._decoded = self._predecode(program) if self.fast_paths else {}
         if reset_rip:
             self.cpu.rip = program.entry()
         self._first_instruction_pending = True
+        self.tlb_flush()
 
     def mark_entry(self) -> None:
         """Charge the first-instruction fetch cost on the next step."""
         self._first_instruction_pending = True
+        self.tlb_flush()
 
     # -- execution tracing (debugging aid) -------------------------------------
     def enable_trace(self, depth: int = 32) -> None:
@@ -409,25 +473,88 @@ class Interpreter:
         return list(self._trace) if self._trace is not None else []
 
     # -- address translation -----------------------------------------------------
+    def tlb_flush(self) -> None:
+        """Drop every cached translation.
+
+        Called on CR0/CR3/CR4 writes, EFER updates (``wrmsr``), program
+        (re)attachment, and shell re-entry -- a superset of the
+        architectural invalidation points, which is always safe (a flush
+        never changes simulated cycles; translations are free either way).
+        """
+        if self._tlb:
+            self._tlb.clear()
+            self.tlb_flushes += 1
+        self.memory.clear_translation_watch()
+
     def _phys(self, vaddr: int) -> int:
-        if self.cpu.paging_enabled:
+        cpu = self.cpu
+        if not cpu.cr0 & CR0_PG:
+            return vaddr
+        tlb = self._tlb
+        if tlb is None:
             try:
-                return translate(self.memory, self.cpu.cr3, vaddr)
+                return translate(self.memory, cpu.cr3, vaddr)
             except PageFault as fault:
                 raise TripleFault(str(fault)) from fault
-        return vaddr
+        frame = tlb.get(vaddr >> 12)
+        if frame is not None:
+            self.tlb_hits += 1
+            return frame | (vaddr & 0xFFF)
+        self.tlb_misses += 1
+        try:
+            phys = translate_watched(self.memory, cpu.cr3, vaddr)
+        except PageFault as fault:
+            raise TripleFault(str(fault)) from fault
+        # Low 12 bits of the translation track the virtual offset for both
+        # 4 KB and 2 MB mappings, so caching the 4 KB frame is exact.
+        tlb[vaddr >> 12] = phys & ~0xFFF
+        return phys
 
     def _load(self, vaddr: int, width: int) -> int:
-        addr = self._phys(vaddr)
-        readers = {1: self.memory.read_u8, 2: self.memory.read_u16,
-                   4: self.memory.read_u32, 8: self.memory.read_u64}
-        return readers[width](addr)
+        return self._mem_read[width](self._phys(vaddr))
 
     def _store(self, vaddr: int, value: int, width: int) -> None:
-        addr = self._phys(vaddr)
-        writers = {1: self.memory.write_u8, 2: self.memory.write_u16,
-                   4: self.memory.write_u32, 8: self.memory.write_u64}
-        writers[width](addr, value)
+        self._mem_write[width](self._phys(vaddr), value)
+
+    def _build_fast_mem(self) -> tuple[Callable[[int, int], int],
+                                       Callable[[int, int, int], None]]:
+        """Load/store closures with the TLB hit path inlined.
+
+        Semantics (including miss handling, fault wrapping, and the
+        hit/miss counters) match the ``_load``/``_store`` methods these
+        shadow; only the call layering differs.
+        """
+        cpu = self.cpu
+        tlb_get = self._tlb.get
+        walk = self._phys  # miss path: walks, caches, counts, wraps faults
+        mem_read = self._mem_read
+        mem_write = self._mem_write
+
+        def fast_load(vaddr: int, width: int) -> int:
+            if cpu.cr0 & CR0_PG:
+                frame = tlb_get(vaddr >> 12)
+                if frame is None:
+                    phys = walk(vaddr)
+                else:
+                    self.tlb_hits += 1
+                    phys = frame | (vaddr & 0xFFF)
+            else:
+                phys = vaddr
+            return mem_read[width](phys)
+
+        def fast_store(vaddr: int, value: int, width: int) -> None:
+            if cpu.cr0 & CR0_PG:
+                frame = tlb_get(vaddr >> 12)
+                if frame is None:
+                    phys = walk(vaddr)
+                else:
+                    self.tlb_hits += 1
+                    phys = frame | (vaddr & 0xFFF)
+            else:
+                phys = vaddr
+            mem_write[width](phys, value)
+
+        return fast_load, fast_store
 
     # -- operand evaluation --------------------------------------------------------
     def _effective_addr(self, ref: MemRef) -> int:
@@ -461,6 +588,9 @@ class Interpreter:
     def _write_ctrl(self, name: str, value: int) -> None:
         costs = self.costs
         events = self.cpu.write_cr(name, value)
+        # Any control-register write is a TLB invalidation point (CR3
+        # reload, CR0.PG flip, CR4.PAE change).
+        self.tlb_flush()
         if name == "cr3":
             self._charge_component("cr3 load", costs.CR3_LOAD)
         else:
@@ -495,20 +625,644 @@ class Interpreter:
 
     # -- signed helpers -----------------------------------------------------------
     def _signed(self, value: int) -> int:
-        mask = self.cpu.mode.mask
+        mask = self.cpu.mask
         sign_bit = (mask + 1) >> 1
         return value - (mask + 1) if value & sign_bit else value
+
+    # -- predecode (fast-path dispatch) --------------------------------------------
+    def _predecode(self, program: Program) -> dict[int, Callable[[], None]]:
+        """Bind every instruction to a specialized handler closure.
+
+        Keyed by program object identity: shells re-attach the same
+        ``Program`` on every snapshot restore and pool reuse, so the hot
+        path pays the closure construction once per image.
+        """
+        key = id(program)
+        cached = self._decode_cache.get(key)
+        if cached is not None and cached[0] is program:
+            self._decode_cache.move_to_end(key)
+            return cached[1]
+        decoded = {insn.addr: self._compile(insn)
+                   for insn in program.instructions}
+        self._decode_cache[key] = (program, decoded)
+        while len(self._decode_cache) > self.DECODE_CACHE_PROGRAMS:
+            self._decode_cache.popitem(last=False)
+        return decoded
+
+    def _compile_read(self, operand: Operand) -> Callable[[], int]:
+        """Resolve one operand to a zero-argument reader closure.
+
+        Charges and masking match ``_read_operand`` exactly; the operand
+        type test and name lookups happen here, once, instead of per step.
+        """
+        cpu = self.cpu
+        if type(operand) is Reg:
+            name = operand.name
+            regs = cpu.regs  # stable: load_state updates it in place
+            return lambda: regs[name] & cpu.mask
+        if type(operand) is CtrlReg:
+            name = operand.name
+            read_cr = cpu.read_cr
+            return lambda: read_cr(name)
+        if type(operand) is Imm:
+            value = operand.value
+            return lambda: value & cpu.mask
+        clock = self.clock
+        mem_charge = self.costs.INSN_MEM
+        load = self._load
+        disp = operand.disp
+        if operand.base is None:
+            addr = disp & 0xFFFFFFFFFFFFFFFF
+
+            def read_mem_abs() -> int:
+                clock.advance(mem_charge)
+                return load(addr, cpu.nbytes)
+
+            return read_mem_abs
+        base = operand.base
+        regs = cpu.regs
+
+        def read_mem() -> int:
+            clock.advance(mem_charge)
+            return load(((regs[base] & cpu.mask) + disp) & 0xFFFFFFFFFFFFFFFF,
+                        cpu.nbytes)
+
+        return read_mem
+
+    def _compile_write(self, operand: Operand) -> Callable[[int], None]:
+        """Resolve one operand to a single-argument writer closure."""
+        cpu = self.cpu
+        if type(operand) is Reg:
+            name = operand.name
+            regs = cpu.regs
+
+            def write_reg(value: int) -> None:
+                regs[name] = value & cpu.mask
+
+            return write_reg
+        if type(operand) is CtrlReg:
+            name = operand.name
+            write_ctrl = self._write_ctrl
+            return lambda value: write_ctrl(name, value)
+        if type(operand) is Imm:
+            def write_imm(value: int) -> None:
+                raise ExecutionError("cannot write to an immediate")
+
+            return write_imm
+        clock = self.clock
+        charge = self.costs.INSN_MEM + self.costs.STORE8
+        store = self._store
+        disp = operand.disp
+        if operand.base is None:
+            addr = disp & 0xFFFFFFFFFFFFFFFF
+
+            def write_mem_abs(value: int) -> None:
+                clock.advance(charge)
+                store(addr, value & cpu.mask, cpu.nbytes)
+
+            return write_mem_abs
+        base = operand.base
+        regs = cpu.regs
+
+        def write_mem(value: int) -> None:
+            clock.advance(charge)
+            store(((regs[base] & cpu.mask) + disp) & 0xFFFFFFFFFFFFFFFF,
+                  value & cpu.mask, cpu.nbytes)
+
+        return write_mem
+
+    def _compile(self, insn: Instr) -> Callable[[], None]:
+        """Specialize one instruction into a handler closure.
+
+        Every handler first sets RIP to the fall-through address (control
+        flow then overwrites it) and charges ``INSN_BASE`` itself -- merged
+        into its first fixed charge, so the run loop pays one ``advance``
+        per instruction instead of two.  No trace or component event can
+        fire between the merged charges, so cumulative cycles at every
+        observable point match ``_dispatch`` exactly.
+        """
+        op = insn.op
+        ops = insn.operands
+        cpu = self.cpu
+        costs = self.costs
+        advance = self.clock.advance
+        base = costs.INSN_BASE
+        next_rip = insn.addr + insn.size
+
+        if op == "nop":
+            def h_nop() -> None:
+                cpu.rip = next_rip
+                advance(base)
+
+            return h_nop
+        if op == "mov":
+            # Reg <- Reg/Imm moves (the bulk of any instruction stream)
+            # collapse to a single dict store; charges are just INSN_BASE
+            # either way, so the specialization is cycle-invisible.
+            if type(ops[0]) is Reg and type(ops[1]) in (Reg, Imm):
+                regs = cpu.regs
+                dname = ops[0].name
+                if type(ops[1]) is Imm:
+                    const = ops[1].value
+
+                    def h_mov_ri() -> None:
+                        cpu.rip = next_rip
+                        advance(base)
+                        regs[dname] = const & cpu.mask
+
+                    return h_mov_ri
+                sname = ops[1].name
+
+                def h_mov_rr() -> None:
+                    cpu.rip = next_rip
+                    advance(base)
+                    regs[dname] = regs[sname] & cpu.mask
+
+                return h_mov_rr
+            write = self._compile_write(ops[0])
+            read = self._compile_read(ops[1])
+
+            def h_mov() -> None:
+                cpu.rip = next_rip
+                advance(base)
+                write(read())
+
+            return h_mov
+        alu = _ALU_OPS.get(op)
+        if alu is not None:
+            if type(ops[0]) is Reg and type(ops[1]) in (Reg, Imm):
+                regs = cpu.regs
+                dname = ops[0].name
+                if type(ops[1]) is Imm:
+                    const = ops[1].value
+
+                    def h_alu_ri() -> None:
+                        cpu.rip = next_rip
+                        advance(base)
+                        mask = cpu.mask
+                        result = alu(regs[dname] & mask, const & mask)
+                        cpu.flags.set_from_result(result, mask)
+                        regs[dname] = result & mask
+
+                    return h_alu_ri
+                sname = ops[1].name
+
+                def h_alu_rr() -> None:
+                    cpu.rip = next_rip
+                    advance(base)
+                    mask = cpu.mask
+                    result = alu(regs[dname] & mask, regs[sname] & mask)
+                    cpu.flags.set_from_result(result, mask)
+                    regs[dname] = result & mask
+
+                return h_alu_rr
+            read_dst = self._compile_read(ops[0])
+            read_src = self._compile_read(ops[1])
+            write_dst = self._compile_write(ops[0])
+
+            def h_alu() -> None:
+                cpu.rip = next_rip
+                advance(base)
+                result = alu(read_dst(), read_src())
+                cpu.flags.set_from_result(result, cpu.mask)
+                write_dst(result & cpu.mask)
+
+            return h_alu
+        if op in ("inc", "dec"):
+            delta = 1 if op == "inc" else -1
+            if type(ops[0]) is Reg:
+                regs = cpu.regs
+                rname = ops[0].name
+
+                def h_step_r() -> None:
+                    cpu.rip = next_rip
+                    advance(base)
+                    mask = cpu.mask
+                    result = (regs[rname] & mask) + delta
+                    cpu.flags.set_from_result(result, mask)
+                    regs[rname] = result & mask
+
+                return h_step_r
+            read = self._compile_read(ops[0])
+            write = self._compile_write(ops[0])
+
+            def h_step() -> None:
+                cpu.rip = next_rip
+                advance(base)
+                result = read() + delta
+                cpu.flags.set_from_result(result, cpu.mask)
+                write(result & cpu.mask)
+
+            return h_step
+        if op == "cmp":
+            # Reg vs Reg/Imm comparisons inline the signed interpretation
+            # (_signed) as well; flag results are bit-identical.
+            if type(ops[0]) is Reg and type(ops[1]) in (Reg, Imm):
+                regs = cpu.regs
+                lname = ops[0].name
+                if type(ops[1]) is Imm:
+                    const = ops[1].value
+
+                    def h_cmp_ri() -> None:
+                        cpu.rip = next_rip
+                        advance(base)
+                        mask = cpu.mask
+                        lhs = regs[lname] & mask
+                        rhs = const & mask
+                        cpu.flags.set_from_result(lhs - rhs, mask)
+                        half = (mask + 1) >> 1
+                        slhs = lhs - mask - 1 if lhs & half else lhs
+                        srhs = rhs - mask - 1 if rhs & half else rhs
+                        cpu.flags.sign = slhs - srhs < 0
+
+                    return h_cmp_ri
+                rname = ops[1].name
+
+                def h_cmp_rr() -> None:
+                    cpu.rip = next_rip
+                    advance(base)
+                    mask = cpu.mask
+                    lhs = regs[lname] & mask
+                    rhs = regs[rname] & mask
+                    cpu.flags.set_from_result(lhs - rhs, mask)
+                    half = (mask + 1) >> 1
+                    slhs = lhs - mask - 1 if lhs & half else lhs
+                    srhs = rhs - mask - 1 if rhs & half else rhs
+                    cpu.flags.sign = slhs - srhs < 0
+
+                return h_cmp_rr
+            read_lhs = self._compile_read(ops[0])
+            read_rhs = self._compile_read(ops[1])
+            signed = self._signed
+
+            def h_cmp() -> None:
+                cpu.rip = next_rip
+                advance(base)
+                lhs = read_lhs()
+                rhs = read_rhs()
+                cpu.flags.set_from_result(lhs - rhs, cpu.mask)
+                cpu.flags.sign = signed(lhs) - signed(rhs) < 0
+
+            return h_cmp
+        if op == "test":
+            read_lhs = self._compile_read(ops[0])
+            read_rhs = self._compile_read(ops[1])
+
+            def h_test() -> None:
+                cpu.rip = next_rip
+                advance(base)
+                cpu.flags.set_from_result(read_lhs() & read_rhs(), cpu.mask)
+
+            return h_test
+        if op == "jmp":
+            if type(ops[0]) is Imm:
+                tconst = ops[0].value
+
+                def h_jmp_c() -> None:
+                    advance(base)
+                    cpu.rip = tconst & cpu.mask
+
+                return h_jmp_c
+            read = self._compile_read(ops[0])
+
+            def h_jmp() -> None:
+                cpu.rip = next_rip
+                advance(base)
+                cpu.rip = read()
+
+            return h_jmp
+        jcc = _JCC.get(op)
+        if jcc is not None:
+            if type(ops[0]) is Imm:
+                tconst = ops[0].value
+
+                def h_jcc_c() -> None:
+                    cpu.rip = next_rip
+                    advance(base)
+                    if jcc(cpu.flags):
+                        cpu.rip = tconst & cpu.mask
+
+                return h_jcc_c
+            read = self._compile_read(ops[0])
+
+            def h_jcc() -> None:
+                cpu.rip = next_rip
+                advance(base)
+                if jcc(cpu.flags):
+                    cpu.rip = read()
+
+            return h_jcc
+        # The stack ops inline _push/_pop with the width taken from
+        # cpu.nbytes (== STACK_WIDTH[mode]: 2/4/8), masking unchanged.
+        if op == "call":
+            read = self._compile_read(ops[0])
+            store = self._store
+            regs = cpu.regs
+            if type(ops[0]) is MemRef:
+                # A memory target charges (and can fault) during read(),
+                # so the push charge must stay on its own side of it.
+                pre = base + costs.INSN_CALL
+                post = costs.INSN_MEM + costs.STORE8
+
+                def h_call_mem() -> None:
+                    cpu.rip = next_rip
+                    advance(pre)
+                    target = read()
+                    advance(post)
+                    mask = cpu.mask
+                    width = cpu.nbytes
+                    sp = ((regs["sp"] & mask) - width) & mask
+                    regs["sp"] = sp
+                    store(sp, next_rip & mask, width)
+                    cpu.rip = target
+
+                return h_call_mem
+            charge = base + costs.INSN_CALL + costs.INSN_MEM + costs.STORE8
+            if type(ops[0]) is Imm:
+                tconst = ops[0].value
+
+                def h_call_c() -> None:
+                    cpu.rip = next_rip
+                    advance(charge)
+                    mask = cpu.mask
+                    width = cpu.nbytes
+                    sp = ((regs["sp"] & mask) - width) & mask
+                    regs["sp"] = sp
+                    store(sp, next_rip & mask, width)
+                    cpu.rip = tconst & mask
+
+                return h_call_c
+
+            def h_call() -> None:
+                cpu.rip = next_rip
+                advance(charge)
+                target = read()
+                mask = cpu.mask
+                width = cpu.nbytes
+                sp = ((regs["sp"] & mask) - width) & mask
+                regs["sp"] = sp
+                store(sp, next_rip & mask, width)
+                cpu.rip = target
+
+            return h_call
+        if op == "ret":
+            load = self._load
+            regs = cpu.regs
+            charge = base + costs.INSN_CALL + costs.INSN_MEM
+
+            def h_ret() -> None:
+                cpu.rip = next_rip
+                advance(charge)
+                mask = cpu.mask
+                width = cpu.nbytes
+                sp = regs["sp"] & mask
+                value = load(sp, width)
+                regs["sp"] = (sp + width) & mask
+                cpu.rip = value
+
+            return h_ret
+        if op == "push":
+            read = self._compile_read(ops[0])
+            store = self._store
+            regs = cpu.regs
+            if type(ops[0]) is MemRef:
+                # As with call: the source read charges (and can fault),
+                # so only INSN_BASE may be hoisted ahead of it.
+                push_charge = costs.INSN_MEM + costs.STORE8
+
+                def h_push_mem() -> None:
+                    cpu.rip = next_rip
+                    advance(base)
+                    value = read()
+                    advance(push_charge)
+                    mask = cpu.mask
+                    width = cpu.nbytes
+                    sp = ((regs["sp"] & mask) - width) & mask
+                    regs["sp"] = sp
+                    store(sp, value & mask, width)
+
+                return h_push_mem
+            charge = base + costs.INSN_MEM + costs.STORE8
+            if type(ops[0]) is Reg:
+                sname = ops[0].name
+
+                def h_push_r() -> None:
+                    cpu.rip = next_rip
+                    advance(charge)
+                    mask = cpu.mask
+                    width = cpu.nbytes
+                    sp = ((regs["sp"] & mask) - width) & mask
+                    regs["sp"] = sp
+                    store(sp, regs[sname] & mask, width)
+
+                return h_push_r
+
+            def h_push() -> None:
+                cpu.rip = next_rip
+                advance(charge)
+                value = read()
+                mask = cpu.mask
+                width = cpu.nbytes
+                sp = ((regs["sp"] & mask) - width) & mask
+                regs["sp"] = sp
+                store(sp, value & mask, width)
+
+            return h_push
+        if op == "pop":
+            if not isinstance(ops[0], Reg):
+                def h_pop_bad() -> None:
+                    cpu.rip = next_rip
+                    advance(base)
+                    raise ExecutionError("pop requires a register operand")
+
+                return h_pop_bad
+            name = ops[0].name
+            load = self._load
+            regs = cpu.regs
+            charge = base + costs.INSN_MEM
+
+            def h_pop() -> None:
+                cpu.rip = next_rip
+                advance(charge)
+                mask = cpu.mask
+                width = cpu.nbytes
+                sp = regs["sp"] & mask
+                value = load(sp, width)
+                regs["sp"] = (sp + width) & mask
+                regs[name] = value & mask
+
+            return h_pop
+        if op == "hlt":
+            def h_hlt() -> None:
+                cpu.rip = next_rip
+                advance(base)
+                cpu.halted = True
+                raise HaltExit()
+
+            return h_hlt
+        if op == "out":
+            read_port = self._compile_read(ops[0])
+            read_value = self._compile_read(ops[1])
+
+            def h_out() -> None:
+                cpu.rip = next_rip
+                advance(base)
+                raise IOOutExit(port=read_port(), value=read_value())
+
+            return h_out
+        if op == "in":
+            if not isinstance(ops[0], Reg):
+                def h_in_bad() -> None:
+                    cpu.rip = next_rip
+                    advance(base)
+                    raise ExecutionError("in requires a register destination")
+
+                return h_in_bad
+            dest = ops[0].name
+            read_port = self._compile_read(ops[1])
+
+            def h_in() -> None:
+                cpu.rip = next_rip
+                advance(base)
+                raise IOInExit(port=read_port(), dest=dest)
+
+            return h_in
+        if op == "cli":
+            def h_cli() -> None:
+                cpu.rip = next_rip
+                advance(base)
+                cpu.flags.interrupts = False
+
+            return h_cli
+        if op == "sti":
+            def h_sti() -> None:
+                cpu.rip = next_rip
+                advance(base)
+                cpu.flags.interrupts = True
+
+            return h_sti
+        if op == "lgdt":
+            read = self._compile_read(ops[0])
+            charge = self._charge_component
+            lgdt_real = costs.LGDT_REAL
+            lgdt_prot = costs.LGDT_PROTECTED
+
+            def h_lgdt() -> None:
+                cpu.rip = next_rip
+                advance(base)
+                gdt_base = read()
+                if cpu.mode is Mode.REAL16:
+                    charge("load 32-bit gdt (lgdt)", lgdt_real)
+                else:
+                    charge("long transition (lgdt)", lgdt_prot)
+                gdtr = cpu.gdtr
+                gdtr.base = gdt_base
+                gdtr.limit = 0xFFFF
+                gdtr.loaded = True
+
+            return h_lgdt
+        if op == "ljmp":
+            read_bits = self._compile_read(ops[0])
+            target = ops[1]
+            # ljmp takes the raw Imm target (no mode masking) like _dispatch.
+            const_target = target.value if isinstance(target, Imm) else None
+            read_target = (None if isinstance(target, Imm)
+                           else self._compile_read(target))
+            charge = self._charge_component
+            tracer = self.tracer
+
+            def h_ljmp() -> None:
+                cpu.rip = next_rip
+                advance(base)
+                bits = read_bits()
+                addr = const_target if read_target is None else read_target()
+                if bits == 32:
+                    charge("jump to 32-bit (ljmp)", costs.LJMP_TO_32)
+                    cpu.far_jump(Mode.PROT32, addr)
+                    tracer.instant("cpu.mode:PROT32", Category.BOOT)
+                elif bits == 64:
+                    charge("jump to 64-bit (ljmp)", costs.LJMP_TO_64)
+                    cpu.far_jump(Mode.LONG64, addr)
+                    tracer.instant("cpu.mode:LONG64", Category.BOOT)
+                else:
+                    raise ExecutionError(f"ljmp to unsupported width {bits}")
+
+            return h_ljmp
+        if op == "wrmsr":
+            regs = cpu.regs
+            flush = self.tlb_flush
+            charge = base + costs.CR_WRITE
+
+            def h_wrmsr() -> None:
+                cpu.rip = next_rip
+                advance(charge)
+                msr = (regs["cx"] & cpu.mask if cpu.mode is not Mode.REAL16
+                       else regs["cx"])
+                value = (regs["dx"] << 32) | (regs["ax"] & 0xFFFFFFFF)
+                cpu.wrmsr(msr if msr else MSR_EFER, value)
+                flush()
+
+            return h_wrmsr
+        if op == "rdmsr":
+            regs = cpu.regs
+            charge = base + costs.CR_WRITE
+
+            def h_rdmsr() -> None:
+                cpu.rip = next_rip
+                advance(charge)
+                msr = regs["cx"] or MSR_EFER
+                value = cpu.rdmsr(msr)
+                regs["ax"] = value & 0xFFFFFFFF
+                regs["dx"] = value >> 32
+
+            return h_rdmsr
+        if op == "stos64":
+            store = self._store
+            regs = cpu.regs
+            charge = base + costs.INSN_MEM + costs.STORE8
+
+            def h_stos64() -> None:
+                cpu.rip = next_rip
+                di = regs["di"] & cpu.mask
+                advance(charge)
+                store(di, regs["ax"], 8)
+                regs["di"] = (di + 8) & cpu.mask
+
+            return h_stos64
+
+        def h_unknown() -> None:  # pragma: no cover - assembler validates ops
+            cpu.rip = next_rip
+            advance(base)
+            raise ExecutionError(f"unimplemented op {op!r}")
+
+        return h_unknown
 
     # -- execution --------------------------------------------------------------------
     def step(self) -> None:
         """Execute one instruction (raises a :class:`GuestExit` on exits)."""
         if self.program is None:
             raise ExecutionError("no program loaded")
-        if self.cpu.halted:
+        cpu = self.cpu
+        if cpu.halted:
             raise HaltExit()
-        insn = self._by_addr.get(self.cpu.rip)
+        if self._trace is None and self._decoded:
+            # Fast path: the handler closure carries the operand accessors
+            # and the fall-through RIP, and charges INSN_BASE itself;
+            # charges are identical to _dispatch.
+            handler = self._decoded.get(cpu.rip)
+            if handler is None:
+                raise TripleFault(
+                    f"instruction fetch from unmapped rip {cpu.rip:#x}")
+            if self._first_instruction_pending:
+                self._first_instruction_pending = False
+                self._charge_component("first instruction",
+                                       self.costs.FIRST_INSTRUCTION)
+            self.instructions_retired += 1
+            handler()
+            return
+        insn = self._by_addr.get(cpu.rip)
         if insn is None:
-            raise TripleFault(f"instruction fetch from unmapped rip {self.cpu.rip:#x}")
+            raise TripleFault(f"instruction fetch from unmapped rip {cpu.rip:#x}")
         if self._first_instruction_pending:
             self._first_instruction_pending = False
             self._charge_component("first instruction", self.costs.FIRST_INSTRUCTION)
@@ -517,7 +1271,7 @@ class Interpreter:
         self.clock.advance(self.costs.INSN_BASE)
         self.instructions_retired += 1
         next_rip = insn.addr + insn.size
-        self.cpu.rip = next_rip  # may be overwritten by control flow
+        cpu.rip = next_rip  # may be overwritten by control flow
         self._dispatch(insn)
 
     def _dispatch(self, insn: Instr) -> None:
@@ -531,19 +1285,11 @@ class Interpreter:
         if op == "mov":
             self._write_operand(ops[0], self._read_operand(ops[1]))
             return
-        if op in ("add", "sub", "and", "or", "xor", "shl", "shr", "mul"):
+        alu = _ALU_OPS.get(op)
+        if alu is not None:
             lhs = self._read_operand(ops[0])
             rhs = self._read_operand(ops[1])
-            result = {
-                "add": lhs + rhs,
-                "sub": lhs - rhs,
-                "and": lhs & rhs,
-                "or": lhs | rhs,
-                "xor": lhs ^ rhs,
-                "shl": lhs << (rhs & 63),
-                "shr": lhs >> (rhs & 63),
-                "mul": lhs * rhs,
-            }[op]
+            result = alu(lhs, rhs)
             cpu.flags.set_from_result(result, cpu.mode.mask)
             self._write_operand(ops[0], result & cpu.mode.mask)
             return
@@ -567,19 +1313,9 @@ class Interpreter:
         if op == "jmp":
             cpu.rip = self._read_operand(ops[0])
             return
-        if op in ("je", "jne", "jl", "jle", "jg", "jge", "jc", "jnc"):
-            flags = cpu.flags
-            taken = {
-                "je": flags.zero,
-                "jne": not flags.zero,
-                "jl": flags.sign,
-                "jle": flags.sign or flags.zero,
-                "jg": not flags.sign and not flags.zero,
-                "jge": not flags.sign,
-                "jc": flags.carry,
-                "jnc": not flags.carry,
-            }[op]
-            if taken:
+        jcc = _JCC.get(op)
+        if jcc is not None:
+            if jcc(cpu.flags):
                 cpu.rip = self._read_operand(ops[0])
             return
         if op == "call":
@@ -653,6 +1389,7 @@ class Interpreter:
             msr = cpu.read_reg("cx") if cpu.mode is not Mode.REAL16 else cpu.regs["cx"]
             value = (cpu.regs["dx"] << 32) | (cpu.regs["ax"] & 0xFFFFFFFF)
             cpu.wrmsr(msr if msr else MSR_EFER, value)
+            self.tlb_flush()  # EFER.LME transitions invalidate translations
             return
         if op == "rdmsr":
             self.clock.advance(costs.CR_WRITE)
@@ -668,6 +1405,68 @@ class Interpreter:
             cpu.write_reg("di", di + 8)
             return
         raise ExecutionError(f"unimplemented op {op!r}")  # pragma: no cover
+
+    def run_steps(self, budget: int) -> int:
+        """Execute up to ``budget`` instructions; the VM's inner run loop.
+
+        Returns ``budget`` when the step budget is exhausted; otherwise a
+        :class:`GuestExit` propagates exactly as from :meth:`step`.  After
+        any exception, :attr:`last_run_steps` holds the number of
+        instructions completed *before* the raising one -- the VM's step
+        accounting never counts the exiting instruction.
+        """
+        if budget <= 0:
+            self.last_run_steps = 0
+            return 0
+        if self._trace is not None or not self._decoded:
+            # Reference path: per-step dispatch keeps step()'s semantics
+            # (and the debug ring buffer) intact.
+            completed = 0
+            self.last_run_steps = 0
+            while completed < budget:
+                self.step()
+                completed += 1
+                self.last_run_steps = completed
+            return completed
+        cpu = self.cpu
+        if cpu.halted:
+            self.last_run_steps = 0
+            raise HaltExit()
+        if self._first_instruction_pending:
+            # Fetch is checked before the charge (a bad entry RIP leaves
+            # the charge pending), after which the flag stays False for
+            # the rest of the run -- so the loop below can skip it.
+            if self._decoded.get(cpu.rip) is None:
+                self.last_run_steps = 0
+                raise TripleFault(
+                    f"instruction fetch from unmapped rip {cpu.rip:#x}")
+            self._first_instruction_pending = False
+            self._charge_component("first instruction",
+                                   self.costs.FIRST_INSTRUCTION)
+        decoded_get = self._decoded.get
+        executed = 0
+        fetch_fault = False
+        try:
+            while executed < budget:
+                handler = decoded_get(cpu.rip)
+                if handler is None:
+                    fetch_fault = True
+                    break
+                executed += 1
+                handler()
+        except BaseException:
+            # The raising instruction retired but does not count toward
+            # the VM's step budget (mirrors the per-step loop this
+            # replaces, where step() raised before the budget increment).
+            self.instructions_retired += executed
+            self.last_run_steps = executed - 1
+            raise
+        self.instructions_retired += executed
+        self.last_run_steps = executed
+        if fetch_fault:
+            raise TripleFault(
+                f"instruction fetch from unmapped rip {cpu.rip:#x}")
+        return executed
 
     def run(self, max_steps: int = 50_000_000) -> GuestExit:
         """Run until the guest exits; returns the exit event."""

@@ -16,6 +16,13 @@ from typing import Callable, Iterable
 PAGE_SIZE = 4096
 PAGE_SHIFT = 12
 
+# Preresolved codecs for the integer helpers: ``unpack_from``/``pack_into``
+# operate on the backing ``bytearray`` directly, with no intermediate
+# ``bytes`` copy per access.
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
 
 class GuestMemoryError(Exception):
     """An out-of-range guest physical access."""
@@ -37,6 +44,21 @@ class GuestMemory:
         #: Optional callback invoked when a copy-on-write page is first
         #: written after a CoW snapshot restore.
         self.on_cow_break: Callable[[int], None] | None = None
+        #: Bumped whenever a page backing a cached address translation is
+        #: written (guest store to a live page table) or any bulk host-side
+        #: mutation rewrites memory wholesale.  Registered software TLBs
+        #: (see :meth:`register_tlb`) are cleared in the same event, so
+        #: cached translations can never go stale relative to the
+        #: always-rewalking slow path -- without a per-access version check.
+        self.translation_version = 0
+        self._watched_pages: set[int] = set()
+        self._registered_tlbs: list[dict[int, int]] = []
+        # Pages where a store needs no bookkeeping at all: already dirty
+        # and touched, not CoW-pending, not watched.  Populated by
+        # _touch_page, drained by every event that re-arms any of those
+        # conditions; lets the write helpers skip the touch chain on the
+        # overwhelmingly common repeat store.
+        self._quiet: set[int] = set()
 
     # -- bounds & tracking -------------------------------------------------
     def _check(self, addr: int, length: int) -> None:
@@ -49,16 +71,31 @@ class GuestMemory:
     def _touch(self, addr: int, length: int) -> None:
         first = addr >> PAGE_SHIFT
         last = (addr + max(length - 1, 0)) >> PAGE_SHIFT
+        if first == last:
+            self._touch_page(first)
+            return
         for page in range(first, last + 1):
-            self._dirty.add(page)
-            if page in self._cow_pending:
-                self._cow_pending.discard(page)
-                if self.on_cow_break is not None:
-                    self.on_cow_break(page)
-            if page not in self._touched:
-                self._touched.add(page)
-                if self.on_first_touch is not None:
-                    self.on_first_touch(page)
+            self._touch_page(page)
+
+    def _touch_page(self, page: int) -> None:
+        # CoW break fires before the first-touch event (a CoW page was
+        # EPT-mapped at restore, so the orders never actually overlap, but
+        # the callback ordering is part of the contract).
+        self._dirty.add(page)
+        if page in self._cow_pending:
+            self._cow_pending.discard(page)
+            if self.on_cow_break is not None:
+                self.on_cow_break(page)
+        if page not in self._touched:
+            self._touched.add(page)
+            if self.on_first_touch is not None:
+                self.on_first_touch(page)
+        if page in self._watched_pages:
+            self._invalidate_translations()
+        # Every condition above is now settled for this page (a watched
+        # page was just un-watched by the invalidation; the next walk
+        # re-watches it and discards it from the quiet set again).
+        self._quiet.add(page)
 
     def _mark_dirty(self, addr: int, length: int) -> None:
         first = addr >> PAGE_SHIFT
@@ -69,6 +106,40 @@ class GuestMemory:
                 self._cow_pending.discard(page)
                 if self.on_cow_break is not None:
                     self.on_cow_break(page)
+            if page in self._watched_pages:
+                self._invalidate_translations()
+
+    # -- translation caching hooks -------------------------------------------
+    def register_tlb(self, tlb: dict[int, int]) -> None:
+        """Attach a software TLB to be cleared on translation rot.
+
+        Push invalidation: the TLB owner fills the dict and watches the
+        page-table pages each walk traversed; any event that could change
+        a translation clears the dict here, so lookups need no version
+        check on the hot path.
+        """
+        self._registered_tlbs.append(tlb)
+
+    def _invalidate_translations(self) -> None:
+        self.translation_version += 1
+        # Watches are rebuilt by the next page walk; stale ones would only
+        # cause spurious (never missed) invalidations.
+        self._watched_pages.clear()
+        for tlb in self._registered_tlbs:
+            tlb.clear()
+
+    def watch_translation_page(self, page: int) -> None:
+        """Register ``page`` as backing a cached address translation.
+
+        Any later write to a watched page invalidates every registered
+        TLB (and bumps :attr:`translation_version` for observers).
+        """
+        self._watched_pages.add(page)
+        self._quiet.discard(page)
+
+    def clear_translation_watch(self) -> None:
+        """Forget all watched pages (called when the TLB is flushed)."""
+        self._watched_pages.clear()
 
     @property
     def touched_pages(self) -> int:
@@ -78,6 +149,7 @@ class GuestMemory:
     def reset_touch_tracking(self) -> None:
         """Forget first-touch history (used when recycling a shell)."""
         self._touched.clear()
+        self._quiet.clear()
 
     def mark_touched(self, pages: Iterable[int]) -> None:
         """Record pages as already EPT-mapped (host-side population)."""
@@ -96,33 +168,59 @@ class GuestMemory:
         self._data[addr : addr + len(data)] = data
 
     # -- integer helpers -------------------------------------------------------
+    # Reads decode straight out of the backing bytearray; writes pack into
+    # it in place.  No per-access bytes copies, same bounds discipline.
     def read_u8(self, addr: int) -> int:
-        return self.read(addr, 1)[0]
+        if addr < 0 or addr + 1 > self.size:
+            self._check(addr, 1)
+        return self._data[addr]
 
     def read_u16(self, addr: int) -> int:
-        return struct.unpack_from("<H", self._guarded(addr, 2))[0]
+        if addr < 0 or addr + 2 > self.size:
+            self._check(addr, 2)
+        return _U16.unpack_from(self._data, addr)[0]
 
     def read_u32(self, addr: int) -> int:
-        return struct.unpack_from("<I", self._guarded(addr, 4))[0]
+        if addr < 0 or addr + 4 > self.size:
+            self._check(addr, 4)
+        return _U32.unpack_from(self._data, addr)[0]
 
     def read_u64(self, addr: int) -> int:
-        return struct.unpack_from("<Q", self._guarded(addr, 8))[0]
+        if addr < 0 or addr + 8 > self.size:
+            self._check(addr, 8)
+        return _U64.unpack_from(self._data, addr)[0]
 
     def write_u8(self, addr: int, value: int) -> None:
-        self.write(addr, bytes([value & 0xFF]))
+        if addr < 0 or addr + 1 > self.size:
+            self._check(addr, 1)
+        page = addr >> PAGE_SHIFT
+        if page not in self._quiet:
+            self._touch_page(page)
+        self._data[addr] = value & 0xFF
 
     def write_u16(self, addr: int, value: int) -> None:
-        self.write(addr, struct.pack("<H", value & 0xFFFF))
+        if addr < 0 or addr + 2 > self.size:
+            self._check(addr, 2)
+        page = addr >> PAGE_SHIFT
+        if page not in self._quiet or (addr + 1) >> PAGE_SHIFT != page:
+            self._touch(addr, 2)
+        _U16.pack_into(self._data, addr, value & 0xFFFF)
 
     def write_u32(self, addr: int, value: int) -> None:
-        self.write(addr, struct.pack("<I", value & 0xFFFFFFFF))
+        if addr < 0 or addr + 4 > self.size:
+            self._check(addr, 4)
+        page = addr >> PAGE_SHIFT
+        if page not in self._quiet or (addr + 3) >> PAGE_SHIFT != page:
+            self._touch(addr, 4)
+        _U32.pack_into(self._data, addr, value & 0xFFFFFFFF)
 
     def write_u64(self, addr: int, value: int) -> None:
-        self.write(addr, struct.pack("<Q", value & 0xFFFFFFFFFFFFFFFF))
-
-    def _guarded(self, addr: int, length: int) -> bytes:
-        self._check(addr, length)
-        return bytes(self._data[addr : addr + length])
+        if addr < 0 or addr + 8 > self.size:
+            self._check(addr, 8)
+        page = addr >> PAGE_SHIFT
+        if page not in self._quiet or (addr + 7) >> PAGE_SHIFT != page:
+            self._touch(addr, 8)
+        _U64.pack_into(self._data, addr, value & 0xFFFFFFFFFFFFFFFF)
 
     # -- dirty-page tracking ------------------------------------------------------
     @property
@@ -154,6 +252,8 @@ class GuestMemory:
             self._data[start : start + PAGE_SIZE] = zero_page
         self._cow_pending.clear()
         self._dirty.clear()
+        self._quiet.clear()
+        self._invalidate_translations()
         return cleared
 
     def capture_dirty(self) -> dict[int, bytes]:
@@ -174,6 +274,25 @@ class GuestMemory:
             self._check(start, PAGE_SIZE)
             self._data[start : start + PAGE_SIZE] = contents
         self._dirty.update(pages)
+        self._invalidate_translations()
+
+    def restore_runs(self, runs: Iterable[tuple[int, bytes]],
+                     pages: Iterable[int]) -> None:
+        """Bulk variant of :meth:`restore_pages`.
+
+        ``runs`` is a sequence of ``(start_addr, contents)`` pairs of
+        *contiguous* page data (see
+        :meth:`repro.wasp.snapshot.Snapshot.page_runs`) and ``pages`` the
+        page numbers they cover.  One slice assignment per run replaces
+        the per-page loop; dirty bookkeeping is batched.  State effects
+        are identical to ``restore_pages`` over the same pages.
+        """
+        data = self._data
+        for start, contents in runs:
+            self._check(start, len(contents))
+            data[start : start + len(contents)] = contents
+        self._dirty.update(pages)
+        self._invalidate_translations()
 
     def restore_pages_cow(self, pages: dict[int, bytes]) -> None:
         """Copy-on-write restore: map the snapshot pages shared/read-only.
@@ -191,6 +310,20 @@ class GuestMemory:
             self._check(start, PAGE_SIZE)
             self._data[start : start + PAGE_SIZE] = contents
         self._cow_pending.update(pages)
+        self._quiet.difference_update(pages)
+        self._invalidate_translations()
+
+    def restore_runs_cow(self, runs: Iterable[tuple[int, bytes]],
+                         pages: Iterable[int]) -> None:
+        """Bulk variant of :meth:`restore_pages_cow` (contiguous runs)."""
+        data = self._data
+        for start, contents in runs:
+            self._check(start, len(contents))
+            data[start : start + len(contents)] = contents
+        pages = tuple(pages)
+        self._cow_pending.update(pages)
+        self._quiet.difference_update(pages)
+        self._invalidate_translations()
 
     @property
     def cow_pending_pages(self) -> frozenset[int]:
@@ -207,6 +340,8 @@ class GuestMemory:
         self._data = bytearray([value & 0xFF]) * self.size if value else bytearray(self.size)
         self._dirty.clear()
         self._cow_pending.clear()
+        self._quiet.clear()
+        self._invalidate_translations()
 
     def copy_from(self, other: "GuestMemory") -> None:
         """Replace contents with a copy of ``other`` (sizes must match)."""
@@ -217,6 +352,8 @@ class GuestMemory:
             )
         self._data[:] = other._data
         self._dirty = set(other._dirty)
+        self._quiet.clear()
+        self._invalidate_translations()
 
     def snapshot_bytes(self) -> bytes:
         """Return an immutable copy of the full contents."""

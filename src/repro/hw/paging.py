@@ -102,6 +102,50 @@ def translate(memory: GuestMemory, cr3: int, vaddr: int) -> int:
     return (pte & ADDR_MASK) + offset12
 
 
+def translate_watched(memory: GuestMemory, cr3: int, vaddr: int) -> int:
+    """Walk like :func:`translate`, registering every table page read.
+
+    Used by the interpreter's software TLB on a miss: the physical pages
+    holding the PML4/PDPT/PD/PT entries consulted by this walk are added
+    to ``memory``'s translation watch set, so a later write to any of
+    them bumps ``memory.translation_version`` and invalidates the cached
+    translation.  The translation result is identical to
+    :func:`translate` by construction.
+    """
+    if vaddr < 0:
+        raise PageFault(vaddr, "negative address")
+    pml4_index = (vaddr >> 39) & 0x1FF
+    pdpt_index = (vaddr >> 30) & 0x1FF
+    pd_index = (vaddr >> 21) & 0x1FF
+    pt_index = (vaddr >> 12) & 0x1FF
+
+    watch = memory.watch_translation_page
+    pml4_addr = (cr3 & ADDR_MASK) + pml4_index * ENTRY_SIZE
+    watch(pml4_addr >> 12)
+    pml4e = memory.read_u64(pml4_addr)
+    if not pml4e & PTE_PRESENT:
+        raise PageFault(vaddr, "PML4 entry not present")
+    pdpt_addr = (pml4e & ADDR_MASK) + pdpt_index * ENTRY_SIZE
+    watch(pdpt_addr >> 12)
+    pdpte = memory.read_u64(pdpt_addr)
+    if not pdpte & PTE_PRESENT:
+        raise PageFault(vaddr, "PDPT entry not present")
+    pd_addr = (pdpte & ADDR_MASK) + pd_index * ENTRY_SIZE
+    watch(pd_addr >> 12)
+    pde = memory.read_u64(pd_addr)
+    if not pde & PTE_PRESENT:
+        raise PageFault(vaddr, "PD entry not present")
+    if pde & PTE_LARGE:
+        base = pde & ~(LARGE_PAGE_SIZE - 1) & ADDR_MASK
+        return base + (vaddr & (LARGE_PAGE_SIZE - 1))
+    pt_addr = (pde & ADDR_MASK) + pt_index * ENTRY_SIZE
+    watch(pt_addr >> 12)
+    pte = memory.read_u64(pt_addr)
+    if not pte & PTE_PRESENT:
+        raise PageFault(vaddr, "PT entry not present")
+    return (pte & ADDR_MASK) + (vaddr & 0xFFF)
+
+
 def is_identity_mapped(memory: GuestMemory, cr3: int, limit: int) -> bool:
     """True if every 2 MB-aligned address below ``limit`` maps to itself."""
     addr = 0

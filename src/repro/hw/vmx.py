@@ -82,17 +82,19 @@ class VirtualMachine:
         clock: Clock,
         costs: CostModel = COSTS,
         tracer: Tracer | None = None,
+        fast_paths: bool = True,
     ) -> None:
         self.clock = clock
         self.costs = costs
         #: Cycle tracer (disabled by default; charges nothing, ever).
         self.tracer = tracer if tracer is not None else NO_TRACE
+        self.fast_paths = fast_paths
         self.cpu = CPU()
         self.memory = GuestMemory(memory_size)
         self.memory.on_first_touch = self._ept_fault
         self.memory.on_cow_break = self._cow_break
         self.interp = Interpreter(self.cpu, self.memory, clock, costs,
-                                  tracer=self.tracer)
+                                  tracer=self.tracer, fast_paths=fast_paths)
         self.milestones: list[Milestone] = []
         self.ept_faults = 0
         self.ept_fault_cycles = 0
@@ -149,24 +151,35 @@ class VirtualMachine:
             self.tracer.end(span)
 
     def _run_until_exit(self, max_steps: int) -> ExitInfo:
+        # The interpreter runs the hot loop in bulk (run_steps); exits
+        # surface as exceptions whose completed-step count is read back
+        # from last_run_steps, which -- like the per-step loop this
+        # replaces -- never counts the exiting instruction itself.
+        interp = self.interp
         steps = 0
         while steps < max_steps:
             try:
-                self.interp.step()
-                steps += 1
+                steps += interp.run_steps(max_steps - steps)
             except HaltExit:
-                return ExitInfo(reason=ExitReason.HLT, steps=steps)
+                return ExitInfo(reason=ExitReason.HLT,
+                                steps=steps + interp.last_run_steps)
             except IOOutExit as io:
+                steps += interp.last_run_steps
                 if io.port == DEBUG_PORT:
-                    self.milestones.append(Milestone(marker=io.value, cycles=self.clock.cycles))
+                    self.milestones.append(
+                        Milestone(marker=io.value, cycles=self.clock.cycles))
                     self.tracer.instant(f"milestone:{io.value}", Category.GUEST,
                                         marker=io.value)
                     continue
-                return ExitInfo(reason=ExitReason.IO_OUT, port=io.port, value=io.value, steps=steps)
+                return ExitInfo(reason=ExitReason.IO_OUT, port=io.port,
+                                value=io.value, steps=steps)
             except IOInExit as io:
-                return ExitInfo(reason=ExitReason.IO_IN, port=io.port, in_dest=io.dest, steps=steps)
+                return ExitInfo(reason=ExitReason.IO_IN, port=io.port,
+                                in_dest=io.dest,
+                                steps=steps + interp.last_run_steps)
             except TripleFault as fault:
-                return ExitInfo(reason=ExitReason.SHUTDOWN, detail=fault.reason, steps=steps)
+                return ExitInfo(reason=ExitReason.SHUTDOWN, detail=fault.reason,
+                                steps=steps + interp.last_run_steps)
         return ExitInfo(reason=ExitReason.SHUTDOWN, detail=STEP_BUDGET_EXHAUSTED, steps=steps)
 
     def complete_io_in(self, dest: str, value: int) -> None:

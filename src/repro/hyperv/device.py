@@ -54,11 +54,14 @@ class HyperV:
         costs: CostModel = COSTS,
         fault_plan: FaultPlan | None = None,
         tracer: Tracer | None = None,
+        fast_paths: bool = True,
     ) -> None:
         self.clock = clock
         self.costs = costs
         self.fault_plan = fault_plan if fault_plan is not None else NO_FAULTS
         self.tracer = tracer if tracer is not None else NO_TRACE
+        #: Forwarded to every VirtualMachine this device creates.
+        self.fast_paths = fast_paths
         self.vms_created = 0
         #: Partitions released via ``PartitionHandle.close`` (leak
         #: accounting mirrors the KVM device).
@@ -97,7 +100,7 @@ class PartitionHandle:
                                      Category.VMM)
         self.vm = VirtualMachine(
             memory_size=size, clock=self.hyperv.clock, costs=self.hyperv.costs,
-            tracer=self.hyperv.tracer,
+            tracer=self.hyperv.tracer, fast_paths=self.hyperv.fast_paths,
         )
 
     def create_vcpu(self) -> "WhvVcpuHandle":

@@ -40,11 +40,14 @@ class KVM:
         costs: CostModel = COSTS,
         fault_plan: FaultPlan | None = None,
         tracer: Tracer | None = None,
+        fast_paths: bool = True,
     ) -> None:
         self.clock = clock
         self.costs = costs
         self.fault_plan = fault_plan if fault_plan is not None else NO_FAULTS
         self.tracer = tracer if tracer is not None else NO_TRACE
+        #: Forwarded to every VirtualMachine this device creates.
+        self.fast_paths = fast_paths
         self.vms_created = 0
         #: VM fds released via ``VMHandle.close`` (leak accounting:
         #: ``vms_created - vms_closed`` is the live-handle population).
@@ -81,7 +84,8 @@ class VMHandle:
         self.kvm.clock.advance(cost)
         self.kvm.tracer.component("KVM_SET_USER_MEMORY_REGION", cost, Category.VMM)
         self.vm = VirtualMachine(memory_size=size, clock=self.kvm.clock,
-                                 costs=self.kvm.costs, tracer=self.kvm.tracer)
+                                 costs=self.kvm.costs, tracer=self.kvm.tracer,
+                                 fast_paths=self.kvm.fast_paths)
 
     def create_vcpu(self) -> "VcpuHandle":
         """``KVM_CREATE_VCPU``: allocate a vCPU."""

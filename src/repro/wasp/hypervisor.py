@@ -89,7 +89,12 @@ class Wasp:
         fault_plan: FaultPlan | None = None,
         tracer: Tracer | None = None,
         trace: bool = False,
+        fast_paths: bool = True,
     ) -> None:
+        #: Escape hatch for the hw-layer fast-path engine (software TLB,
+        #: predecoded dispatch, bulk restores).  Simulated cycles are
+        #: identical either way; ``False`` selects the reference paths.
+        self.fast_paths = fast_paths
         self.fault_plan = fault_plan if fault_plan is not None else NO_FAULTS
         if kernel is not None:
             self.kernel = kernel
@@ -111,12 +116,12 @@ class Wasp:
         self.tracer.bind(self.clock)
         if backend == "kvm":
             self.kvm = KVM(self.clock, costs, fault_plan=self.fault_plan,
-                           tracer=self.tracer)
+                           tracer=self.tracer, fast_paths=fast_paths)
         elif backend == "hyperv":
             from repro.hyperv.device import HyperV
 
             self.kvm = HyperV(self.clock, costs, fault_plan=self.fault_plan,
-                              tracer=self.tracer)
+                              tracer=self.tracer, fast_paths=fast_paths)
         else:
             raise ValueError(f"unknown VMM backend {backend!r} (use one of {self.BACKENDS})")
         self.backend = backend
@@ -397,11 +402,19 @@ class Wasp:
                               mode=mode.value, pages=len(snap.pages)):
             if mode is RestoreMode.EAGER:
                 self.clock.advance(self.costs.memcpy(snap.copy_size))
-                vm.memory.restore_pages(dict(snap.pages))
+                if self.fast_paths:
+                    # Coalesced contiguous-run slice copies; identical
+                    # state effects (and charge) to the per-page loop.
+                    vm.memory.restore_runs(snap.page_runs(), snap.pages)
+                else:
+                    vm.memory.restore_pages(dict(snap.pages))
             else:
                 # CoW: cheap shared mappings now, per-page copies on write.
                 self.clock.advance(self.costs.COW_MAP_PER_PAGE * len(snap.pages))
-                vm.memory.restore_pages_cow(dict(snap.pages))
+                if self.fast_paths:
+                    vm.memory.restore_runs_cow(snap.page_runs(), snap.pages)
+                else:
+                    vm.memory.restore_pages_cow(dict(snap.pages))
             vm.memory.mark_touched(snap.pages.keys())
             vm.cpu.load_state(snap.cpu_state)
             vm.interp.attach_program(virtine.image.program, reset_rip=False)

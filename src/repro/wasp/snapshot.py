@@ -26,7 +26,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.hw.memory import PAGE_SIZE
+from repro.hw.memory import PAGE_SHIFT, PAGE_SIZE
 
 
 class RestoreMode(enum.Enum):
@@ -63,6 +63,8 @@ class Snapshot:
     checksum: int = field(default=-1)
 
     def __post_init__(self) -> None:
+        self._sorted_pages: tuple[int, ...] | None = None
+        self._runs: tuple[tuple[int, bytes], ...] | None = None
         if self.checksum == -1:
             self.checksum = self.compute_checksum()
 
@@ -73,7 +75,45 @@ class Snapshot:
 
     def payload_copy(self) -> Any:
         """A private deep copy of the hosted payload for one restore."""
+        if self.hosted_payload is None:
+            return None
         return copy.deepcopy(self.hosted_payload)
+
+    # -- cached page views ---------------------------------------------------
+    def sorted_pages(self) -> tuple[int, ...]:
+        """Captured page numbers in ascending order (cached; the page set
+        is fixed at capture, only :meth:`corrupt` mutates contents)."""
+        if self._sorted_pages is None:
+            self._sorted_pages = tuple(sorted(self.pages))
+        return self._sorted_pages
+
+    def page_runs(self) -> tuple[tuple[int, bytes], ...]:
+        """Contiguous ``(start_addr, contents)`` runs of the captured pages.
+
+        Adjacent pages are pre-joined so a restore is one slice copy per
+        run (see :meth:`repro.hw.memory.GuestMemory.restore_runs`).
+        """
+        if self._runs is None:
+            runs: list[tuple[int, bytes]] = []
+            chunk: list[bytes] = []
+            run_start = prev = -2
+            for page in self.sorted_pages():
+                if page == prev + 1:
+                    chunk.append(self.pages[page])
+                else:
+                    if chunk:
+                        runs.append((run_start << PAGE_SHIFT, b"".join(chunk)))
+                    run_start = page
+                    chunk = [self.pages[page]]
+                prev = page
+            if chunk:
+                runs.append((run_start << PAGE_SHIFT, b"".join(chunk)))
+            self._runs = tuple(runs)
+        return self._runs
+
+    def _invalidate_caches(self) -> None:
+        self._sorted_pages = None
+        self._runs = None
 
     # -- integrity ----------------------------------------------------------
     def compute_checksum(self) -> int:
@@ -84,8 +124,9 @@ class Snapshot:
         shared) on both capture and restore.
         """
         crc = 0
-        for page in sorted(self.pages):
-            crc = zlib.crc32(self.pages[page], crc)
+        pages = self.pages
+        for page in self.sorted_pages():
+            crc = zlib.crc32(pages[page], crc)
             crc = zlib.crc32(page.to_bytes(8, "little"), crc)
         crc = zlib.crc32(repr(sorted(self.cpu_state.items())).encode(), crc)
         return crc
@@ -96,6 +137,7 @@ class Snapshot:
 
     def corrupt(self) -> None:
         """Flip one stored bit (the fault-injection plane's bit rot)."""
+        self._invalidate_caches()
         if self.pages:
             page = min(self.pages)
             data = bytearray(self.pages[page])

@@ -1,0 +1,127 @@
+"""Golden equivalence: the fast-path engine changes zero simulated state.
+
+Every workload here runs twice -- ``fast_paths=True`` (software TLB,
+predecoded dispatch, bulk-memory restores) and ``fast_paths=False`` (the
+reference interpreter) -- and must produce *bit-identical* observable
+results: total simulated cycles, per-component cycle attribution,
+collected metrics, and the exported Chrome trace.  Any divergence means
+a fast path changed semantics, not just host speed.
+"""
+
+import json
+
+import pytest
+
+from repro.hw.clock import Clock
+from repro.hw.cpu import Mode
+from repro.hw.vmx import ExitReason, VirtualMachine
+from repro.runtime.image import ImageBuilder
+from repro.trace import to_chrome_json, validate_chrome_trace
+from repro.wasp.metrics import collect
+
+
+def _echo(fast_paths: bool):
+    from repro.apps.http.server import EchoServer
+    from repro.wasp import Wasp
+
+    wasp = Wasp(trace=True, fast_paths=fast_paths)
+    echo = EchoServer(wasp, port=7)
+    for i in range(8):
+        conn = wasp.kernel.sys_connect(7)
+        wasp.kernel.sys_send(conn, b"ping %d" % i)
+        echo.handle_one()
+    return wasp
+
+
+def _http(fast_paths: bool):
+    from repro.apps.http.client import RequestGenerator
+    from repro.apps.http.server import StaticHttpServer
+    from repro.wasp import Wasp
+
+    wasp = Wasp(trace=True, fast_paths=fast_paths)
+    wasp.kernel.fs.add_file("/srv/index.html", b"<html>equiv</html>")
+    server = StaticHttpServer(wasp, port=8080, isolation="snapshot")
+    generator = RequestGenerator(wasp.kernel, server, "/index.html")
+    for _ in range(12):
+        generator.one_request()
+    return wasp
+
+
+def _serverless(fast_paths: bool):
+    """Seeded faulty burst: shed/retry/quarantine paths stay identical."""
+    from repro.apps.serverless.platform import SupervisedPlatform
+    from repro.faults import FaultPlan, FaultSite
+    from repro.wasp import PermissivePolicy, Wasp
+    from repro.wasp.guestenv import GuestEnv
+
+    plan = (
+        FaultPlan(seed=7)
+        .fail(FaultSite.VCPU_RUN, rate=0.08)
+        .fail(FaultSite.POOL_ACQUIRE, rate=0.05)
+        .fail(FaultSite.SNAPSHOT_RESTORE, rate=0.05)
+    )
+    primary = Wasp(fault_plan=plan, trace=True, fast_paths=fast_paths)
+    fallback = Wasp(fast_paths=fast_paths)
+
+    def entry(env: GuestEnv) -> int:
+        if not env.from_snapshot:
+            env.charge(20_000)
+            env.snapshot()
+        env.charge_bytes(4096)
+        return 0
+
+    image = ImageBuilder().hosted(name="equiv-job", entry=entry)
+    SupervisedPlatform(primary, fallback).run_workload(
+        image, [None] * 16, policy=PermissivePolicy(), use_snapshot=True,
+    )
+    return primary
+
+
+WORKLOADS = {"echo": _echo, "http": _http, "serverless": _serverless}
+
+
+def observables(wasp) -> dict:
+    trace_json = to_chrome_json(wasp.tracer)
+    validate_chrome_trace(json.loads(trace_json))
+    return {
+        "cycles": wasp.clock.cycles,
+        "metrics": collect(wasp).to_dict(),
+        "trace": trace_json,
+    }
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workload_observables_identical(name):
+    fast = observables(WORKLOADS[name](True))
+    slow = observables(WORKLOADS[name](False))
+    assert fast["cycles"] == slow["cycles"]
+    assert fast["metrics"] == slow["metrics"]
+    assert fast["trace"] == slow["trace"]
+
+
+@pytest.mark.parametrize("mode", [Mode.PROT32, Mode.LONG64])
+def test_boot_component_cycles_identical(mode):
+    comps = {}
+    for fast in (True, False):
+        clock = Clock()
+        vm = VirtualMachine(4 * 1024 * 1024, clock, fast_paths=fast)
+        vm.load_program(ImageBuilder().minimal(mode).program)
+        info = vm.vmrun()
+        assert info.reason is ExitReason.HLT
+        comps[fast] = (clock.cycles, dict(vm.interp.component_cycles),
+                       vm.milestone_deltas())
+    assert comps[True] == comps[False]
+
+
+def test_fib_cycles_and_result_identical():
+    results = {}
+    for fast in (True, False):
+        clock = Clock()
+        vm = VirtualMachine(4 * 1024 * 1024, clock, fast_paths=fast)
+        vm.load_program(ImageBuilder().fib(Mode.LONG64, 15).program)
+        info = vm.vmrun()
+        assert info.reason is ExitReason.HLT
+        results[fast] = (clock.cycles, vm.cpu.regs["ax"],
+                         vm.interp.instructions_retired)
+    assert results[True] == results[False]
+    assert results[True][1] == 610  # fib(15)
