@@ -1,0 +1,108 @@
+"""Figure 9/10: parallel virtine creation scales with core count.
+
+"Creation rates scale roughly linearly up to the physical core count"
+(Section 6.2).  The lockstep SMP plane runs the same creation storm on
+1/2/4/8 simulated cores, pooled (Wasp+C, Figure 10) and scratch (Wasp,
+Figure 9): throughput should rise monotonically with cores, pooled
+creation should sit orders of magnitude above scratch, and -- the
+determinism contract -- the same seed must replay identical cycle
+totals and an identical Chrome trace export.
+"""
+
+import pytest
+
+from repro.cluster import parallel_creation
+
+LAUNCHES = 64
+CORE_COUNTS = (1, 2, 4, 8)
+SEED = 42
+
+
+def measure(cores: int, pooled: bool):
+    return parallel_creation(cores, LAUNCHES, pooled=pooled, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def measured(report):
+    results = {
+        (cores, pooled): measure(cores, pooled)
+        for cores in CORE_COUNTS
+        for pooled in (True, False)
+    }
+    rows = []
+    for cores in CORE_COUNTS:
+        pooled = results[(cores, True)]
+        scratch = results[(cores, False)]
+        rows.append({
+            "cores": cores,
+            "pooled_per_s": pooled.throughput_per_s,
+            "scratch_per_s": scratch.throughput_per_s,
+            "pooled_makespan_cycles": pooled.makespan_cycles,
+            "scratch_makespan_cycles": scratch.makespan_cycles,
+            "steals": pooled.steals + scratch.steals,
+        })
+        report.line(
+            f"  {cores} core(s): pooled {pooled.throughput_per_s:>12,.0f}/s"
+            f"   scratch {scratch.throughput_per_s:>10,.0f}/s"
+        )
+    base = results[(1, True)].throughput_per_s
+    peak = results[(CORE_COUNTS[-1], True)].throughput_per_s
+    report.row(f"pooled creation, {CORE_COUNTS[-1]} cores vs 1",
+               "near-linear", f"{peak / base:.1f}x")
+    report.record("seed", SEED)
+    report.record("launches", LAUNCHES)
+    report.record("rows", rows)
+    return results
+
+
+class TestShape:
+    def test_monotone_scaling_pooled(self, measured):
+        series = [measured[(c, True)].throughput_per_s for c in CORE_COUNTS]
+        assert series == sorted(series)
+        assert series[0] < series[-1]
+
+    def test_monotone_scaling_scratch(self, measured):
+        series = [measured[(c, False)].throughput_per_s for c in CORE_COUNTS]
+        assert series == sorted(series)
+
+    def test_near_linear_to_eight_cores(self, measured):
+        base = measured[(1, True)].throughput_per_s
+        assert measured[(8, True)].throughput_per_s / base > 6.0
+        assert measured[(8, True)].throughput_per_s / base <= 8.5
+
+    def test_pooled_dominates_scratch(self, measured):
+        for cores in CORE_COUNTS:
+            assert (measured[(cores, True)].throughput_per_s
+                    > 10 * measured[(cores, False)].throughput_per_s)
+
+    def test_all_launches_complete(self, measured):
+        for rep in measured.values():
+            assert rep.launches == LAUNCHES
+            assert not rep.failures
+
+
+class TestDeterminism:
+    def test_same_seed_same_signature(self, measured):
+        for (cores, pooled), rep in measured.items():
+            replay = measure(cores, pooled)
+            assert replay.signature() == rep.signature()
+
+    def test_traced_replay_byte_identical(self):
+        from repro.cluster import VirtineCluster
+        from repro.runtime.image import ImageBuilder
+
+        def traced_run():
+            cluster = VirtineCluster(cores=4, seed=SEED, trace=True)
+            image = ImageBuilder().hlt_only()
+            cluster.prewarm(image, 4)
+            rep = cluster.launch_many(image, [None] * 16, use_snapshot=False)
+            return rep.signature(), cluster.chrome_json()
+
+        first_sig, first_json = traced_run()
+        second_sig, second_json = traced_run()
+        assert first_sig == second_sig
+        assert first_json == second_json
+
+
+def test_benchmark_parallel_creation(benchmark, measured):
+    benchmark.pedantic(measure, args=(4, True), rounds=3, iterations=1)

@@ -135,6 +135,55 @@ def cmd_creation(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_scale(args: argparse.Namespace) -> int:
+    """Figure 9/10: parallel creation throughput vs. simulated cores."""
+    from repro.cluster import parallel_creation
+
+    core_counts = []
+    n = 1
+    while n < args.cores:
+        core_counts.append(n)
+        n *= 2
+    core_counts.append(args.cores)
+
+    rows = []
+    for cores in core_counts:
+        row = {"cores": cores}
+        for variant, pooled in (("pooled", True), ("scratch", False)):
+            report = parallel_creation(cores, args.launches,
+                                       pooled=pooled, seed=args.seed)
+            replay = parallel_creation(cores, args.launches,
+                                       pooled=pooled, seed=args.seed)
+            assert report.signature() == replay.signature(), (
+                f"non-deterministic replay at cores={cores} {variant}"
+            )
+            row[variant] = {
+                "throughput_per_s": report.throughput_per_s,
+                "makespan_cycles": report.makespan_cycles,
+                "steals": report.steals,
+            }
+        rows.append(row)
+
+    if args.json:
+        import json
+
+        print(json.dumps(
+            {"seed": args.seed, "launches": args.launches, "rows": rows},
+            sort_keys=True, indent=2,
+        ))
+        return 0
+    print(f"parallel virtine creation, {args.launches} launches, seed {args.seed}")
+    print(f"  {'cores':>5s}  {'pooled/s':>14s}  {'scratch/s':>14s}  {'speedup':>8s}")
+    base = rows[0]["pooled"]["throughput_per_s"]
+    for row in rows:
+        pooled = row["pooled"]["throughput_per_s"]
+        scratch = row["scratch"]["throughput_per_s"]
+        print(f"  {row['cores']:>5d}  {pooled:>14,.0f}  {scratch:>14,.0f}"
+              f"  {pooled / base:>7.2f}x")
+    print("determinism: every row replayed with an identical signature")
+    return 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Supervised faulty workload + counter dump (deterministic per seed)."""
     from repro.apps.serverless.platform import SupervisedPlatform
@@ -439,6 +488,18 @@ def main(argv: list[str] | None = None) -> int:
     subparsers.add_parser("creation", help="Figure 8 creation latencies").set_defaults(
         handler=cmd_creation
     )
+    scale = subparsers.add_parser(
+        "scale", help="Figure 9/10 SMP creation scaling (deterministic)"
+    )
+    scale.add_argument("--cores", type=int, default=8,
+                       help="largest simulated core count to sweep (default 8)")
+    scale.add_argument("--launches", type=int, default=64,
+                       help="virtine creations per data point (default 64)")
+    scale.add_argument("--seed", type=int, default=42,
+                       help="scheduler interleaving seed (default 42)")
+    scale.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of text")
+    scale.set_defaults(handler=cmd_scale)
     metrics = subparsers.add_parser(
         "metrics", help="supervision counters under injected faults"
     )

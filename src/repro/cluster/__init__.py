@@ -1,0 +1,32 @@
+"""``repro.cluster``: the deterministic SMP scale-out plane.
+
+Public surface::
+
+    from repro.cluster import VirtineCluster, parallel_creation
+    from repro.hw.clock import SimClock, LockstepScheduler
+
+    cluster = VirtineCluster(cores=8, seed=42)
+    report = cluster.launch_many(image, [None] * 64)
+    print(report.throughput_per_s, report.steals)
+"""
+
+from repro.cluster.smp import (
+    DEFAULT_QUANTUM,
+    ClusterReport,
+    CoreEngine,
+    CoreStats,
+    VirtineCluster,
+    parallel_creation,
+)
+from repro.hw.clock import LockstepScheduler, SimClock
+
+__all__ = [
+    "VirtineCluster",
+    "ClusterReport",
+    "CoreEngine",
+    "CoreStats",
+    "parallel_creation",
+    "DEFAULT_QUANTUM",
+    "LockstepScheduler",
+    "SimClock",
+]

@@ -7,11 +7,19 @@ charge costs from :mod:`repro.hw.costs`.
 
 :class:`Region` provides the ``rdtsc``-style bracketing the paper uses:
 read the counter, run the work, read it again.
+
+For SMP scale-out (Figure 9/10) every simulated core owns a
+:class:`SimClock`; a :class:`LockstepScheduler` interleaves the cores
+deterministically -- the least-advanced core always runs next, ties
+broken by a seeded round-robin rotation -- so the same seed replays the
+identical interleaving, steal pattern, and per-core cycle totals.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 
 class Clock:
@@ -45,6 +53,143 @@ class Clock:
 
     def __repr__(self) -> str:
         return f"Clock(cycles={self._cycles})"
+
+
+class SimClock(Clock):
+    """A per-core cycle counter for the lockstep SMP plane.
+
+    Identical to :class:`Clock` on the hot path (``advance`` is
+    inherited untouched, so the fast-path engine's captured bound
+    methods stay monomorphic); it only adds the core identity the
+    scheduler and the per-core trace export key on.
+    """
+
+    __slots__ = ("core_id",)
+
+    def __init__(self, core_id: int, start: int = 0) -> None:
+        if core_id < 0:
+            raise ValueError(f"core id cannot be negative: {core_id}")
+        super().__init__(start)
+        self.core_id = core_id
+
+    def __repr__(self) -> str:
+        return f"SimClock(core={self.core_id}, cycles={self._cycles})"
+
+
+class LockstepScheduler:
+    """Deterministic round-robin interleaver over per-core run queues.
+
+    Each core has a :class:`SimClock` and a FIFO of tasks -- callables
+    invoked as ``task(core_id)`` with the id of the core that actually
+    runs them (which, under stealing, need not be where they were
+    submitted), advancing that core's clock as they run.  One
+    scheduling round picks the *least-advanced* runnable core -- ties
+    broken by a rotation seeded from ``seed`` -- and lets it run tasks
+    until it is more than ``quantum`` cycles ahead of the laggard or its
+    queue drains.  A core whose queue is empty steals from the back of
+    the deepest sibling queue (ties again broken by the rotation), so a
+    skewed initial placement still finishes near the balanced makespan.
+
+    Determinism contract: the interleaving is a pure function of
+    ``(seed, quantum, submission order, task behaviour)``.  Nothing here
+    reads wall-clock time or iterates an unordered container.
+    """
+
+    def __init__(self, cores: int, quantum: int = 100_000, seed: int = 0) -> None:
+        if cores <= 0:
+            raise ValueError(f"need at least one core, got {cores}")
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive: {quantum}")
+        self.cores = cores
+        self.quantum = quantum
+        self.seed = seed
+        self.clocks: list[SimClock] = [SimClock(i) for i in range(cores)]
+        self._queues: list[deque[Callable[[int], None]]] = [deque() for _ in range(cores)]
+        #: Rotation pointer for tie-breaks; advanced every pick so equal
+        #: clocks (the common case at start) spread across cores.
+        self._rotation = seed % cores
+        self.steals = 0
+        self.tasks_run = [0] * cores
+        self.rounds = 0
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, core_id: int, task: Callable[[int], None]) -> None:
+        """Queue ``task`` on one core's local run queue."""
+        self._queues[core_id % self.cores].append(task)
+
+    def submit_round_robin(self, tasks: list[Callable[[int], None]]) -> None:
+        """Initial placement: spread ``tasks`` across cores in order."""
+        for i, task in enumerate(tasks):
+            self._queues[(self.seed + i) % self.cores].append(task)
+
+    def pending(self) -> int:
+        return sum(len(q) for q in self._queues)
+
+    # -- scheduling ----------------------------------------------------------
+    def _rotated(self) -> list[int]:
+        """Core ids starting at the rotation pointer (the tie-break order)."""
+        r = self._rotation
+        return [(r + i) % self.cores for i in range(self.cores)]
+
+    def _pick_core(self) -> int:
+        """The least-advanced core, ties broken by the seeded rotation."""
+        order = self._rotated()
+        best = min(order, key=lambda c: (self.clocks[c].cycles, order.index(c)))
+        self._rotation = (self._rotation + 1) % self.cores
+        return best
+
+    def _steal_for(self, thief: int) -> bool:
+        """Move one task from the deepest sibling queue onto ``thief``.
+
+        Steals from the *back* of the victim's queue (classic
+        work-stealing: the thief takes the work the victim would reach
+        last).  Returns False when every sibling is empty.
+        """
+        order = [c for c in self._rotated() if c != thief]
+        victim = max(order, key=lambda c: (len(self._queues[c]), -order.index(c)))
+        if not self._queues[victim]:
+            return False
+        self._queues[thief].append(self._queues[victim].pop())
+        self.steals += 1
+        return True
+
+    def run(self) -> None:
+        """Drain every queue under the lockstep discipline."""
+        while self.pending():
+            self.rounds += 1
+            core = self._pick_core()
+            if not self._queues[core] and not self._steal_for(core):
+                # This core is starved and there is nothing to steal;
+                # some other core still holds work -- let it run.
+                continue
+            queue = self._queues[core]
+            clock = self.clocks[core]
+            horizon = self._laggard_cycles() + self.quantum
+            while queue and clock.cycles <= horizon:
+                task = queue.popleft()
+                task(core)
+                self.tasks_run[core] += 1
+
+    def _laggard_cycles(self) -> int:
+        return min(c.cycles for c in self.clocks)
+
+    # -- accounting ----------------------------------------------------------
+    @property
+    def makespan_cycles(self) -> int:
+        """Wall-clock of the simulated machine: the furthest core."""
+        return max(c.cycles for c in self.clocks)
+
+    @property
+    def total_cycles(self) -> int:
+        """Aggregate work across every core."""
+        return sum(c.cycles for c in self.clocks)
+
+    def barrier(self) -> int:
+        """Advance every core to the makespan (a full-machine sync point)."""
+        target = self.makespan_cycles
+        for clock in self.clocks:
+            clock.advance(target - clock.cycles)
+        return target
 
 
 @dataclass

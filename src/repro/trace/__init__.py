@@ -20,6 +20,8 @@ from repro.trace.attribution import (
     phase_histograms,
 )
 from repro.trace.export import (
+    cluster_chrome_json,
+    cluster_chrome_trace,
     render_timeline,
     to_chrome_json,
     to_chrome_trace,
@@ -52,6 +54,8 @@ __all__ = [
     "phase_histograms",
     "to_chrome_trace",
     "to_chrome_json",
+    "cluster_chrome_trace",
+    "cluster_chrome_json",
     "validate_chrome_trace",
     "render_timeline",
 ]

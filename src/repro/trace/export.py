@@ -35,7 +35,7 @@ def _args_json(args: dict) -> dict:
     return safe
 
 
-def _span_event(span: Span) -> dict:
+def _span_event(span: Span, tid: int = SIM_TID) -> dict:
     event = {
         "name": span.name,
         "cat": span.category.value,
@@ -43,7 +43,7 @@ def _span_event(span: Span) -> dict:
         "ts": span.begin,
         "dur": span.cycles,
         "pid": SIM_PID,
-        "tid": SIM_TID,
+        "tid": tid,
     }
     args = _args_json(span.args)
     args["sid"] = span.sid
@@ -53,7 +53,7 @@ def _span_event(span: Span) -> dict:
     return event
 
 
-def _instant_event(event: Event) -> dict:
+def _instant_event(event: Event, tid: int = SIM_TID) -> dict:
     return {
         "name": event.name,
         "cat": event.category.value,
@@ -61,22 +61,24 @@ def _instant_event(event: Event) -> dict:
         "ts": event.cycles,
         "s": "t",
         "pid": SIM_PID,
-        "tid": SIM_TID,
+        "tid": tid,
         "args": _args_json(event.args),
     }
 
 
-def to_chrome_trace(tracer: Tracer) -> dict:
-    """Render a finished tracer as a Trace Event Format object."""
+def _tracer_events(tracer: Tracer, tid: int, thread_name: str) -> list[dict]:
+    """One tracer's events on one ``tid``-keyed timeline row."""
     events: list[dict] = [
-        {"name": "process_name", "ph": "M", "pid": SIM_PID, "tid": SIM_TID,
-         "args": {"name": "virtines-sim"}},
-        {"name": "thread_name", "ph": "M", "pid": SIM_PID, "tid": SIM_TID,
-         "args": {"name": "simulated cycles"}},
+        {"name": "thread_name", "ph": "M", "pid": SIM_PID, "tid": tid,
+         "args": {"name": thread_name}},
     ]
     spans = sorted(tracer.walk(), key=lambda s: (s.begin, s.sid))
-    events.extend(_span_event(span) for span in spans)
-    events.extend(_instant_event(e) for e in tracer.all_events())
+    events.extend(_span_event(span, tid) for span in spans)
+    events.extend(_instant_event(e, tid) for e in tracer.all_events())
+    return events
+
+
+def _trace_object(events: list[dict]) -> dict:
     return {
         "traceEvents": events,
         "displayTimeUnit": "ns",
@@ -87,9 +89,43 @@ def to_chrome_trace(tracer: Tracer) -> dict:
     }
 
 
+def to_chrome_trace(tracer: Tracer) -> dict:
+    """Render a finished tracer as a Trace Event Format object."""
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": SIM_PID, "tid": SIM_TID,
+         "args": {"name": "virtines-sim"}},
+    ]
+    events.extend(_tracer_events(tracer, SIM_TID, "simulated cycles"))
+    return _trace_object(events)
+
+
 def to_chrome_json(tracer: Tracer) -> str:
     """The byte-stable JSON serialization of :func:`to_chrome_trace`."""
     return json.dumps(to_chrome_trace(tracer), sort_keys=True,
+                      separators=(",", ":")) + "\n"
+
+
+def cluster_chrome_trace(tracers: "list[Tracer] | tuple[Tracer, ...]") -> dict:
+    """Merge per-core tracers into one trace: core *i* on ``tid`` i+1.
+
+    Each core's spans land on their own named thread row ("core 0",
+    "core 1", ...) of the single simulated process, so Perfetto renders
+    the lockstep interleaving as a multi-track timeline.  Timestamps
+    stay per-core simulated cycles (the lockstep scheduler keeps the
+    cores within a quantum of each other, so the rows line up).
+    """
+    events: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": SIM_PID, "tid": SIM_TID,
+         "args": {"name": "virtines-sim"}},
+    ]
+    for core, tracer in enumerate(tracers):
+        events.extend(_tracer_events(tracer, core + 1, f"core {core}"))
+    return _trace_object(events)
+
+
+def cluster_chrome_json(tracers: "list[Tracer] | tuple[Tracer, ...]") -> str:
+    """Byte-stable serialization of :func:`cluster_chrome_trace`."""
+    return json.dumps(cluster_chrome_trace(tracers), sort_keys=True,
                       separators=(",", ":")) + "\n"
 
 

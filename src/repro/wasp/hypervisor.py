@@ -36,7 +36,7 @@ from repro.wasp.hypercall import (
     HypercallRequest,
 )
 from repro.wasp.policy import DefaultDenyPolicy, Policy
-from repro.wasp.pool import CleanMode, Shell, ShellPool
+from repro.wasp.pool import CleanMode, ShardedShellPool, Shell, ShellPool
 from repro.wasp.snapshot import RestoreMode, Snapshot, SnapshotStore
 from repro.wasp.virtine import (
     GuestFault,
@@ -90,6 +90,7 @@ class Wasp:
         tracer: Tracer | None = None,
         trace: bool = False,
         fast_paths: bool = True,
+        cores: int = 1,
     ) -> None:
         #: Escape hatch for the hw-layer fast-path engine (software TLB,
         #: predecoded dispatch, bulk restores).  Simulated cycles are
@@ -130,7 +131,14 @@ class Wasp:
         self.background = BackgroundAccountant()
         self.snapshots = SnapshotStore()
         self.canned = CannedHandlers(self.kernel)
-        self._pools: dict[int, ShellPool] = {}
+        if cores <= 0:
+            raise ValueError(f"need at least one core, got {cores}")
+        #: Shell-pool sharding degree: with ``cores > 1`` every bucket
+        #: becomes a :class:`ShardedShellPool` (per-core free lists with
+        #: cross-shard work-stealing) and ``launch(core=...)`` routes
+        #: provisioning to that core's shard.
+        self.cores = cores
+        self._pools: dict[int, ShellPool | ShardedShellPool] = {}
         self.launches = 0
         #: Launches killed by step budget or cycle deadline.
         self.timeouts = 0
@@ -149,13 +157,27 @@ class Wasp:
         required = _LOW_RESERVED + image.size + _RUNTIME_HEADROOM
         return _bucket_size(required)
 
-    def pool_for(self, memory_size: int) -> ShellPool:
+    def pool_for(self, memory_size: int) -> ShellPool | ShardedShellPool:
         if memory_size not in self._pools:
-            self._pools[memory_size] = ShellPool(
-                self.kvm, memory_size, background=self.background,
-                fault_plan=self.fault_plan,
-            )
+            if self.cores > 1:
+                self._pools[memory_size] = ShardedShellPool(
+                    self.kvm, memory_size, background=self.background,
+                    fault_plan=self.fault_plan, shards=self.cores,
+                )
+            else:
+                self._pools[memory_size] = ShellPool(
+                    self.kvm, memory_size, background=self.background,
+                    fault_plan=self.fault_plan,
+                )
         return self._pools[memory_size]
+
+    def _pool_view(self, image: VirtineImage, core: int):
+        """The launch path's provisioning handle: the bucket pool, bound
+        to ``core``'s shard when the pool is sharded."""
+        pool = self.pool_for(self.memory_size_for(image))
+        if isinstance(pool, ShardedShellPool):
+            return pool.view(core)
+        return pool
 
     # -- launch ------------------------------------------------------------------
     def launch(
@@ -175,6 +197,7 @@ class Wasp:
         max_steps: int = 50_000_000,
         deadline_cycles: int | None = None,
         deadline: "Deadline | None" = None,
+        core: int = 0,
     ) -> VirtineResult:
         """Run ``image`` in a fresh virtine and return its result.
 
@@ -196,9 +219,12 @@ class Wasp:
         the absolute deadline wins.  A launch that crashes for any reason
         never returns its shell to the pool unscrubbed -- the shell is
         quarantined (scrub + generation bump) instead.
+
+        ``core`` selects the shell-pool shard on a multi-core Wasp
+        (``cores > 1``); single-core Wasps ignore it.
         """
         self.launches += 1
-        pool = self.pool_for(self.memory_size_for(image))
+        pool = self._pool_view(image, core)
         region = self.clock.region()
         # The launch root span opens with the measurement region and
         # closes (in the outer ``finally``) after teardown, so its cycle
@@ -262,6 +288,46 @@ class Wasp:
             ax=final_ax,
             milestones=milestones,
         )
+
+    def launch_many(
+        self,
+        image: VirtineImage,
+        args_list: list[Any],
+        *,
+        return_exceptions: bool = False,
+        **launch_kwargs: Any,
+    ) -> list[VirtineResult | BaseException]:
+        """Batched dispatch: one launch per ``args_list`` entry, in order.
+
+        The batch routes through the attached planes exactly like single
+        launches: when a :class:`~repro.wasp.supervisor.Supervisor` is
+        attached, every entry passes its admission gate, breaker, and
+        retry loop; otherwise :meth:`launch` runs directly.  Launches
+        are spread round-robin across the pool shards on a multi-core
+        Wasp unless the caller pins ``core=...`` explicitly.
+
+        With ``return_exceptions`` set, a shed or crashed entry yields
+        its exception in the result list instead of aborting the batch
+        (the :mod:`asyncio.gather` convention) -- the cluster dispatch
+        path relies on this so one poisoned request cannot sink its
+        whole batch.
+        """
+        supervisor = self.supervisor
+        launcher = supervisor.launch if supervisor is not None else self.launch
+        pinned = "core" in launch_kwargs
+        results: list[VirtineResult | BaseException] = []
+        with self.tracer.span("launch_many", Category.LAUNCH,
+                              image=image.name, batch=len(args_list)):
+            for i, args in enumerate(args_list):
+                if not pinned and self.cores > 1:
+                    launch_kwargs["core"] = i % self.cores
+                try:
+                    results.append(launcher(image, args=args, **launch_kwargs))
+                except Exception as error:
+                    if not return_exceptions:
+                        raise
+                    results.append(error)
+        return results
 
     def session(self, image: VirtineImage, **kwargs: Any) -> "VirtineSession":
         """Open a retained-context session (the "no teardown" mode)."""

@@ -1,0 +1,235 @@
+"""Differential fuzzing of the fast-path engine (PR 4's contract).
+
+A seeded generator emits random guest programs mixing arithmetic,
+forward branches, memory traffic, stack pairs, and port I/O (the
+hypercall mechanism at the interpreter level: ``out``/``in`` raise the
+exits Wasp turns into hypercalls).  Every program runs twice -- once on
+the fast path (software TLB + predecoded dispatch + ``run_steps`` bulk
+loop) and once on the reference ``step()`` interpreter -- and every
+observable must be bit-equal: registers, flags, dirty memory pages,
+total cycles, per-component cycle attribution, retired-instruction
+count, the I/O log, and the exit sequence.
+
+Each case derives its seed as ``REPRO_FUZZ_SEED + case``; a failure
+message prints the exact seed and generated source, so any divergence
+replays with ``REPRO_FUZZ_SEED=<seed> REPRO_FUZZ_CASES=1 pytest ...``.
+
+Forward-only control flow guarantees termination by construction: every
+branch (conditional or not) targets a label strictly ahead of it.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.hw.clock import Clock
+from repro.hw.costs import COSTS
+from repro.hw.cpu import CPU, Mode
+from repro.hw.isa import (
+    Assembler,
+    ExecutionError,
+    HaltExit,
+    Interpreter,
+    IOInExit,
+    IOOutExit,
+    TripleFault,
+)
+from repro.hw.memory import GuestMemory
+
+#: How many generated programs to run (CI runs the full 200; a local
+#: repro of one failing case sets REPRO_FUZZ_CASES=1).
+CASES = int(os.environ.get("REPRO_FUZZ_CASES", "200"))
+#: Base seed; case ``i`` uses ``BASE_SEED + i``.
+BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260805"))
+
+MODES = (Mode.REAL16, Mode.PROT32, Mode.LONG64)
+#: Registers the generator touches (sp stays reserved for the stack,
+#: di for stos64's cursor).
+REGS = ("ax", "bx", "cx", "dx", "si", "r8", "r9", "r10")
+#: Data window for absolute loads/stores: well below the code at 0x8000.
+DATA_LO, DATA_HI = 0x4000, 0x6000
+#: Odd bulk-loop chunk so guest exits straddle run_steps boundaries.
+CHUNK = 7
+
+_BIN_OPS = ("mov", "add", "sub", "and", "or", "xor", "mul")
+_JCC = ("je", "jne", "jl", "jle", "jg", "jge", "jc", "jnc", "jmp")
+
+
+def generate_program(seed: int) -> tuple[str, Mode]:
+    """One random guest program + the mode to run it in."""
+    rng = random.Random(seed)
+    mode = MODES[seed % len(MODES)]
+    lines = [
+        "mov sp, 0x7f00",   # sane stack for push/pop pairs
+        "mov di, 0x6800",   # stos64 cursor, clear of the data window
+    ]
+    #: (instructions-to-go, label) for branches awaiting their target.
+    pending: list[list] = []
+    label_counter = 0
+
+    def emit(line: str) -> None:
+        lines.append(line)
+        for entry in pending:
+            entry[0] -= 1
+        while pending and pending[0][0] <= 0:
+            lines.append(f"{pending.pop(0)[1]}:")
+
+    def reg() -> str:
+        return rng.choice(REGS)
+
+    def imm() -> int:
+        return rng.randrange(0, 0x10000)
+
+    def addr() -> int:
+        return rng.randrange(DATA_LO, DATA_HI) & ~0x7
+
+    for _ in range(rng.randrange(12, 56)):
+        kind = rng.choices(
+            ("arith", "cmp", "branch", "mem", "stack", "io", "stos"),
+            weights=(10, 4, 4, 6, 2, 3, 1),
+        )[0]
+        if kind == "arith":
+            op = rng.choice(_BIN_OPS)
+            src = reg() if rng.random() < 0.5 else f"{imm():#x}"
+            if rng.random() < 0.2:
+                emit(f"{rng.choice(('inc', 'dec'))} {reg()}")
+            elif rng.random() < 0.2:
+                emit(f"{rng.choice(('shl', 'shr'))} {reg()}, {rng.randrange(0, 16)}")
+            else:
+                emit(f"{op} {reg()}, {src}")
+        elif kind == "cmp":
+            op = rng.choice(("cmp", "test"))
+            src = reg() if rng.random() < 0.5 else f"{imm():#x}"
+            emit(f"{op} {reg()}, {src}")
+        elif kind == "branch":
+            label = f"L{label_counter}"
+            label_counter += 1
+            # Target lands 1-4 emitted instructions ahead (forward only).
+            pending.append([rng.randrange(1, 5), label])
+            pending.sort(key=lambda e: e[0])
+            emit(f"{rng.choice(_JCC)} {label}")
+        elif kind == "mem":
+            form = rng.randrange(3)
+            if form == 0:
+                emit(f"mov [{addr():#x}], {reg()}")
+            elif form == 1:
+                emit(f"mov {reg()}, [{addr():#x}]")
+            else:
+                base = addr()
+                emit(f"mov si, {base:#x}")
+                emit(f"mov [si + {rng.randrange(0, 8) * 8}], {reg()}")
+        elif kind == "stack":
+            emit(f"push {reg()}")
+            emit(f"pop {reg()}")
+        elif kind == "io":
+            port = rng.randrange(0, 0x100)
+            if rng.random() < 0.5:
+                emit(f"out {port:#x}, {reg()}")
+            else:
+                emit(f"in {reg()}, {port:#x}")
+        else:
+            emit("stos64")
+    # Close out any branches still waiting for their target.
+    for _, label in pending:
+        lines.append(f"{label}:")
+    lines.append("hlt")
+    return "\n".join(lines), mode
+
+
+def execute(source: str, mode: Mode, fast_paths: bool) -> dict:
+    """Run ``source`` to completion; return every observable."""
+    cpu = CPU()
+    cpu.mode = mode
+    memory = GuestMemory(1024 * 1024)
+    clock = Clock()
+    interp = Interpreter(cpu, memory, clock, COSTS, fast_paths=fast_paths)
+    interp.load_program(Assembler(0x8000).assemble(source))
+    outs: list[tuple[int, int]] = []
+    exits: list[str] = []
+    in_count = 0
+    executed = 0
+    while True:
+        try:
+            interp.run_steps(CHUNK)
+            executed += CHUNK
+            if executed > 100_000:
+                raise ExecutionError("runaway guest (generator bug)")
+        except HaltExit:
+            exits.append("hlt")
+            break
+        except IOOutExit as exit_event:
+            outs.append((exit_event.port, exit_event.value))
+            exits.append("out")
+        except IOInExit as exit_event:
+            # Deterministic port data: a pure function of (port, seq).
+            value = (exit_event.port * 167 + in_count * 41 + 7) & 0xFFFF
+            interp.resume_with_input(exit_event.dest, value)
+            in_count += 1
+            exits.append("in")
+        except TripleFault as fault:
+            exits.append(f"fault:{fault}")
+            break
+    return {
+        "regs": {r: cpu.read_reg(r) for r in
+                 ("ax", "bx", "cx", "dx", "si", "di", "sp", "bp",
+                  "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15")},
+        "rip": cpu.rip,
+        "flags": (cpu.flags.zero, cpu.flags.sign, cpu.flags.carry,
+                  cpu.flags.interrupts),
+        "dirty": memory.capture_dirty(),
+        "cycles": clock.cycles,
+        "component_cycles": dict(interp.component_cycles),
+        "retired": interp.instructions_retired,
+        "outs": outs,
+        "exits": exits,
+    }
+
+
+@pytest.mark.parametrize("case", range(CASES))
+def test_fast_path_bit_equal_to_reference(case):
+    seed = BASE_SEED + case
+    source, mode = generate_program(seed)
+    fast = execute(source, mode, fast_paths=True)
+    reference = execute(source, mode, fast_paths=False)
+    assert fast == reference, (
+        f"fast path diverged from reference in {mode.name}; replay with "
+        f"REPRO_FUZZ_SEED={seed} REPRO_FUZZ_CASES=1\n"
+        f"--- program ---\n{source}"
+    )
+
+
+class TestHarness:
+    """The fuzzer only proves something if its own pieces are sound."""
+
+    def test_generator_is_deterministic(self):
+        assert generate_program(1234) == generate_program(1234)
+        assert generate_program(1234) != generate_program(1235)
+
+    def test_generated_programs_cover_every_kind(self):
+        kinds_seen = set()
+        for case in range(40):
+            source, _ = generate_program(BASE_SEED + case)
+            if "out " in source:
+                kinds_seen.add("out")
+            if "in " in source:
+                kinds_seen.add("in")
+            if "push" in source:
+                kinds_seen.add("stack")
+            if "[" in source:
+                kinds_seen.add("mem")
+            if any(jcc + " L" in source for jcc in _JCC):
+                kinds_seen.add("branch")
+            if "stos64" in source:
+                kinds_seen.add("stos")
+        assert kinds_seen == {"out", "in", "stack", "mem", "branch", "stos"}
+
+    def test_execution_terminates_with_halt(self):
+        source, mode = generate_program(BASE_SEED)
+        result = execute(source, mode, fast_paths=True)
+        assert result["exits"][-1] == "hlt"
+
+    def test_same_run_twice_is_identical(self):
+        source, mode = generate_program(BASE_SEED + 3)
+        assert (execute(source, mode, fast_paths=True)
+                == execute(source, mode, fast_paths=True))

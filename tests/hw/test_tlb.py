@@ -191,3 +191,80 @@ class TestEndToEnd:
         vm, _ = booted[False]
         interp = vm.interp
         assert (interp.tlb_hits, interp.tlb_misses, interp.tlb_flushes) == (0, 0, 0)
+
+
+def make_sibling_interp(memory: GuestMemory, cr3: int, fast_paths: bool = True):
+    """A second interpreter (own CPU, clock, TLB) over *shared* memory.
+
+    This is the SMP sharing shape: cluster cores never share guest
+    memory, but two interpreters of one memory (snapshot plumbing,
+    migration checks) must see push-invalidation as a broadcast.
+    """
+    cpu = CPU()
+    cpu.mode = Mode.LONG64
+    cpu.cr0 = CR0_PE | CR0_PG
+    cpu.efer = EFER_LME
+    cpu.cr3 = cr3
+    return Interpreter(cpu, memory, Clock(), COSTS, fast_paths=fast_paths)
+
+
+class TestCrossCorePushInvalidation:
+    """A watched-page write must invalidate *every* registered TLB."""
+
+    def _warm_both(self):
+        interp_a, memory, cr3 = make_paged_interp()
+        interp_b = make_sibling_interp(memory, cr3)
+        memory.write_u64(4 * MiB + 0x10, 0xCAFE)
+        memory.write_u64(0x10, 0xF00D)
+        assert interp_a._load(0x10, 8) == 0xF00D
+        assert interp_b._load(0x10, 8) == 0xF00D
+        assert len(interp_a._tlb) == 1 and len(interp_b._tlb) == 1
+        return interp_a, interp_b, memory, cr3
+
+    def test_guest_store_on_one_core_invalidates_the_sibling(self):
+        interp_a, interp_b, memory, cr3 = self._warm_both()
+        pd_entry = paging.IdentityMapLayout.at(0x100000).pd
+        # Core A rewrites the live PD entry through the guest store
+        # path; core B's cached translation must die with core A's.
+        interp_a._store(pd_entry, (4 * MiB) | LARGE_FLAGS, 8)
+        b_misses = interp_b.tlb_misses
+        assert interp_b._load(0x10, 8) == 0xCAFE  # sees the remap
+        assert interp_b.tlb_misses == b_misses + 1  # via a fresh walk
+
+    def test_host_restore_invalidates_every_core(self):
+        interp_a, interp_b, memory, cr3 = self._warm_both()
+        pd = paging.IdentityMapLayout.at(0x100000).pd
+        page_bytes = memory.read(pd, 4096)
+        memory.restore_pages({pd >> PAGE_SHIFT: page_bytes})
+        assert len(interp_a._tlb) == 0
+        assert len(interp_b._tlb) == 0
+
+    def test_cow_restore_invalidates_every_core(self):
+        interp_a, interp_b, memory, cr3 = self._warm_both()
+        pd = paging.IdentityMapLayout.at(0x100000).pd
+        page_bytes = memory.read(pd, 4096)
+        memory.restore_pages_cow({pd >> PAGE_SHIFT: bytes(page_bytes)})
+        assert len(interp_a._tlb) == 0
+        assert len(interp_b._tlb) == 0
+
+    def test_local_cr3_reload_leaves_the_sibling_cached(self):
+        """Control-register flushes are per-core; only watched-page
+        writes broadcast."""
+        interp_a, interp_b, memory, cr3 = self._warm_both()
+        interp_a.cpu.write_cr("cr3", cr3)
+        interp_a.tlb_flush()
+        assert len(interp_a._tlb) == 0
+        assert len(interp_b._tlb) == 1  # untouched: no memory event
+
+    def test_slow_path_sibling_stays_correct(self):
+        """A fast core's remap is visible to a no-TLB reference core."""
+        interp_a, memory, cr3 = make_paged_interp()
+        interp_b = make_sibling_interp(memory, cr3, fast_paths=False)
+        memory.write_u64(4 * MiB + 0x10, 0xCAFE)
+        memory.write_u64(0x10, 0xF00D)
+        assert interp_a._load(0x10, 8) == 0xF00D
+        assert interp_b._load(0x10, 8) == 0xF00D
+        pd_entry = paging.IdentityMapLayout.at(0x100000).pd
+        interp_a._store(pd_entry, (4 * MiB) | LARGE_FLAGS, 8)
+        assert interp_b._tlb is None  # reference path has no cache at all
+        assert interp_b._load(0x10, 8) == 0xCAFE

@@ -129,3 +129,25 @@ class TestTrace:
         assert main(["trace", "http", "--requests", "2"]) == 0
         out = capsys.readouterr().out
         assert "hypercall" in out
+
+
+class TestScaleCommand:
+    def test_scale_table(self, capsys):
+        assert main(["scale", "--cores", "4", "--launches", "16",
+                     "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "pooled/s" in out
+        assert "determinism: every row replayed" in out
+
+    def test_scale_json(self, capsys):
+        import json
+
+        assert main(["scale", "--cores", "2", "--launches", "8",
+                     "--seed", "7", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["seed"] == 7
+        cores = [row["cores"] for row in payload["rows"]]
+        assert cores == [1, 2]
+        throughputs = [row["pooled"]["throughput_per_s"]
+                       for row in payload["rows"]]
+        assert throughputs == sorted(throughputs)

@@ -458,3 +458,185 @@ class TestSupervisorAdmissionGate:
             supervisor.launch(image, policy=PermissivePolicy(),
                               handlers={Hypercall.INVOKE: stall_handler})
         assert supervisor.hangs_by_kind[HangKind.NO_PROGRESS] >= 1
+
+
+# ---------------------------------------------------------------------------
+# Property-based coverage (hypothesis): shed policies + bucket refill
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+_policies = st.sampled_from(list(ShedPolicy))
+_priorities = st.integers(min_value=-5, max_value=5)
+_depths = st.integers(min_value=0, max_value=8)
+
+
+@st.composite
+def _offer_stream(draw):
+    """A queue workload: (depth, policy, [(priority, deadline_s|None)])."""
+    depth = draw(_depths)
+    policy = draw(_policies)
+    offers = draw(st.lists(
+        st.tuples(_priorities,
+                  st.one_of(st.none(),
+                            st.floats(min_value=0.1, max_value=20.0,
+                                      allow_nan=False))),
+        min_size=0, max_size=24,
+    ))
+    return depth, policy, offers
+
+
+def _drive_queue(depth, policy, offers):
+    """Run the workload; return the fate of every request id."""
+    queue = BoundedQueue(max_depth=depth, policy=policy)
+    accepted, rejected, evicted = set(), set(), set()
+    for rid, (priority, deadline_s) in enumerate(offers):
+        deadline = Deadline(expires_at=deadline_s) if deadline_s is not None else None
+        ok, victims = queue.offer(_request(rid, priority=priority,
+                                           deadline=deadline, at=float(rid)))
+        (accepted if ok else rejected).add(rid)
+        for victim in victims:
+            evicted.add(victim.request_id)
+    popped, expired = [], set()
+    while True:
+        entry, dropped = queue.pop(now=10.0)
+        for victim in dropped:
+            expired.add(victim.request_id)
+        if entry is None:
+            break
+        popped.append(entry.request_id)
+    return accepted, rejected, evicted, popped, expired
+
+
+class TestQueueProperties:
+    @settings(max_examples=120, deadline=None, derandomize=True)
+    @given(_offer_stream())
+    def test_no_request_lost_or_duplicated(self, stream):
+        """Conservation: every offer ends in exactly one fate."""
+        depth, policy, offers = stream
+        accepted, rejected, evicted, popped, expired = _drive_queue(
+            depth, policy, offers)
+        fates = [rejected, evicted, set(popped), expired]
+        everyone = set(range(len(offers)))
+        assert set().union(*fates) == everyone
+        for rid in everyone:
+            assert sum(rid in fate for fate in fates) == 1
+        assert len(popped) == len(set(popped))  # popped at most once
+        assert accepted == everyone - rejected
+
+    @settings(max_examples=120, deadline=None, derandomize=True)
+    @given(_offer_stream())
+    def test_depth_never_exceeded(self, stream):
+        depth, policy, offers = stream
+        queue = BoundedQueue(max_depth=depth, policy=policy)
+        for rid, (priority, _) in enumerate(offers):
+            queue.offer(_request(rid, priority=priority, at=float(rid)))
+            assert len(queue) <= depth
+        assert queue.high_water <= depth
+
+    @settings(max_examples=120, deadline=None, derandomize=True)
+    @given(_offer_stream())
+    def test_identical_workload_identical_outcome(self, stream):
+        """Determinism: replaying the stream reproduces every decision."""
+        depth, policy, offers = stream
+        assert _drive_queue(depth, policy, offers) == _drive_queue(
+            depth, policy, offers)
+
+    @settings(max_examples=120, deadline=None, derandomize=True)
+    @given(st.lists(_priorities, min_size=1, max_size=20),
+           st.integers(min_value=1, max_value=8))
+    def test_priority_pop_order_is_sorted_with_fifo_ties(self, priorities, depth):
+        """PRIORITY pop: descending priority, FIFO inside each tie."""
+        queue = BoundedQueue(max_depth=max(depth, len(priorities)),
+                             policy=ShedPolicy.PRIORITY)
+        for rid, priority in enumerate(priorities):
+            queue.offer(_request(rid, priority=priority, at=float(rid)))
+        order = []
+        while True:
+            entry, _ = queue.pop(now=0.0)
+            if entry is None:
+                break
+            order.append((entry.priority, entry.request_id))
+        expected = sorted(
+            [(p, rid) for rid, p in enumerate(priorities)],
+            key=lambda pr: (-pr[0], pr[1]),
+        )
+        assert order == expected
+
+    @settings(max_examples=120, deadline=None, derandomize=True)
+    @given(st.lists(_priorities, min_size=1, max_size=12))
+    def test_priority_shed_keeps_the_best(self, priorities):
+        """A full PRIORITY queue always retains the top-k priorities."""
+        depth = 3
+        queue = BoundedQueue(max_depth=depth, policy=ShedPolicy.PRIORITY)
+        for rid, priority in enumerate(priorities):
+            queue.offer(_request(rid, priority=priority, at=float(rid)))
+        kept = sorted((item.priority for item in queue._items), reverse=True)
+        best = sorted(priorities, reverse=True)[:len(kept)]
+        assert kept == best
+
+
+class TestTokenBucketProperties:
+    @settings(max_examples=150, deadline=None, derandomize=True)
+    @given(st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+           st.floats(min_value=0.5, max_value=32.0, allow_nan=False),
+           st.lists(st.tuples(
+               st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+               st.floats(min_value=0.0, max_value=4.0, allow_nan=False)),
+               min_size=1, max_size=30))
+    def test_tokens_bounded_by_burst_and_zero(self, rate, burst, events):
+        """Refill never overflows the burst; spend never goes negative."""
+        bucket = TokenBucket(rate=rate, burst=burst)
+        now = 0.0
+        for dt, cost in events:
+            now += dt
+            bucket.take(now, cost)
+            assert 0.0 <= bucket.tokens <= burst + 1e-9
+
+    @settings(max_examples=150, deadline=None, derandomize=True)
+    @given(st.floats(min_value=0.01, max_value=50.0, allow_nan=False),
+           st.floats(min_value=0.5, max_value=32.0, allow_nan=False),
+           st.floats(min_value=0.0, max_value=64.0, allow_nan=False),
+           st.floats(min_value=0.01, max_value=4.0, allow_nan=False))
+    def test_retry_after_is_sufficient(self, rate, burst, drain, cost):
+        """Waiting exactly ``retry_after`` always makes ``take`` succeed."""
+        cost = min(cost, burst)  # a cost above burst can never succeed
+        bucket = TokenBucket(rate=rate, burst=burst)
+        bucket.drain(0.0, drain)
+        wait = bucket.retry_after(0.0, cost)
+        assert wait >= 0.0
+        assert bucket.take(0.0 + wait + 1e-9, cost)
+
+    @settings(max_examples=150, deadline=None, derandomize=True)
+    @given(st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+           st.floats(min_value=0.5, max_value=32.0, allow_nan=False),
+           st.lists(st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+                    min_size=1, max_size=20))
+    def test_refill_is_monotone_in_time(self, rate, burst, dts):
+        """Tokens never decrease while nothing is spent."""
+        bucket = TokenBucket(rate=rate, burst=burst)
+        bucket.drain(0.0, burst)
+        now, last_tokens = 0.0, bucket.tokens
+        for dt in dts:
+            now += dt
+            bucket._refill(now)
+            assert bucket.tokens >= last_tokens - 1e-12
+            last_tokens = bucket.tokens
+
+    @settings(max_examples=100, deadline=None, derandomize=True)
+    @given(st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+           st.floats(min_value=0.5, max_value=32.0, allow_nan=False),
+           st.lists(st.tuples(
+               st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+               st.floats(min_value=0.0, max_value=4.0, allow_nan=False)),
+               min_size=1, max_size=25))
+    def test_identical_clock_identical_decisions(self, rate, burst, events):
+        """Determinism under identical seeds/timelines."""
+        def run():
+            bucket = TokenBucket(rate=rate, burst=burst)
+            now, decisions = 0.0, []
+            for dt, cost in events:
+                now += dt
+                decisions.append(bucket.take(now, cost))
+            return decisions, bucket.tokens
+        assert run() == run()

@@ -121,3 +121,83 @@ class TestWaspCowRestore:
         # sibling's mutation.
         assert outputs[-1] == b"base"
         assert outputs[-2] == b"base"
+
+
+class TestConcurrentCowRestore:
+    """Many restores from ONE snapshot: dirty state must stay private.
+
+    The SMP plane shares a SnapshotStore across cores, so the same
+    captured page dict feeds every core's restore; the pending-CoW
+    design (page bytes immutable until first write) is only sound if a
+    break on one restore never leaks into a sibling.
+    """
+
+    def test_two_restores_do_not_share_dirty_pages(self):
+        src = GuestMemory(64 * 1024)
+        src.write(0x1000, b"golden snapshot page")
+        pages = src.capture_dirty()
+        mem_a = GuestMemory(64 * 1024)
+        mem_b = GuestMemory(64 * 1024)
+        mem_a.restore_pages_cow(pages)
+        mem_b.restore_pages_cow(pages)
+        mem_a.write(0x1000, b"core A wrote here")
+        assert mem_b.read(0x1000, 20) == b"golden snapshot page"
+        assert mem_b.cow_pending_pages == {1}  # B's page still pending
+        assert mem_a.cow_pending_pages == set()
+
+    def test_break_on_one_restore_leaves_snapshot_bytes_intact(self):
+        src = GuestMemory(64 * 1024)
+        src.write(0x1000, b"immutable")
+        pages = src.capture_dirty()
+        before = {page: bytes(content) for page, content in pages.items()}
+        mem_a = GuestMemory(64 * 1024)
+        mem_a.restore_pages_cow(pages)
+        mem_a.write(0x1000, b"scribble!")
+        assert pages == before  # the shared dict never mutates
+        mem_b = GuestMemory(64 * 1024)
+        mem_b.restore_pages_cow(pages)
+        assert mem_b.read(0x1000, 9) == b"immutable"
+
+    def test_cluster_cores_restore_shared_snapshot_isolated(self):
+        """Cores of a cluster CoW-restore one snapshot; each mutation
+        stays on its own core."""
+        from repro.cluster import VirtineCluster
+
+        observed = []
+
+        def entry(env):
+            if not env.from_snapshot:
+                env.memory.write(0x250000, b"base")
+                env.snapshot(payload=None)
+            observed.append(bytes(env.memory.read(0x250000, 4)))
+            env.memory.write(0x250000, b"MUT!")
+            return 0
+
+        image = ImageBuilder().hosted("cow-smp", entry)
+        cluster = VirtineCluster(cores=4, seed=11)
+        # Capture once (first batch), then restore everywhere twice.
+        cluster.launch_many(image, [None] * 4, policy=snap_policy(),
+                            restore_mode=RestoreMode.COW)
+        report = cluster.launch_many(image, [None] * 8, policy=snap_policy(),
+                                     restore_mode=RestoreMode.COW)
+        assert report.launches == 8
+        assert not report.failures
+        # Every restore saw the pristine snapshot, never a sibling's MUT!.
+        restores = [view for view in observed if view == b"base"]
+        assert len(restores) >= 8
+
+    def test_cluster_shared_store_has_one_snapshot(self):
+        from repro.cluster import VirtineCluster
+
+        def entry(env):
+            if not env.from_snapshot:
+                env.snapshot(payload=None)
+            return 7
+
+        image = ImageBuilder().hosted("one-snap", entry)
+        cluster = VirtineCluster(cores=2, seed=1)
+        report = cluster.launch_many(image, [None] * 6, policy=snap_policy(),
+                                     restore_mode=RestoreMode.COW)
+        assert all(r.value == 7 for r in report.results)
+        stores = {id(e.wasp.snapshots) for e in cluster.engines}
+        assert len(stores) == 1
