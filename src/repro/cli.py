@@ -14,6 +14,11 @@ runners.  Commands:
 * ``admission-replay`` -- run a seeded burst workload through the
   overload-protected scheduler twice and verify the recorded admission
   trace replays identically (IRIS-style record-and-replay).
+* ``replay``    -- the hypervisor-boundary record/replay plane:
+  ``record`` a workload's boundary event stream, ``run`` it back through
+  the live handler plane with no guest interpreter (byte-identical or
+  exit 1), or ``fuzz`` seeded mutations of it and assert every hostile
+  stream lands in the typed crash taxonomy.
 * ``info``      -- version, cost-model calibration summary.
 """
 
@@ -458,6 +463,68 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Workloads the boundary record/replay plane can drive (kept in sync
+#: with :data:`repro.replay.workloads.REPLAY_WORKLOADS`, asserted there).
+REPLAY_WORKLOAD_NAMES = ("echo", "faulty", "http_snapshot", "serverless")
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Record, replay, or fuzz a hypervisor-boundary event stream."""
+    import os
+
+    from repro.replay import BoundaryStream, InterfaceFuzzer, record, replay
+
+    if args.replay_verb == "record":
+        stream = record(args.workload, seed=args.seed, requests=args.requests,
+                        backend=args.backend)
+        stream.save(args.out, indent=2)
+        print(f"recorded {args.workload}: {len(stream.events)} boundary events")
+        print(f"  signature {stream.signature()}")
+        print(f"  artifact  {args.out}")
+        return 0
+
+    stream = BoundaryStream.load(args.artifact)
+    if args.replay_verb == "run":
+        report = replay(stream, strict=not args.hostile)
+        print(f"replayed {stream.workload} "
+              f"(seed={stream.params.get('seed')}, "
+              f"requests={stream.params.get('requests')}, "
+              f"backend={stream.params.get('backend')})")
+        print(f"  recorded signature {report.recorded_signature}")
+        print(f"  replayed signature {report.replayed_signature}")
+        if report.ok:
+            print("  byte-identical: handler responses, taxonomy verdicts, "
+                  "and trace attribution all match")
+            return 0
+        for divergence in report.divergences:
+            print(f"  divergence: {divergence}")
+        return 1
+
+    # fuzz
+    seed = args.seed
+    if seed is None:
+        seed = int(os.environ.get("REPRO_IFUZZ_SEED", "1234"))
+    fuzzer = InterfaceFuzzer(stream, seed=seed, artifacts_dir=args.artifacts)
+    report = fuzzer.run(cases=args.cases, only_case=args.case)
+    print(f"fuzzed {stream.workload}: {len(report.cases)} case(s), "
+          f"seed {report.seed}")
+    counts = report.outcome_counts()
+    for outcome in sorted(counts):
+        print(f"  {counts[outcome]:4d}  {outcome}")
+    for case in report.failures:
+        print(f"  FAIL case {case.index} [{case.mutation}]: {case.outcome} "
+              f"{case.detail}")
+        for problem in case.invariant_failures:
+            print(f"        invariant: {problem}")
+    if report.ok:
+        print("  hostile-guest invariant held: every mutation resolved to a "
+              "typed taxonomy verdict; host plane intact")
+        return 0
+    print(f"  reproduce: REPRO_IFUZZ_SEED={report.seed} python -m repro "
+          f"replay fuzz {args.artifact} --case <index>")
+    return 1
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     from repro.hw.costs import COSTS
     from repro.units import TINKER_HZ
@@ -551,6 +618,46 @@ def main(argv: list[str] | None = None) -> int:
     replay.add_argument("--trace", default=None,
                         help="record/verify the admission trace at this path")
     replay.set_defaults(handler=cmd_admission_replay)
+    boundary = subparsers.add_parser(
+        "replay",
+        help="record/replay/fuzz the hypervisor-boundary event stream",
+    )
+    verbs = boundary.add_subparsers(dest="replay_verb", required=True)
+    rec = verbs.add_parser(
+        "record", help="record a seeded workload's boundary stream"
+    )
+    rec.add_argument("workload", choices=REPLAY_WORKLOAD_NAMES,
+                     help="workload to record")
+    rec.add_argument("--seed", type=int, default=1234,
+                     help="workload seed (default 1234)")
+    rec.add_argument("--requests", type=int, default=4,
+                     help="requests to drive (default 4)")
+    rec.add_argument("--backend", default="kvm", choices=["kvm", "hyperv"],
+                     help="VMM backend (default kvm)")
+    rec.add_argument("--out", default="stream.json",
+                     help="artifact path (default stream.json)")
+    rec.set_defaults(handler=cmd_replay)
+    run = verbs.add_parser(
+        "run", help="re-execute the handler plane against a recorded stream"
+    )
+    run.add_argument("artifact", help="recorded boundary-stream artifact")
+    run.add_argument("--hostile", action="store_true",
+                     help="treat stream inconsistencies as guest faults "
+                          "instead of divergences")
+    run.set_defaults(handler=cmd_replay)
+    fuzz = verbs.add_parser(
+        "fuzz", help="mutate a recorded stream, assert typed containment"
+    )
+    fuzz.add_argument("artifact", help="recorded boundary-stream artifact")
+    fuzz.add_argument("--cases", type=int, default=100,
+                      help="seeded mutation cases to run (default 100)")
+    fuzz.add_argument("--seed", type=int, default=None,
+                      help="mutation seed (default $REPRO_IFUZZ_SEED or 1234)")
+    fuzz.add_argument("--case", type=int, default=None,
+                      help="replay exactly one case index")
+    fuzz.add_argument("--artifacts", default=None,
+                      help="dump failing cases' stream + crash report here")
+    fuzz.set_defaults(handler=cmd_replay)
     subparsers.add_parser("info", help="version + calibration").set_defaults(
         handler=cmd_info
     )

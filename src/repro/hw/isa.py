@@ -408,6 +408,9 @@ class Interpreter:
         self._decode_cache: "OrderedDict[int, tuple[Program, dict]]" = OrderedDict()
         self.instructions_retired = 0
         self.component_cycles: dict[str, int] = {}
+        #: Optional component-charge observer ``(name, cycles) -> None``
+        #: (the boundary recorder's in-guest attribution tap).
+        self.on_component: Callable[[str, int], None] | None = None
         self._first_instruction_pending = True
         self._trace: "deque[str] | None" = None
         # Width -> preresolved memory accessors (hoisted out of _load/_store).
@@ -605,6 +608,8 @@ class Interpreter:
         self.component_cycles[component] = (
             self.component_cycles.get(component, 0) + cycles
         )
+        if self.on_component is not None:
+            self.on_component(component, cycles)
         self.tracer.component(component, cycles)
 
     # -- stack ---------------------------------------------------------------------

@@ -32,6 +32,7 @@ from repro.hw.isa import (
     TripleFault,
 )
 from repro.hw.memory import GuestMemory
+from repro.replay.stream import NO_RECORD, InterfaceRecorder
 from repro.trace.tracer import NO_TRACE, Category, Tracer
 
 #: Magic, zero-cost instrumentation port (simulation-only; see module doc).
@@ -83,23 +84,40 @@ class VirtualMachine:
         costs: CostModel = COSTS,
         tracer: Tracer | None = None,
         fast_paths: bool = True,
+        recorder: InterfaceRecorder | None = None,
     ) -> None:
         self.clock = clock
         self.costs = costs
         #: Cycle tracer (disabled by default; charges nothing, ever).
         self.tracer = tracer if tracer is not None else NO_TRACE
+        #: Boundary-stream recorder (disabled by default; records nothing).
+        self.recorder = recorder if recorder is not None else NO_RECORD
         self.fast_paths = fast_paths
         self.cpu = CPU()
-        self.memory = GuestMemory(memory_size)
+        self.memory = self._make_memory(memory_size)
         self.memory.on_first_touch = self._ept_fault
         self.memory.on_cow_break = self._cow_break
-        self.interp = Interpreter(self.cpu, self.memory, clock, costs,
-                                  tracer=self.tracer, fast_paths=fast_paths)
+        self.interp = self._make_interpreter(fast_paths)
+        if self.recorder.enabled and self.interp is not None:
+            self.interp.on_component = self._record_component
         self.milestones: list[Milestone] = []
         self.ept_faults = 0
         self.ept_fault_cycles = 0
         self.cow_breaks = 0
         self._in_guest = False
+
+    # Factory hooks so the replay substrate can substitute a stream-fed
+    # memory and an interpreter-free guest (see repro.replay.substrate).
+    def _make_memory(self, size: int) -> GuestMemory:
+        return GuestMemory(size)
+
+    def _make_interpreter(self, fast_paths: bool) -> Interpreter:
+        return Interpreter(self.cpu, self.memory, self.clock, self.costs,
+                           tracer=self.tracer, fast_paths=fast_paths)
+
+    def _record_component(self, name: str, cycles: int) -> None:
+        self.recorder.segment_component(name, cycles, Category.BOOT.value,
+                                        self.clock.cycles)
 
     # -- EPT model -------------------------------------------------------------
     def _ept_fault(self, page: int) -> None:
@@ -115,6 +133,9 @@ class VirtualMachine:
         comp["ept faults"] = comp.get("ept faults", 0) + self.costs.EPT_FIRST_TOUCH_FAULT
         self.tracer.component("ept faults", self.costs.EPT_FIRST_TOUCH_FAULT,
                               Category.VMM)
+        self.recorder.segment_component("ept faults",
+                                        self.costs.EPT_FIRST_TOUCH_FAULT,
+                                        Category.VMM.value, self.clock.cycles)
 
     def _cow_break(self, page: int) -> None:
         # First write to a page restored copy-on-write: take the
@@ -125,6 +146,8 @@ class VirtualMachine:
         self.clock.advance(cost)
         self.cow_breaks += 1
         self.tracer.component("cow break", int(cost), Category.VMM)
+        self.recorder.segment_component("cow break", int(cost),
+                                        Category.VMM.value, self.clock.cycles)
 
     # -- program management -------------------------------------------------------
     def load_program(self, program: Program) -> None:
@@ -140,9 +163,11 @@ class VirtualMachine:
         """
         span = self.tracer.begin("vmrun", Category.VMM)
         self.clock.advance(self.costs.VMRUN_ENTRY)
+        self.recorder.vmexit_begin(self.clock.cycles)
         self._in_guest = True
         try:
             info = self._run_until_exit(max_steps)
+            self.recorder.vmexit_end(self.clock.cycles, info, self.cpu)
             span.annotate(exit_reason=info.reason.value, steps=info.steps)
             return info
         finally:
@@ -170,6 +195,7 @@ class VirtualMachine:
                         Milestone(marker=io.value, cycles=self.clock.cycles))
                     self.tracer.instant(f"milestone:{io.value}", Category.GUEST,
                                         marker=io.value)
+                    self.recorder.segment_milestone(io.value, self.clock.cycles)
                     continue
                 return ExitInfo(reason=ExitReason.IO_OUT, port=io.port,
                                 value=io.value, steps=steps)
@@ -203,6 +229,7 @@ class VirtualMachine:
         cheap (Section 5.2).
         """
         cleared = self.memory.clear_dirty()
+        self.recorder.mem_clear(cleared)
         return self.costs.memset(cleared)
 
     def milestone_deltas(self) -> dict[int, int]:

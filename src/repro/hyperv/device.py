@@ -23,7 +23,8 @@ from repro.faults import NO_FAULTS, FaultPlan, FaultSite
 from repro.hw.clock import Clock
 from repro.hw.costs import COSTS, CostModel
 from repro.hw.isa import Program
-from repro.hw.vmx import ExitInfo, VirtualMachine
+from repro.hw.vmx import ExitInfo, ExitReason, VirtualMachine
+from repro.replay.stream import NO_RECORD, InterfaceRecorder
 from repro.trace.tracer import NO_TRACE, Category, Tracer
 
 #: WHvCreatePartition + WHvSetupPartition (two API round trips; slightly
@@ -55,11 +56,14 @@ class HyperV:
         fault_plan: FaultPlan | None = None,
         tracer: Tracer | None = None,
         fast_paths: bool = True,
+        recorder: InterfaceRecorder | None = None,
     ) -> None:
         self.clock = clock
         self.costs = costs
         self.fault_plan = fault_plan if fault_plan is not None else NO_FAULTS
         self.tracer = tracer if tracer is not None else NO_TRACE
+        #: Boundary-stream recorder forwarded to every VM (no-op default).
+        self.recorder = recorder if recorder is not None else NO_RECORD
         #: Forwarded to every VirtualMachine this device creates.
         self.fast_paths = fast_paths
         self.vms_created = 0
@@ -73,8 +77,17 @@ class HyperV:
         self.tracer.component("WHvCreatePartition",
                               WHV_CREATE_PARTITION + WHV_SETUP_PARTITION,
                               Category.VMM)
+        self.recorder.devcall("WHvCreatePartition",
+                              WHV_CREATE_PARTITION + WHV_SETUP_PARTITION)
         self.vms_created += 1
         return PartitionHandle(hyperv=self)
+
+    def _new_vm(self, size: int) -> VirtualMachine:
+        """VM factory (the replay substrate overrides this)."""
+        return VirtualMachine(memory_size=size, clock=self.clock,
+                              costs=self.costs, tracer=self.tracer,
+                              fast_paths=self.fast_paths,
+                              recorder=self.recorder)
 
 
 class PartitionHandle:
@@ -98,10 +111,8 @@ class PartitionHandle:
         self.hyperv.clock.advance(WHV_MAP_GPA_RANGE)
         self.hyperv.tracer.component("WHvMapGpaRange", WHV_MAP_GPA_RANGE,
                                      Category.VMM)
-        self.vm = VirtualMachine(
-            memory_size=size, clock=self.hyperv.clock, costs=self.hyperv.costs,
-            tracer=self.hyperv.tracer, fast_paths=self.hyperv.fast_paths,
-        )
+        self.hyperv.recorder.devcall("WHvMapGpaRange", WHV_MAP_GPA_RANGE)
+        self.vm = self.hyperv._new_vm(size)
 
     def create_vcpu(self) -> "WhvVcpuHandle":
         """``WHvCreateVirtualProcessor``."""
@@ -113,6 +124,8 @@ class PartitionHandle:
         self.hyperv.clock.advance(WHV_CREATE_VCPU)
         self.hyperv.tracer.component("WHvCreateVirtualProcessor",
                                      WHV_CREATE_VCPU, Category.VMM)
+        self.hyperv.recorder.devcall("WHvCreateVirtualProcessor",
+                                     WHV_CREATE_VCPU)
         self.vcpu = WhvVcpuHandle(self)
         return self.vcpu
 
@@ -120,7 +133,9 @@ class PartitionHandle:
         self._check_open()
         if self.vm is None:
             raise HypervError("load_program before WHvMapGpaRange")
-        self.hyperv.clock.advance(self.hyperv.costs.memcpy(len(program.image)))
+        cost = self.hyperv.costs.memcpy(len(program.image))
+        self.hyperv.clock.advance(cost)
+        self.hyperv.recorder.devcall("memcpy.image", cost)
         self.vm.load_program(program)
 
     def close(self) -> None:
@@ -156,6 +171,16 @@ class WhvVcpuHandle:
                     FaultSite.VCPU_RUN, "WHvRunVirtualProcessor aborted"
                 )
             info = self.vm.vmrun(max_steps=max_steps)
+            if not isinstance(info.reason, ExitReason):
+                # Fail closed on out-of-enum exit reasons (see the KVM
+                # device for rationale); the raw value is preserved in
+                # the crash message for the supervisor's record.
+                from repro.wasp.virtine import GuestFault
+
+                span.annotate(error="GuestFault")
+                raise GuestFault(
+                    f"vCPU reported unknown vmexit reason {info.reason!r}; "
+                    f"failing closed")
             span.annotate(exit_reason=info.reason.value)
             return info
         finally:

@@ -23,7 +23,8 @@ from repro.faults import NO_FAULTS, FaultPlan, FaultSite
 from repro.hw.clock import Clock
 from repro.hw.costs import COSTS, CostModel
 from repro.hw.isa import Program
-from repro.hw.vmx import ExitInfo, VirtualMachine
+from repro.hw.vmx import ExitInfo, ExitReason, VirtualMachine
+from repro.replay.stream import NO_RECORD, InterfaceRecorder
 from repro.trace.tracer import NO_TRACE, Category, Tracer
 
 
@@ -41,11 +42,14 @@ class KVM:
         fault_plan: FaultPlan | None = None,
         tracer: Tracer | None = None,
         fast_paths: bool = True,
+        recorder: InterfaceRecorder | None = None,
     ) -> None:
         self.clock = clock
         self.costs = costs
         self.fault_plan = fault_plan if fault_plan is not None else NO_FAULTS
         self.tracer = tracer if tracer is not None else NO_TRACE
+        #: Boundary-stream recorder forwarded to every VM (no-op default).
+        self.recorder = recorder if recorder is not None else NO_RECORD
         #: Forwarded to every VirtualMachine this device creates.
         self.fast_paths = fast_paths
         self.vms_created = 0
@@ -58,8 +62,16 @@ class KVM:
         cost = self.costs.ioctl() + self.costs.KVM_CREATE_VM_BASE
         self.clock.advance(cost)
         self.tracer.component("KVM_CREATE_VM", cost, Category.VMM)
+        self.recorder.devcall("KVM_CREATE_VM", cost)
         self.vms_created += 1
         return VMHandle(kvm=self)
+
+    def _new_vm(self, size: int) -> VirtualMachine:
+        """VM factory (the replay substrate overrides this)."""
+        return VirtualMachine(memory_size=size, clock=self.clock,
+                              costs=self.costs, tracer=self.tracer,
+                              fast_paths=self.fast_paths,
+                              recorder=self.recorder)
 
 
 class VMHandle:
@@ -83,9 +95,8 @@ class VMHandle:
         cost = self.kvm.costs.ioctl() + self.kvm.costs.KVM_SET_MEMORY_REGION
         self.kvm.clock.advance(cost)
         self.kvm.tracer.component("KVM_SET_USER_MEMORY_REGION", cost, Category.VMM)
-        self.vm = VirtualMachine(memory_size=size, clock=self.kvm.clock,
-                                 costs=self.kvm.costs, tracer=self.kvm.tracer,
-                                 fast_paths=self.kvm.fast_paths)
+        self.kvm.recorder.devcall("KVM_SET_USER_MEMORY_REGION", cost)
+        self.vm = self.kvm._new_vm(size)
 
     def create_vcpu(self) -> "VcpuHandle":
         """``KVM_CREATE_VCPU``: allocate a vCPU."""
@@ -97,6 +108,7 @@ class VMHandle:
         cost = self.kvm.costs.ioctl() + self.kvm.costs.KVM_CREATE_VCPU
         self.kvm.clock.advance(cost)
         self.kvm.tracer.component("KVM_CREATE_VCPU", cost, Category.VMM)
+        self.kvm.recorder.devcall("KVM_CREATE_VCPU", cost)
         self.vcpu = VcpuHandle(self)
         return self.vcpu
 
@@ -105,7 +117,9 @@ class VMHandle:
         self._check_open()
         if self.vm is None:
             raise KvmError("load_program before set_user_memory_region")
-        self.kvm.clock.advance(self.kvm.costs.memcpy(len(program.image)))
+        cost = self.kvm.costs.memcpy(len(program.image))
+        self.kvm.clock.advance(cost)
+        self.kvm.recorder.devcall("memcpy.image", cost)
         self.vm.load_program(program)
 
     def close(self) -> None:
@@ -147,6 +161,16 @@ class VcpuHandle:
                 span.annotate(error="InjectedFault")
                 raise kvm.fault_plan.fault(FaultSite.VCPU_RUN, "KVM_RUN aborted")
             info = self.vm.vmrun(max_steps=max_steps)
+            if not isinstance(info.reason, ExitReason):
+                # Fail closed: an exit reason outside the architectural
+                # enum is hostile (or corrupt) guest state, not a host
+                # bug -- classify it precisely, preserving the raw value.
+                from repro.wasp.virtine import GuestFault
+
+                span.annotate(error="GuestFault")
+                raise GuestFault(
+                    f"vCPU reported unknown vmexit reason {info.reason!r}; "
+                    f"failing closed")
             span.annotate(exit_reason=info.reason.value)
             return info
         finally:

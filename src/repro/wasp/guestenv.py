@@ -97,6 +97,7 @@ class GuestEnv:
         from repro.hw.vmx import Milestone
 
         vm.milestones.append(Milestone(marker=marker, cycles=self._wasp.clock.cycles))
+        self._wasp.recorder.hosted_milestone(marker)
         # A milestone is observable progress: it heartbeats the watchdog
         # (long computes can stay alive by checkpointing).
         self._wasp._beat(self._virtine)
@@ -133,4 +134,5 @@ class GuestEnv:
         self._virtine.hypercall_count += 1
         self._virtine.audit.record(Hypercall.EXIT, allowed=True)
         self._virtine.exit_code = code
+        self._wasp.recorder.hosted_exit(code)
         raise GuestExitRequested(code)

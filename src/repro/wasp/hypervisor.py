@@ -22,8 +22,15 @@ from repro.host.kernel import HostKernel
 from repro.units import us_to_cycles
 from repro.hw.clock import BackgroundAccountant
 from repro.hw.costs import COSTS, CostModel
+from repro.hw.memory import GuestMemoryError
 from repro.hw.vmx import STEP_BUDGET_EXHAUSTED, ExitReason
 from repro.kvm.device import KVM
+from repro.replay.stream import (
+    NO_RECORD,
+    InterfaceRecorder,
+    ReplayDivergence,
+    encode_value,
+)
 from repro.runtime.image import HOSTED_ENTER_PORT, VirtineImage
 from repro.trace.tracer import NO_TRACE, Category, Tracer
 from repro.wasp.guestenv import GuestEnv, GuestExitRequested
@@ -91,6 +98,8 @@ class Wasp:
         trace: bool = False,
         fast_paths: bool = True,
         cores: int = 1,
+        recorder: InterfaceRecorder | None = None,
+        replay: Any = None,
     ) -> None:
         #: Escape hatch for the hw-layer fast-path engine (software TLB,
         #: predecoded dispatch, bulk restores).  Simulated cycles are
@@ -115,16 +124,35 @@ class Wasp:
         else:
             self.tracer = NO_TRACE
         self.tracer.bind(self.clock)
-        if backend == "kvm":
+        #: Boundary-stream recorder: every interface site (launches,
+        #: hypercalls, vmexits, device calls) reports through it; the
+        #: default :data:`NO_RECORD` makes each report a no-op.
+        self.recorder = recorder if recorder is not None else NO_RECORD
+        #: Active :class:`~repro.replay.substrate.ReplaySession`, when
+        #: this Wasp re-executes a recorded boundary stream instead of
+        #: running a live guest.
+        self.replay = replay
+        if backend not in self.BACKENDS:
+            raise ValueError(f"unknown VMM backend {backend!r} (use one of {self.BACKENDS})")
+        if replay is not None:
+            # The replay substrate feeds recorded vmexits to the handler
+            # plane; no guest interpreter is ever constructed.
+            from repro.replay.substrate import ReplayHyperV, ReplayKVM
+
+            device_cls = ReplayKVM if backend == "kvm" else ReplayHyperV
+            self.kvm = device_cls(self.clock, costs, fault_plan=self.fault_plan,
+                                  tracer=self.tracer, fast_paths=fast_paths,
+                                  recorder=self.recorder, session=replay)
+        elif backend == "kvm":
             self.kvm = KVM(self.clock, costs, fault_plan=self.fault_plan,
-                           tracer=self.tracer, fast_paths=fast_paths)
-        elif backend == "hyperv":
+                           tracer=self.tracer, fast_paths=fast_paths,
+                           recorder=self.recorder)
+        else:
             from repro.hyperv.device import HyperV
 
             self.kvm = HyperV(self.clock, costs, fault_plan=self.fault_plan,
-                              tracer=self.tracer, fast_paths=fast_paths)
-        else:
-            raise ValueError(f"unknown VMM backend {backend!r} (use one of {self.BACKENDS})")
+                              tracer=self.tracer, fast_paths=fast_paths,
+                              recorder=self.recorder)
         self.backend = backend
         #: Backend-neutral alias ("kvm" is the historical attribute name).
         self.vmm = self.kvm
@@ -224,6 +252,7 @@ class Wasp:
         (``cores > 1``); single-core Wasps ignore it.
         """
         self.launches += 1
+        self.recorder.launch_begin(image.name, pooled, use_snapshot)
         pool = self._pool_view(image, core)
         region = self.clock.region()
         # The launch root span opens with the measurement region and
@@ -275,9 +304,15 @@ class Wasp:
             launch_span.annotate(from_snapshot=from_snapshot)
         except BaseException as error:
             launch_span.annotate(error=type(error).__name__)
+            self.recorder.launch_end(image.name, type(error).__name__,
+                                     detail=str(error))
             raise
         finally:
             self.tracer.end(launch_span)
+        self.recorder.launch_end(
+            image.name, "ok", exit_code=virtine.exit_code,
+            from_snapshot=from_snapshot,
+            hypercalls=virtine.hypercall_count, ax=final_ax)
         return VirtineResult(
             value=virtine.result,
             exit_code=virtine.exit_code,
@@ -434,6 +469,12 @@ class Wasp:
         guest does not finish on borrowed time only to have the result
         discarded.
         """
+        if cycles < 0:
+            raise GuestFault(
+                f"virtine {virtine.name!r} charged negative guest cycles "
+                f"({cycles})"
+            )
+        self.recorder.hosted_charge(cycles)
         if virtine.deadline is not None:
             remaining = virtine.deadline - self.clock.cycles
             if cycles > remaining:
@@ -552,43 +593,70 @@ class Wasp:
     def _run_hosted(self, virtine: Virtine, args: Any, restored: Any,
                     persistent: dict | None = None,
                     from_snapshot: bool = False) -> None:
-        """Execute the image's hosted entry function in guest context."""
-        entry = virtine.image.hosted_entry
-        if entry is None:
-            raise VirtineCrash(
-                f"virtine {virtine.name!r} reached the hosted trampoline "
-                "but its image has no hosted entry"
-            )
+        """Execute the image's hosted entry function in guest context.
+
+        Under replay (:attr:`replay` set) the recorded boundary stream
+        stands in for the entry body: a
+        :class:`~repro.replay.substrate.ScriptedEntry` re-issues the
+        recorded boundary ops against this same handler plane, so every
+        crash below re-fires from the handlers exactly as it did live.
+        """
+        if self.replay is not None:
+            entry = self.replay.scripted_entry(virtine.name)
+        else:
+            entry = virtine.image.hosted_entry
+            if entry is None:
+                raise VirtineCrash(
+                    f"virtine {virtine.name!r} reached the hosted trampoline "
+                    "but its image has no hosted entry"
+                )
         env = GuestEnv(self, virtine, args=args, restored=restored,
                        persistent=persistent, from_snapshot=from_snapshot)
+        recorder = self.recorder
+        recorder.hosted_begin()
         try:
             with self.tracer.span("guest.hosted", Category.GUEST):
                 virtine.result = entry(env)
         except GuestExitRequested:
-            pass
+            recorder.hosted_end(["exit"])
+        except ReplayDivergence:
+            # A strict-replay verdict about the *hypervisor*, not the
+            # guest: it must escape the crash taxonomy untouched.
+            recorder.hosted_end(["divergence"])
+            raise
         except HypercallDenied as error:
             # A guest that trips the policy dies; the host and other
             # virtines are unaffected (Section 3.3).
-            raise PolicyKill(f"virtine {virtine.name!r} killed: {error}") from error
+            crash = PolicyKill(f"virtine {virtine.name!r} killed: {error}")
+            recorder.hosted_end(["crash", "PolicyKill", str(crash)])
+            raise crash from error
         except HypercallError as error:
             # An unhandled hypercall error kills the virtine.  Who is at
             # fault decides retryability: a host-plane errno (EIO,
             # ECONNRESET...) means the host failed underneath a valid
             # request; anything else means the guest passed bad arguments.
             if error.errno_name in HOST_PLANE_ERRNOS:
-                raise HostFault(
+                crash: VirtineCrash = HostFault(
                     f"virtine {virtine.name!r} killed by host failure: {error}"
-                ) from error
-            raise GuestFault(f"virtine {virtine.name!r} killed: {error}") from error
-        except VirtineCrash:
+                )
+            else:
+                crash = GuestFault(f"virtine {virtine.name!r} killed: {error}")
+            recorder.hosted_end(["crash", type(crash).__name__, str(crash)])
+            raise crash from error
+        except VirtineCrash as crash:
+            recorder.hosted_end(["crash", type(crash).__name__, str(crash)])
             raise
         except Exception as error:
             # An errant guest (the paper's example: a bad strcpy) crashes
             # only its own virtine; the fault is reported, not propagated
             # as a host failure.
-            raise GuestFault(
+            crash = GuestFault(
                 f"virtine {virtine.name!r} faulted: {type(error).__name__}: {error}"
-            ) from error
+            )
+            recorder.hosted_end(["crash", "GuestFault", str(crash)])
+            raise crash from error
+        else:
+            recorder.hosted_end(["return", encode_value(virtine.result)])
 
     #: Largest single buffer an assembly guest may move per hypercall.
     ISA_MAX_TRANSFER = 1 << 20
@@ -621,16 +689,60 @@ class Wasp:
         self._beat(virtine)
         try:
             with self.tracer.span(f"hypercall:{nr.name}", Category.HYPERCALL):
-                return self._isa_hypercall_body(virtine, nr, bx, cx, dx)
+                exited = self._isa_hypercall_body(virtine, nr, bx, cx, dx)
         except HypercallDenied as denied:
             # Same fate as a hosted guest tripping the policy.
             raise PolicyKill(f"virtine {virtine.name!r} killed: {denied}") from denied
+        self.recorder.isa_hypercall(nr.value, bx, cx, dx,
+                                    cpu.read_reg("ax"), exited)
+        return exited
+
+    #: Hypercall numbers whose cx/dx registers name a guest buffer.
+    _ISA_BUFFER_CALLS = frozenset({
+        Hypercall.READ, Hypercall.RECV, Hypercall.WRITE, Hypercall.SEND,
+        Hypercall.OPEN, Hypercall.STAT,
+    })
+
+    def _check_isa_buffer(
+        self, virtine: Virtine, nr: Hypercall, cx: int, dx: int, size: int
+    ) -> None:
+        """Validate a guest-supplied buffer descriptor before any handler
+        or memory path sees it.
+
+        A hostile guest controls cx/dx completely; descriptors that are
+        negative or straddle the guest-physical limit must land in the
+        crash taxonomy as a precise :class:`GuestFault`, never surface as
+        an ``IndexError``/``struct.error`` from the copy machinery.
+        """
+        if nr not in self._ISA_BUFFER_CALLS:
+            return
+        if dx < 0:
+            raise GuestFault(
+                f"virtine {virtine.name!r}: hypercall {nr.name} passed a "
+                f"negative buffer length ({dx})"
+            )
+        if cx < 0:
+            raise GuestFault(
+                f"virtine {virtine.name!r}: hypercall {nr.name} passed a "
+                f"negative buffer address ({cx})"
+            )
+        # Clamp to the per-call transfer cap first: oversized lengths are
+        # the handlers' EINVAL/ENAMETOOLONG business, not a memory fault.
+        limit = 4096 if nr in (Hypercall.OPEN, Hypercall.STAT) else self.ISA_MAX_TRANSFER
+        window = min(dx, limit)
+        if cx + window > size:
+            raise GuestFault(
+                f"virtine {virtine.name!r}: hypercall {nr.name} buffer "
+                f"[{cx:#x}, {cx + window:#x}) straddles the guest-physical "
+                f"limit {size:#x}"
+            )
 
     def _isa_hypercall_body(
         self, virtine: Virtine, nr: Hypercall, bx: int, cx: int, dx: int
     ) -> bool:
         vm = virtine.shell.vm
         cpu = vm.cpu
+        self._check_isa_buffer(virtine, nr, cx, dx, vm.memory.size)
         if nr is Hypercall.EXIT:
             self._policy_gate(virtine, nr)
             virtine.exit_code = bx
@@ -651,12 +763,14 @@ class Wasp:
                 if dx > self.ISA_MAX_TRANSFER:
                     raise HypercallError(nr, "EINVAL", f"transfer {dx} too large")
                 data = vm.memory.read(cx, dx)
+                self.recorder.attach_guest_buffer(cx, data)
                 self.clock.advance(self.costs.memcpy(len(data)))
                 cpu.write_reg("ax", int(self._dispatch(virtine, nr, (bx, data))))
             elif nr in (Hypercall.OPEN, Hypercall.STAT):
                 if dx > 4096:
                     raise HypercallError(nr, "ENAMETOOLONG", f"path length {dx}")
                 raw = vm.memory.read(cx, dx)
+                self.recorder.attach_guest_buffer(cx, raw)
                 path = raw.decode("utf-8", errors="strict")
                 args = (path, bx) if nr is Hypercall.OPEN else (path,)
                 cpu.write_reg("ax", int(self._dispatch(virtine, nr, args)))
@@ -667,6 +781,14 @@ class Wasp:
                 # Remaining numbers carry scalars only.
                 result = self._dispatch(virtine, nr, (bx, cx))
                 cpu.write_reg("ax", int(result) if isinstance(result, int) else 0)
+        except GuestMemoryError as error:
+            # The descriptor check above bounds the *window*; a handler
+            # returning more data than the guest's buffer can hold (or a
+            # fuzzer-forged descriptor) still lands here, typed.
+            raise GuestFault(
+                f"virtine {virtine.name!r}: hypercall {nr.name} touched "
+                f"memory outside the guest ({error})"
+            ) from error
         except HypercallError as error:
             virtine.audit.record(nr, allowed=True, detail=str(error))
             cpu.write_reg("ax", error_value)
@@ -687,6 +809,9 @@ class Wasp:
         with self.tracer.span(f"hypercall:{nr.name}", Category.HYPERCALL):
             self.clock.advance(costs.VMRUN_EXIT + costs.ioctl())
             virtine.hypercall_count += 1
+            # Open the op now so a mid-dispatch escape (timeout, stall
+            # kill, injected fault) is visible as an op with no outcome.
+            op = self.recorder.hosted_hypercall_begin(nr.value, args)
             if self.fault_plan.draw(FaultSite.GUEST_STALL, virtine.name):
                 # The guest wedged before this hypercall landed: cycles pass
                 # with no heartbeat, which an armed watchdog classifies as a
@@ -699,7 +824,14 @@ class Wasp:
             try:
                 result = self._dispatch(virtine, nr, args)
                 self._charge_marshalling(args, result)
+                self.recorder.hosted_hypercall_end(op, "ok", result)
                 return result
+            except HypercallDenied:
+                self.recorder.hosted_hypercall_end(op, "denied")
+                raise
+            except HypercallError as error:
+                self.recorder.hosted_hypercall_end(op, "error", str(error))
+                raise
             finally:
                 self.clock.advance(costs.ioctl() + costs.KVM_RUN_CHECKS + costs.VMRUN_ENTRY)
 
@@ -731,6 +863,7 @@ class Wasp:
         with self.tracer.span("hypercall:SNAPSHOT", Category.HYPERCALL):
             self.clock.advance(costs.VMRUN_EXIT + costs.ioctl())
             virtine.hypercall_count += 1
+            self.recorder.hosted_snapshot(payload)
             try:
                 self._policy_gate(virtine, Hypercall.SNAPSHOT)
                 self._capture(virtine, payload, hosted=True)
@@ -741,6 +874,7 @@ class Wasp:
         vm = virtine.shell.vm
         with self.tracer.span("snapshot.capture", Category.SNAPSHOT) as span:
             pages = vm.memory.capture_dirty()
+            self.recorder.mem_capture(sorted(pages))
             snap = Snapshot(
                 image_name=virtine.image.name,
                 pages=pages,

@@ -196,6 +196,9 @@ class SupervisionEvent:
     action: str
     #: Simulated clock reading when the event was recorded.
     cycles: int
+    #: The raw crash message for "crash" events (preserves the exact
+    #: verdict -- e.g. an unknown vmexit reason -- for triage/replay).
+    detail: str = ""
 
 
 class Supervisor:
@@ -254,7 +257,8 @@ class Supervisor:
         )
 
     def _record(
-        self, image: str, attempt: int, crash_class: CrashClass | None, action: str
+        self, image: str, attempt: int, crash_class: CrashClass | None,
+        action: str, detail: str = "",
     ) -> None:
         self.trace.append(SupervisionEvent(
             seq=len(self.trace),
@@ -263,6 +267,7 @@ class Supervisor:
             crash_class=crash_class,
             action=action,
             cycles=self.wasp.clock.cycles,
+            detail=detail,
         ))
 
     # -- the supervised launch ---------------------------------------------
@@ -322,7 +327,8 @@ class Supervisor:
                             request_id=ticket.request_id,
                         )
                     breaker.record_failure(self.wasp.clock.cycles)
-                    self._record(image.name, attempt, crash_class, "crash")
+                    self._record(image.name, attempt, crash_class, "crash",
+                                 detail=str(crash))
                     if (
                         crash_class in self.retry.retry_on
                         and attempt < self.retry.max_attempts

@@ -1,0 +1,141 @@
+"""Boundary fuzzing: the hostile-guest invariant.
+
+Every mutation of a recorded stream -- malformed hypercall numbers,
+buffer descriptors outside guest-physical memory, truncated or
+reordered exits, mid-stream fault injections -- must resolve to the
+typed crash taxonomy with the shell quarantined and the host kernel,
+snapshot store, and sibling virtines unperturbed.  Never an unhandled
+Python exception.
+"""
+
+import json
+
+import pytest
+
+from repro.replay import BoundaryStream, InterfaceFuzzer, record
+from repro.replay.fuzzer import MUTATORS
+from repro.replay.substrate import ReplaySession
+from repro.replay.workloads import REPLAY_WORKLOADS, WorkloadContext
+
+
+def _fuzz(workload, *, record_seed=5, fuzz_seed=99, cases=30, **kwargs):
+    stream = record(workload, seed=record_seed, requests=3)
+    return InterfaceFuzzer(stream, seed=fuzz_seed, **kwargs).run(cases=cases)
+
+
+class TestHostileGuestInvariant:
+    @pytest.mark.parametrize("workload", sorted(REPLAY_WORKLOADS))
+    def test_no_untyped_escapes(self, workload):
+        report = _fuzz(workload)
+        untyped = [c for c in report.cases if c.outcome.startswith("untyped:")]
+        assert not untyped, [(c.index, c.mutation, c.outcome, c.detail)
+                             for c in untyped]
+        broken = [c for c in report.cases if c.invariant_failures]
+        assert not broken, [(c.index, c.mutation, c.invariant_failures)
+                            for c in broken]
+        assert report.ok
+
+    def test_same_seed_reproduces_same_verdicts(self):
+        stream = record("echo", seed=5, requests=3)
+        first = InterfaceFuzzer(stream, seed=31).run(cases=12)
+        second = InterfaceFuzzer(stream, seed=31).run(cases=12)
+        assert ([(c.mutation, c.outcome) for c in first.cases]
+                == [(c.mutation, c.outcome) for c in second.cases])
+
+    def test_only_case_replays_one_index(self):
+        stream = record("echo", seed=5, requests=3)
+        fuzzer = InterfaceFuzzer(stream, seed=31)
+        full = fuzzer.run(cases=12)
+        single = fuzzer.run(cases=12, only_case=7)
+        assert len(single.cases) == 1
+        assert single.cases[0].index == 7
+        assert single.cases[0].mutation == full.cases[7].mutation
+        assert single.cases[0].outcome == full.cases[7].outcome
+
+    def test_mutations_land_in_typed_taxonomy(self):
+        """Drive every applicable mutator directly (not via seed luck) and
+        check the contained per-request verdicts are taxonomy classes."""
+        import random
+
+        from repro.replay.fuzzer import TYPED_ESCAPES
+
+        stream = record("echo", seed=5, requests=3)
+        seen = {}
+        for name, operator in MUTATORS:
+            payload = json.loads(stream.to_json())
+            if not operator(payload["events"], random.Random(name)):
+                continue
+            mutated = BoundaryStream.from_json(json.dumps(payload))
+            ctx = WorkloadContext(seed=5, requests=3, backend="kvm",
+                                  session=ReplaySession(mutated, strict=False))
+            try:
+                wasp, stats = REPLAY_WORKLOADS["echo"](ctx)
+            except TYPED_ESCAPES as escape:
+                seen[name] = type(escape).__name__
+                continue
+            for outcome in stats["outcomes"]:
+                if "crash" in outcome:
+                    seen[name] = outcome["crash"]
+        assert seen, "no mutation produced a contained crash"
+        assert set(seen.values()) <= {
+            "GuestFault", "HostFault", "PolicyKill", "VirtineTimeout",
+            "VirtineHang", "BreakerOpen", "AdmissionRejected", "InjectedFault",
+        }
+        # The headline hostile inputs land as guest faults, precisely.
+        assert seen.get("reserved-hypercall-nr") == "GuestFault"
+        assert seen.get("unknown-exit-reason") == "GuestFault"
+        assert seen.get("oob-buffer-addr") == "GuestFault"
+
+    def test_unknown_workload_rejected(self):
+        stream = record("echo", seed=1, requests=1)
+        stream.workload = "nonesuch"
+        with pytest.raises(ValueError, match="unknown workload"):
+            InterfaceFuzzer(stream)
+
+    def test_failure_artifacts_dumped(self, tmp_path, monkeypatch):
+        stream = record("echo", seed=5, requests=2)
+        fuzzer = InterfaceFuzzer(stream, seed=3,
+                                 artifacts_dir=str(tmp_path / "out"))
+
+        # Force a failing case by making the invariant checker find a
+        # problem, then check the dump lands on disk.
+        monkeypatch.setattr(
+            InterfaceFuzzer, "_check_invariants",
+            lambda self, ctx: ["synthetic invariant failure"])
+        report = fuzzer.run(cases=1)
+        assert not report.ok
+        assert (tmp_path / "out" / "case_0_stream.json").exists()
+        crash = json.loads(
+            (tmp_path / "out" / "case_0_crash.json").read_text())
+        assert crash["seed"] == 3
+        assert crash["invariant_failures"] == ["synthetic invariant failure"]
+
+
+class TestHostPlaneIntegrity:
+    def test_snapshot_store_and_fds_survive_hostile_streams(self):
+        """After a fuzzed run the snapshot store still verifies and the
+        host kernel holds no leaked fds -- checked per case by the
+        fuzzer, asserted once more here end-to-end."""
+        stream = record("serverless", seed=5, requests=3)
+        report = InterfaceFuzzer(stream, seed=17).run(cases=20)
+        assert report.ok
+        assert all(not c.invariant_failures for c in report.cases)
+
+    def test_sibling_requests_survive_a_poisoned_one(self):
+        """A mutation that kills one request leaves the driver's sibling
+        requests serviceable (per-request containment)."""
+        stream = record("echo", seed=5, requests=3)
+        payload = json.loads(stream.to_json())
+        # Poison only the first hypercall exit's number.
+        for event in payload["events"]:
+            if event["kind"] == "vmexit" and event.get("port") == 0x200:
+                event["value"] = 99
+                break
+        mutated = BoundaryStream.from_json(json.dumps(payload))
+        ctx = WorkloadContext(seed=5, requests=3, backend="kvm",
+                              session=ReplaySession(mutated, strict=False))
+        wasp, stats = REPLAY_WORKLOADS["echo"](ctx)
+        outcomes = stats["outcomes"]
+        assert outcomes[0].get("crash") == "GuestFault"
+        assert "bad hypercall 99" in outcomes[0]["detail"]
+        assert wasp.kernel.fs.open_fd_count() == 0

@@ -1,0 +1,147 @@
+"""Hostile-guest hardening at the ISA hypercall boundary.
+
+A guest controls every register it hands across the boundary.  These
+tests forge the descriptors directly (negative lengths, straddling
+windows, reserved numbers) and assert each lands in the typed crash
+taxonomy as a precise :class:`GuestFault` -- never an ``IndexError`` or
+``struct.error`` from the copy machinery -- and that unknown vmexit
+reasons fail closed with the raw reason preserved.
+"""
+
+import pytest
+
+from repro.hw.cpu import Mode
+from repro.hw.isa import Assembler
+from repro.hw.vmx import ExitInfo
+from repro.runtime.boot import boot_source
+from repro.runtime.image import VirtineImage
+from repro.wasp import BitmaskPolicy, Hypercall, VirtineConfig, Wasp
+from repro.wasp.policy import PermissivePolicy
+from repro.wasp.supervisor import Supervisor
+from repro.wasp.virtine import GuestFault
+
+
+def image_from(source, mode=Mode.PROT32, name="hardening"):
+    program = Assembler(0x8000).assemble(source)
+    return VirtineImage(name=name, program=program, mode=mode,
+                        size=len(program.image))
+
+
+def make_virtine(wasp, handlers=None):
+    image = image_from(boot_source(Mode.PROT32, "hlt"))
+    shell = wasp.pool_for(wasp.memory_size_for(image)).acquire()
+    return wasp._make_virtine(image, shell, PermissivePolicy(), handlers,
+                              None, None)
+
+
+@pytest.fixture
+def wasp():
+    return Wasp()
+
+
+class TestBufferDescriptorValidation:
+    def test_negative_length_is_guest_fault(self, wasp):
+        virtine = make_virtine(wasp)
+        with pytest.raises(GuestFault, match=r"negative buffer length \(-5\)"):
+            wasp._isa_hypercall_body(virtine, Hypercall.READ, 0, 0x1000, -5)
+
+    def test_negative_address_is_guest_fault(self, wasp):
+        virtine = make_virtine(wasp)
+        with pytest.raises(GuestFault, match=r"negative buffer address \(-4\)"):
+            wasp._isa_hypercall_body(virtine, Hypercall.SEND, 0, -4, 16)
+
+    def test_straddling_buffer_is_guest_fault(self, wasp):
+        virtine = make_virtine(wasp)
+        size = virtine.shell.vm.memory.size
+        with pytest.raises(GuestFault, match="straddles the guest-physical"):
+            wasp._isa_hypercall_body(
+                virtine, Hypercall.WRITE, 0, size - 0x10, 0x1000)
+
+    def test_oversized_path_still_errnos_not_faults(self, wasp):
+        """Length caps belong to the handlers (ENAMETOOLONG -> guest-visible
+        errno), so an oversized-but-in-bounds path must NOT be reclassified
+        as a memory fault by the straddle check."""
+        virtine = make_virtine(wasp)
+        exited = wasp._isa_hypercall_body(
+            virtine, Hypercall.OPEN, 0, 0x1000, 100_000)
+        assert exited is False
+        cpu = virtine.shell.vm.cpu
+        assert cpu.read_reg("ax") == cpu.mode.mask  # the errno sentinel
+
+    def test_handler_overrun_is_guest_fault(self, wasp):
+        """A handler returning more bytes than the guest buffer can hold
+        hits the memory bounds check and must surface typed."""
+        virtine = make_virtine(
+            wasp, handlers={Hypercall.READ: lambda req: b"x" * 8192})
+        size = virtine.shell.vm.memory.size
+        with pytest.raises(GuestFault, match="touched memory outside the guest"):
+            wasp._isa_hypercall_body(
+                virtine, Hypercall.READ, 0, size - 4096, 16)
+
+    def test_scalar_calls_skip_buffer_validation(self, wasp):
+        """CLOSE carries no buffer; hostile cx/dx there are ignored."""
+        virtine = make_virtine(
+            wasp, handlers={Hypercall.CLOSE: lambda req: 0})
+        exited = wasp._isa_hypercall_body(
+            virtine, Hypercall.CLOSE, 3, -1, -1)
+        assert exited is False
+
+
+class TestReservedHypercallNumbers:
+    @pytest.mark.parametrize("nr", [99, -7, 2 ** 40])
+    def test_out_of_enum_number_is_guest_fault(self, wasp, nr):
+        virtine = make_virtine(wasp)
+        with pytest.raises(GuestFault, match=f"bad hypercall {nr}"):
+            wasp._isa_hypercall(virtine, nr)
+
+    def test_assembly_guest_straddling_buffer_crashes_typed(self, wasp):
+        """End to end: a pure-ISA guest passing a straddling READ buffer
+        dies as a GuestFault, through the full launch path."""
+        source = boot_source(Mode.PROT32, """
+    mov bx, 0
+    mov cx, 0x7FFF0000
+    mov dx, 64
+    out 0x200, 1
+    hlt
+""")
+        image = image_from(source, name="asm-straddle")
+        policy = BitmaskPolicy(VirtineConfig.allowing(Hypercall.READ))
+        with pytest.raises(GuestFault, match="straddles the guest-physical"):
+            wasp.launch(image, policy=policy, use_snapshot=False)
+
+
+class TestNegativeCharge:
+    def test_negative_hosted_charge_is_guest_fault(self, wasp):
+        virtine = make_virtine(wasp)
+        with pytest.raises(GuestFault, match=r"negative guest cycles \(-100\)"):
+            wasp.charge_guest(virtine, -100)
+
+
+class TestUnknownVmexitFailsClosed:
+    @pytest.mark.parametrize("backend", ["kvm", "hyperv"])
+    def test_raw_reason_preserved(self, backend):
+        wasp = Wasp(backend=backend)
+        handle = wasp.kvm.create_vm()
+        handle.set_user_memory_region(4 * 1024 * 1024)
+        vcpu = handle.create_vcpu()
+        handle.vm.vmrun = lambda max_steps=0: ExitInfo(reason="mystery-0x7f")
+        with pytest.raises(GuestFault, match=r"unknown vmexit reason 'mystery-0x7f'"):
+            vcpu.run()
+
+    def test_supervised_crash_record_keeps_raw_reason(self, monkeypatch):
+        """Through the full stack: the supervisor's crash record carries
+        the raw (non-architectural) reason for triage."""
+        from repro.hw import vmx
+
+        wasp = Wasp()
+        supervisor = Supervisor(wasp)
+        image = image_from(boot_source(Mode.PROT32, "hlt"),
+                           name="mystery-guest")
+        monkeypatch.setattr(
+            vmx.VirtualMachine, "vmrun",
+            lambda self, max_steps=0: ExitInfo(reason="mystery-0x7f"))
+        with pytest.raises(GuestFault):
+            supervisor.launch(image, use_snapshot=False)
+        crashes = [e for e in supervisor.trace if e.action == "crash"]
+        assert crashes
+        assert "mystery-0x7f" in crashes[0].detail
