@@ -19,6 +19,13 @@ runners.  Commands:
   the live handler plane with no guest interpreter (byte-identical or
   exit 1), or ``fuzz`` seeded mutations of it and assert every hostile
   stream lands in the typed crash taxonomy.
+* ``chaos``     -- the durability gauntlet: crash-point fuzz the durable
+  snapshot store (kill + recover after every journal record), then run
+  the seeded cluster chaos plan twice and assert exactly-once recovery
+  with a byte-identical recovery signature.
+* ``store``     -- durable-store utilities; ``store scrub <files...>``
+  round-trips file bytes through a crash-recovered content-addressed
+  store and verifies integrity end to end.
 * ``info``      -- version, cost-model calibration summary.
 """
 
@@ -206,7 +213,12 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         .fail(FaultSite.POOL_ACQUIRE, rate=0.04)
         .fail(FaultSite.SNAPSHOT_RESTORE, rate=0.03)
     )
-    primary = Wasp(fault_plan=plan)
+    # The primary captures into the journaled content-addressed store,
+    # so the dump includes the durable-store counter surface (dedup
+    # ratio, GC, scrub, journal) alongside the supervision counters.
+    from repro.store import DurableSnapshotStore
+
+    primary = Wasp(fault_plan=plan, snapshot_store=DurableSnapshotStore())
     fallback = Wasp()
     for wasp in (primary, fallback):
         wasp.kernel.fs.add_file("/data/blob", b"x" * 4096)
@@ -525,6 +537,135 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Crash-point fuzz the store, then prove cluster chaos recovery.
+
+    Exit 0 requires all three: every crash-point case recovered to the
+    journal's consistent prefix, the chaos run upheld exactly-once
+    semantics (no lost results, no duplicated effects, store integrity
+    intact), and an identical-seed re-run produced a byte-identical
+    recovery signature.
+    """
+    import json
+    import os
+
+    from repro.cluster.chaos import run_chaos
+    from repro.store import CrashPointFuzzer
+
+    seed = args.seed
+    if seed is None:
+        seed = int(os.environ.get("REPRO_CHAOS_SEED", "1234"))
+
+    fuzz = CrashPointFuzzer(seed=seed, min_cases=args.cases).run()
+    first = run_chaos(seed, cores=args.cores, tasks=args.tasks)
+    second = run_chaos(seed, cores=args.cores, tasks=args.tasks)
+    deterministic = first.signature() == second.signature()
+    ok = fuzz.ok and first.ok and deterministic
+
+    if args.json:
+        payload = {
+            "seed": seed,
+            "ok": ok,
+            "deterministic": deterministic,
+            "recovery_signature": first.signature(),
+            "crash_point": fuzz.to_dict(),
+            "chaos": first.to_dict(),
+        }
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0 if ok else 1
+
+    print(f"durability gauntlet: seed={seed}")
+    print(f"  crash-point fuzz: {fuzz.cases} cases "
+          f"({fuzz.torn_cases} torn-tail) over {len(fuzz.seeds_used)} "
+          f"workload seed(s), {fuzz.records_journaled} records journaled")
+    if fuzz.failures:
+        for case in fuzz.failures[:10]:
+            print(f"    FAIL seed={case.seed} boundary={case.boundary} "
+                  f"torn={case.torn}: {case.detail}")
+    else:
+        print("    every kill point recovered to the consistent journal "
+              "prefix, scrub clean")
+    print(f"  cluster chaos: cores={args.cores} tasks={args.tasks} "
+          f"events fired={len(first.fired)} skipped={len(first.skipped)}")
+    print(f"    dead cores={sorted(first.dead_cores)} "
+          f"re-executions={first.reexecutions} "
+          f"suppressed duplicate effects={first.suppressed_effects}")
+    print(f"    store rot injected={first.corrupted_chunks} "
+          f"restore fallbacks={first.snapshot_fallbacks} "
+          f"tampered migrations={first.tampered_migrations} "
+          f"dropped migrations={first.interrupted_migrations}")
+    for violation in first.violations:
+        print(f"    INVARIANT VIOLATED: {violation}")
+    for failure in first.launch_failures:
+        print(f"    LAUNCH FAILED: {failure}")
+    if first.ok:
+        print("    exactly-once held: no lost results, no duplicated "
+              "effects, store integrity intact")
+    print(f"  recovery signature {first.signature()[:32]} "
+          f"[{'replayed identically' if deterministic else 'DIVERGED'}]")
+    if not ok:
+        print(f"  reproduce: REPRO_CHAOS_SEED={seed} python -m repro chaos")
+    return 0 if ok else 1
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    """``store scrub``: integrity-check files through the durable store.
+
+    Each file's bytes are chunked into a content-addressed snapshot,
+    journaled, recovered on a cloned medium (a simulated host crash),
+    reassembled, and compared byte-for-byte against the original; the
+    recovered store must also scrub clean.
+    """
+    from repro.store import DurableSnapshotStore
+    from repro.wasp.snapshot import Snapshot
+
+    chunk = 4096
+    store = DurableSnapshotStore()
+    originals: dict[str, bytes] = {}
+    for path in args.paths:
+        with open(path, "rb") as fh:
+            data = fh.read()
+        originals[path] = data
+        pages = {
+            i: data[i * chunk:(i + 1) * chunk]
+            for i in range(-(-len(data) // chunk) or 1)
+        }
+        store.put(path, Snapshot(image_name=path, pages=pages,
+                                 cpu_state={"rip": 0, "len": len(data)}),
+                  pin=True)
+
+    recovered = DurableSnapshotStore(store.medium.clone())
+    problems: list[str] = []
+    for path, data in originals.items():
+        snap = recovered.get(path)
+        if snap is None:
+            problems.append(f"{path}: missing after crash recovery")
+            continue
+        blob = b"".join(snap.pages[p] for p in sorted(snap.pages))
+        if blob != data:
+            problems.append(f"{path}: bytes diverged after crash recovery")
+    report = recovered.scrub(repair=False)
+    if not report.clean:
+        problems.append(
+            f"scrub: {len(report.corrupt_chunks)} corrupt / "
+            f"{len(report.missing_chunks)} missing chunks, "
+            f"{report.refcount_repairs} refcount drift"
+        )
+
+    counters = recovered.counters()
+    print(f"store scrub: {len(originals)} file(s), "
+          f"{sum(len(d) for d in originals.values()):,} bytes")
+    print(f"  chunks={counters['chunks']} "
+          f"dedup_ratio={counters['dedup_ratio']:.2f} "
+          f"journal_records={counters['journal_records']} "
+          f"replays={counters['journal_replays']}")
+    for problem in problems:
+        print(f"  FAIL {problem}")
+    if not problems:
+        print("  every file recovered byte-identical; scrub clean")
+    return 0 if not problems else 1
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     from repro.hw.costs import COSTS
     from repro.units import TINKER_HZ
@@ -658,6 +799,31 @@ def main(argv: list[str] | None = None) -> int:
     fuzz.add_argument("--artifacts", default=None,
                       help="dump failing cases' stream + crash report here")
     fuzz.set_defaults(handler=cmd_replay)
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="crash-point fuzz the durable store + cluster chaos recovery",
+    )
+    chaos.add_argument("--seed", type=int, default=None,
+                       help="chaos seed (default $REPRO_CHAOS_SEED or 1234)")
+    chaos.add_argument("--cases", type=int, default=200,
+                       help="minimum crash-point cases to fuzz (default 200)")
+    chaos.add_argument("--cores", type=int, default=4,
+                       help="cluster cores for the chaos run (default 4)")
+    chaos.add_argument("--tasks", type=int, default=24,
+                       help="idempotent tasks in the chaos run (default 24)")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of text")
+    chaos.set_defaults(handler=cmd_chaos)
+    store = subparsers.add_parser(
+        "store", help="durable snapshot-store utilities"
+    )
+    store_verbs = store.add_subparsers(dest="store_verb", required=True)
+    scrub = store_verbs.add_parser(
+        "scrub",
+        help="round-trip files through a crash-recovered store, verify bytes",
+    )
+    scrub.add_argument("paths", nargs="+", help="files to integrity-check")
+    scrub.set_defaults(handler=cmd_store)
     subparsers.add_parser("info", help="version + calibration").set_defaults(
         handler=cmd_info
     )

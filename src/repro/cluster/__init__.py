@@ -10,6 +10,16 @@ Public surface::
     print(report.throughput_per_s, report.steals)
 """
 
+from repro.cluster.chaos import (
+    ChaosEvent,
+    ChaosKind,
+    ChaosPlan,
+    ChaosReport,
+    CompletionLedger,
+    EffectLedger,
+    check_invariants,
+    run_chaos,
+)
 from repro.cluster.smp import (
     DEFAULT_QUANTUM,
     ClusterReport,
@@ -21,6 +31,14 @@ from repro.cluster.smp import (
 from repro.hw.clock import LockstepScheduler, SimClock
 
 __all__ = [
+    "ChaosEvent",
+    "ChaosKind",
+    "ChaosPlan",
+    "ChaosReport",
+    "CompletionLedger",
+    "EffectLedger",
+    "check_invariants",
+    "run_chaos",
     "VirtineCluster",
     "ClusterReport",
     "CoreEngine",

@@ -157,17 +157,24 @@ class VirtineCluster:
         fault_plan_factory: Callable[[int], FaultPlan] | None = None,
         admission_factory: Callable[[int], AdmissionController] | None = None,
         share_snapshots: bool = True,
+        snapshot_store: Any = None,
     ) -> None:
         self.seed = seed
         self.scheduler = LockstepScheduler(cores, quantum=quantum, seed=seed)
         self.engines: list[CoreEngine] = []
-        shared_snapshots = None
+        #: ``snapshot_store`` pins the shared reset-state registry --
+        #: pass a :class:`repro.store.cas.DurableSnapshotStore` and the
+        #: whole cluster captures/restores through one journaled,
+        #: content-addressed medium (implies ``share_snapshots``).
+        shared_snapshots = snapshot_store
         for core_id, clock in enumerate(self.scheduler.clocks):
             plan = fault_plan_factory(core_id) if fault_plan_factory else None
             kernel = HostKernel(clock=clock, costs=costs, fault_plan=plan)
             wasp = Wasp(kernel=kernel, costs=costs, fault_plan=plan,
                         trace=trace, fast_paths=fast_paths)
-            if share_snapshots:
+            if snapshot_store is not None:
+                wasp.snapshots = shared_snapshots
+            elif share_snapshots:
                 if shared_snapshots is None:
                     shared_snapshots = wasp.snapshots
                 else:

@@ -26,6 +26,12 @@ production:
 * :data:`FaultSite.GUEST_STALL`     -- a guest wedging mid-hypercall in
   :mod:`repro.wasp.hypervisor` (cycles pass with no heartbeat, tripping
   the watchdog).
+* :data:`FaultSite.STORE_GC_RACE`   -- the garbage collector winning the
+  race between pool acquire and snapshot materialization in
+  :mod:`repro.store.cas` (the fetch finds the reset state collected).
+* :data:`FaultSite.MIGRATION_TAMPER` -- a migrated shell payload
+  corrupted in flight in :mod:`repro.wasp.migration` (the receive-side
+  digest check must fail closed).
 
 Determinism: every site draws from its **own** RNG stream derived from
 ``(seed, site)``, so the nth decision at a site is a pure function of the
@@ -52,6 +58,8 @@ class FaultSite(enum.Enum):
     POOL_ACQUIRE = "pool_acquire"
     BURST_ARRIVAL = "burst_arrival"
     GUEST_STALL = "guest_stall"
+    STORE_GC_RACE = "store_gc_race"
+    MIGRATION_TAMPER = "migration_tamper"
 
 
 class InjectedFault(Exception):

@@ -1,0 +1,37 @@
+"""repro.store -- durable content-addressed snapshot storage.
+
+The serving plane's snapshot store, hardened: chunk-level dedup keyed
+by sha256, refcounted images, GC that is safe against concurrent COW
+restores, a write-ahead journal making every mutation crash-consistent,
+and a crash-point fuzzer proving recovery at every record boundary.
+"""
+
+from repro.store.cas import (
+    DurableSnapshotStore,
+    ScrubReport,
+    SnapshotGone,
+    chunk_hash,
+)
+from repro.store.crashpoint import CrashCase, CrashPointFuzzer, CrashPointReport
+from repro.store.journal import (
+    CHECKPOINT_OP,
+    Journal,
+    JournalRecord,
+    SimDisk,
+    canonical_json,
+)
+
+__all__ = [
+    "CHECKPOINT_OP",
+    "CrashCase",
+    "CrashPointFuzzer",
+    "CrashPointReport",
+    "DurableSnapshotStore",
+    "Journal",
+    "JournalRecord",
+    "ScrubReport",
+    "SimDisk",
+    "SnapshotGone",
+    "canonical_json",
+    "chunk_hash",
+]

@@ -1,0 +1,163 @@
+"""Write-ahead journaling over a simulated durable medium.
+
+The snapshot store is the serving plane's single most critical piece of
+shared state, so its mutations are journaled the way a real store's
+would be: every operation is encoded as one self-verifying record,
+appended to an (simulated) append-only medium *before* the in-memory
+state changes.  The durability contract is the classic one:
+
+* **record atomicity** -- a record is either fully durable or absent; a
+  torn tail (a crash mid-write) is detected by the record's own digest
+  and discarded on recovery;
+* **prefix consistency** -- a crash preserves exactly a prefix of the
+  appended records, so recovery always lands on a state the live store
+  passed through;
+* **idempotent replay** -- records carry monotonically increasing
+  sequence numbers, so re-applying an already-applied record is a no-op.
+
+:class:`SimDisk` is the medium: an in-memory list of raw record bytes
+with explicit crash/tear/corrupt hooks, which is what lets the
+crash-point fuzzer (:mod:`repro.store.crashpoint`) kill the store after
+*every* record boundary and prove recovery from each one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+#: Record op that carries a full serialized store state (see
+#: :meth:`repro.store.cas.DurableSnapshotStore.checkpoint`).  Recovery
+#: starts from the last valid checkpoint and replays forward.
+CHECKPOINT_OP = "checkpoint"
+
+
+def canonical_json(payload: dict) -> bytes:
+    """Key-sorted, separator-stable JSON bytes (digest/signature input)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One durable store mutation."""
+
+    seq: int
+    op: str
+    #: JSON-able operation payload (bytes are base64 strings inside).
+    payload: dict
+    #: sha256 over the canonical ``{seq, op, payload}`` encoding; a
+    #: record whose recomputed digest mismatches is torn or rotted and
+    #: is discarded (with everything after it) on recovery.
+    digest: str
+
+    @classmethod
+    def make(cls, seq: int, op: str, payload: dict) -> "JournalRecord":
+        body = canonical_json({"seq": seq, "op": op, "payload": payload})
+        return cls(seq=seq, op=op, payload=payload,
+                   digest=hashlib.sha256(body).hexdigest())
+
+    def encode(self) -> bytes:
+        return canonical_json({
+            "seq": self.seq, "op": self.op, "payload": self.payload,
+            "digest": self.digest,
+        })
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "JournalRecord | None":
+        """Decode and verify one raw record; ``None`` if torn/corrupt."""
+        try:
+            obj = json.loads(raw.decode("utf-8"))
+            record = cls(seq=obj["seq"], op=obj["op"],
+                         payload=obj["payload"], digest=obj["digest"])
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            return None
+        body = canonical_json({
+            "seq": record.seq, "op": record.op, "payload": record.payload,
+        })
+        if hashlib.sha256(body).hexdigest() != record.digest:
+            return None
+        return record
+
+
+class SimDisk:
+    """The simulated durable medium: append-only raw record slots.
+
+    Writes are atomic at record granularity (the journal's digest check
+    is what turns a *violated* assumption -- a torn tail -- into a
+    detected-and-discarded record rather than silent corruption).
+    """
+
+    def __init__(self, records: list[bytes] | None = None) -> None:
+        self._records: list[bytes] = list(records or [])
+        self.appends = 0
+        self.bytes_written = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(self, raw: bytes) -> None:
+        self._records.append(raw)
+        self.appends += 1
+        self.bytes_written += len(raw)
+
+    def records(self) -> tuple[bytes, ...]:
+        return tuple(self._records)
+
+    # -- crash simulation ----------------------------------------------------
+    def clone(self, upto: int | None = None) -> "SimDisk":
+        """A crash image holding only the first ``upto`` records."""
+        end = len(self._records) if upto is None else upto
+        return SimDisk(self._records[:end])
+
+    def tear_tail(self) -> None:
+        """Tear the last record in half (a crash mid-write)."""
+        if self._records:
+            raw = self._records[-1]
+            self._records[-1] = raw[: max(1, len(raw) // 2)]
+
+    def corrupt_record(self, index: int) -> None:
+        """Flip one byte of a stored record (media rot)."""
+        raw = bytearray(self._records[index])
+        raw[len(raw) // 2] ^= 0x01
+        self._records[index] = bytes(raw)
+
+    def drop_prefix(self, count: int) -> None:
+        """Physically discard the first ``count`` records (compaction)."""
+        del self._records[:count]
+
+
+class Journal:
+    """The write-ahead log: encode, digest, append; scan on recovery."""
+
+    def __init__(self, disk: SimDisk) -> None:
+        self.disk = disk
+        self._next_seq = 0
+        self.appended = 0
+
+    def append(self, op: str, payload: dict) -> JournalRecord:
+        record = JournalRecord.make(self._next_seq, op, payload)
+        self.disk.append(record.encode())
+        self._next_seq += 1
+        self.appended += 1
+        return record
+
+    def scan(self) -> tuple[list[JournalRecord], int]:
+        """Decode the valid record prefix.
+
+        Returns ``(records, discarded)``: scanning stops at the first
+        record that fails decode or digest verification -- everything
+        from there on is a torn tail or rot and is counted discarded,
+        never applied.  Advances :attr:`_next_seq` past the last valid
+        record so post-recovery appends continue the sequence.
+        """
+        records: list[JournalRecord] = []
+        raws = self.disk.records()
+        for i, raw in enumerate(raws):
+            record = JournalRecord.decode(raw)
+            if record is None:
+                return records, len(raws) - i
+            records.append(record)
+        if records:
+            self._next_seq = records[-1].seq + 1
+        return records, 0

@@ -44,7 +44,7 @@ from repro.wasp.hypercall import (
 )
 from repro.wasp.policy import DefaultDenyPolicy, Policy
 from repro.wasp.pool import CleanMode, ShardedShellPool, Shell, ShellPool
-from repro.wasp.snapshot import RestoreMode, Snapshot, SnapshotStore
+from repro.wasp.snapshot import RestoreMode, Snapshot, SnapshotGone, SnapshotStore
 from repro.wasp.virtine import (
     GuestFault,
     HostFault,
@@ -100,6 +100,7 @@ class Wasp:
         cores: int = 1,
         recorder: InterfaceRecorder | None = None,
         replay: Any = None,
+        snapshot_store: SnapshotStore | None = None,
     ) -> None:
         #: Escape hatch for the hw-layer fast-path engine (software TLB,
         #: predecoded dispatch, bulk restores).  Simulated cycles are
@@ -157,7 +158,12 @@ class Wasp:
         #: Backend-neutral alias ("kvm" is the historical attribute name).
         self.vmm = self.kvm
         self.background = BackgroundAccountant()
-        self.snapshots = SnapshotStore()
+        #: Reset-state registry.  The in-memory :class:`SnapshotStore`
+        #: by default; pass a :class:`repro.store.cas.DurableSnapshotStore`
+        #: for content-addressed, journaled, crash-consistent storage
+        #: (same surface -- the launch path additionally absorbs its
+        #: :class:`~repro.store.cas.SnapshotGone` GC-race signal).
+        self.snapshots = snapshot_store if snapshot_store is not None else SnapshotStore()
         self.canned = CannedHandlers(self.kernel)
         if cores <= 0:
             raise ValueError(f"need at least one core, got {cores}")
@@ -276,7 +282,13 @@ class Wasp:
             from_snapshot = False
             crashed = False
             try:
-                snap = self._usable_snapshot(virtine.snapshot_key) if use_snapshot else None
+                snap = None
+                if use_snapshot:
+                    try:
+                        snap = self._usable_snapshot(virtine.snapshot_key)
+                    except SnapshotGone as gone:
+                        shell = self._replace_gone_shell(pool, shell, pooled, gone)
+                        virtine.shell = shell
                 if snap is not None:
                     from_snapshot = True
                     self._restore_snapshot(virtine, snap, restore_mode)
@@ -427,6 +439,26 @@ class Wasp:
                 return None
             span.annotate(outcome="ok")
             return snap
+
+    def _replace_gone_shell(
+        self, pool: Any, shell: Shell, pooled: bool, gone: SnapshotGone,
+    ) -> Shell:
+        """Absorb the GC-vs-restore race: the reset state promised to
+        this shell was collected between acquire and restore.
+
+        The half-prepared shell is quarantined (reset + synchronous
+        scrub + generation bump -- it must never re-enter circulation
+        carrying provisioning state for an image that no longer has a
+        reset state) and a fresh shell is provisioned for the cold
+        boot.  The launch degrades, it does not raise.
+        """
+        self.snapshot_fallbacks += 1
+        self.tracer.instant("snapshot.gone", Category.SNAPSHOT, key=gone.key)
+        if pooled:
+            pool.quarantine_defect(shell)
+            return pool.acquire()
+        shell.handle.close()
+        return pool.create_scratch()
 
     def check_deadline(self, virtine: Virtine) -> None:
         """Kill a virtine that has outlived its cycle deadline (or hung).
@@ -969,7 +1001,14 @@ class VirtineSession:
             )
             self._virtine.snapshot_key = self.image.name
             self._arm(deadline_cycles, deadline)
-            snap = wasp._usable_snapshot(self.image.name) if self.use_snapshot else None
+            snap = None
+            if self.use_snapshot:
+                try:
+                    snap = wasp._usable_snapshot(self.image.name)
+                except SnapshotGone as gone:
+                    self._shell = wasp._replace_gone_shell(
+                        self._pool, self._shell, True, gone)
+                    self._virtine.shell = self._shell
             if snap is not None and snap.hosted:
                 from_snapshot = True
                 wasp._restore_snapshot(self._virtine, snap)

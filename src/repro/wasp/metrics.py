@@ -27,6 +27,9 @@ class PoolMetrics:
     quarantines: int = 0
     #: Cached shells found defective on acquire and rebuilt.
     defects: int = 0
+    #: Shells quarantined because their snapshot vanished (GC race)
+    #: between acquire and restore.
+    restore_defects: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -80,6 +83,10 @@ class WaspMetrics:
     admission_queue_high_water: int = 0
     #: Watchdog kills keyed by hang kind ("no_progress"/"slow_progress").
     hangs_by_kind: dict = field(default_factory=dict)
+    # -- snapshot-store plane ---------------------------------------------
+    #: The snapshot store's own counter surface (backend, dedup ratio,
+    #: GC/scrub/journal counters for a durable store).
+    store: dict = field(default_factory=dict)
 
     @property
     def pool_hit_rate(self) -> float:
@@ -120,9 +127,11 @@ class WaspMetrics:
                     "hit_rate": pool.hit_rate,
                     "quarantines": pool.quarantines,
                     "defects": pool.defects,
+                    "restore_defects": pool.restore_defects,
                 }
                 for pool in self.pools
             ],
+            "store": dict(sorted(self.store.items())),
             "timeouts": self.timeouts,
             "snapshot_fallbacks": self.snapshot_fallbacks,
             "snapshot_integrity_failures": self.snapshot_integrity_failures,
@@ -151,6 +160,16 @@ class WaspMetrics:
             f"host syscalls={self.host_syscalls}  "
             f"clock={cycles_to_us(self.clock_cycles):,.0f} us",
         ]
+        if self.store.get("backend") == "durable":
+            lines.append(
+                f"store: chunks={self.store.get('chunks', 0)} "
+                f"dedup_ratio={self.store.get('dedup_ratio', 1.0):.2f} "
+                f"gc_reclaimed={self.store.get('gc_reclaimed_chunks', 0)} "
+                f"scrubs={self.store.get('scrub_passes', 0)}"
+                f"/{self.store.get('scrub_repairs', 0)} repairs "
+                f"journal={self.store.get('journal_records', 0)} records"
+                f"/{self.store.get('journal_replays', 0)} replays"
+            )
         crashes = sum(self.crashes_by_class.values())
         if crashes or self.retries or self.breaker_rejections or self.timeouts:
             by_class = " ".join(
@@ -213,6 +232,7 @@ def collect(wasp: Wasp) -> WaspMetrics:
             misses=pool.misses,
             quarantines=pool.quarantines,
             defects=pool.defects,
+            restore_defects=pool.restore_defects,
         )
         for size, pool in sorted(wasp._pools.items())
     )
@@ -277,4 +297,5 @@ def collect(wasp: Wasp) -> WaspMetrics:
         admission_timeouts=admission_timeouts,
         admission_queue_high_water=admission_queue_high_water,
         hangs_by_kind=hangs_by_kind,
+        store=wasp.snapshots.counters(),
     )

@@ -17,6 +17,8 @@ first use, and returns the result as if the call had been local.
 
 from __future__ import annotations
 
+import copy
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -24,8 +26,9 @@ from repro.faults import NO_FAULTS, FaultPlan, FaultSite
 from repro.runtime.image import VirtineImage
 from repro.units import us_to_cycles
 from repro.wasp.hypervisor import Wasp
+from repro.wasp.snapshot import Snapshot
 from repro.wasp.supervisor import CrashClass, classify
-from repro.wasp.virtine import VirtineCrash, VirtineResult
+from repro.wasp.virtine import HostFault, VirtineCrash, VirtineResult
 
 
 class MigrationError(Exception):
@@ -38,6 +41,48 @@ class TransferDropped(MigrationError):
     Both sides have already paid the cycles for the partial transfer;
     the target has *not* gained residency.
     """
+
+
+class TransferTampered(HostFault):
+    """A migrated payload failed its wire digest on receive.
+
+    Typed as a :class:`~repro.wasp.virtine.HostFault`: the host plane
+    (the network, a compromised relay) corrupted the payload underneath
+    a well-behaved workload.  The target fails *closed* -- no residency,
+    no snapshot installed, the mismatch lands in the target supervisor's
+    crash record -- and the caller may fail over to a different node.
+    """
+
+    def __init__(self, image_name: str, target: str,
+                 sent: str, received: str) -> None:
+        super().__init__(
+            f"transfer of image {image_name!r} to node {target!r} failed "
+            f"digest verification (sent {sent[:16]}, got {received[:16]})"
+        )
+        self.image_name = image_name
+        self.target = target
+        self.sent_digest = sent
+        self.received_digest = received
+
+
+def wire_digest(image: VirtineImage, snapshot: Snapshot | None) -> str:
+    """sha256 over everything a migration puts on the wire.
+
+    Covers the image bytes and -- when the reset state travels too --
+    the snapshot's pages, architectural vCPU state, and integrity tag.
+    The hosted payload is excluded for the same reason
+    :meth:`Snapshot.compute_checksum` excludes it: it is an opaque host
+    object with no stable wire representation.
+    """
+    digest = hashlib.sha256()
+    digest.update(image.image_bytes)
+    if snapshot is not None:
+        for page in snapshot.sorted_pages():
+            digest.update(page.to_bytes(8, "little"))
+            digest.update(snapshot.pages[page])
+        digest.update(repr(sorted(snapshot.cpu_state.items())).encode())
+        digest.update(snapshot.checksum.to_bytes(8, "little", signed=True))
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -82,6 +127,8 @@ class Cluster:
         self.migrations = 0
         #: Transfers that died on the wire (injected faults).
         self.dropped_transfers = 0
+        #: Transfers rejected at the target for a wire-digest mismatch.
+        self.tampered_transfers = 0
         #: Calls completed on a second node after the first one failed.
         self.failovers = 0
 
@@ -143,6 +190,14 @@ class Cluster:
 
         Returns the transferred byte count.  Transfer cycles are charged
         on both sides' clocks (send and receive).
+
+        The sender stamps the payload with :func:`wire_digest`; the
+        receiver recomputes it over what actually arrived (a private
+        copy -- migrated state is never shared by reference with the
+        source) *before* activating anything.  A mismatch fails closed
+        as :class:`TransferTampered`: no residency, no snapshot
+        installed, and the crash is recorded with the target's
+        supervisor so tampering is visible in its crash record.
         """
         nbytes = image.size
         snapshot = None
@@ -162,12 +217,34 @@ class Cluster:
                 f"transfer of image {image.name!r} to node {target.name!r} "
                 "dropped mid-flight"
             )
+        sent_digest = wire_digest(image, snapshot)
+        # What the wire delivers is a copy of the sender's state, not a
+        # reference to it; tampering corrupts the copy in flight.
+        received = copy.deepcopy(snapshot) if snapshot is not None else None
+        tampered = self.fault_plan.draw(FaultSite.MIGRATION_TAMPER, image.name)
+        if tampered and received is not None:
+            received.corrupt()
         if source is not None:
             source.wasp.clock.advance(cost)
         target.wasp.clock.advance(cost)
+        # Receive-side verification, charged at checksum bandwidth.
+        target.wasp.clock.advance(target.wasp.costs.checksum(nbytes))
+        received_digest = wire_digest(image, received)
+        if tampered and received is None:
+            # No snapshot travelled, so the corruption hit the image
+            # bytes themselves; the recomputed digest cannot match.
+            received_digest = "0" * 64
+        if received_digest != sent_digest:
+            self.tampered_transfers += 1
+            crash = TransferTampered(image.name, target.name,
+                                     sent_digest, received_digest)
+            supervisor = target.wasp.supervisor
+            if supervisor is not None:
+                supervisor.record_external_crash(image.name, crash)
+            raise crash
         target.resident.add(image.name)
-        if snapshot is not None:
-            target.wasp.snapshots.put(image.name, snapshot)
+        if received is not None:
+            target.wasp.snapshots.put(image.name, received)
         self.migrations += 1
         return nbytes
 

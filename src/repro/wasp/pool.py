@@ -73,6 +73,9 @@ class ShellPool:
         self.quarantines = 0
         #: Cached shells found defective on acquire (discarded, rebuilt).
         self.defects = 0
+        #: Shells whose restore source vanished between acquire and
+        #: restore (snapshot GC race): quarantined, launch went cold.
+        self.restore_defects = 0
 
     # -- provisioning --------------------------------------------------------
     def acquire(self) -> Shell:
@@ -163,6 +166,20 @@ class ShellPool:
             else:
                 shell.handle.close()
 
+    def quarantine_defect(self, shell: Shell) -> None:
+        """Quarantine a shell whose restore source was yanked away.
+
+        The GC-vs-restore race lands here: the shell was acquired
+        expecting a warm restore, then the snapshot it was promised was
+        collected.  The shell itself hosted no crash, but it may have
+        been partially prepared against state that no longer exists, so
+        it takes the full quarantine path (reset + synchronous scrub +
+        generation bump) and the defect is accounted separately from
+        acquire-time defects so the race is visible in metrics.
+        """
+        self.restore_defects += 1
+        self.quarantine(shell)
+
     def prewarm(self, count: int) -> None:
         """Populate the pool ahead of time (cold-start avoidance).
 
@@ -202,6 +219,9 @@ class _ShardView:
 
     def quarantine(self, shell: Shell) -> None:
         self.pool.shard(self.core).quarantine(shell)
+
+    def quarantine_defect(self, shell: Shell) -> None:
+        self.pool.shard(self.core).quarantine_defect(shell)
 
 
 class ShardedShellPool:
@@ -286,6 +306,9 @@ class ShardedShellPool:
     def quarantine(self, shell: Shell, core: int = 0) -> None:
         self.shard(core).quarantine(shell)
 
+    def quarantine_defect(self, shell: Shell, core: int = 0) -> None:
+        self.shard(core).quarantine_defect(shell)
+
     def prewarm(self, count: int) -> None:
         """Spread ``count`` shells across shards (round-robin remainder)."""
         shards = len(self.shards_list)
@@ -313,3 +336,7 @@ class ShardedShellPool:
     @property
     def defects(self) -> int:
         return sum(s.defects for s in self.shards_list)
+
+    @property
+    def restore_defects(self) -> int:
+        return sum(s.restore_defects for s in self.shards_list)

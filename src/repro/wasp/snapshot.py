@@ -29,6 +29,23 @@ from typing import Any
 from repro.hw.memory import PAGE_SHIFT, PAGE_SIZE
 
 
+class SnapshotGone(Exception):
+    """The requested snapshot was garbage-collected underneath the reader.
+
+    Raised by :class:`repro.store.cas.DurableSnapshotStore` when the
+    collector wins the race between pool acquire and snapshot
+    materialization.  The launch path converts it into a
+    quarantine-and-cold-boot, never a crash.
+    """
+
+    def __init__(self, key: str, detail: str = "") -> None:
+        message = f"snapshot {key!r} was garbage-collected"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.key = key
+
+
 class RestoreMode(enum.Enum):
     """How a snapshot is installed into a shell.
 
@@ -151,7 +168,14 @@ class Snapshot:
 
 
 class SnapshotStore:
-    """Per-image snapshot registry owned by a Wasp instance."""
+    """Per-image snapshot registry owned by a Wasp instance.
+
+    The in-memory baseline.  :class:`repro.store.cas.DurableSnapshotStore`
+    presents the same surface over a journaled content-addressed medium
+    and can be swapped in via ``Wasp(snapshot_store=...)``.
+    """
+
+    backend = "memory"
 
     def __init__(self) -> None:
         self._snapshots: dict[str, Snapshot] = {}
@@ -175,3 +199,13 @@ class SnapshotStore:
 
     def __contains__(self, key: str) -> bool:
         return key in self._snapshots
+
+    def counters(self) -> dict:
+        """The store's metric surface (durable stores report more)."""
+        return {
+            "backend": self.backend,
+            "snapshots": len(self._snapshots),
+            "captures": self.captures,
+            "restores": self.restores,
+            "integrity_failures": self.integrity_failures,
+        }

@@ -270,6 +270,23 @@ class Supervisor:
             detail=detail,
         ))
 
+    def record_external_crash(
+        self, image_name: str, crash: BaseException, detail: str = "",
+    ) -> CrashClass:
+        """Account a crash that happened *outside* a supervised launch.
+
+        The migration plane (a tampered transfer detected before any
+        virtine ran) and the chaos plane (a core dying mid-run) observe
+        failures this supervisor never saw as a launch attempt.  They
+        still belong in the crash record: classify, count, and append a
+        trace event (attempt 0 -- nothing ran under this supervisor).
+        """
+        crash_class = classify(crash)
+        self.crashes_by_class[crash_class] += 1
+        self._record(image_name, 0, crash_class, "crash",
+                     detail=detail or str(crash))
+        return crash_class
+
     # -- the supervised launch ---------------------------------------------
     def launch(self, image: "VirtineImage", **launch_kwargs: Any) -> VirtineResult:
         """Launch under supervision.

@@ -1,0 +1,221 @@
+"""The content-addressed durable snapshot store.
+
+Dedup, refcounting, GC safety against concurrent restores, scrub
+repair, checkpoint compaction, and crash recovery -- each pinned by a
+focused test; the exhaustive kill-at-every-boundary proof lives in
+``test_crashpoint.py``.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSite
+from repro.store import DurableSnapshotStore, SnapshotGone, chunk_hash
+from repro.wasp.snapshot import Snapshot
+
+
+def snap(name="img", pages=None, payload=None, hosted=False):
+    return Snapshot(
+        image_name=name,
+        pages=pages if pages is not None else {0: b"A" * 64, 1: b"B" * 64},
+        cpu_state={"rip": 0x8000, "rsp": 0x7000},
+        hosted_payload=payload,
+        hosted=hosted,
+    )
+
+
+def recovered(store):
+    """A post-crash replica: same medium, fresh process."""
+    return DurableSnapshotStore(store.medium.clone())
+
+
+def test_put_get_roundtrip():
+    store = DurableSnapshotStore()
+    store.put("k", snap())
+    out = store.get("k")
+    assert out is not None
+    assert out.pages == {0: b"A" * 64, 1: b"B" * 64}
+    assert out.cpu_state["rip"] == 0x8000
+    assert out.verify()
+
+
+def test_identical_pages_dedup_to_one_chunk():
+    store = DurableSnapshotStore()
+    store.put("a", snap(pages={0: b"X" * 64, 1: b"X" * 64}))
+    store.put("b", snap(pages={5: b"X" * 64}))
+    counters = store.counters()
+    assert counters["chunks"] == 1
+    assert counters["dedup_hits"] == 2
+    assert store.dedup_ratio == pytest.approx(3.0)
+
+
+def test_overwrite_releases_old_chunks():
+    store = DurableSnapshotStore()
+    store.put("k", snap(pages={0: b"old" * 16}))
+    store.put("k", snap(pages={0: b"new" * 16}))
+    assert store.counters()["chunks"] == 1
+    assert store.get("k").pages[0] == b"new" * 16
+
+
+def test_shared_chunk_survives_one_owner_dropping():
+    store = DurableSnapshotStore()
+    store.put("a", snap(pages={0: b"S" * 64}))
+    store.put("b", snap(pages={0: b"S" * 64}))
+    store.drop("a")
+    assert store.get("b").pages[0] == b"S" * 64
+    store.drop("b")
+    assert store.counters()["chunks"] == 0
+
+
+def test_gc_evicts_coldest_first_and_skips_pinned():
+    store = DurableSnapshotStore(gc_keep=2)
+    store.put("cold", snap(pages={0: b"c" * 64}))
+    store.put("pinned", snap(pages={1: b"p" * 64}), pin=True)
+    store.put("hot", snap(pages={2: b"h" * 64}))
+    store.get("hot")
+    reclaimed = store.gc()
+    assert reclaimed == ("cold",)
+    assert store.get("pinned") is not None
+    assert store.get("hot") is not None
+
+
+def test_lease_blocks_gc_during_concurrent_restore():
+    """The COW-restore isolation contract: a leased snapshot is not
+    collectable, however cold, until the restore finishes."""
+    store = DurableSnapshotStore(gc_keep=0)
+    store.put("restoring", snap(pages={0: b"r" * 64}))
+    store.put("other", snap(pages={1: b"o" * 64}))
+    with store.lease("restoring"):
+        assert store.leased("restoring")
+        reclaimed = store.gc()
+        assert "restoring" not in reclaimed
+        assert store.get("restoring") is not None
+    assert not store.leased("restoring")
+    assert store.gc() == ("restoring",)
+
+
+def test_nested_leases_release_in_order():
+    store = DurableSnapshotStore(gc_keep=0)
+    store.put("k", snap())
+    with store.lease("k"):
+        with store.lease("k"):
+            assert store.gc() == ()
+        assert store.gc() == ()  # outer lease still held
+    assert store.gc() == ("k",)
+
+
+def test_leases_are_runtime_only_not_journaled():
+    store = DurableSnapshotStore(gc_keep=0)
+    store.put("k", snap())
+    with store.lease("k"):
+        replica = recovered(store)
+    # The crash replica never saw the lease; its GC may collect freely.
+    assert replica.gc(keep=0) == ("k",)
+
+
+def test_gc_race_fault_drops_key_and_raises_typed():
+    plan = FaultPlan(seed=9).fail(FaultSite.STORE_GC_RACE, on={1})
+    store = DurableSnapshotStore(fault_plan=plan)
+    store.put("k", snap())
+    with pytest.raises(SnapshotGone) as excinfo:
+        store.get("k")
+    assert excinfo.value.key == "k"
+    # The race is a real journaled gc, not a pretend failure: the key is
+    # gone on the live store *and* on a crash replica.
+    assert store.get("k") is None
+    assert recovered(store).get("k") is None
+    assert store.counters()["gc_race_drops"] == 1
+
+
+def test_scrub_detects_and_repairs_rot():
+    store = DurableSnapshotStore()
+    store.put("rotted", snap(pages={0: b"R" * 64}))
+    store.put("fine", snap(pages={1: b"F" * 64}))
+    victim = store.corrupt_chunk(chunk_hash(b"R" * 64))
+    assert victim is not None
+    report = store.scrub(repair=True)
+    assert not report.clean
+    assert report.corrupt_chunks == (victim,)
+    assert report.dropped_snapshots == ("rotted",)
+    assert store.get("rotted") is None
+    assert store.get("fine") is not None
+    # Post-repair, the store is clean again -- also on a crash replica.
+    assert store.scrub(repair=False).clean
+    assert recovered(store).scrub(repair=False).clean
+
+
+def test_recovery_reconstructs_state_and_signature():
+    store = DurableSnapshotStore()
+    store.put("a", snap(pages={0: b"1" * 64}), pin=True)
+    store.put("b", snap(pages={1: b"2" * 64, 2: b"3" * 64}))
+    store.drop("b")
+    replica = recovered(store)
+    assert replica.state_signature() == store.state_signature()
+    assert "a" in replica.pinned()
+    assert replica.get("b") is None
+    assert replica.counters()["journal_replays"] == 1
+    assert replica.counters()["dedup_ratio"] == store.counters()["dedup_ratio"]
+
+
+def test_reapply_journal_is_idempotent():
+    store = DurableSnapshotStore()
+    store.put("a", snap())
+    store.put("b", snap(pages={3: b"z" * 64}))
+    store.drop("a")
+    before = store.state_signature()
+    assert store.reapply_journal() == 0
+    assert store.state_signature() == before
+
+
+def test_checkpoint_compaction_preserves_state():
+    store = DurableSnapshotStore()
+    for i in range(6):
+        store.put(f"k{i}", snap(pages={i: bytes([i]) * 64}))
+    store.drop("k0")
+    signature = store.state_signature()
+    store.checkpoint()
+    store.compact()
+    assert len(store.medium) < 8
+    replica = recovered(store)
+    assert replica.state_signature() == signature
+    assert replica.scrub(repair=False).clean
+
+
+def test_volatile_payload_survives_live_but_not_recovery():
+    class Unpicklable:
+        def __reduce__(self):
+            raise TypeError("host handle")
+
+    store = DurableSnapshotStore()
+    payload = Unpicklable()
+    store.put("v", snap(payload=payload, hosted=True))
+    live = store.get("v")
+    assert live is not None and live.hosted_payload is payload
+    # The crash replica cannot resurrect a host object: the snapshot is
+    # dropped on replay and its chunks pruned, leaving a clean store.
+    replica = recovered(store)
+    assert replica.get("v") is None
+    assert replica.scrub(repair=False).clean
+    assert replica.counters()["chunks"] == 0
+
+
+def test_volatile_overwrite_keeps_shared_chunk_refcounts():
+    class Unpicklable:
+        def __reduce__(self):
+            raise TypeError("host handle")
+
+    store = DurableSnapshotStore()
+    shared = {0: b"shared" * 12}
+    store.put("other", snap(pages=dict(shared)))
+    store.put("v", snap(pages=dict(shared)))
+    store.put("v", snap(pages=dict(shared), payload=Unpicklable(), hosted=True))
+    assert store.scrub(repair=False).clean
+    assert store.get("other").pages[0] == shared[0]
+    assert store.get("v").pages[0] == shared[0]
+
+
+def test_counters_surface_matches_memory_store_contract():
+    store = DurableSnapshotStore()
+    counters = store.counters()
+    assert counters["backend"] == "durable"
+    for key in ("snapshots", "captures", "restores", "integrity_failures"):
+        assert key in counters

@@ -151,3 +151,76 @@ class TestScaleCommand:
         throughputs = [row["pooled"]["throughput_per_s"]
                        for row in payload["rows"]]
         assert throughputs == sorted(throughputs)
+
+
+class TestChaos:
+    def test_gauntlet_passes(self, capsys):
+        assert main(["chaos", "--seed", "7", "--cases", "40",
+                     "--tasks", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "every kill point recovered" in out
+        assert "exactly-once held" in out
+        assert "replayed identically" in out
+        assert "DIVERGED" not in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["chaos", "--seed", "7", "--cases", "40",
+                     "--tasks", "12", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["deterministic"] is True
+        assert payload["crash_point"]["ok"] is True
+        assert payload["chaos"]["violations"] == []
+        assert len(payload["recovery_signature"]) == 64
+
+    def test_seed_from_environment(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "55")
+        assert main(["chaos", "--cases", "30", "--tasks", "10"]) == 0
+        assert "seed=55" in capsys.readouterr().out
+
+
+class TestStoreScrub:
+    def test_files_roundtrip_byte_identical(self, tmp_path, capsys):
+        a = tmp_path / "a.bin"
+        b = tmp_path / "b.bin"
+        a.write_bytes(bytes(range(256)) * 40)
+        b.write_bytes(b"same page " * 1000)
+        assert main(["store", "scrub", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "every file recovered byte-identical; scrub clean" in out
+        assert "FAIL" not in out
+
+    def test_committed_corpus_scrubs_clean(self, capsys):
+        import glob
+
+        paths = sorted(glob.glob("corpus/replay/*.json"))
+        assert paths, "committed replay corpus missing"
+        assert main(["store", "scrub", *paths]) == 0
+        assert "scrub clean" in capsys.readouterr().out
+
+    def test_empty_file_roundtrips(self, tmp_path, capsys):
+        empty = tmp_path / "empty.bin"
+        empty.write_bytes(b"")
+        assert main(["store", "scrub", str(empty)]) == 0
+        assert "scrub clean" in capsys.readouterr().out
+
+
+class TestMetricsStore:
+    def test_json_includes_durable_store_counters(self, capsys):
+        import json
+
+        main(["metrics", "--seed", "7", "--requests", "30", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        store = payload["primary"]["store"]
+        assert store["backend"] == "durable"
+        for key in ("chunks", "dedup_ratio", "scrub_passes", "gc_reclaimed_chunks",
+                    "journal_records", "journal_replays"):
+            assert key in store
+        assert payload["fallback"]["store"]["backend"] == "memory"
+
+    def test_text_summary_shows_store_line(self, capsys):
+        main(["metrics", "--seed", "7", "--requests", "30"])
+        out = capsys.readouterr().out
+        assert "store: chunks=" in out

@@ -128,3 +128,82 @@ class TestLocationTransparency:
         assert not first.from_snapshot
         assert second.from_snapshot
         assert second.cycles < first.cycles
+
+
+class TestTamperedTransfer:
+    """Satellite: migrated payloads verify a wire digest before
+    activation; tampering fails closed as a typed HostFault."""
+
+    def _tampered_cluster(self):
+        from repro.faults import FaultPlan, FaultSite
+
+        plan = FaultPlan(seed=7).fail(FaultSite.MIGRATION_TAMPER, on={1})
+        cluster = Cluster(link=MigrationLink(), fault_plan=plan)
+        cluster.add_node("src", capabilities={"cpu"})
+        cluster.add_node("dst", capabilities={"cpu"})
+        return cluster
+
+    def test_tampered_snapshot_fails_closed(self, image):
+        from repro.wasp.migration import TransferTampered
+        from repro.wasp.virtine import HostFault
+
+        cluster = self._tampered_cluster()
+        source, target = cluster.node("src"), cluster.node("dst")
+        source.wasp.launch(image, policy=snap_policy(), args=1)  # capture
+        source.resident.add(image.name)
+        with pytest.raises(TransferTampered) as excinfo:
+            cluster.migrate(image, source, target)
+        crash = excinfo.value
+        assert isinstance(crash, HostFault)
+        assert crash.sent_digest != crash.received_digest
+        # Fail closed: no residency, no snapshot installed.
+        assert not target.hosts(image)
+        assert target.wasp.snapshots.get(image.name) is None
+        assert cluster.tampered_transfers == 1
+
+    def test_mismatch_lands_in_supervisor_crash_record(self, image):
+        from repro.wasp.migration import TransferTampered
+        from repro.wasp.supervisor import CrashClass, Supervisor
+
+        cluster = self._tampered_cluster()
+        source, target = cluster.node("src"), cluster.node("dst")
+        supervisor = Supervisor(target.wasp)
+        source.wasp.launch(image, policy=snap_policy(), args=1)
+        with pytest.raises(TransferTampered):
+            cluster.migrate(image, source, target)
+        assert supervisor.crashes_by_class[CrashClass.HOST_FAULT] == 1
+        event = supervisor.trace[-1]
+        assert event.image == image.name
+        assert event.action == "crash"
+        assert "digest" in event.detail
+
+    def test_call_fails_over_past_a_tampered_node(self, image):
+        from repro.faults import FaultPlan, FaultSite
+
+        # First migration tampers; the call must fail over and succeed.
+        plan = FaultPlan(seed=7).fail(FaultSite.MIGRATION_TAMPER, on={1})
+        cluster = Cluster(link=MigrationLink(), fault_plan=plan)
+        caller = cluster.add_node("caller", capabilities={"cpu"})
+        cluster.add_node("a", capabilities={"cpu", "gpu"})
+        cluster.add_node("b", capabilities={"cpu", "gpu"})
+        gpu_image = ImageBuilder().hosted("gpu-job", job_entry,
+                                          metadata={"requires": {"gpu"}})
+        caller.wasp.launch(gpu_image, policy=snap_policy(), args=1)
+        caller.resident.add(gpu_image.name)
+        result = cluster.call(gpu_image, args=41, source=caller,
+                              policy=snap_policy())
+        assert result.value == 42
+        assert cluster.tampered_transfers == 1
+        assert cluster.failovers == 1
+
+    def test_untampered_migration_still_verifies_and_succeeds(self, image):
+        cluster = Cluster(link=MigrationLink())
+        source = cluster.add_node("src", capabilities={"cpu"})
+        target = cluster.add_node("dst", capabilities={"cpu"})
+        source.wasp.launch(image, policy=snap_policy(), args=1)
+        source.resident.add(image.name)
+        cluster.migrate(image, source, target)
+        assert target.hosts(image)
+        assert cluster.tampered_transfers == 0
+        result = target.wasp.launch(image, policy=snap_policy(), args=1)
+        assert result.from_snapshot

@@ -1,0 +1,137 @@
+"""The durable snapshot store wired into the Wasp launch path.
+
+Covers the GC-race regression (a shell whose snapshot was collected
+between acquire and restore is quarantined and cold-booted, never
+raised through ``launch``), the opt-in durable backend on ``Wasp`` and
+``VirtineCluster``, and the metrics surface.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, FaultSite
+from repro.runtime.image import ImageBuilder
+from repro.store import DurableSnapshotStore, SnapshotGone
+from repro.wasp import BitmaskPolicy, Hypercall, VirtineConfig, Wasp
+from repro.wasp.metrics import collect
+
+
+def entry(env):
+    if not env.from_snapshot:
+        env.charge(30_000)
+        env.snapshot(payload={"warm": True})
+    return (env.args or 0) + 1
+
+
+def snap_policy():
+    return BitmaskPolicy(VirtineConfig.allowing(Hypercall.SNAPSHOT))
+
+
+@pytest.fixture
+def image():
+    return ImageBuilder().hosted("job", entry)
+
+
+class TestDurableBackend:
+    def test_capture_and_warm_restore_through_the_journal(self, image):
+        store = DurableSnapshotStore()
+        wasp = Wasp(snapshot_store=store)
+        cold = wasp.launch(image, policy=snap_policy(), args=1)
+        warm = wasp.launch(image, policy=snap_policy(), args=1)
+        assert not cold.from_snapshot and warm.from_snapshot
+        assert warm.value == 2
+        assert store.counters()["captures"] == 1
+        assert len(store.medium) >= 1  # the put was journaled
+
+    def test_same_cycles_as_memory_backend(self, image):
+        """Durability must cost zero simulated cycles: the journal is
+        host-side bookkeeping, not guest work."""
+        plain = Wasp()
+        durable = Wasp(snapshot_store=DurableSnapshotStore())
+        for wasp in (plain, durable):
+            wasp.launch(image, policy=snap_policy(), args=1)
+        a = plain.launch(image, policy=snap_policy(), args=1)
+        b = durable.launch(image, policy=snap_policy(), args=1)
+        assert a.cycles == b.cycles
+
+    def test_cluster_shares_one_durable_store(self, image):
+        from repro.cluster import VirtineCluster
+
+        store = DurableSnapshotStore()
+        cluster = VirtineCluster(2, snapshot_store=store)
+        cold = cluster.engines[0].launch(image, policy=snap_policy(), args=1)
+        warm = cluster.engines[1].launch(image, policy=snap_policy(), args=1)
+        assert not cold.from_snapshot
+        assert warm.from_snapshot  # captured on core 0, restored on core 1
+        assert store.counters()["captures"] == 1
+
+
+class TestGcRaceRegression:
+    def _racy_wasp(self):
+        plan = FaultPlan(seed=3).fail(FaultSite.STORE_GC_RACE, on={1})
+        store = DurableSnapshotStore(fault_plan=plan)
+        return Wasp(snapshot_store=store), store
+
+    def test_pooled_launch_cold_boots_instead_of_raising(self, image):
+        wasp, store = self._racy_wasp()
+        wasp.launch(image, policy=snap_policy(), args=1)  # capture
+        # The armed fault fires inside the store's get(): the collector
+        # wins the race between pool acquire and restore.
+        result = wasp.launch(image, policy=snap_policy(), args=1)
+        assert result.value == 2
+        assert not result.from_snapshot  # cold boot, not a crash
+        assert wasp.snapshot_fallbacks == 1
+        pool = wasp.pool_for(wasp.memory_size_for(image))
+        assert pool.restore_defects == 1
+        assert pool.quarantines >= 1
+        assert store.counters()["gc_race_drops"] == 1
+
+    def test_raced_key_is_really_gone_and_recaptured(self, image):
+        wasp, store = self._racy_wasp()
+        wasp.launch(image, policy=snap_policy(), args=1)
+        wasp.launch(image, policy=snap_policy(), args=1)  # the race
+        # The drop was journaled; the re-capture (inside the cold boot
+        # above) re-established the snapshot durably.
+        replica = DurableSnapshotStore(store.medium.clone())
+        assert replica.get(image.name) is not None
+        third = wasp.launch(image, policy=snap_policy(), args=1)
+        assert third.from_snapshot
+
+    def test_scratch_launch_also_degrades_gracefully(self, image):
+        wasp, _store = self._racy_wasp()
+        wasp.launch(image, policy=snap_policy(), args=1, pooled=False)
+        result = wasp.launch(image, policy=snap_policy(), args=1,
+                             pooled=False)
+        assert result.value == 2
+        assert not result.from_snapshot
+        assert wasp.snapshot_fallbacks == 1
+
+    def test_store_raises_typed_outside_the_launch_path(self, image):
+        """Direct store users see the typed signal; only ``launch``
+        absorbs it."""
+        wasp, store = self._racy_wasp()
+        wasp.launch(image, policy=snap_policy(), args=1)
+        with pytest.raises(SnapshotGone):
+            store.get(image.name)
+
+
+class TestMetricsSurface:
+    def test_store_counters_in_metrics(self, image):
+        wasp = Wasp(snapshot_store=DurableSnapshotStore())
+        wasp.launch(image, policy=snap_policy(), args=1)
+        wasp.launch(image, policy=snap_policy(), args=1)
+        metrics = collect(wasp)
+        assert metrics.store["backend"] == "durable"
+        assert metrics.store["captures"] == 1
+        assert metrics.store["journal_records"] >= 1
+        payload = metrics.to_dict()
+        assert payload["store"]["backend"] == "durable"
+        assert "dedup_ratio" in payload["store"]
+        assert payload["pools"][0]["restore_defects"] == 0
+        assert "store:" in metrics.summary()
+
+    def test_memory_backend_still_reports(self, image):
+        wasp = Wasp()
+        wasp.launch(image, policy=snap_policy(), args=1)
+        metrics = collect(wasp)
+        assert metrics.store["backend"] == "memory"
+        assert "store:" not in metrics.summary()
