@@ -196,8 +196,93 @@ def cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_metrics_cluster(args: argparse.Namespace) -> int:
+    """``repro metrics --cores N``: the faulty workload on a cluster.
+
+    Per-core samples aggregate through :func:`repro.wasp.metrics.
+    aggregate` (throughput counters summed, ``hangs_by_kind`` and the
+    other keyed maps merged per key, breaker states most-degraded-wins)
+    and the JSON adds a ``per_core`` breakdown next to the merged
+    ``primary`` view.
+    """
+    from repro.cluster.smp import VirtineCluster
+    from repro.faults import FaultPlan, FaultSite
+    from repro.host.filesystem import O_RDONLY
+    from repro.runtime.image import ImageBuilder
+    from repro.wasp import Hypercall, PermissivePolicy
+    from repro.wasp.guestenv import GuestEnv
+    from repro.wasp.metrics import aggregate, collect
+
+    def plan_for(core_id: int) -> FaultPlan:
+        # Independent per-core fault streams, derived from the one seed.
+        return (
+            FaultPlan(seed=args.seed * 100 + core_id)
+            .fail(FaultSite.VCPU_RUN, rate=0.06)
+            .fail(FaultSite.HOST_SYSCALL, rate=0.04)
+            .fail(FaultSite.POOL_ACQUIRE, rate=0.04)
+            .fail(FaultSite.SNAPSHOT_RESTORE, rate=0.03)
+        )
+
+    cluster = VirtineCluster(args.cores, seed=args.seed, supervised=True,
+                             fault_plan_factory=plan_for)
+    for engine in cluster.engines:
+        engine.wasp.kernel.fs.add_file("/data/blob", b"x" * 4096)
+
+    def entry(env: GuestEnv) -> int:
+        if not env.from_snapshot:
+            env.charge(20_000)
+            env.snapshot()
+        fd = env.hypercall(Hypercall.OPEN, "/data/blob", O_RDONLY)
+        data = env.hypercall(Hypercall.READ, fd, 4096)
+        env.hypercall(Hypercall.CLOSE, fd)
+        env.charge_bytes(len(data))
+        return len(data)
+
+    image = ImageBuilder().hosted(name="metrics-job", entry=entry)
+    report = cluster.launch_many(
+        image, [None] * args.requests,
+        policy=PermissivePolicy(), use_snapshot=True,
+    )
+    samples = [collect(engine.wasp) for engine in cluster.engines]
+    merged = aggregate(samples)
+
+    if args.json:
+        import json
+
+        payload = {
+            "seed": args.seed,
+            "requests": args.requests,
+            "cores": args.cores,
+            "served": report.launches,
+            "failed": len(report.failures),
+            "primary": merged.to_dict(),
+            "per_core": [
+                {"core": core_id, **sample.to_dict()}
+                for core_id, sample in enumerate(samples)
+            ],
+        }
+        print(json.dumps(payload, sort_keys=True, indent=2))
+        return 0
+
+    print(f"supervised cluster workload: seed={args.seed} "
+          f"requests={args.requests} cores={args.cores}")
+    print(f"  served={report.launches} failed={len(report.failures)} "
+          f"makespan={report.makespan_cycles:,} cyc steals={report.steals}")
+    print("aggregate (all cores):")
+    print(merged.summary())
+    for core_id, sample in enumerate(samples):
+        crashes = sum(sample.crashes_by_class.values())
+        print(f"  core {core_id}: launches={sample.launches} "
+              f"crashes={crashes} retries={sample.retries} "
+              f"timeouts={sample.timeouts} "
+              f"clock={sample.clock_cycles:,} cyc")
+    return 0
+
+
 def cmd_metrics(args: argparse.Namespace) -> int:
     """Supervised faulty workload + counter dump (deterministic per seed)."""
+    if getattr(args, "cores", 1) > 1:
+        return _cmd_metrics_cluster(args)
     from repro.apps.serverless.platform import SupervisedPlatform
     from repro.faults import FaultPlan, FaultSite
     from repro.host.filesystem import O_RDONLY
@@ -364,11 +449,11 @@ def cmd_admission_replay(args: argparse.Namespace) -> int:
     return 0 if (match and p99_ok and queue_ok) else 1
 
 
-def _traced_echo(seed: int, requests: int):
+def _traced_echo(seed: int, requests: int, telemetry=None):
     from repro.apps.http.server import EchoServer
     from repro.wasp import Wasp
 
-    wasp = Wasp(trace=True)
+    wasp = Wasp(trace=True, telemetry=telemetry)
     echo = EchoServer(wasp, port=7)
     for i in range(requests):
         conn = wasp.kernel.sys_connect(7)
@@ -377,12 +462,12 @@ def _traced_echo(seed: int, requests: int):
     return wasp
 
 
-def _traced_http(seed: int, requests: int):
+def _traced_http(seed: int, requests: int, telemetry=None):
     from repro.apps.http.client import RequestGenerator
     from repro.apps.http.server import StaticHttpServer
     from repro.wasp import Wasp
 
-    wasp = Wasp(trace=True)
+    wasp = Wasp(trace=True, telemetry=telemetry)
     wasp.kernel.fs.add_file("/srv/index.html", b"<html>trace</html>")
     server = StaticHttpServer(wasp, port=8080, isolation="snapshot")
     generator = RequestGenerator(wasp.kernel, server, "/index.html")
@@ -391,7 +476,7 @@ def _traced_http(seed: int, requests: int):
     return wasp
 
 
-def _traced_serverless(seed: int, requests: int):
+def _traced_serverless(seed: int, requests: int, telemetry=None):
     """A seeded faulty burst, so shed/retry/quarantine spans appear."""
     from repro.apps.serverless.platform import SupervisedPlatform
     from repro.faults import FaultPlan, FaultSite
@@ -405,7 +490,7 @@ def _traced_serverless(seed: int, requests: int):
         .fail(FaultSite.POOL_ACQUIRE, rate=0.05)
         .fail(FaultSite.SNAPSHOT_RESTORE, rate=0.05)
     )
-    primary = Wasp(fault_plan=plan, trace=True)
+    primary = Wasp(fault_plan=plan, trace=True, telemetry=telemetry)
     fallback = Wasp()
 
     def entry(env: GuestEnv) -> int:
@@ -441,11 +526,17 @@ def cmd_trace(args: argparse.Namespace) -> int:
         validate_chrome_trace,
     )
 
-    wasp = TRACE_WORKLOADS[args.workload](args.seed, args.requests)
+    registry = None
+    if getattr(args, "telemetry", False):
+        from repro.telemetry import TelemetryRegistry
+
+        registry = TelemetryRegistry()
+    wasp = TRACE_WORKLOADS[args.workload](args.seed, args.requests,
+                                          telemetry=registry)
     tracer = wasp.tracer
 
     if args.format == "json":
-        payload = to_chrome_json(tracer)
+        payload = to_chrome_json(tracer, registry)
         validate_chrome_trace(json.loads(payload))
         if args.out:
             with open(args.out, "w", encoding="utf-8") as fh:
@@ -472,6 +563,102 @@ def cmd_trace(args: argparse.Namespace) -> int:
     print("per-phase latency histograms (cycles):")
     for name, histogram in sorted(phase_histograms(tracer).items()):
         print(f"  {name:28s} {histogram.summary()}")
+    return 0
+
+
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    """Run a workload with the telemetry plane on; export the snapshot.
+
+    The snapshot's ``signature()`` is the determinism contract: the
+    same seed (and core count) must reproduce it byte-for-byte, so two
+    invocations are directly comparable with ``sha256sum``.
+    """
+    from repro.telemetry import (
+        SLOMonitor,
+        TelemetryRegistry,
+        TelemetrySnapshot,
+        absorb_wasp,
+        to_prometheus,
+    )
+
+    if args.cores > 1:
+        from repro.cluster.smp import VirtineCluster
+        from repro.runtime.image import ImageBuilder
+        from repro.wasp import PermissivePolicy
+        from repro.wasp.guestenv import GuestEnv
+
+        cluster = VirtineCluster(args.cores, seed=args.seed, telemetry=True)
+
+        def entry(env: GuestEnv) -> int:
+            if not env.from_snapshot:
+                env.charge(20_000)
+                env.snapshot()
+            env.charge_bytes(4096)
+            return 0
+
+        image = ImageBuilder().hosted(name="telemetry-job", entry=entry)
+        cluster.launch_many(image, [None] * args.requests,
+                            policy=PermissivePolicy(), use_snapshot=True)
+        snapshot = cluster.telemetry_snapshot(
+            meta={"workload": "cluster", "requests": args.requests},
+            black_boxes=args.black_boxes,
+        )
+    else:
+        registry = TelemetryRegistry()
+        if args.slo_deadline:
+            registry.add_slo(SLOMonitor(
+                name="launch-p99", metric="launch_cycles",
+                deadline_cycles=args.slo_deadline,
+            ))
+        wasp = TRACE_WORKLOADS[args.workload](args.seed, args.requests,
+                                              telemetry=registry)
+        absorb_wasp(registry, wasp)
+        snapshot = TelemetrySnapshot.capture(
+            registry,
+            meta={"workload": args.workload, "seed": args.seed,
+                  "requests": args.requests},
+            black_boxes=args.black_boxes,
+        )
+
+    if args.format == "json":
+        out = snapshot.to_json()
+    elif args.format == "prom":
+        out = to_prometheus(snapshot)
+    else:
+        out = snapshot.summary() + "\n"
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(out)
+        print(f"wrote {args.out} ({len(out):,} bytes) "
+              f"signature={snapshot.signature()}")
+    else:
+        sys.stdout.write(out)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """``profile diff A B``: per-component cycle regression check.
+
+    ``A`` and ``B`` are telemetry snapshot JSON files (``repro
+    telemetry --format json --out ...``); the diff normalizes each
+    component's attributed cycles per launch, so runs with different
+    request counts still compare.  ``--gate`` exits 1 when any
+    component regressed past the threshold.
+    """
+    import json
+
+    from repro.telemetry import TelemetrySnapshot, diff_profiles
+
+    base = TelemetrySnapshot.load(args.base)
+    other = TelemetrySnapshot.load(args.other)
+    diff = diff_profiles(base.to_dict(), other.to_dict(),
+                         threshold=args.threshold)
+    if args.json:
+        print(json.dumps(diff.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(diff.to_text())
+    if args.gate and diff.regressions:
+        return 1
     return 0
 
 
@@ -556,9 +743,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if seed is None:
         seed = int(os.environ.get("REPRO_CHAOS_SEED", "1234"))
 
+    telemetry = getattr(args, "telemetry", False)
     fuzz = CrashPointFuzzer(seed=seed, min_cases=args.cases).run()
-    first = run_chaos(seed, cores=args.cores, tasks=args.tasks)
-    second = run_chaos(seed, cores=args.cores, tasks=args.tasks)
+    first = run_chaos(seed, cores=args.cores, tasks=args.tasks,
+                      telemetry=telemetry)
+    second = run_chaos(seed, cores=args.cores, tasks=args.tasks,
+                       telemetry=telemetry)
     deterministic = first.signature() == second.signature()
     ok = fuzz.ok and first.ok and deterministic
 
@@ -601,6 +791,12 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if first.ok:
         print("    exactly-once held: no lost results, no duplicated "
               "effects, store integrity intact")
+    if first.telemetry is not None:
+        boxes = first.telemetry.get("black_boxes", {})
+        entries = sum(len(b["entries"]) for b in boxes.values())
+        print(f"    telemetry: {len(first.telemetry['instruments'])} "
+              f"instruments, {entries} flight-recorder entries across "
+              f"{len(boxes)} black box(es)")
     print(f"  recovery signature {first.signature()[:32]} "
           f"[{'replayed identically' if deterministic else 'DIVERGED'}]")
     if not ok:
@@ -717,6 +913,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="requests to serve (default 200)")
     metrics.add_argument("--json", action="store_true",
                          help="emit machine-readable JSON instead of text")
+    metrics.add_argument("--cores", type=int, default=1,
+                         help="run on a simulated cluster and aggregate "
+                              "per-core counters (default 1)")
     metrics.set_defaults(handler=cmd_metrics)
     trace = subparsers.add_parser(
         "trace", help="cycle-accurate span trace of a workload"
@@ -732,7 +931,54 @@ def main(argv: list[str] | None = None) -> int:
                        help="text timeline or Chrome trace-event JSON")
     trace.add_argument("--out", default=None,
                        help="write JSON output to this path instead of stdout")
+    trace.add_argument("--telemetry", action="store_true",
+                       help="merge telemetry counter tracks (ph 'C') into "
+                            "the JSON trace")
     trace.set_defaults(handler=cmd_trace)
+    telemetry = subparsers.add_parser(
+        "telemetry",
+        help="deterministic telemetry snapshot of a workload",
+    )
+    telemetry.add_argument("workload", nargs="?", default="serverless",
+                           choices=sorted(TRACE_WORKLOADS),
+                           help="workload to run (default serverless)")
+    telemetry.add_argument("--seed", type=int, default=1234,
+                           help="workload seed (default 1234)")
+    telemetry.add_argument("--requests", type=int, default=8,
+                           help="requests to run (default 8)")
+    telemetry.add_argument("--cores", type=int, default=1,
+                           help="run on a simulated cluster with per-core "
+                                "registries (default 1)")
+    telemetry.add_argument("--format", default="text",
+                           choices=["text", "json", "prom"],
+                           help="summary text, canonical JSON snapshot, or "
+                                "Prometheus exposition")
+    telemetry.add_argument("--out", default=None,
+                           help="write output to this path instead of stdout")
+    telemetry.add_argument("--black-boxes", action="store_true",
+                           help="include the flight-recorder black boxes")
+    telemetry.add_argument("--slo-deadline", type=int, default=None,
+                           help="attach a launch_cycles p99 SLO monitor at "
+                                "this cycle deadline")
+    telemetry.set_defaults(handler=cmd_telemetry)
+    profile = subparsers.add_parser(
+        "profile", help="telemetry profile tooling"
+    )
+    profile_verbs = profile.add_subparsers(dest="profile_verb", required=True)
+    pdiff = profile_verbs.add_parser(
+        "diff",
+        help="compare two telemetry snapshots' per-component cycles",
+    )
+    pdiff.add_argument("base", help="baseline snapshot JSON path")
+    pdiff.add_argument("other", help="candidate snapshot JSON path")
+    pdiff.add_argument("--threshold", type=float, default=0.02,
+                       help="relative per-launch regression threshold "
+                            "(default 0.02)")
+    pdiff.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of text")
+    pdiff.add_argument("--gate", action="store_true",
+                       help="exit 1 when any component regressed")
+    pdiff.set_defaults(handler=cmd_profile)
     replay = subparsers.add_parser(
         "admission-replay",
         help="deterministic overload demo + admission-trace replay check",
@@ -813,6 +1059,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="idempotent tasks in the chaos run (default 24)")
     chaos.add_argument("--json", action="store_true",
                        help="emit machine-readable JSON instead of text")
+    chaos.add_argument("--telemetry", action="store_true",
+                       help="attach the telemetry snapshot + flight-recorder "
+                            "black boxes to the chaos report")
     chaos.set_defaults(handler=cmd_chaos)
     store = subparsers.add_parser(
         "store", help="durable snapshot-store utilities"

@@ -43,6 +43,8 @@ from repro.faults import FaultPlan, FaultSite
 from repro.runtime.image import ImageBuilder
 from repro.store.cas import DurableSnapshotStore
 from repro.store.journal import canonical_json
+from repro.telemetry.registry import TelemetryRegistry
+from repro.telemetry.snapshot import TelemetrySnapshot
 from repro.wasp.hypercall import Hypercall
 from repro.wasp.migration import (
     Cluster as MigrationCluster,
@@ -209,6 +211,11 @@ class ChaosReport:
     store_signature: str = ""
     store_counters: dict = field(default_factory=dict)
     violations: list[str] = field(default_factory=list)
+    #: Merged telemetry snapshot payload (chaos ledger counters + the
+    #: per-core registries + crash black boxes); None when telemetry is
+    #: off, and then absent from the canonical dict -- PR-7 signatures
+    #: of non-telemetry runs are unchanged.
+    telemetry: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -233,6 +240,8 @@ class ChaosReport:
             "store_counters": dict(sorted(self.store_counters.items())),
             "violations": self.violations,
             "ok": self.ok,
+            **({"telemetry": self.telemetry}
+               if self.telemetry is not None else {}),
         }
 
     def signature(self) -> str:
@@ -291,6 +300,7 @@ def run_chaos(
     ack_batch: int = 3,
     plan: ChaosPlan | None = None,
     trace: bool = False,
+    telemetry: bool = False,
 ) -> ChaosReport:
     """Run the seeded chaos workload and return its canonical report.
 
@@ -300,11 +310,18 @@ def run_chaos(
     indices.  Recovery is part of the run: lost completions re-execute
     on surviving cores, rot is scrubbed, and the invariant checker
     passes judgement at the end.
+
+    With ``telemetry=True`` each core carries a registry, the chaos
+    ledgers (re-executions, suppressed duplicate effects, duplicate
+    acks, quarantined shells) are mirrored into ``chaos_*`` instruments,
+    and the report gains a merged telemetry snapshot with per-core
+    flight-recorder black boxes.  Off by default so PR-7 report
+    signatures are unchanged.
     """
     plan = plan if plan is not None else ChaosPlan.generate(seed, cores, tasks)
     store = DurableSnapshotStore(gc_keep=8)
     cluster = VirtineCluster(cores, seed=seed, supervised=True, trace=trace,
-                             snapshot_store=store)
+                             snapshot_store=store, telemetry=telemetry)
     effects = EffectLedger()
     completion = CompletionLedger()
     image = ImageBuilder().hosted("chaos-job", _chaos_entry(effects))
@@ -433,4 +450,40 @@ def run_chaos(
                                          store, live)
     report.store_signature = store.state_signature()
     report.store_counters = store.counters()
+    if telemetry:
+        report.telemetry = _chaos_telemetry(cluster, report)
     return report
+
+
+def _chaos_telemetry(cluster: VirtineCluster, report: ChaosReport) -> dict:
+    """Mirror the chaos ledgers into a registry and snapshot everything.
+
+    The ledger counters live in an extra clock-less "main" registry so
+    they merge with the per-core registries without claiming a core
+    label; quarantined shells are summed across every engine's pools.
+    """
+    ledger = TelemetryRegistry()
+    ledger.counter("chaos_reexecutions_total").inc(report.reexecutions)
+    ledger.counter("chaos_suppressed_effects_total").inc(
+        report.suppressed_effects)
+    ledger.counter("chaos_duplicate_completions_total").inc(
+        report.duplicate_completions)
+    ledger.counter("chaos_corrupted_chunks_total").inc(
+        report.corrupted_chunks)
+    ledger.counter("chaos_tampered_migrations_total").inc(
+        report.tampered_migrations)
+    ledger.counter("chaos_interrupted_migrations_total").inc(
+        report.interrupted_migrations)
+    ledger.counter("chaos_snapshot_fallbacks_total").inc(
+        report.snapshot_fallbacks)
+    ledger.gauge("chaos_dead_cores").set(len(report.dead_cores))
+    ledger.gauge("chaos_quarantined_shells").set(sum(
+        pool.quarantines
+        for engine in cluster.engines
+        for pool in engine.wasp._pools.values()))
+    snap = cluster.telemetry_snapshot(
+        meta={"workload": "chaos", "tasks": report.tasks},
+        black_boxes=True,
+        extra=[ledger],
+    )
+    return snap.to_dict()

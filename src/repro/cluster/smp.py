@@ -36,6 +36,8 @@ from repro.host.kernel import HostKernel
 from repro.hw.clock import LockstepScheduler, SimClock
 from repro.hw.costs import COSTS, CostModel
 from repro.runtime.image import VirtineImage
+from repro.telemetry.registry import TelemetryRegistry
+from repro.telemetry.snapshot import TelemetrySnapshot, absorb_wasp
 from repro.trace.export import cluster_chrome_json, cluster_chrome_trace
 from repro.units import cycles_to_seconds
 from repro.wasp.admission import AdmissionController
@@ -158,6 +160,7 @@ class VirtineCluster:
         admission_factory: Callable[[int], AdmissionController] | None = None,
         share_snapshots: bool = True,
         snapshot_store: Any = None,
+        telemetry: bool = False,
     ) -> None:
         self.seed = seed
         self.scheduler = LockstepScheduler(cores, quantum=quantum, seed=seed)
@@ -170,8 +173,13 @@ class VirtineCluster:
         for core_id, clock in enumerate(self.scheduler.clocks):
             plan = fault_plan_factory(core_id) if fault_plan_factory else None
             kernel = HostKernel(clock=clock, costs=costs, fault_plan=plan)
+            #: One registry per clock domain: a core's instruments carry
+            #: its ``core`` id into merged cluster snapshots.
+            registry = (TelemetryRegistry(clock, core=core_id)
+                        if telemetry else None)
             wasp = Wasp(kernel=kernel, costs=costs, fault_plan=plan,
-                        trace=trace, fast_paths=fast_paths)
+                        trace=trace, fast_paths=fast_paths,
+                        telemetry=registry)
             if snapshot_store is not None:
                 wasp.snapshots = shared_snapshots
             elif share_snapshots:
@@ -283,6 +291,30 @@ class VirtineCluster:
     def chrome_json(self) -> str:
         """Byte-stable serialization of :meth:`chrome_trace`."""
         return cluster_chrome_json(self.tracers())
+
+    def registries(self) -> list[TelemetryRegistry]:
+        """Every core's telemetry registry (the shared no-op when off)."""
+        return [engine.wasp.telemetry for engine in self.engines]
+
+    def telemetry_snapshot(self, *, meta: dict | None = None,
+                           black_boxes: bool = False,
+                           extra: list[TelemetryRegistry] | None = None,
+                           ) -> TelemetrySnapshot:
+        """One merged, canonical snapshot of the whole cluster.
+
+        Point-in-time gauges (pool depth, store occupancy, per-core
+        cycles) are absorbed from each core's Wasp first, so the
+        snapshot is complete without hot-path gauge updates.  ``extra``
+        registries (e.g. the chaos ledger mirror) merge in after the
+        per-core ones.
+        """
+        for engine in self.engines:
+            absorb_wasp(engine.wasp.telemetry, engine.wasp)
+        return TelemetrySnapshot.capture(
+            self.registries() + list(extra or []),
+            meta=dict(meta or {}, seed=self.seed, cores=self.cores),
+            black_boxes=black_boxes,
+        )
 
 
 def parallel_creation(

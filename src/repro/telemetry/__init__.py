@@ -1,0 +1,49 @@
+"""repro.telemetry -- the deterministic cluster-wide telemetry plane.
+
+A dimensional metrics registry (counters / gauges / rolling
+:class:`~repro.trace.histogram.CycleHistogram` windows sampled on
+simulated-cycle intervals), SLO monitors emitting typed degradation
+events into the supervisor, a per-core crash flight recorder, and
+exporters (Prometheus text, Perfetto counter tracks, canonical-JSON
+snapshots with a per-seed ``signature()`` contract).  Zero overhead
+when off (:data:`NO_TELEMETRY`), zero simulated cycles always.
+"""
+
+from repro.telemetry.flight import NO_FLIGHT, FlightRecorder, NullFlightRecorder
+from repro.telemetry.profile import ComponentDelta, ProfileDiff, diff_profiles
+from repro.telemetry.registry import (
+    DEFAULT_MAX_WINDOWS,
+    DEFAULT_WINDOW_CYCLES,
+    NO_TELEMETRY,
+    Counter,
+    Gauge,
+    Histogram,
+    NullTelemetry,
+    TelemetryRegistry,
+)
+from repro.telemetry.slo import DegradationEvent, DegradationKind, SLOMonitor
+from repro.telemetry.snapshot import TelemetrySnapshot, absorb_wasp
+from repro.telemetry.export import counter_events, to_prometheus
+
+__all__ = [
+    "Counter",
+    "ComponentDelta",
+    "DEFAULT_MAX_WINDOWS",
+    "DEFAULT_WINDOW_CYCLES",
+    "DegradationEvent",
+    "DegradationKind",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "NO_FLIGHT",
+    "NO_TELEMETRY",
+    "NullFlightRecorder",
+    "NullTelemetry",
+    "ProfileDiff",
+    "SLOMonitor",
+    "TelemetrySnapshot",
+    "absorb_wasp",
+    "counter_events",
+    "diff_profiles",
+    "to_prometheus",
+]

@@ -1,0 +1,120 @@
+"""Telemetry exporters: Prometheus text exposition + Perfetto counters.
+
+Both exporters render from a :class:`~repro.telemetry.snapshot.
+TelemetrySnapshot` (or registries directly, for the counter tracks) and
+inherit its determinism: canonical instrument order, integer values,
+simulated-cycle timestamps.  The Perfetto counter events use the Chrome
+Trace Event Format phase ``"C"``; :func:`repro.trace.export.
+to_chrome_trace` merges them into the span trace so one Perfetto load
+shows spans and counter tracks on the same simulated timeline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.registry import TelemetryRegistry
+    from repro.telemetry.snapshot import TelemetrySnapshot
+
+#: Characters Prometheus allows in metric names; everything else maps
+#: to ``_`` (instrument names here are already clean, this is a guard).
+_NAME_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + "".join(c if c in _NAME_OK else "_" for c in name)
+
+
+def _prom_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{str(labels[k])}"' for k in sorted(labels))
+    return "{" + inner + "}"
+
+
+def to_prometheus(snapshot: "TelemetrySnapshot") -> str:
+    """Prometheus text exposition (format 0.0.4) of a snapshot.
+
+    Counters render as ``repro_<name>`` with a TYPE header, gauges
+    likewise, histograms as the full ``_bucket``/``_sum``/``_count``
+    triplet with powers-of-two ``le`` bounds rebuilt from the sparse
+    occupied buckets.  Output order is the snapshot's canonical
+    instrument order, so the text is deterministic per seed.
+    """
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for state in snapshot.instruments():
+        name = _prom_name(state["name"])
+        kind = state["kind"]
+        if kind in ("counter", "gauge"):
+            if name not in seen_types:
+                seen_types.add(name)
+                lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name}{_prom_labels(state['labels'])} "
+                         f"{state['value']}")
+            continue
+        # histogram
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} histogram")
+        labels = state["labels"]
+        cumulative = 0
+        for index, count in state["buckets"]:
+            cumulative += count
+            # Bucket ``i`` holds values with bit_length == i, i.e. the
+            # inclusive upper bound (1 << i) - 1 (bucket 0 holds 0).
+            upper = 0 if index == 0 else (1 << index) - 1
+            bucket_labels = dict(labels, le=str(upper))
+            lines.append(f"{name}_bucket{_prom_labels(bucket_labels)} "
+                         f"{cumulative}")
+        inf_labels = dict(labels, le="+Inf")
+        lines.append(f"{name}_bucket{_prom_labels(inf_labels)} "
+                     f"{state['count']}")
+        lines.append(f"{name}_sum{_prom_labels(labels)} {state['total']}")
+        lines.append(f"{name}_count{_prom_labels(labels)} {state['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def counter_events(
+    registries: "TelemetryRegistry | Iterable[TelemetryRegistry]",
+    *,
+    pid: int = 1,
+) -> list[dict]:
+    """Chrome/Perfetto ``"C"`` (counter) events for every counter/gauge.
+
+    One event per retained window sample plus a final sample at the
+    registry's current reading, on the same simulated-cycle timeline as
+    the span events.  A registry with a ``core`` id lands on thread
+    ``core + 1`` (matching the cluster span export); single-domain
+    registries use tid 1.  Events come back sorted by (ts, tid, name)
+    so the merged trace stays byte-deterministic.
+    """
+    from repro.telemetry.registry import TelemetryRegistry  # cycle guard
+
+    if isinstance(registries, TelemetryRegistry):
+        registries = [registries]
+    events: list[dict] = []
+    for reg in registries:
+        if not reg.enabled:
+            continue
+        tid = 1 if reg.core is None else reg.core + 1
+        for inst in reg.instruments():
+            if inst.kind not in ("counter", "gauge"):
+                continue
+            track = inst.name
+            if inst.labels:
+                track += "{" + ",".join(
+                    f"{k}={v}" for k, v in inst.labels) + "}"
+            for window, value in inst.series:
+                # A sample closes at the end of its window.
+                ts = (window + 1) * reg.window_cycles
+                events.append({"name": track, "ph": "C", "ts": ts,
+                               "pid": pid, "tid": tid, "cat": "telemetry",
+                               "args": {"value": value}})
+            events.append({"name": track, "ph": "C", "ts": reg.now(),
+                           "pid": pid, "tid": tid, "cat": "telemetry",
+                           "args": {"value": inst.value}})
+    events.sort(key=lambda e: (e["ts"], e["tid"], e["name"]))
+    return events

@@ -1,0 +1,80 @@
+"""Per-core flight recorder: the crash "black box".
+
+A bounded ring of recent telemetry events (launch outcomes, snapshot
+fallbacks, watchdog kills, degradations) that costs nothing when
+telemetry is off and, when a virtine crashes or a chaos run ends, is
+dumped verbatim into the supervisor crash record / chaos report -- the
+IRIS-style post-mortem boundary evidence (PAPERS.md) that makes a
+hypervisor failure diagnosable after the fact.
+
+Everything recorded is deterministic: entries are stamped with the
+simulated cycle counter, never wall-clock, so the dump is part of the
+per-seed determinism contract.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class FlightRecorder:
+    """A bounded ring buffer of recent telemetry events.
+
+    ``capacity`` bounds memory; once full, the oldest entries evict
+    silently (``dropped`` counts how many).  ``dump()`` returns the
+    surviving window oldest-first, JSON-ready.
+    """
+
+    __slots__ = ("capacity", "_ring", "recorded")
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def record(self, kind: str, name: str, cycles: int, **detail) -> None:
+        """Append one entry (``detail`` values must be JSON-safe)."""
+        entry = {"kind": kind, "name": name, "cycles": int(cycles)}
+        if detail:
+            entry["detail"] = detail
+        self._ring.append(entry)
+        self.recorded += 1
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Entries evicted by the ring bound."""
+        return self.recorded - len(self._ring)
+
+    def dump(self) -> list[dict]:
+        """The surviving window, oldest first (copies, JSON-ready)."""
+        return [dict(entry) for entry in self._ring]
+
+    def black_box(self) -> dict:
+        """The crash-record artifact: the window plus its bookkeeping."""
+        return {
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "entries": self.dump(),
+        }
+
+
+class NullFlightRecorder(FlightRecorder):
+    """The disabled recorder: records nothing, dumps empty."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def record(self, kind: str, name: str, cycles: int, **detail) -> None:
+        return None
+
+
+#: Shared disabled recorder (held by :data:`repro.telemetry.NO_TELEMETRY`).
+NO_FLIGHT = NullFlightRecorder()

@@ -1,0 +1,166 @@
+"""Profile diff: explain cycle movement between two telemetry snapshots.
+
+``python -m repro profile diff A B`` compares the per-component cycle
+attribution of two runs (telemetry snapshots saved with ``repro
+telemetry --out``) and flags components whose normalized cost moved more
+than a threshold -- the tool CI uses to *explain* a
+``BENCH_host_throughput.json`` regression instead of just detecting it:
+"snapshot.restore got 40% slower per launch" beats "the benchmark is
+red".
+
+Costs are normalized per launch (``component_cycles_total`` summed
+across cores divided by ``launches_total``), so two runs of different
+lengths still compare.  All arithmetic is integer/ratio on snapshot
+values; the diff of two fixed snapshots is itself deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def _component_cycles(payload: dict) -> dict[str, int]:
+    """``component -> total cycles`` summed across cores/labels."""
+    out: dict[str, int] = {}
+    for state in payload.get("instruments", []):
+        if state["name"] != "component_cycles_total":
+            continue
+        component = state["labels"].get("component", "unknown")
+        out[component] = out.get(component, 0) + state.get("value", 0)
+    return out
+
+
+def _launches(payload: dict) -> int:
+    total = 0
+    for state in payload.get("instruments", []):
+        if state["name"] == "launches_total":
+            total += state.get("value", 0)
+    return total
+
+
+@dataclass
+class ComponentDelta:
+    """One component's per-launch cycle movement between two runs."""
+
+    component: str
+    base: float
+    other: float
+
+    @property
+    def delta(self) -> float:
+        return self.other - self.base
+
+    @property
+    def ratio(self) -> float:
+        """Relative change (+0.25 = 25% slower); +inf for new cost."""
+        if self.base == 0:
+            return float("inf") if self.other else 0.0
+        return self.delta / self.base
+
+    def to_dict(self) -> dict:
+        ratio = self.ratio
+        return {
+            "component": self.component,
+            "base_cycles_per_launch": round(self.base, 3),
+            "other_cycles_per_launch": round(self.other, 3),
+            "delta_cycles_per_launch": round(self.delta, 3),
+            "ratio": None if ratio == float("inf") else round(ratio, 6),
+        }
+
+
+@dataclass
+class ProfileDiff:
+    """The full comparison: regressions, improvements, churn, totals."""
+
+    threshold: float
+    base_launches: int
+    other_launches: int
+    regressions: list[ComponentDelta] = field(default_factory=list)
+    improvements: list[ComponentDelta] = field(default_factory=list)
+    unchanged: list[ComponentDelta] = field(default_factory=list)
+    added: list[ComponentDelta] = field(default_factory=list)
+    removed: list[ComponentDelta] = field(default_factory=list)
+    base_total: float = 0.0
+    other_total: float = 0.0
+
+    @property
+    def total_delta_ratio(self) -> float:
+        if self.base_total == 0:
+            return float("inf") if self.other_total else 0.0
+        return (self.other_total - self.base_total) / self.base_total
+
+    def to_dict(self) -> dict:
+        ratio = self.total_delta_ratio
+        return {
+            "threshold": self.threshold,
+            "base_launches": self.base_launches,
+            "other_launches": self.other_launches,
+            "base_cycles_per_launch": round(self.base_total, 3),
+            "other_cycles_per_launch": round(self.other_total, 3),
+            "total_delta_ratio": (None if ratio == float("inf")
+                                  else round(ratio, 6)),
+            "regressions": [d.to_dict() for d in self.regressions],
+            "improvements": [d.to_dict() for d in self.improvements],
+            "unchanged": [d.to_dict() for d in self.unchanged],
+            "added": [d.to_dict() for d in self.added],
+            "removed": [d.to_dict() for d in self.removed],
+        }
+
+    def to_text(self) -> str:
+        lines = [
+            f"profile diff (threshold {self.threshold:.1%}): "
+            f"{self.base_launches} vs {self.other_launches} launches, "
+            f"{self.base_total:,.0f} -> {self.other_total:,.0f} "
+            f"cycles/launch",
+        ]
+        def _row(tag: str, d: ComponentDelta) -> str:
+            ratio = d.ratio
+            pct = "new" if ratio == float("inf") else f"{ratio:+.1%}"
+            return (f"  {tag} {d.component}: {d.base:,.0f} -> "
+                    f"{d.other:,.0f} cycles/launch ({pct})")
+        for d in self.regressions:
+            lines.append(_row("REGRESSION", d))
+        for d in self.improvements:
+            lines.append(_row("improved ", d))
+        for d in self.added:
+            lines.append(_row("added    ", d))
+        for d in self.removed:
+            lines.append(_row("removed  ", d))
+        if not (self.regressions or self.improvements or self.added
+                or self.removed):
+            lines.append("  no component moved beyond the threshold")
+        return "\n".join(lines)
+
+
+def diff_profiles(base: dict, other: dict,
+                  threshold: float = 0.02) -> ProfileDiff:
+    """Compare two snapshot payloads' per-launch component attribution.
+
+    A component regresses when its per-launch cycles grow by more than
+    ``threshold`` (relative) *and* by at least one cycle absolute (so a
+    0->0.001 jitter on a near-free component never pages anyone).
+    """
+    base_launches = max(_launches(base), 1)
+    other_launches = max(_launches(other), 1)
+    base_cycles = _component_cycles(base)
+    other_cycles = _component_cycles(other)
+    diff = ProfileDiff(threshold=threshold,
+                       base_launches=_launches(base),
+                       other_launches=_launches(other))
+    for component in sorted(set(base_cycles) | set(other_cycles)):
+        b = base_cycles.get(component, 0) / base_launches
+        o = other_cycles.get(component, 0) / other_launches
+        diff.base_total += b
+        diff.other_total += o
+        delta = ComponentDelta(component=component, base=b, other=o)
+        if component not in base_cycles:
+            diff.added.append(delta)
+        elif component not in other_cycles:
+            diff.removed.append(delta)
+        elif o > b and (o - b) >= 1.0 and (o - b) > threshold * b:
+            diff.regressions.append(delta)
+        elif b > o and (b - o) >= 1.0 and (b - o) > threshold * b:
+            diff.improvements.append(delta)
+        else:
+            diff.unchanged.append(delta)
+    return diff

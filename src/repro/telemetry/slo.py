@@ -1,0 +1,175 @@
+"""SLO monitors: rolling latency percentiles vs deadline, burn rates.
+
+A :class:`SLOMonitor` watches one telemetry histogram (typically
+``launch_cycles``) against a cycle deadline and emits **typed
+degradation events** on state *transitions* -- breach and recovery --
+rather than on every bad sample, so a sustained overload produces one
+alert, not a thousand.  Two detectors run side by side:
+
+* **p99 breach** -- the rolling-window p99 crosses the deadline.
+* **burn rate** -- the fraction of recent observations over deadline
+  crosses ``burn_threshold`` (with hysteresis: recovery requires the
+  rate to fall to half the threshold, so a rate oscillating around the
+  threshold does not flap).
+
+Events carry the observed value, the threshold, and the simulated cycle
+at which the transition happened; the supervisor subscribes via the
+registry's ``degradation_sink`` and folds them into its event log, which
+is how an SLO violation becomes *supervision-visible* instead of a
+number on a dashboard.  Everything is integer/ratio arithmetic over a
+bounded deque -- fully deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.trace.histogram import CycleHistogram
+
+
+class DegradationKind(enum.Enum):
+    """What kind of SLO transition a degradation event records."""
+
+    P99_BREACH = "p99_breach"
+    P99_RECOVERED = "p99_recovered"
+    BURN_RATE = "burn_rate"
+    BURN_RECOVERED = "burn_recovered"
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One typed SLO state transition, stamped in simulated cycles."""
+
+    kind: DegradationKind
+    monitor: str
+    metric: str
+    cycles: int
+    observed: int
+    threshold: int
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "monitor": self.monitor,
+            "metric": self.metric,
+            "cycles": self.cycles,
+            "observed": self.observed,
+            "threshold": self.threshold,
+        }
+
+    def __str__(self) -> str:
+        return (f"[{self.cycles:,}] {self.kind.value} {self.monitor}: "
+                f"{self.metric} observed={self.observed:,} "
+                f"threshold={self.threshold:,}")
+
+
+@dataclass
+class SLOMonitor:
+    """Rolling deadline-attainment monitor over one histogram metric.
+
+    ``deadline_cycles`` is the latency objective; ``window`` bounds the
+    number of recent observations considered; ``burn_threshold`` is the
+    over-deadline fraction that triggers a burn alert (0.5 = half the
+    recent launches missed the objective).  ``min_count`` suppresses
+    alerts until the window holds enough samples to mean anything.
+    """
+
+    name: str
+    metric: str
+    deadline_cycles: int
+    window: int = 64
+    burn_threshold: float = 0.5
+    min_count: int = 8
+
+    #: Recent observations, oldest first (bounded by ``window``).
+    recent: deque = field(init=False, repr=False)
+    p99_breached: bool = field(default=False, init=False)
+    burn_alerting: bool = field(default=False, init=False)
+    observations: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.deadline_cycles <= 0:
+            raise ValueError(
+                f"deadline_cycles must be positive, got {self.deadline_cycles}")
+        if not 0.0 < self.burn_threshold <= 1.0:
+            raise ValueError(
+                f"burn_threshold must be in (0, 1], got {self.burn_threshold}")
+        self.recent = deque(maxlen=self.window)
+
+    # -- rolling statistics ---------------------------------------------------
+    def rolling_p50(self) -> int:
+        return self._rolling_hist().p50
+
+    def rolling_p99(self) -> int:
+        return self._rolling_hist().p99
+
+    def _rolling_hist(self) -> CycleHistogram:
+        hist = CycleHistogram()
+        for value in self.recent:
+            hist.record(value)
+        return hist
+
+    def burn_rate(self) -> float:
+        """Fraction of the rolling window over deadline (0.0 when empty)."""
+        if not self.recent:
+            return 0.0
+        over = sum(1 for value in self.recent if value > self.deadline_cycles)
+        return over / len(self.recent)
+
+    # -- observation ----------------------------------------------------------
+    def observe(self, value: int, now: int) -> list[DegradationEvent]:
+        """Fold one observation in; return transition events (often [])."""
+        self.recent.append(int(value))
+        self.observations += 1
+        if len(self.recent) < self.min_count:
+            return []
+        events: list[DegradationEvent] = []
+        p99 = self.rolling_p99()
+        if p99 > self.deadline_cycles and not self.p99_breached:
+            self.p99_breached = True
+            events.append(self._event(DegradationKind.P99_BREACH, now, p99,
+                                      self.deadline_cycles))
+        elif p99 <= self.deadline_cycles and self.p99_breached:
+            self.p99_breached = False
+            events.append(self._event(DegradationKind.P99_RECOVERED, now, p99,
+                                      self.deadline_cycles))
+        # Integer comparison (avoid float-division drift): rate >= thr
+        # iff over * 1 >= thr * n, computed on the exact counts.
+        over = sum(1 for v in self.recent if v > self.deadline_cycles)
+        n = len(self.recent)
+        firing = over * 1_000_000 >= int(self.burn_threshold * 1_000_000) * n
+        # Hysteresis: recover only once the rate halves.
+        recovered = over * 2_000_000 < int(self.burn_threshold * 1_000_000) * n
+        if firing and not self.burn_alerting:
+            self.burn_alerting = True
+            events.append(self._event(DegradationKind.BURN_RATE, now, over, n))
+        elif recovered and self.burn_alerting:
+            self.burn_alerting = False
+            events.append(self._event(DegradationKind.BURN_RECOVERED, now,
+                                      over, n))
+        return events
+
+    def _event(self, kind: DegradationKind, now: int, observed: int,
+               threshold: int) -> DegradationEvent:
+        return DegradationEvent(kind=kind, monitor=self.name,
+                                metric=self.metric, cycles=now,
+                                observed=int(observed),
+                                threshold=int(threshold))
+
+    def state(self) -> dict:
+        """JSON-ready monitor state (part of the telemetry snapshot)."""
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "deadline_cycles": self.deadline_cycles,
+            "window": self.window,
+            "burn_threshold": self.burn_threshold,
+            "observations": self.observations,
+            "rolling_p50": self.rolling_p50(),
+            "rolling_p99": self.rolling_p99(),
+            "burn_rate": round(self.burn_rate(), 6),
+            "p99_breached": self.p99_breached,
+            "burn_alerting": self.burn_alerting,
+        }

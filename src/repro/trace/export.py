@@ -89,23 +89,45 @@ def _trace_object(events: list[dict]) -> dict:
     }
 
 
-def to_chrome_trace(tracer: Tracer) -> dict:
-    """Render a finished tracer as a Trace Event Format object."""
+def _telemetry_counter_events(telemetry) -> list[dict]:
+    """Perfetto ``ph: "C"`` counter tracks for the given registries.
+
+    ``telemetry`` is one registry or a list of them; disabled (no-op)
+    registries contribute nothing, so passing ``NO_TELEMETRY`` keeps the
+    trace byte-identical to a telemetry-free run.
+    """
+    from repro.telemetry.export import counter_events
+    if telemetry is None:
+        return []
+    registries = telemetry if isinstance(telemetry, (list, tuple)) \
+        else [telemetry]
+    return counter_events(registries, pid=SIM_PID)
+
+
+def to_chrome_trace(tracer: Tracer, telemetry=None) -> dict:
+    """Render a finished tracer as a Trace Event Format object.
+
+    ``telemetry`` (a :class:`~repro.telemetry.registry.TelemetryRegistry`
+    or list of them) merges counter tracks into the same timeline; the
+    default ``None`` keeps the output byte-identical to earlier PRs.
+    """
     events: list[dict] = [
         {"name": "process_name", "ph": "M", "pid": SIM_PID, "tid": SIM_TID,
          "args": {"name": "virtines-sim"}},
     ]
     events.extend(_tracer_events(tracer, SIM_TID, "simulated cycles"))
+    events.extend(_telemetry_counter_events(telemetry))
     return _trace_object(events)
 
 
-def to_chrome_json(tracer: Tracer) -> str:
+def to_chrome_json(tracer: Tracer, telemetry=None) -> str:
     """The byte-stable JSON serialization of :func:`to_chrome_trace`."""
-    return json.dumps(to_chrome_trace(tracer), sort_keys=True,
+    return json.dumps(to_chrome_trace(tracer, telemetry), sort_keys=True,
                       separators=(",", ":")) + "\n"
 
 
-def cluster_chrome_trace(tracers: "list[Tracer] | tuple[Tracer, ...]") -> dict:
+def cluster_chrome_trace(tracers: "list[Tracer] | tuple[Tracer, ...]",
+                         telemetry=None) -> dict:
     """Merge per-core tracers into one trace: core *i* on ``tid`` i+1.
 
     Each core's spans land on their own named thread row ("core 0",
@@ -113,6 +135,8 @@ def cluster_chrome_trace(tracers: "list[Tracer] | tuple[Tracer, ...]") -> dict:
     the lockstep interleaving as a multi-track timeline.  Timestamps
     stay per-core simulated cycles (the lockstep scheduler keeps the
     cores within a quantum of each other, so the rows line up).
+    Per-core telemetry registries (``telemetry``) add counter tracks on
+    the matching ``tid`` rows.
     """
     events: list[dict] = [
         {"name": "process_name", "ph": "M", "pid": SIM_PID, "tid": SIM_TID,
@@ -120,17 +144,20 @@ def cluster_chrome_trace(tracers: "list[Tracer] | tuple[Tracer, ...]") -> dict:
     ]
     for core, tracer in enumerate(tracers):
         events.extend(_tracer_events(tracer, core + 1, f"core {core}"))
+    events.extend(_telemetry_counter_events(telemetry))
     return _trace_object(events)
 
 
-def cluster_chrome_json(tracers: "list[Tracer] | tuple[Tracer, ...]") -> str:
+def cluster_chrome_json(tracers: "list[Tracer] | tuple[Tracer, ...]",
+                        telemetry=None) -> str:
     """Byte-stable serialization of :func:`cluster_chrome_trace`."""
-    return json.dumps(cluster_chrome_trace(tracers), sort_keys=True,
-                      separators=(",", ":")) + "\n"
+    return json.dumps(cluster_chrome_trace(tracers, telemetry),
+                      sort_keys=True, separators=(",", ":")) + "\n"
 
 
-#: Phase letters the validator accepts (the subset this module emits).
-_VALID_PHASES = {"X", "i", "M"}
+#: Phase letters the validator accepts (the subset this module emits;
+#: "C" is the telemetry plane's Perfetto counter-track phase).
+_VALID_PHASES = {"X", "i", "M", "C"}
 
 
 def validate_chrome_trace(obj: object) -> int:

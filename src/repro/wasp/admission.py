@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.faults import NO_FAULTS, FaultPlan, FaultSite
+from repro.telemetry.registry import NO_TELEMETRY
 from repro.units import us_to_cycles
 from repro.wasp.virtine import HangKind, Virtine, VirtineHang
 
@@ -384,6 +385,9 @@ class AdmissionController:
     ) -> None:
         self.config = config if config is not None else AdmissionConfig()
         self.fault_plan = fault_plan if fault_plan is not None else NO_FAULTS
+        #: Telemetry registry; the attaching layer (Wasp/Supervisor/CLI)
+        #: replaces the shared no-op when telemetry is on.
+        self.telemetry = NO_TELEMETRY
         self.queue = BoundedQueue(self.config.max_queue_depth, self.config.shed_policy)
         self.trace = AdmissionTrace()
         self._buckets: dict[str, TokenBucket] = {}
@@ -438,6 +442,8 @@ class AdmissionController:
     def _record(self, request_id: int, image: str, decision: AdmissionDecision,
                 queue_depth: int, now: float) -> None:
         self.trace.append(request_id, image, decision, queue_depth, now)
+        self.telemetry.counter("admission_decisions_total",
+                               decision=decision.value).inc()
         if decision is AdmissionDecision.ADMIT:
             self.admitted += 1
             self.consecutive_sheds = 0
@@ -573,8 +579,10 @@ class Watchdog:
         self.no_progress_cycles = no_progress_cycles
         self.slow_progress_cycles = slow_progress_cycles
         self.kills_by_kind: dict[HangKind, int] = {kind: 0 for kind in HangKind}
+        self.telemetry = NO_TELEMETRY
         if wasp is not None:
             wasp.watchdog = self
+            self.telemetry = wasp.telemetry
 
     @property
     def kills(self) -> int:
@@ -586,6 +594,8 @@ class Watchdog:
         silence = now - last_sign_of_life
         if silence > self.no_progress_cycles:
             self.kills_by_kind[HangKind.NO_PROGRESS] += 1
+            self.telemetry.counter("watchdog_kills_total",
+                                   kind=HangKind.NO_PROGRESS.value).inc()
             raise VirtineHang(
                 f"virtine {virtine.name!r} made no progress for {silence:,} "
                 f"cycles (threshold {self.no_progress_cycles:,})",
@@ -596,6 +606,8 @@ class Watchdog:
         if (self.slow_progress_cycles is not None
                 and alive > self.slow_progress_cycles):
             self.kills_by_kind[HangKind.SLOW_PROGRESS] += 1
+            self.telemetry.counter("watchdog_kills_total",
+                                   kind=HangKind.SLOW_PROGRESS.value).inc()
             raise VirtineHang(
                 f"virtine {virtine.name!r} still running after {alive:,} "
                 f"cycles ({virtine.beats} beats; threshold "

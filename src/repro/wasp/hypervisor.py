@@ -32,6 +32,7 @@ from repro.replay.stream import (
     encode_value,
 )
 from repro.runtime.image import HOSTED_ENTER_PORT, VirtineImage
+from repro.telemetry.registry import NO_TELEMETRY, TelemetryRegistry
 from repro.trace.tracer import NO_TRACE, Category, Tracer
 from repro.wasp.guestenv import GuestEnv, GuestExitRequested
 from repro.wasp.handlers import CannedHandlers
@@ -101,6 +102,7 @@ class Wasp:
         recorder: InterfaceRecorder | None = None,
         replay: Any = None,
         snapshot_store: SnapshotStore | None = None,
+        telemetry: TelemetryRegistry | bool | None = None,
     ) -> None:
         #: Escape hatch for the hw-layer fast-path engine (software TLB,
         #: predecoded dispatch, bulk restores).  Simulated cycles are
@@ -125,6 +127,17 @@ class Wasp:
         else:
             self.tracer = NO_TRACE
         self.tracer.bind(self.clock)
+        #: Telemetry mirrors the tracer contract: off by default, every
+        #: site calls :data:`~repro.telemetry.registry.NO_TELEMETRY`
+        #: unconditionally, and an enabled registry only ever *reads*
+        #: the clock -- zero simulated cycles either way.
+        if isinstance(telemetry, TelemetryRegistry):
+            self.telemetry = telemetry
+        elif telemetry:
+            self.telemetry = TelemetryRegistry()
+        else:
+            self.telemetry = NO_TELEMETRY
+        self.telemetry.bind(self.clock)
         #: Boundary-stream recorder: every interface site (launches,
         #: hypercalls, vmexits, device calls) reports through it; the
         #: default :data:`NO_RECORD` makes each report a no-op.
@@ -197,11 +210,12 @@ class Wasp:
                 self._pools[memory_size] = ShardedShellPool(
                     self.kvm, memory_size, background=self.background,
                     fault_plan=self.fault_plan, shards=self.cores,
+                    telemetry=self.telemetry,
                 )
             else:
                 self._pools[memory_size] = ShellPool(
                     self.kvm, memory_size, background=self.background,
-                    fault_plan=self.fault_plan,
+                    fault_plan=self.fault_plan, telemetry=self.telemetry,
                 )
         return self._pools[memory_size]
 
@@ -318,6 +332,10 @@ class Wasp:
             launch_span.annotate(error=type(error).__name__)
             self.recorder.launch_end(image.name, type(error).__name__,
                                      detail=str(error))
+            self.telemetry.counter("launch_failures_total", image=image.name,
+                                   error=type(error).__name__).inc()
+            self.telemetry.record_flight("launch", "crash", image=image.name,
+                                         error=type(error).__name__)
             raise
         finally:
             self.tracer.end(launch_span)
@@ -325,10 +343,21 @@ class Wasp:
             image.name, "ok", exit_code=virtine.exit_code,
             from_snapshot=from_snapshot,
             hypercalls=virtine.hypercall_count, ax=final_ax)
+        # Nothing advances the clock between here and the region stop in
+        # the result below, so the histogram sample equals
+        # ``VirtineResult.cycles`` exactly.
+        elapsed = region.stop()
+        telemetry = self.telemetry
+        telemetry.counter("launches_total", image=image.name,
+                          backend=self.backend).inc()
+        telemetry.histogram("launch_cycles", image=image.name).record(elapsed)
+        telemetry.record_flight("launch", "ok", image=image.name,
+                                cycles_cost=elapsed,
+                                from_snapshot=from_snapshot)
         return VirtineResult(
             value=virtine.result,
             exit_code=virtine.exit_code,
-            cycles=region.stop(),
+            cycles=elapsed,
             hypercall_count=virtine.hypercall_count,
             audit=virtine.audit,
             from_snapshot=from_snapshot,
@@ -411,7 +440,10 @@ class Wasp:
         vm = virtine.shell.vm
         with self.tracer.span("image.install", Category.BOOT, bytes=image.size):
             vm.reset()
-            self.clock.advance(self.costs.memcpy(image.size))
+            cost = self.costs.memcpy(image.size)
+            self.clock.advance(cost)
+            self.telemetry.counter("component_cycles_total",
+                                   component="image.install").inc(int(cost))
             vm.memory.load_bytes(image.image_bytes, image.program.base)
             vm.interp.attach_program(image.program)
 
@@ -430,11 +462,17 @@ class Wasp:
         with self.tracer.span("snapshot.verify", Category.SNAPSHOT, key=key) as span:
             if self.fault_plan.draw(FaultSite.SNAPSHOT_RESTORE, key):
                 snap.corrupt()
-            self.clock.advance(self.costs.checksum(snap.copy_size))
+            cost = self.costs.checksum(snap.copy_size)
+            self.clock.advance(cost)
+            self.telemetry.counter("component_cycles_total",
+                                   component="snapshot.verify").inc(int(cost))
             if not snap.verify():
                 self.snapshots.drop(key)
                 self.snapshots.integrity_failures += 1
                 self.snapshot_fallbacks += 1
+                self.telemetry.counter("snapshot_fallbacks_total",
+                                       reason="corrupt").inc()
+                self.telemetry.record_flight("snapshot", "corrupt", key=key)
                 span.annotate(outcome="corrupt")
                 return None
             span.annotate(outcome="ok")
@@ -454,6 +492,8 @@ class Wasp:
         """
         self.snapshot_fallbacks += 1
         self.tracer.instant("snapshot.gone", Category.SNAPSHOT, key=gone.key)
+        self.telemetry.counter("snapshot_fallbacks_total", reason="gone").inc()
+        self.telemetry.record_flight("snapshot", "gone", key=gone.key)
         if pooled:
             pool.quarantine_defect(shell)
             return pool.acquire()
@@ -475,6 +515,10 @@ class Wasp:
             consumed = self.clock.cycles - virtine.started_cycles
             self.tracer.instant("deadline.exceeded", Category.SUPERVISION,
                                 consumed=consumed)
+            self.telemetry.counter("timeouts_total", kind="deadline").inc()
+            self.telemetry.record_flight("timeout", "deadline",
+                                         virtine=virtine.name,
+                                         consumed=consumed)
             raise VirtineTimeout(
                 f"virtine {virtine.name!r} exceeded its cycle deadline "
                 f"({consumed:,} cycles consumed)",
@@ -485,10 +529,14 @@ class Wasp:
                 self.watchdog.check(virtine, self.clock.cycles)
             except VirtineHang as hang:
                 self.timeouts += 1
+                kind = getattr(getattr(hang, "kind", None), "value", None)
                 self.tracer.instant(
-                    "watchdog.kill", Category.SUPERVISION,
-                    kind=getattr(getattr(hang, "kind", None), "value", None),
+                    "watchdog.kill", Category.SUPERVISION, kind=kind,
                 )
+                self.telemetry.counter("timeouts_total", kind="watchdog").inc()
+                self.telemetry.record_flight("timeout", "watchdog",
+                                             virtine=virtine.name,
+                                             hang_kind=kind)
                 raise
 
     def charge_guest(self, virtine: Virtine, cycles: int) -> None:
@@ -513,7 +561,13 @@ class Wasp:
                 charged = max(0, remaining) + 1
                 self.clock.advance(charged)
                 self.tracer.component("guest.compute", charged, Category.GUEST)
+                self.telemetry.counter("component_cycles_total",
+                                       component="guest.compute").inc(charged)
                 self.timeouts += 1
+                self.telemetry.counter("timeouts_total",
+                                       kind="mid_compute").inc()
+                self.telemetry.record_flight("timeout", "mid_compute",
+                                             virtine=virtine.name)
                 consumed = self.clock.cycles - virtine.started_cycles
                 raise VirtineTimeout(
                     f"virtine {virtine.name!r} cancelled at its cycle "
@@ -522,6 +576,8 @@ class Wasp:
                 )
         self.clock.advance(cycles)
         self.tracer.component("guest.compute", cycles, Category.GUEST)
+        self.telemetry.counter("component_cycles_total",
+                               component="guest.compute").inc(int(cycles))
         self.check_deadline(virtine)
 
     def _beat(self, virtine: Virtine) -> None:
@@ -540,7 +596,10 @@ class Wasp:
         with self.tracer.span("snapshot.restore", Category.SNAPSHOT,
                               mode=mode.value, pages=len(snap.pages)):
             if mode is RestoreMode.EAGER:
-                self.clock.advance(self.costs.memcpy(snap.copy_size))
+                cost = self.costs.memcpy(snap.copy_size)
+                self.clock.advance(cost)
+                self.telemetry.counter("component_cycles_total",
+                                       component="snapshot.restore").inc(int(cost))
                 if self.fast_paths:
                     # Coalesced contiguous-run slice copies; identical
                     # state effects (and charge) to the per-page loop.
@@ -549,7 +608,10 @@ class Wasp:
                     vm.memory.restore_pages(dict(snap.pages))
             else:
                 # CoW: cheap shared mappings now, per-page copies on write.
-                self.clock.advance(self.costs.COW_MAP_PER_PAGE * len(snap.pages))
+                cost = self.costs.COW_MAP_PER_PAGE * len(snap.pages)
+                self.clock.advance(cost)
+                self.telemetry.counter("component_cycles_total",
+                                       component="snapshot.restore").inc(int(cost))
                 if self.fast_paths:
                     vm.memory.restore_runs_cow(snap.page_runs(), snap.pages)
                 else:
@@ -614,6 +676,10 @@ class Wasp:
                     # through -- keep driving the guest.
                     continue
                 self.timeouts += 1
+                self.telemetry.counter("timeouts_total",
+                                       kind="step_budget").inc()
+                self.telemetry.record_flight("timeout", "step_budget",
+                                             virtine=virtine.name)
                 raise VirtineTimeout(
                     f"virtine {virtine.name!r} exhausted its step budget "
                     f"({max_steps - steps_left:,} steps)",
@@ -719,6 +785,7 @@ class Wasp:
         dx = cpu.read_reg("dx")
         virtine.hypercall_count += 1
         self._beat(virtine)
+        self.telemetry.counter("hypercalls_total", nr=nr.name).inc()
         try:
             with self.tracer.span(f"hypercall:{nr.name}", Category.HYPERCALL):
                 exited = self._isa_hypercall_body(virtine, nr, bx, cx, dx)
@@ -838,9 +905,14 @@ class Wasp:
         syscalls, and the ioctl + world switch back in.
         """
         costs = self.costs
+        boundary = self.telemetry.counter("component_cycles_total",
+                                          component="hypercall.boundary")
         with self.tracer.span(f"hypercall:{nr.name}", Category.HYPERCALL):
-            self.clock.advance(costs.VMRUN_EXIT + costs.ioctl())
+            out_cost = costs.VMRUN_EXIT + costs.ioctl()
+            self.clock.advance(out_cost)
+            boundary.inc(int(out_cost))
             virtine.hypercall_count += 1
+            self.telemetry.counter("hypercalls_total", nr=nr.name).inc()
             # Open the op now so a mid-dispatch escape (timeout, stall
             # kill, injected fault) is visible as an op with no outcome.
             op = self.recorder.hosted_hypercall_begin(nr.value, args)
@@ -865,7 +937,9 @@ class Wasp:
                 self.recorder.hosted_hypercall_end(op, "error", str(error))
                 raise
             finally:
-                self.clock.advance(costs.ioctl() + costs.KVM_RUN_CHECKS + costs.VMRUN_ENTRY)
+                back_cost = costs.ioctl() + costs.KVM_RUN_CHECKS + costs.VMRUN_ENTRY
+                self.clock.advance(back_cost)
+                boundary.inc(int(back_cost))
 
     def _charge_marshalling(self, args: tuple, result: Any) -> None:
         """Data crossing the boundary is copied, not shared (Section 3)."""
@@ -914,7 +988,11 @@ class Wasp:
                 hosted_payload=copy.deepcopy(payload),
                 hosted=hosted,
             )
-            self.clock.advance(self.costs.memcpy(snap.copy_size))
+            cost = self.costs.memcpy(snap.copy_size)
+            self.clock.advance(cost)
+            self.telemetry.counter("component_cycles_total",
+                                   component="snapshot.capture").inc(int(cost))
+            self.telemetry.counter("snapshot_captures_total").inc()
             span.annotate(pages=len(pages))
             self.snapshots.put(getattr(virtine, "snapshot_key", virtine.image.name), snap)
 

@@ -222,6 +222,122 @@ class WaspMetrics:
         return "\n".join(lines)
 
 
+#: Breaker-state merge order: the aggregate reports the most degraded
+#: state any core observed for an image.
+_BREAKER_SEVERITY = {"closed": 0, "half_open": 1, "open": 2}
+
+
+def _merge_counts(dicts: list[dict]) -> dict:
+    out: dict = {}
+    for d in dicts:
+        for key, count in d.items():
+            out[key] = out.get(key, 0) + count
+    return out
+
+
+def _merge_stores(stores: list[dict]) -> dict:
+    """Merge per-core store counter surfaces.
+
+    Under ``cores=N`` every engine usually shares one snapshot store, so
+    the samples are identical -- detect that and pass one through
+    verbatim.  Genuinely distinct stores get integer counters summed,
+    float rates averaged, and a ``backend`` of ``mixed`` when they
+    disagree.
+    """
+    stores = [s for s in stores if s]
+    if not stores:
+        return {}
+    if all(s == stores[0] for s in stores[1:]):
+        return dict(stores[0])
+    merged: dict = {}
+    backends = {s.get("backend") for s in stores if "backend" in s}
+    if backends:
+        merged["backend"] = (backends.pop() if len(backends) == 1
+                             else "mixed")
+    keys = sorted({k for s in stores for k in s} - {"backend"})
+    for key in keys:
+        values = [s[key] for s in stores if key in s]
+        if all(isinstance(v, bool) for v in values):
+            merged[key] = any(values)
+        elif any(isinstance(v, float) for v in values):
+            merged[key] = sum(values) / len(values)
+        elif all(isinstance(v, int) for v in values):
+            merged[key] = sum(values)
+        else:
+            merged[key] = values[0]
+    return merged
+
+
+def aggregate(samples: list[WaspMetrics]) -> WaspMetrics:
+    """Merge per-core samples into one cluster-wide :class:`WaspMetrics`.
+
+    Throughput counters sum; ``clock_cycles`` is the makespan (max over
+    cores -- the cores run in lockstep, so summing would overstate time
+    by ``cores``x); ``admission_queue_high_water`` is the deepest any
+    core's queue got; breaker states report the most degraded state any
+    core observed; pools merge by memory bucket; keyed crash/shed/hang
+    maps merge per key (the PR-3 ``hangs_by_kind`` merge semantics
+    applied across cores).
+    """
+    if not samples:
+        raise ValueError("aggregate() needs at least one sample")
+    if len(samples) == 1:
+        return samples[0]
+    by_bucket: dict[int, list[PoolMetrics]] = {}
+    for sample in samples:
+        for pool in sample.pools:
+            by_bucket.setdefault(pool.memory_size, []).append(pool)
+    pools = tuple(
+        PoolMetrics(
+            memory_size=size,
+            free_shells=sum(p.free_shells for p in group),
+            hits=sum(p.hits for p in group),
+            misses=sum(p.misses for p in group),
+            quarantines=sum(p.quarantines for p in group),
+            defects=sum(p.defects for p in group),
+            restore_defects=sum(p.restore_defects for p in group),
+        )
+        for size, group in sorted(by_bucket.items())
+    )
+    breaker_states: dict[str, str] = {}
+    for sample in samples:
+        for image, state in sample.breaker_states.items():
+            seen = breaker_states.get(image)
+            if seen is None or (_BREAKER_SEVERITY.get(state, 0)
+                                > _BREAKER_SEVERITY.get(seen, 0)):
+                breaker_states[image] = state
+    return WaspMetrics(
+        launches=sum(s.launches for s in samples),
+        vms_created=sum(s.vms_created for s in samples),
+        snapshot_captures=sum(s.snapshot_captures for s in samples),
+        snapshot_restores=sum(s.snapshot_restores for s in samples),
+        background_cycles=sum(s.background_cycles for s in samples),
+        background_operations=sum(s.background_operations for s in samples),
+        host_syscalls=sum(s.host_syscalls for s in samples),
+        clock_cycles=max(s.clock_cycles for s in samples),
+        pools=pools,
+        timeouts=sum(s.timeouts for s in samples),
+        snapshot_fallbacks=sum(s.snapshot_fallbacks for s in samples),
+        snapshot_integrity_failures=sum(
+            s.snapshot_integrity_failures for s in samples),
+        quarantined_shells=sum(p.quarantines for p in pools),
+        pool_defects=sum(p.defects for p in pools),
+        retries=sum(s.retries for s in samples),
+        breaker_rejections=sum(s.breaker_rejections for s in samples),
+        crashes_by_class=_merge_counts(
+            [s.crashes_by_class for s in samples]),
+        breaker_states=breaker_states,
+        vms_closed=sum(s.vms_closed for s in samples),
+        admission_admitted=sum(s.admission_admitted for s in samples),
+        admission_shed=_merge_counts([s.admission_shed for s in samples]),
+        admission_timeouts=sum(s.admission_timeouts for s in samples),
+        admission_queue_high_water=max(
+            s.admission_queue_high_water for s in samples),
+        hangs_by_kind=_merge_counts([s.hangs_by_kind for s in samples]),
+        store=_merge_stores([s.store for s in samples]),
+    )
+
+
 def collect(wasp: Wasp) -> WaspMetrics:
     """Sample every counter of ``wasp`` at this instant."""
     pools = tuple(

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from repro.faults import NO_FAULTS, FaultPlan, FaultSite
 from repro.hw.clock import BackgroundAccountant
 from repro.kvm.device import KVM, VcpuHandle, VMHandle
+from repro.telemetry.registry import NO_TELEMETRY, TelemetryRegistry
 from repro.trace.tracer import Category
 
 
@@ -59,12 +60,16 @@ class ShellPool:
         background: BackgroundAccountant | None = None,
         max_free: int = 64,
         fault_plan: FaultPlan | None = None,
+        telemetry: TelemetryRegistry | None = None,
     ) -> None:
         self.kvm = kvm
         self.memory_size = memory_size
         self.background = background if background is not None else BackgroundAccountant()
         self.max_free = max_free
         self.fault_plan = fault_plan if fault_plan is not None else NO_FAULTS
+        self.telemetry = telemetry if telemetry is not None else NO_TELEMETRY
+        #: The pool's dimensional identity in the telemetry plane.
+        self._bucket_mb = memory_size // (1024 * 1024)
         self._free: list[Shell] = []
         self.hits = 0
         self.misses = 0
@@ -99,15 +104,23 @@ class ShellPool:
                     bad.handle.close()
                     self.defects += 1
                     self.misses += 1
+                    self.telemetry.counter("pool_defects_total",
+                                           bucket_mb=self._bucket_mb).inc()
+                    self.telemetry.counter("pool_misses_total",
+                                           bucket_mb=self._bucket_mb).inc()
                     span.annotate(outcome="defect")
                     return self._create()
                 self.kvm.clock.advance(self.kvm.costs.POOL_BOOKKEEPING)
                 self.hits += 1
+                self.telemetry.counter("pool_hits_total",
+                                       bucket_mb=self._bucket_mb).inc()
                 shell = self._free.pop()
                 shell.generation += 1
                 span.annotate(outcome="hit")
                 return shell
             self.misses += 1
+            self.telemetry.counter("pool_misses_total",
+                                   bucket_mb=self._bucket_mb).inc()
             span.annotate(outcome="miss")
             return self._create()
 
@@ -116,6 +129,8 @@ class ShellPool:
         series of Figure 8 -- every invocation pays full construction)."""
         with self.kvm.tracer.span("pool.acquire", Category.POOL, outcome="scratch"):
             self.misses += 1
+            self.telemetry.counter("pool_misses_total",
+                                   bucket_mb=self._bucket_mb).inc()
             return self._create()
 
     def _create(self) -> Shell:
@@ -156,6 +171,8 @@ class ShellPool:
         """
         with self.kvm.tracer.span("pool.quarantine", Category.TEARDOWN):
             self.quarantines += 1
+            self.telemetry.counter("pool_quarantines_total",
+                                   bucket_mb=self._bucket_mb).inc()
             vm = shell.vm
             vm.reset()
             self.kvm.clock.advance(vm.clear_memory())
@@ -178,6 +195,8 @@ class ShellPool:
         acquire-time defects so the race is visible in metrics.
         """
         self.restore_defects += 1
+        self.telemetry.counter("pool_restore_defects_total",
+                               bucket_mb=self._bucket_mb).inc()
         self.quarantine(shell)
 
     def prewarm(self, count: int) -> None:
@@ -248,16 +267,19 @@ class ShardedShellPool:
         fault_plan: FaultPlan | None = None,
         shards: int = 2,
         steal: bool = True,
+        telemetry: TelemetryRegistry | None = None,
     ) -> None:
         if shards <= 0:
             raise ValueError(f"need at least one shard, got {shards}")
         self.kvm = kvm
         self.memory_size = memory_size
+        self.telemetry = telemetry if telemetry is not None else NO_TELEMETRY
         #: Per-shard cap: the aggregate cache never exceeds ``max_free``.
         per_shard = max(1, max_free // shards)
         self.shards_list = [
             ShellPool(kvm, memory_size, background=background,
-                      max_free=per_shard, fault_plan=fault_plan)
+                      max_free=per_shard, fault_plan=fault_plan,
+                      telemetry=self.telemetry)
             for _ in range(shards)
         ]
         self.steal = steal
@@ -282,6 +304,9 @@ class ShardedShellPool:
                 self.kvm.clock.advance(self.kvm.costs.POOL_BOOKKEEPING)
                 local._free.append(victim._free.pop())
                 self.steals += 1
+                self.telemetry.counter(
+                    "pool_steals_total",
+                    bucket_mb=self.memory_size // (1024 * 1024)).inc()
                 self.kvm.tracer.instant("pool.steal", Category.POOL,
                                         to_shard=core % len(self.shards_list))
         return local.acquire()

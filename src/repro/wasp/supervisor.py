@@ -46,7 +46,12 @@ from repro.wasp.virtine import (
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.image import VirtineImage
+    from repro.telemetry.slo import DegradationEvent
     from repro.wasp.hypervisor import Wasp
+
+#: Crash black boxes retained per supervisor (newest evict oldest): each
+#: is a flight-recorder dump frozen at the moment of a crash.
+MAX_BLACK_BOXES = 8
 
 
 class CrashClass(enum.Enum):
@@ -236,6 +241,20 @@ class Supervisor:
         self.shed = 0
         #: Watchdog kills among the TIMEOUT crashes, by hang kind.
         self.hangs_by_kind: dict[HangKind, int] = {k: 0 for k in HangKind}
+        #: The Wasp's telemetry registry (the shared NO_TELEMETRY when
+        #: telemetry is off -- every counter call below is then a no-op).
+        self.telemetry = wasp.telemetry
+        #: Typed SLO degradation events, in emission order.  The
+        #: registry's monitors deliver them here via the sink, which
+        #: makes an SLO breach supervision-visible, not just a number.
+        self.degradations: list["DegradationEvent"] = []
+        #: Flight-recorder dumps frozen at crash time, newest last
+        #: (bounded at MAX_BLACK_BOXES).
+        self.crash_black_boxes: list[dict] = []
+        if self.telemetry.enabled:
+            self.telemetry.degradation_sink = self._on_degradation
+            if self.admission is not None:
+                self.admission.telemetry = self.telemetry
 
     # -- introspection ------------------------------------------------------
     def breaker_for(self, image_name: str) -> CircuitBreaker:
@@ -270,6 +289,38 @@ class Supervisor:
             detail=detail,
         ))
 
+    def _on_degradation(self, event: "DegradationEvent") -> None:
+        """The registry's degradation sink: fold SLO breaches into the
+        supervision record.
+
+        Deliberately never writes into the tracer -- a telemetry-enabled
+        run must export byte-identical Chrome trace spans to a disabled
+        one; degradations live in the supervisor log and the flight
+        recorder instead.
+        """
+        self.degradations.append(event)
+        self.telemetry.record_flight("slo", event.kind.value,
+                                     monitor=event.monitor,
+                                     metric=event.metric,
+                                     observed=event.observed,
+                                     threshold=event.threshold)
+
+    def _capture_black_box(self, image: str, crash_class: CrashClass,
+                           detail: str) -> None:
+        """Freeze the flight recorder at crash time (bounded history)."""
+        if not self.telemetry.enabled:
+            return
+        box = {
+            "image": image,
+            "crash_class": crash_class.value,
+            "detail": detail,
+            "cycles": self.wasp.clock.cycles,
+            "flight": self.telemetry.flight.black_box(),
+        }
+        self.crash_black_boxes.append(box)
+        if len(self.crash_black_boxes) > MAX_BLACK_BOXES:
+            del self.crash_black_boxes[0]
+
     def record_external_crash(
         self, image_name: str, crash: BaseException, detail: str = "",
     ) -> CrashClass:
@@ -283,6 +334,10 @@ class Supervisor:
         """
         crash_class = classify(crash)
         self.crashes_by_class[crash_class] += 1
+        self.telemetry.counter("crashes_total", crash_class=crash_class.value,
+                               image=image_name).inc()
+        self._capture_black_box(image_name, crash_class,
+                                detail or str(crash))
         self._record(image_name, 0, crash_class, "crash",
                      detail=detail or str(crash))
         return crash_class
@@ -309,6 +364,9 @@ class Supervisor:
                 )
                 if not ticket.admitted:
                     self.shed += 1
+                    self.telemetry.counter(
+                        "admission_shed_total", image=image.name,
+                        reason=ticket.decision.value).inc()
                     self._record(image.name, 0, None, "shed")
                     tracer.instant("admission.shed", Category.SUPERVISION,
                                    image=image.name,
@@ -320,6 +378,8 @@ class Supervisor:
             breaker = self.breaker_for(image.name)
             if not breaker.allow(now):
                 self.breaker_rejections += 1
+                self.telemetry.counter("breaker_rejections_total",
+                                       image=image.name).inc()
                 self._record(image.name, 0, None, "rejected")
                 tracer.instant("breaker.open", Category.SUPERVISION,
                                image=image.name)
@@ -333,6 +393,11 @@ class Supervisor:
                 except VirtineCrash as crash:
                     crash_class = classify(crash)
                     self.crashes_by_class[crash_class] += 1
+                    self.telemetry.counter(
+                        "crashes_total", crash_class=crash_class.value,
+                        image=image.name).inc()
+                    self._capture_black_box(image.name, crash_class,
+                                            str(crash))
                     if isinstance(crash, VirtineHang):
                         self.hangs_by_kind[crash.kind] += 1
                     if crash_class is CrashClass.TIMEOUT and ticket is not None:
@@ -356,6 +421,11 @@ class Supervisor:
                         self.wasp.clock.advance(backoff)
                         tracer.component("retry.backoff", backoff,
                                          Category.SUPERVISION, attempt=attempt)
+                        self.telemetry.counter("supervisor_retries_total",
+                                               image=image.name).inc()
+                        self.telemetry.counter(
+                            "component_cycles_total",
+                            component="retry.backoff").inc(backoff)
                         self._record(image.name, attempt, crash_class, "retry")
                         continue
                     self.give_ups += 1

@@ -1,0 +1,106 @@
+"""Exporters: Prometheus text exposition + Perfetto counter tracks."""
+
+import json
+
+from repro.hw.clock import Clock
+from repro.telemetry import (
+    NO_TELEMETRY,
+    TelemetryRegistry,
+    TelemetrySnapshot,
+    counter_events,
+    to_prometheus,
+)
+from repro.trace.export import validate_chrome_trace
+
+
+def built_registry() -> TelemetryRegistry:
+    clock = Clock()
+    reg = TelemetryRegistry(clock, window_cycles=100)
+    reg.counter("launches_total", image="echo").inc(3)
+    reg.gauge("pool_free_shells").set(2)
+    hist = reg.histogram("launch_cycles", image="echo")
+    for value in (0, 5, 100):
+        hist.record(value)
+    clock.advance(250)
+    reg.counter("launches_total", image="echo").inc()
+    return reg
+
+
+class TestPrometheus:
+    def test_counters_gauges_and_type_headers(self):
+        text = to_prometheus(TelemetrySnapshot.capture(built_registry()))
+        assert "# TYPE repro_launches_total counter" in text
+        assert 'repro_launches_total{image="echo"} 4' in text
+        assert "# TYPE repro_pool_free_shells gauge" in text
+        assert "repro_pool_free_shells 2" in text
+
+    def test_histogram_bucket_triplet(self):
+        text = to_prometheus(TelemetrySnapshot.capture(built_registry()))
+        lines = [l for l in text.splitlines() if "launch_cycles" in l]
+        assert "# TYPE repro_launch_cycles histogram" in lines
+        # Value 0 -> le="0"; 5 -> bit_length 3 -> le="7"; 100 -> le="127".
+        assert 'repro_launch_cycles_bucket{image="echo",le="0"} 1' in lines
+        assert 'repro_launch_cycles_bucket{image="echo",le="7"} 2' in lines
+        assert 'repro_launch_cycles_bucket{image="echo",le="127"} 3' in lines
+        assert 'repro_launch_cycles_bucket{image="echo",le="+Inf"} 3' in lines
+        assert 'repro_launch_cycles_sum{image="echo"} 105' in lines
+        assert 'repro_launch_cycles_count{image="echo"} 3' in lines
+
+    def test_deterministic_output(self):
+        snap = TelemetrySnapshot.capture(built_registry())
+        assert to_prometheus(snap) == to_prometheus(snap)
+
+
+class TestCounterEvents:
+    def test_series_samples_plus_final_reading(self):
+        events = counter_events(built_registry())
+        launches = [e for e in events
+                    if e["name"] == "launches_total{image=echo}"]
+        # One closed-window sample (window 0 at value 3) + the final.
+        assert [(e["ts"], e["args"]["value"]) for e in launches] \
+            == [(100, 3), (250, 4)]
+        assert all(e["ph"] == "C" for e in events)
+
+    def test_core_id_maps_to_tid(self):
+        clock = Clock()
+        reg = TelemetryRegistry(clock, core=2)
+        reg.counter("launches_total").inc()
+        events = counter_events(reg)
+        assert {e["tid"] for e in events} == {3}
+
+    def test_disabled_registry_contributes_nothing(self):
+        assert counter_events(NO_TELEMETRY) == []
+        assert counter_events([NO_TELEMETRY, built_registry()])
+
+    def test_events_are_valid_trace_events(self):
+        events = counter_events(built_registry())
+        count = validate_chrome_trace({"traceEvents": events})
+        assert count == len(events)
+
+    def test_sorted_and_deterministic(self):
+        reg = built_registry()
+        events = counter_events(reg)
+        assert events == counter_events(reg)
+        keys = [(e["ts"], e["tid"], e["name"]) for e in events]
+        assert keys == sorted(keys)
+
+    def test_histograms_excluded_from_counter_tracks(self):
+        events = counter_events(built_registry())
+        assert not any("launch_cycles" in e["name"] for e in events)
+
+
+class TestMergedTraceJson:
+    def test_merged_trace_validates_and_is_stable(self):
+        from repro.trace.tracer import Category, Tracer
+
+        tracer = Tracer(clock=Clock())
+        with tracer.span("launch", Category.LAUNCH):
+            pass
+        reg = built_registry()
+        from repro.trace.export import to_chrome_json, to_chrome_trace
+
+        merged = to_chrome_trace(tracer, reg)
+        validate_chrome_trace(merged)
+        assert to_chrome_json(tracer, reg) == to_chrome_json(tracer, reg)
+        # None keeps the legacy byte-identical form.
+        assert to_chrome_json(tracer, None) == to_chrome_json(tracer)

@@ -1,0 +1,95 @@
+"""Flight recorder: bounded ring, eviction accounting, dump-on-crash."""
+
+import pytest
+
+from repro.telemetry import FlightRecorder, NO_FLIGHT, NullFlightRecorder
+
+
+class TestRing:
+    def test_records_in_order_with_details(self):
+        flight = FlightRecorder(capacity=8)
+        flight.record("launch", "ok", cycles=100, image="echo")
+        flight.record("timeout", "deadline", cycles=250)
+        entries = flight.dump()
+        assert [e["name"] for e in entries] == ["ok", "deadline"]
+        assert entries[0]["detail"] == {"image": "echo"}
+        assert "detail" not in entries[1]
+
+    def test_eviction_keeps_newest_and_counts_drops(self):
+        flight = FlightRecorder(capacity=4)
+        for i in range(10):
+            flight.record("launch", f"n{i}", cycles=i)
+        entries = flight.dump()
+        assert len(entries) == 4
+        assert [e["name"] for e in entries] == ["n6", "n7", "n8", "n9"]
+        assert flight.recorded == 10
+        assert flight.dropped == 6
+
+    def test_black_box_artifact_shape(self):
+        flight = FlightRecorder(capacity=2)
+        for i in range(3):
+            flight.record("launch", f"n{i}", cycles=i)
+        box = flight.black_box()
+        assert box["capacity"] == 2
+        assert box["recorded"] == 3
+        assert box["dropped"] == 1
+        assert len(box["entries"]) == 2
+
+    def test_null_recorder_is_inert(self):
+        assert isinstance(NO_FLIGHT, NullFlightRecorder)
+        NO_FLIGHT.record("launch", "ok", cycles=1)
+        assert NO_FLIGHT.dump() == []
+        assert NO_FLIGHT.recorded == 0
+
+
+class TestDumpOnCrash:
+    def _crashing_supervisor(self):
+        from repro.runtime.image import ImageBuilder
+        from repro.wasp import Supervisor, Wasp
+
+        wasp = Wasp(telemetry=True)
+        supervisor = Supervisor(wasp)
+
+        def entry(env):
+            raise RuntimeError("guest bug")
+
+        return supervisor, ImageBuilder().hosted("buggy", entry)
+
+    def test_crash_captures_black_box(self):
+        from repro.wasp import GuestFault, PermissivePolicy
+
+        supervisor, image = self._crashing_supervisor()
+        with pytest.raises(GuestFault):
+            supervisor.launch(image, policy=PermissivePolicy(),
+                              use_snapshot=False)
+        assert len(supervisor.crash_black_boxes) == 1
+        box = supervisor.crash_black_boxes[0]
+        assert box["image"] == "buggy"
+        assert box["crash_class"] == "guest_fault"
+        assert box["flight"]["entries"]  # the ring came along
+
+    def test_black_box_list_is_bounded(self):
+        from repro.wasp import HostFault
+        from repro.wasp.supervisor import MAX_BLACK_BOXES
+
+        supervisor, _ = self._crashing_supervisor()
+        for i in range(MAX_BLACK_BOXES + 3):
+            supervisor.record_external_crash("ext", HostFault(f"boom {i}"))
+        assert len(supervisor.crash_black_boxes) == MAX_BLACK_BOXES
+        # Oldest evicted first.
+        assert supervisor.crash_black_boxes[-1]["detail"].endswith(
+            f"boom {MAX_BLACK_BOXES + 2}")
+
+    def test_disabled_telemetry_captures_nothing(self):
+        from repro.runtime.image import ImageBuilder
+        from repro.wasp import GuestFault, PermissivePolicy, Supervisor, Wasp
+
+        supervisor = Supervisor(Wasp())
+
+        def entry(env):
+            raise RuntimeError("guest bug")
+
+        with pytest.raises(GuestFault):
+            supervisor.launch(ImageBuilder().hosted("buggy", entry),
+                              policy=PermissivePolicy(), use_snapshot=False)
+        assert supervisor.crash_black_boxes == []

@@ -1,0 +1,116 @@
+"""Profile diff: an injected slowdown is attributed to its component."""
+
+from repro.runtime.image import ImageBuilder
+from repro.telemetry import TelemetrySnapshot, diff_profiles
+from repro.wasp import PermissivePolicy, Wasp
+
+EXTRA_GUEST_CYCLES = 50_000
+
+
+def snapshot(extra: int = 0, launches: int = 6) -> dict:
+    """One run's snapshot payload; ``extra`` inflates guest compute."""
+    wasp = Wasp(telemetry=True)
+
+    def entry(env):
+        if not env.from_snapshot:
+            env.charge(10_000)
+            env.snapshot()
+        env.charge(1_000 + extra)
+        return 0
+
+    image = ImageBuilder().hosted("prof-job", entry)
+    for _ in range(launches):
+        wasp.launch(image, policy=PermissivePolicy(), use_snapshot=True)
+    return TelemetrySnapshot.capture(wasp.telemetry).to_dict()
+
+
+class TestInjectedSlowdown:
+    def test_regression_attributed_to_guest_compute(self):
+        diff = diff_profiles(snapshot(), snapshot(extra=EXTRA_GUEST_CYCLES))
+        regressed = {d.component for d in diff.regressions}
+        assert regressed == {"guest.compute"}
+        guest = diff.regressions[0]
+        # Per-launch delta matches the injected amount exactly.
+        assert abs(guest.delta - EXTRA_GUEST_CYCLES) < 1.0
+
+    def test_clean_diff_against_itself(self):
+        base = snapshot()
+        diff = diff_profiles(base, base)
+        assert diff.regressions == []
+        assert diff.improvements == []
+        assert diff.total_delta_ratio == 0.0
+
+    def test_improvement_direction(self):
+        diff = diff_profiles(snapshot(extra=EXTRA_GUEST_CYCLES), snapshot())
+        improved = {d.component for d in diff.improvements}
+        assert "guest.compute" in improved
+        assert not diff.regressions
+
+    def test_per_launch_normalization(self):
+        """Twice the launches with the same per-launch cost: no alarm.
+
+        Cold launches here (no snapshot amortization) so every launch
+        costs the same -- otherwise the restore/capture split genuinely
+        shifts with the launch count and the diff rightly flags it.
+        """
+        def cold(launches: int) -> dict:
+            wasp = Wasp(telemetry=True)
+
+            def entry(env):
+                env.charge(1_000)
+                return 0
+
+            image = ImageBuilder().hosted("prof-job", entry)
+            for _ in range(launches):
+                wasp.launch(image, policy=PermissivePolicy(),
+                            use_snapshot=False)
+            return TelemetrySnapshot.capture(wasp.telemetry).to_dict()
+
+        diff = diff_profiles(cold(4), cold(8))
+        assert not diff.regressions
+
+    def test_threshold_gates_small_movements(self):
+        fast, slow = snapshot(), snapshot(extra=EXTRA_GUEST_CYCLES)
+        loose = diff_profiles(fast, slow, threshold=1000.0)
+        assert not loose.regressions
+        tight = diff_profiles(fast, slow, threshold=0.001)
+        assert {d.component for d in tight.regressions} == {"guest.compute"}
+
+    def test_report_shapes(self):
+        diff = diff_profiles(snapshot(), snapshot(extra=EXTRA_GUEST_CYCLES))
+        payload = diff.to_dict()
+        assert payload["base_launches"] == 6
+        assert [d["component"] for d in payload["regressions"]] \
+            == ["guest.compute"]
+        text = diff.to_text()
+        assert "REGRESSION" in text and "guest.compute" in text
+
+
+class TestChaosTelemetry:
+    def test_chaos_report_surfaces_ledgers(self):
+        from repro.cluster.chaos import run_chaos
+
+        report = run_chaos(7, telemetry=True)
+        snap = TelemetrySnapshot.from_dict(report.telemetry)
+        assert snap.value("chaos_reexecutions_total") == report.reexecutions
+        assert (snap.value("chaos_suppressed_effects_total")
+                == report.suppressed_effects)
+        assert (snap.value("chaos_corrupted_chunks_total")
+                == report.corrupted_chunks)
+        assert snap.value("chaos_dead_cores") == len(report.dead_cores)
+        assert report.telemetry["black_boxes"]  # the black-box artifact
+
+    def test_chaos_telemetry_is_deterministic(self):
+        from repro.cluster.chaos import run_chaos
+
+        a = run_chaos(7, telemetry=True)
+        b = run_chaos(7, telemetry=True)
+        assert a.signature() == b.signature()
+        assert a.telemetry == b.telemetry
+
+    def test_chaos_report_unchanged_when_off(self):
+        from repro.cluster.chaos import run_chaos
+
+        report = run_chaos(7)
+        assert report.telemetry is None
+        assert "telemetry" not in report.to_dict()

@@ -1,0 +1,144 @@
+"""Registry semantics: dimensional instruments, windows, null plane."""
+
+import pytest
+
+from repro.hw.clock import Clock
+from repro.telemetry import (
+    DEFAULT_WINDOW_CYCLES,
+    NO_TELEMETRY,
+    NullTelemetry,
+    TelemetryRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_increments_and_labels_fan_out(self):
+        reg = TelemetryRegistry()
+        reg.counter("launches_total", image="echo").inc()
+        reg.counter("launches_total", image="echo").inc(2)
+        reg.counter("launches_total", image="http").inc()
+        assert reg.counter("launches_total", image="echo").value == 3
+        assert reg.counter("launches_total", image="http").value == 1
+
+    def test_label_order_is_canonical(self):
+        reg = TelemetryRegistry()
+        reg.counter("x", a=1, b=2).inc()
+        assert reg.counter("x", b=2, a=1).value == 1
+
+    def test_gauge_last_value_wins(self):
+        reg = TelemetryRegistry()
+        gauge = reg.gauge("pool_free_shells")
+        gauge.set(4)
+        gauge.set(2)
+        assert gauge.value == 2
+
+    def test_histogram_percentiles_and_sparse_buckets(self):
+        reg = TelemetryRegistry()
+        hist = reg.histogram("launch_cycles")
+        for value in (10, 100, 1000):
+            hist.record(value)
+        state = hist.state()
+        assert state["count"] == 3
+        assert state["total"] == 1110
+        assert state["min"] == 10
+        assert state["max"] == 1000
+        # Sparse [bit_length_index, count] pairs, one per occupied bucket.
+        assert len(state["buckets"]) == 3
+        assert all(count == 1 for _, count in state["buckets"])
+
+    def test_kind_mismatch_rejected(self):
+        reg = TelemetryRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_canonical_iteration_order(self):
+        reg = TelemetryRegistry()
+        reg.counter("zzz")
+        reg.counter("aaa", b=1)
+        reg.counter("aaa", a=1)
+        names = [(i.name, i.labels) for i in reg.instruments()]
+        assert names == sorted(names)
+
+
+class TestWindows:
+    def test_series_samples_on_window_boundaries(self):
+        clock = Clock()
+        reg = TelemetryRegistry(clock, window_cycles=100)
+        counter = reg.counter("ticks")
+        counter.inc()          # window 0
+        clock.advance(100)
+        counter.inc()          # window 1: closes window 0 at value 1
+        clock.advance(250)
+        counter.inc()          # window 3: closes window 1 at value 2
+        assert list(counter.series) == [(0, 1), (1, 2)]
+        assert counter.value == 3
+
+    def test_instrument_born_mid_run_has_no_phantom_samples(self):
+        clock = Clock()
+        clock.advance(5 * 100)
+        reg = TelemetryRegistry(clock, window_cycles=100)
+        counter = reg.counter("late")
+        counter.inc()
+        clock.advance(100)
+        counter.inc()
+        # Only the window it actually lived through, never (0, 0).
+        assert list(counter.series) == [(5, 1)]
+
+    def test_histogram_rolls_per_window_summaries(self):
+        clock = Clock()
+        reg = TelemetryRegistry(clock, window_cycles=100)
+        hist = reg.histogram("lat")
+        hist.record(10)
+        clock.advance(100)
+        hist.record(1000)
+        windows = hist.state()["windows"]
+        assert [w["window"] for w in windows] == [0, 1]
+        assert windows[0]["count"] == 1 and windows[0]["max"] == 10
+
+    def test_series_is_bounded(self):
+        clock = Clock()
+        reg = TelemetryRegistry(clock, window_cycles=10, max_windows=4)
+        counter = reg.counter("c")
+        for _ in range(20):
+            counter.inc()
+            clock.advance(10)
+        assert len(counter.series) == 4
+
+    def test_default_window_is_one_million_cycles(self):
+        assert TelemetryRegistry().window_cycles == DEFAULT_WINDOW_CYCLES
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            TelemetryRegistry(window_cycles=0)
+
+
+class TestClockBinding:
+    def test_bind_attaches_once(self):
+        clock = Clock()
+        reg = TelemetryRegistry()
+        assert reg.bind(clock) is reg
+        assert reg.bind(clock) is reg  # same clock is idempotent
+        with pytest.raises(ValueError, match="different clock"):
+            reg.bind(Clock())
+
+    def test_now_without_clock_is_zero(self):
+        assert TelemetryRegistry().now() == 0
+
+
+class TestNullTelemetry:
+    def test_shared_instance_is_disabled(self):
+        assert NO_TELEMETRY.enabled is False
+        assert isinstance(NO_TELEMETRY, NullTelemetry)
+
+    def test_all_hooks_are_noops(self):
+        NO_TELEMETRY.counter("x", image="a").inc()
+        NO_TELEMETRY.gauge("y").set(3)
+        NO_TELEMETRY.histogram("z").record(7)
+        NO_TELEMETRY.record_flight("launch", "ok", detail=1)
+        assert NO_TELEMETRY.instruments() == []
+        assert NO_TELEMETRY.flight.dump() == []
+
+    def test_bind_is_a_noop(self):
+        assert NO_TELEMETRY.bind(Clock()) is NO_TELEMETRY
+        assert NO_TELEMETRY.clock is None

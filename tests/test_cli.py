@@ -224,3 +224,165 @@ class TestMetricsStore:
         main(["metrics", "--seed", "7", "--requests", "30"])
         out = capsys.readouterr().out
         assert "store: chunks=" in out
+
+
+class TestTelemetryCli:
+    def test_text_summary(self, capsys):
+        assert main(["telemetry", "echo", "--requests", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry snapshot v1" in out
+        assert "launches_total" in out
+        assert "signature:" in out
+
+    def test_json_is_deterministic_per_seed(self, capsys):
+        def run() -> str:
+            assert main(["telemetry", "serverless", "--seed", "7",
+                         "--requests", "6", "--format", "json"]) == 0
+            return capsys.readouterr().out
+
+        assert run() == run()
+
+    def test_cluster_json_is_deterministic(self, capsys):
+        def run() -> str:
+            assert main(["telemetry", "--cores", "3", "--seed", "7",
+                         "--requests", "9", "--format", "json"]) == 0
+            return capsys.readouterr().out
+
+        first = run()
+        assert first == run()
+        import json
+
+        payload = json.loads(first)
+        assert payload["cores"] == 3
+        assert payload["meta"]["cores"] == 3
+
+    def test_prometheus_exposition(self, capsys):
+        assert main(["telemetry", "echo", "--requests", "3",
+                     "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_launches_total counter" in out
+        assert "repro_launch_cycles_bucket" in out
+
+    def test_slo_monitor_attaches(self, capsys):
+        assert main(["telemetry", "echo", "--requests", "10",
+                     "--slo-deadline", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "slo launch-p99" in out
+        assert "BREACHED" in out
+
+    def test_out_file_and_signature_echo(self, tmp_path, capsys):
+        path = tmp_path / "snap.json"
+        assert main(["telemetry", "echo", "--requests", "3",
+                     "--format", "json", "--out", str(path)]) == 0
+        assert "signature=" in capsys.readouterr().out
+        import json
+
+        assert json.loads(path.read_text())["version"] == 1
+
+
+class TestProfileCli:
+    def _snapshot(self, tmp_path, name: str, requests: int) -> str:
+        path = tmp_path / name
+        assert main(["telemetry", "serverless", "--seed", "7",
+                     "--requests", str(requests),
+                     "--format", "json", "--out", str(path)]) == 0
+        return str(path)
+
+    def test_identical_runs_gate_clean(self, tmp_path, capsys):
+        a = self._snapshot(tmp_path, "a.json", 6)
+        b = self._snapshot(tmp_path, "b.json", 6)
+        capsys.readouterr()
+        assert main(["profile", "diff", a, b, "--gate"]) == 0
+        assert "no component moved" in capsys.readouterr().out
+
+    def test_gate_fails_on_regression(self, tmp_path, capsys):
+        import json
+
+        a = self._snapshot(tmp_path, "a.json", 6)
+        payload = json.loads((tmp_path / "a.json").read_text())
+        for state in payload["instruments"]:
+            if (state["name"] == "component_cycles_total"
+                    and state["labels"]["component"] == "guest.compute"):
+                state["value"] *= 3
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["profile", "diff", a, str(slow), "--gate"]) == 1
+        assert "REGRESSION guest.compute" in capsys.readouterr().out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        a = self._snapshot(tmp_path, "a.json", 6)
+        capsys.readouterr()
+        assert main(["profile", "diff", a, a, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["regressions"] == []
+        assert payload["total_delta_ratio"] == 0.0
+
+
+class TestMetricsCores:
+    def test_single_core_output_shape_unchanged(self, capsys):
+        import json
+
+        assert main(["metrics", "--seed", "7", "--requests", "25",
+                     "--cores", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # cores=1 keeps the PR-2 primary/fallback schema verbatim.
+        assert "fallback" in payload and "per_core" not in payload
+
+    def test_cluster_json_aggregates_with_breakdown(self, capsys):
+        import json
+
+        assert main(["metrics", "--seed", "7", "--requests", "40",
+                     "--cores", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cores"] == 3
+        assert len(payload["per_core"]) == 3
+        assert (payload["primary"]["launches"]
+                == sum(c["launches"] for c in payload["per_core"]))
+        # hangs_by_kind merges per kind across cores (the PR-3 rule).
+        merged = payload["primary"]["hangs_by_kind"]
+        for core in payload["per_core"]:
+            for kind, count in core["hangs_by_kind"].items():
+                assert merged[kind] >= count
+
+    def test_cluster_json_is_deterministic(self, capsys):
+        def run() -> str:
+            assert main(["metrics", "--seed", "7", "--requests", "40",
+                         "--cores", "3", "--json"]) == 0
+            return capsys.readouterr().out
+
+        assert run() == run()
+
+    def test_cluster_text_summary(self, capsys):
+        assert main(["metrics", "--seed", "7", "--requests", "40",
+                     "--cores", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "aggregate (all cores):" in out
+        assert "core 2:" in out
+
+
+class TestTraceTelemetryMerge:
+    def test_counter_tracks_merge_into_trace_json(self, capsys):
+        import json
+
+        assert main(["trace", "echo", "--format", "json",
+                     "--telemetry"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert any(e["ph"] == "C" for e in payload["traceEvents"])
+
+    def test_default_trace_has_no_counter_tracks(self, capsys):
+        import json
+
+        assert main(["trace", "echo", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert not any(e["ph"] == "C" for e in payload["traceEvents"])
+
+
+class TestChaosTelemetryCli:
+    def test_chaos_telemetry_flag(self, capsys):
+        assert main(["chaos", "--seed", "7", "--cases", "10",
+                     "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "flight-recorder entries" in out

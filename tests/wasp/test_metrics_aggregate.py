@@ -1,0 +1,101 @@
+"""Cluster-wide metrics aggregation (``repro metrics --cores N``)."""
+
+import pytest
+
+from repro.wasp.metrics import PoolMetrics, WaspMetrics, aggregate
+
+
+def sample(**overrides) -> WaspMetrics:
+    kwargs = dict(
+        launches=10,
+        vms_created=2,
+        snapshot_captures=1,
+        snapshot_restores=8,
+        background_cycles=100,
+        background_operations=3,
+        host_syscalls=20,
+        clock_cycles=1_000,
+        pools=(PoolMetrics(memory_size=4 << 20, free_shells=1,
+                           hits=8, misses=2, quarantines=1, defects=1),),
+    )
+    kwargs.update(overrides)
+    return WaspMetrics(**kwargs)
+
+
+class TestAggregate:
+    def test_single_sample_passes_through(self):
+        one = sample()
+        assert aggregate([one]) is one
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_sums_and_makespan(self):
+        merged = aggregate([sample(), sample(clock_cycles=3_000)])
+        assert merged.launches == 20
+        assert merged.snapshot_restores == 16
+        # Lockstep cores: the cluster clock is the max, not the sum.
+        assert merged.clock_cycles == 3_000
+
+    def test_pools_merge_by_bucket(self):
+        other = sample(pools=(
+            PoolMetrics(memory_size=4 << 20, free_shells=2, hits=5,
+                        misses=5, quarantines=2),
+            PoolMetrics(memory_size=8 << 20, free_shells=1, hits=1,
+                        misses=0),
+        ))
+        merged = aggregate([sample(), other])
+        assert [p.memory_size for p in merged.pools] == [4 << 20, 8 << 20]
+        four_mb = merged.pools[0]
+        assert (four_mb.hits, four_mb.misses) == (13, 7)
+        assert merged.quarantined_shells == 3
+        assert merged.pool_defects == 1
+
+    def test_hangs_by_kind_merges_per_kind(self):
+        """The PR-3 merge semantics, applied across cores."""
+        a = sample(hangs_by_kind={"no_progress": 2})
+        b = sample(hangs_by_kind={"no_progress": 1, "slow_progress": 3})
+        merged = aggregate([a, b])
+        assert merged.hangs_by_kind == {"no_progress": 3,
+                                        "slow_progress": 3}
+
+    def test_crash_and_shed_maps_merge(self):
+        a = sample(crashes_by_class={"guest_fault": 1},
+                   admission_shed={"queue_full": 2})
+        b = sample(crashes_by_class={"guest_fault": 2, "timeout": 1},
+                   admission_shed={"rate_limited": 1})
+        merged = aggregate([a, b])
+        assert merged.crashes_by_class == {"guest_fault": 3, "timeout": 1}
+        assert merged.admission_shed == {"queue_full": 2, "rate_limited": 1}
+
+    def test_breaker_states_most_degraded_wins(self):
+        a = sample(breaker_states={"img": "closed", "other": "open"})
+        b = sample(breaker_states={"img": "half_open", "other": "closed"})
+        merged = aggregate([a, b])
+        assert merged.breaker_states == {"img": "half_open", "other": "open"}
+
+    def test_queue_high_water_is_max(self):
+        merged = aggregate([sample(admission_queue_high_water=3),
+                            sample(admission_queue_high_water=7)])
+        assert merged.admission_queue_high_water == 7
+
+    def test_shared_store_not_double_counted(self):
+        store = {"backend": "durable", "chunks": 40, "dedup_ratio": 1.5}
+        merged = aggregate([sample(store=dict(store)),
+                            sample(store=dict(store))])
+        assert merged.store == store
+
+    def test_distinct_stores_sum_ints_average_floats(self):
+        a = sample(store={"backend": "durable", "chunks": 10,
+                          "dedup_ratio": 1.0})
+        b = sample(store={"backend": "durable", "chunks": 30,
+                          "dedup_ratio": 2.0})
+        merged = aggregate([a, b])
+        assert merged.store["chunks"] == 40
+        assert merged.store["dedup_ratio"] == 1.5
+        assert merged.store["backend"] == "durable"
+
+    def test_to_dict_still_canonical(self):
+        merged = aggregate([sample(), sample()])
+        assert merged.to_dict() == merged.to_dict()
