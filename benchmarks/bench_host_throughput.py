@@ -1,11 +1,18 @@
-"""Host throughput of the simulator's fast-path engine.
+"""Host throughput of the simulator's fast-path engine and superblock JIT.
 
 This benchmark measures *host* wall-clock time, not simulated cycles:
-how fast the interpreter chews through guest work with the fast-path
-engine (software TLB, predecoded dispatch, bulk-memory paths) on versus
-off.  Simulated cycles are asserted bit-identical in both modes -- the
-fast paths change how quickly the simulation runs, never what it
-computes.
+how fast the interpreter chews through guest work in each of its three
+engine modes.  Simulated cycles are asserted bit-identical across all
+modes -- the fast paths and the JIT change how quickly the simulation
+runs, never what it computes.
+
+Engine modes (the ablation axis, recorded in the results file):
+
+* ``reference``  -- plain interpreter, every layer on the slow path.
+* ``fast``       -- PR 4 fast-path engine (software TLB, predecoded
+                    dispatch, bulk-memory paths), superblock JIT off.
+* ``fast+jit``   -- trace-driven superblock JIT on top of the fast
+                    paths (the library default).
 
 Three workloads cover the engine's distinct hot paths:
 
@@ -20,8 +27,8 @@ Three workloads cover the engine's distinct hot paths:
 
 Results land in ``results/BENCH_host_throughput.json``.  If a committed
 baseline is present it is read *before* being overwritten and each
-workload's fast/slow speedup must stay within 30% of it (the ratio is
-host-independent to first order: both sides run on the same machine in
+workload's speedups must stay within 30% of it (the ratios are
+host-independent to first order: all sides run on the same machine in
 the same process).
 """
 
@@ -44,16 +51,25 @@ BOOT_LAUNCHES = 30
 HTTP_REQUESTS = 80
 #: Host wall-clock repeats per (workload, mode); best-of is reported.
 REPEATS = 3
-#: A fresh run must keep each workload's speedup within 30% of the
+#: A fresh run must keep each workload's speedups within 30% of the
 #: committed baseline's (satellite: CI regression gate).
 BASELINE_RATIO_FLOOR = 0.7
 
+#: The ablation axis.  JSON keys use ``slow`` / ``fast`` / ``fast_jit``
+#: (``slow``/``fast`` predate the JIT and keep old baselines readable).
+ENGINE_MODES = ("reference", "fast", "fast+jit")
+_MODE_KEY = {"reference": "slow", "fast": "fast", "fast+jit": "fast_jit"}
 
-def run_fib(fast_paths: bool):
+
+def _engine_kwargs(mode: str) -> dict:
+    return {"fast_paths": mode != "reference", "jit": mode == "fast+jit"}
+
+
+def run_fib(mode: str):
     """Instruction-dense: boot to LONG64, compute fib(22) recursively."""
     image = ImageBuilder().fib(Mode.LONG64, FIB_N)
     clock = Clock()
-    vm = VirtualMachine(4 * 1024 * 1024, clock, fast_paths=fast_paths)
+    vm = VirtualMachine(4 * 1024 * 1024, clock, **_engine_kwargs(mode))
     vm.load_program(image.program)
     info = vm.vmrun()
     assert info.reason is ExitReason.HLT, info
@@ -61,11 +77,11 @@ def run_fib(fast_paths: bool):
     return clock.cycles, vm.interp.instructions_retired
 
 
-def run_boot_storm(fast_paths: bool):
+def run_boot_storm(mode: str):
     """Transition-heavy: repeated cold boots through the raw KVM path."""
     image = ImageBuilder().minimal(Mode.LONG64)
     clock = Clock()
-    kvm = KVM(clock, fast_paths=fast_paths)
+    kvm = KVM(clock, **_engine_kwargs(mode))
     instructions = 0
     for _ in range(BOOT_LAUNCHES):
         handle = kvm.create_vm()
@@ -78,13 +94,13 @@ def run_boot_storm(fast_paths: bool):
     return clock.cycles, instructions
 
 
-def run_http_snapshot(fast_paths: bool):
+def run_http_snapshot(mode: str):
     """Runtime-heavy: snapshot-isolated HTTP serving on the Wasp stack."""
     from repro.apps.http.client import RequestGenerator
     from repro.apps.http.server import StaticHttpServer
     from repro.wasp import Wasp
 
-    wasp = Wasp(fast_paths=fast_paths)
+    wasp = Wasp(**_engine_kwargs(mode))
     wasp.kernel.fs.add_file("/srv/index.html", b"<html>bench</html>")
     server = StaticHttpServer(wasp, port=8080, isolation="snapshot")
     generator = RequestGenerator(wasp.kernel, server, "/index.html")
@@ -104,6 +120,7 @@ WORKLOADS = {
 @pytest.fixture(scope="module")
 def measured(report, host_timer):
     report.owns_results_file = True
+    report.engine_mode = "ablation:" + "/".join(ENGINE_MODES)
 
     baseline = None
     if RESULTS_PATH.exists():
@@ -114,35 +131,45 @@ def measured(report, host_timer):
 
     workloads = {}
     for name, fn in WORKLOADS.items():
-        (cycles_fast, insns_fast), fast_s = host_timer.best_of(
-            partial(fn, True), REPEATS)
-        (cycles_slow, insns_slow), slow_s = host_timer.best_of(
-            partial(fn, False), REPEATS)
+        cycles = {}
+        seconds = {}
+        insns = {}
+        for mode in ENGINE_MODES:
+            key = _MODE_KEY[mode]
+            (cycles[key], insns[key]), seconds[key] = host_timer.best_of(
+                partial(fn, mode), REPEATS)
         entry = {
-            "simulated_cycles": {"fast": cycles_fast, "slow": cycles_slow},
-            "host_seconds": {"fast": round(fast_s, 6), "slow": round(slow_s, 6)},
-            "speedup": round(slow_s / fast_s, 3),
+            "simulated_cycles": cycles,
+            "host_seconds": {k: round(s, 6) for k, s in seconds.items()},
+            # slow/fast: the PR 4 fast-path payoff.  fast/fast_jit: the
+            # additional superblock-JIT payoff on top of it (the >= 3x
+            # fib target).  slow/fast_jit: end-to-end.
+            "speedup": round(seconds["slow"] / seconds["fast"], 3),
+            "jit_speedup": round(seconds["fast"] / seconds["fast_jit"], 3),
+            "total_speedup": round(seconds["slow"] / seconds["fast_jit"], 3),
             "cycles_per_host_second": {
-                "fast": int(cycles_fast / fast_s),
-                "slow": int(cycles_slow / slow_s),
+                k: int(cycles[k] / seconds[k]) for k in seconds
             },
         }
-        if insns_fast is not None:
-            entry["guest_instructions"] = insns_fast
+        if insns["fast"] is not None:
+            entry["guest_instructions"] = insns["fast"]
             entry["insns_per_host_second"] = {
-                "fast": int(insns_fast / fast_s),
-                "slow": int(insns_slow / slow_s),
+                k: int(insns[k] / seconds[k]) for k in seconds
             }
         workloads[name] = entry
         report.row(f"{name}: fast-path speedup",
                    ">= 3x (fib)" if name == "fib" else "n/a",
                    f"{entry['speedup']:.2f}x")
+        report.row(f"{name}: jit speedup over fast",
+                   ">= 3x (fib)" if name == "fib" else "n/a",
+                   f"{entry['jit_speedup']:.2f}x")
         report.row(f"{name}: Mcycles / host s", "n/a",
-                   f"{entry['cycles_per_host_second']['fast'] / 1e6:,.1f}")
+                   f"{entry['cycles_per_host_second']['fast_jit'] / 1e6:,.1f}")
     report.note(f"best of {REPEATS} host timings per mode; simulated cycles "
-                f"are asserted identical fast vs slow")
+                f"are asserted identical across all engine modes")
 
     data = {
+        "engine_modes": list(ENGINE_MODES),
         "repeats": REPEATS,
         "workload_params": {
             "fib_n": FIB_N,
@@ -153,7 +180,8 @@ def measured(report, host_timer):
     }
     if baseline is not None:
         data["previous_speedups"] = {
-            name: entry.get("speedup")
+            name: {k: entry.get(k) for k in ("speedup", "jit_speedup")
+                   if entry.get(k) is not None}
             for name, entry in baseline.get("workloads", {}).items()
         }
     RESULTS_PATH.parent.mkdir(exist_ok=True)
@@ -164,10 +192,11 @@ def measured(report, host_timer):
 
 class TestHostThroughput:
     def test_simulated_cycles_identical(self, measured):
-        """Fast paths change host time only; the virtual clock is bit-exact."""
+        """Fast paths and JIT change host time only; the virtual clock is
+        bit-exact across all three engine modes."""
         for name, entry in measured["workloads"].items():
-            assert (entry["simulated_cycles"]["fast"]
-                    == entry["simulated_cycles"]["slow"]), name
+            cycles = entry["simulated_cycles"]
+            assert cycles["fast"] == cycles["slow"] == cycles["fast_jit"], name
 
     def test_instruction_dense_speedup(self, measured):
         """The predecode+TLB engine must pay off where instructions dominate.
@@ -176,6 +205,17 @@ class TestHostThroughput:
         because shared CI runners time noisily even under best-of.
         """
         assert measured["workloads"]["fib"]["speedup"] >= 2.0
+
+    def test_jit_speedup_over_fast_path(self, measured):
+        """The superblock JIT must deliver its own >= 3x on fib *on top of*
+        the fast-path engine (committed baseline; looser in-test floor
+        for runner noise)."""
+        assert measured["workloads"]["fib"]["jit_speedup"] >= 2.0
+
+    def test_jit_no_pathological_slowdown(self, measured):
+        """Compilation cost must never eat its winnings on any workload."""
+        for name, entry in measured["workloads"].items():
+            assert entry["jit_speedup"] >= 0.7, (name, entry["jit_speedup"])
 
     def test_no_pathological_slowdown(self, measured):
         for name, entry in measured["workloads"].items():
@@ -186,13 +226,18 @@ class TestHostThroughput:
         if baseline is None:
             pytest.skip("no committed baseline to compare against")
         for name, entry in baseline.get("workloads", {}).items():
-            if name not in measured["workloads"] or "speedup" not in entry:
+            if name not in measured["workloads"]:
                 continue
-            fresh = measured["workloads"][name]["speedup"]
-            assert fresh >= BASELINE_RATIO_FLOOR * entry["speedup"], (
-                f"{name}: speedup fell to {fresh:.2f}x from baseline "
-                f"{entry['speedup']:.2f}x (floor {BASELINE_RATIO_FLOOR:.0%})")
+            fresh = measured["workloads"][name]
+            for metric in ("speedup", "jit_speedup"):
+                if metric not in entry or metric not in fresh:
+                    continue
+                assert fresh[metric] >= BASELINE_RATIO_FLOOR * entry[metric], (
+                    f"{name}: {metric} fell to {fresh[metric]:.2f}x from "
+                    f"baseline {entry[metric]:.2f}x "
+                    f"(floor {BASELINE_RATIO_FLOOR:.0%})")
 
     def test_results_file_written(self, measured):
         stored = json.loads(RESULTS_PATH.read_text())
         assert len(stored["workloads"]) >= 3
+        assert stored["engine_modes"] == list(ENGINE_MODES)

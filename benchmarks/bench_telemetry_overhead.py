@@ -89,6 +89,7 @@ def measured(report):
     noop_fraction = counting.hook_calls * per_call / host_off
     enabled_fraction = (host_on - host_off) / host_off
     data = {
+        "engine_mode": report.engine_mode,
         "launches": LAUNCHES,
         "simulated_cycles": {"disabled": sim_off, "enabled": sim_on},
         "host_seconds": {"disabled": round(host_off, 6),

@@ -60,6 +60,7 @@ def measured(report):
     # overhead the <5% acceptance bound is about.
     noop_fraction = (2 * spans + events) * per_call / host_off
     data = {
+        "engine_mode": report.engine_mode,
         "launches": LAUNCHES,
         "simulated_cycles": {"disabled": sim_off, "enabled": sim_on},
         "host_seconds": {"disabled": round(host_off, 6),

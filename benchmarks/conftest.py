@@ -20,6 +20,19 @@ _RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 _SECTIONS: list[tuple[str, list[str]]] = []
 
 
+def engine_mode(fast_paths: bool = True, jit: bool = True) -> str:
+    """Canonical label for an interpreter engine configuration.
+
+    Every ``BENCH_*.json`` records the mode that produced it so results
+    are self-describing: ``reference`` (plain interpreter), ``fast``
+    (PR 4 fast-path engine, JIT off), or ``fast+jit`` (superblock JIT on
+    top of the fast paths -- the library default).
+    """
+    if not fast_paths:
+        return "reference"
+    return "fast+jit" if jit else "fast"
+
+
 class ExperimentReport:
     """Accumulates one experiment's comparison table."""
 
@@ -36,6 +49,11 @@ class ExperimentReport:
         #: richer schema than rows+data) set this to skip the default
         #: emission and avoid clobbering their file.
         self.owns_results_file = False
+        #: Engine configuration the module measured under, recorded in
+        #: its results file.  Defaults to the library default; modules
+        #: that pin a different configuration (or sweep several) set it
+        #: via :func:`engine_mode` or to an explicit label.
+        self.engine_mode = engine_mode()
 
     def line(self, text: str) -> None:
         self.lines.append(text)
@@ -105,6 +123,7 @@ def report(request):
         _RESULTS_DIR.mkdir(exist_ok=True)
         payload = {
             "experiment": experiment.title,
+            "engine_mode": experiment.engine_mode,
             "rows": experiment.rows,
             "data": experiment.data,
         }

@@ -862,6 +862,77 @@ def cmd_store(args: argparse.Namespace) -> int:
     return 0 if not problems else 1
 
 
+def cmd_jit(args: argparse.Namespace) -> int:
+    """Superblock-JIT introspection over a deterministic hot workload.
+
+    Launches recursive ``fib`` (the instruction-dense throughput
+    workload) ``--launches`` times on one KVM device, then prints the
+    device domain's compiled-block statistics (``stats``) or every live
+    block with its guest source lines (``dump``).  Two launches of the
+    same image demonstrate the per-image warm start: the second shell
+    attaches the already-compiled cache.
+    """
+    from repro.hw.clock import Clock
+    from repro.hw.cpu import Mode
+    from repro.hw.vmx import ExitReason
+    from repro.kvm.device import KVM
+    from repro.runtime.image import ImageBuilder
+
+    clock = Clock()
+    kvm = KVM(clock)
+    image = ImageBuilder().fib(Mode.LONG64, args.n)
+    for _ in range(args.launches):
+        handle = kvm.create_vm()
+        handle.set_user_memory_region(4 * 1024 * 1024)
+        vcpu = handle.create_vcpu()
+        handle.load_program(image.program)
+        info = vcpu.run()
+        if info.reason is not ExitReason.HLT:  # pragma: no cover - guard
+            print(f"workload did not halt: {info.reason}")
+            return 1
+        handle.close()
+    domain = kvm.jit_domain
+    if domain is None:  # pragma: no cover - jit force-disabled via env
+        print("superblock JIT disabled")
+        return 1
+    if args.jit_verb == "stats":
+        stats = domain.stats()
+        if args.json:
+            import json
+
+            print(json.dumps(stats, sort_keys=True, indent=2))
+            return 0
+        print(f"threshold            {stats['threshold']}")
+        print(f"blocks compiled      {stats['blocks_compiled']}")
+        print(f"invalidations        {stats['invalidations']}")
+        print(f"block runs           {stats['block_runs']}")
+        print(f"block instructions   {stats['block_instructions']}")
+        print("side exits:")
+        for reason, count in stats["side_exits"].items():
+            print(f"  {reason:<18} {count}")
+        print("images:")
+        for entry in stats["images"]:
+            print(f"  {entry['image']}: {entry['blocks']} blocks, "
+                  f"{entry['compiles']} compiles, "
+                  f"{entry['invalidations']} invalidations, "
+                  f"warm hit ratio {entry['warm_hit_ratio']:.2f}")
+        return 0
+    blocks = domain.dump()
+    if args.json:
+        import json
+
+        print(json.dumps(blocks, sort_keys=True, indent=2))
+        return 0
+    for blk in blocks:
+        print(f"{blk['image']} pc={blk['pc']:#x} entry={blk['entry']} "
+              f"len={blk['length']} mask={blk['mask_bits']}b "
+              f"paging={'on' if blk['paging'] else 'off'} "
+              f"pages={blk['pages']}")
+        for line in blk["instructions"]:
+            print(f"    {line}")
+    return 0
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     from repro.hw.costs import COSTS
     from repro.units import TINKER_HZ
@@ -1073,6 +1144,22 @@ def main(argv: list[str] | None = None) -> int:
     )
     scrub.add_argument("paths", nargs="+", help="files to integrity-check")
     scrub.set_defaults(handler=cmd_store)
+    jit = subparsers.add_parser(
+        "jit", help="superblock-JIT stats / compiled-block dump"
+    )
+    jit_verbs = jit.add_subparsers(dest="jit_verb", required=True)
+    for verb, help_text in (
+        ("stats", "run a hot workload, print the JIT domain's counters"),
+        ("dump", "run a hot workload, print every live compiled block"),
+    ):
+        sub = jit_verbs.add_parser(verb, help=help_text)
+        sub.add_argument("--n", type=int, default=15,
+                         help="fib(n) workload size (default 15)")
+        sub.add_argument("--launches", type=int, default=2,
+                         help="shells to launch (>=2 shows warm start)")
+        sub.add_argument("--json", action="store_true",
+                         help="machine-readable output")
+        sub.set_defaults(handler=cmd_jit)
     subparsers.add_parser("info", help="version + calibration").set_defaults(
         handler=cmd_info
     )

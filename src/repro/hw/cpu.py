@@ -55,9 +55,14 @@ class CpuFault(Exception):
     """An architectural violation (bad transition, bad register, ...)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Flags:
-    """The subset of RFLAGS the mini-ISA uses."""
+    """The subset of RFLAGS the mini-ISA uses.
+
+    Slotted: the interpreter writes ZF/SF/CF on every ALU instruction
+    and the superblock JIT's register-writeback spills hit these
+    attributes on every side exit, so the dict-free layout is hot.
+    """
 
     zero: bool = False
     sign: bool = False

@@ -33,6 +33,7 @@ from typing import Callable
 from repro.hw.costs import COSTS, CostModel
 from repro.hw.clock import Clock
 from repro.hw.cpu import CPU, CR0_PG, CpuFault, GPRS, MSR_EFER, Mode
+from repro.hw.jit import JitDomain, compile_block
 from repro.hw.memory import GuestMemory
 from repro.hw.paging import PageFault, translate, translate_watched
 from repro.trace.tracer import NO_TRACE, Category, Tracer
@@ -390,6 +391,8 @@ class Interpreter:
         tracer: Tracer | None = None,
         *,
         fast_paths: bool = True,
+        jit: bool = True,
+        jit_domain: JitDomain | None = None,
     ) -> None:
         self.cpu = cpu
         self.memory = memory
@@ -434,6 +437,39 @@ class Interpreter:
         #: Instructions completed before the exception in the last
         #: :meth:`run_steps` call (exact step-budget accounting for the VM).
         self.last_run_steps = 0
+        #: Superblock JIT (DESIGN.md SS15): only meaningful on the fast
+        #: path -- the reference path is the thing the JIT is verified
+        #: against, so ``fast_paths=False`` disables both.
+        # Generated superblocks advance the clock by mutating
+        # ``clock._cycles`` directly (no bound-method call per flush),
+        # which is only equivalent while ``advance`` is the base class's
+        # pure accumulator -- a subclass that overrides it (observing or
+        # transforming advances) silently falls back to the interpreter.
+        self.jit = (bool(jit) and fast_paths
+                    and type(clock).advance is Clock.advance)
+        self._jit_domain: JitDomain | None = None
+        self._jit_cache = None
+        self._jit_blocks: dict[int, object] = {}
+        self._jit_counts: dict[int, int] = {}
+        self._jit_exits: dict[str, int] = {}
+        #: Instructions fully completed inside the currently-running
+        #: superblock before a raising operation; ``-1`` outside blocks.
+        #: The run loop folds it into exact step accounting on exits.
+        self._sb_steps = -1
+        if self.jit:
+            self._jit_domain = (jit_domain if jit_domain is not None
+                                else JitDomain())
+            self._jit_exits = self._jit_domain.side_exits
+            memory.add_code_watch_listener(self._jit_invalidate_page)
+            # Superblock prologue context: one tuple unpack binds every
+            # per-interpreter object the generated code needs.  All of
+            # these are identity-stable for the interpreter's lifetime
+            # (cpu.regs is updated in place by reset()/load_state();
+            # cpu.flags is NOT in here because those paths replace it).
+            self._sb_ctx = (cpu, cpu.regs, clock,
+                            self._tlb.get if self._tlb is not None else None,
+                            self._phys, self._mem_read, self._mem_write,
+                            memory)
 
     # -- program management ---------------------------------------------------
     def load_program(self, program: Program) -> None:
@@ -446,10 +482,33 @@ class Interpreter:
         self.program = program
         self._by_addr = {insn.addr: insn for insn in program.instructions}
         self._decoded = self._predecode(program) if self.fast_paths else {}
+        if self.jit and self._decoded:
+            # Bind the per-image compiled-block cache (content-hash keyed,
+            # shared across every shell of the image in this domain):
+            # pooled and COW-restored shells re-attach here and start
+            # with whatever superblocks previous launches compiled.
+            cache = self._jit_domain.image_cache(program, self.costs)
+            cache.note_attach()
+            self._jit_cache = cache
+            self._jit_blocks = cache.blocks
+            self._jit_counts = cache.counts
+            pages = cache.watched_pages()
+            if pages:
+                self.memory.watch_code_pages(pages)
+        else:
+            self._jit_cache = None
+            self._jit_blocks = {}
+            self._jit_counts = {}
         if reset_rip:
             self.cpu.rip = program.entry()
         self._first_instruction_pending = True
         self.tlb_flush()
+
+    def _jit_invalidate_page(self, page: int) -> None:
+        """Push invalidation: a guest store touched a compiled code page."""
+        cache = self._jit_cache
+        if cache is not None:
+            cache.invalidate_page(page)
 
     def mark_entry(self) -> None:
         """Charge the first-instruction fetch cost on the next step."""
@@ -1451,6 +1510,99 @@ class Interpreter:
         decoded_get = self._decoded.get
         executed = 0
         fetch_fault = False
+        cache = self._jit_cache
+        if cache is not None:
+            # Superblock dispatch (DESIGN.md SS15): compiled blocks run
+            # when their entry guards hold (mode/paging unchanged since
+            # compile, remaining budget covers the block); otherwise the
+            # per-instruction handler path below takes over for this
+            # step.  Cold PCs are profiled; crossing the hotness
+            # threshold triggers compilation inline.
+            blocks_get = self._jit_blocks.get
+            counts = self._jit_counts
+            domain = self._jit_domain
+            dom_counters = domain.counters
+            exits = self._jit_exits
+            threshold = domain.threshold
+            blacklist = cache.blacklist
+            self._sb_steps = -1
+            # Mode guards hoisted out of the dispatch loop: only the
+            # excluded (per-instruction) ops can change mode or paging,
+            # so they are recomputed after each handler() call only.
+            mask = cpu.mask
+            paging = cpu.cr0 & CR0_PG != 0
+            runs = 0
+            insns = 0
+            try:
+                while executed < budget:
+                    rip = cpu.rip
+                    entry = blocks_get(rip)
+                    if entry is not None:
+                        fn, length, bmask, bpaging, seg = entry
+                        if bmask == mask and bpaging == paging:
+                            left = budget - executed
+                            if left >= length:
+                                ran = fn(self, left, seg)
+                                executed += ran
+                                runs += 1
+                                insns += ran
+                                continue
+                            exits["budget_guard"] += 1
+                        else:
+                            exits["mode_guard"] += 1
+                    else:
+                        count = counts.get(rip, 0) + 1
+                        counts[rip] = count
+                        if count == threshold and rip not in blacklist:
+                            blks = compile_block(self, rip)
+                            if blks is None:
+                                blacklist.add(rip)
+                            else:
+                                for blk in blks:
+                                    cache.register(blk)
+                                self.memory.watch_code_pages(blks[0].pages)
+                                continue  # dispatch it on this same rip
+                    handler = decoded_get(rip)
+                    if handler is None:
+                        fetch_fault = True
+                        break
+                    executed += 1
+                    handler()
+                    mask = cpu.mask
+                    paging = cpu.cr0 & CR0_PG != 0
+            except BaseException as exc:
+                steps = self._sb_steps
+                if steps >= 0:
+                    # The exception left a superblock mid-flight: fold in
+                    # the instructions it completed, plus the raising one
+                    # (accounted exactly like the handler path below), and
+                    # count the dispatch itself -- a block whose trace
+                    # ends in hlt/out always exits by raising.
+                    executed += steps + 1
+                    runs += 1
+                    insns += steps + 1
+                    self._sb_steps = -1
+                    if isinstance(exc, HaltExit):
+                        exits["halt"] += 1
+                    elif isinstance(exc, (IOOutExit, IOInExit)):
+                        exits["io"] += 1
+                    else:
+                        exits["fault"] += 1
+                if runs:
+                    dom_counters["block_runs"] += runs
+                    dom_counters["block_instructions"] += insns
+                self.instructions_retired += executed
+                self.last_run_steps = executed - 1
+                raise
+            if runs:
+                dom_counters["block_runs"] += runs
+                dom_counters["block_instructions"] += insns
+            self.instructions_retired += executed
+            self.last_run_steps = executed
+            if fetch_fault:
+                raise TripleFault(
+                    f"instruction fetch from unmapped rip {cpu.rip:#x}")
+            return executed
         try:
             while executed < budget:
                 handler = decoded_get(cpu.rip)

@@ -1,0 +1,1284 @@
+"""Trace-driven superblock JIT for the fast-path engine.
+
+The predecoded dispatch loop (DESIGN.md SS10) still pays one Python
+closure call, one dict lookup, and one ``clock.advance`` per guest
+instruction.  This module escapes that interpretive dispatch: the run
+loop profiles per-PC execution counts, and when a PC crosses the
+hotness threshold the instructions reachable from it along the
+predicted straight-line path are fused into a single *superblock* -- a
+generated Python function compiled with ``compile``/``exec`` that
+
+* charges cycles as compile-time constants, merged into one
+  ``clock.advance`` per run of non-memory instructions (flushed before
+  every raising operation, so the clock is bit-exact at every
+  observable point: EPT-fault charges, I/O exits, faults, traces);
+* caches the referenced general registers and flags in Python locals,
+  with *static* dirty tracking -- architectural state (``cpu.regs``,
+  ``cpu.flags``, ``cpu.rip``) is written back only at side exits and
+  immediately before any operation that can raise, so an exception
+  always propagates with exact state;
+* inlines the software-TLB hit path and the memory accessors;
+* side-exits on branch mispredict (conditional branches predict
+  fall-through), dynamic control flow, faults, halts and I/O, with
+  per-reason counters.
+
+Superblocks are compiled per *image* -- the cache key is the content
+hash of the program image (plus load base and cost-model identity) --
+so pooled shells and COW-restored shells attach an already-warm block
+cache and start hot.  Guest stores that touch a compiled code page fire
+push invalidation through :meth:`GuestMemory.watch_code_pages` (guest
+execution reads the static ``Program`` either way, so invalidation is
+model honesty, never a bit-equality risk).
+
+The contract throughout is the fast-path contract of DESIGN.md SS10:
+simulated cycles, registers, flags, dirty pages, component attribution
+and Chrome trace bytes are bit-identical to the reference interpreter.
+``tests/test_fast_path_equivalence.py`` and the differential fuzzer
+enforce it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hw.costs import CostModel
+    from repro.hw.isa import Instr, Interpreter, Program
+
+#: Executions of a PC before a superblock is compiled at it.
+DEFAULT_THRESHOLD = 32
+
+#: *Open* blocks shorter than this are not worth the call overhead.
+#: Closed traces (terminator-ended) and self-looping traces are exempt:
+#: even a lone ``ret`` beats re-profiling its PC on every execution.
+MIN_BLOCK_INSNS = 2
+
+#: Hard cap on instructions fused into one superblock segment.
+MAX_BLOCK_INSNS = 64
+
+#: Region caps: segments per generated function, instructions total.
+MAX_REGION_SEGMENTS = 8
+MAX_REGION_INSNS = 256
+
+PAGE_SHIFT = 12
+
+#: Same wire format as :mod:`repro.hw.memory`'s integer helpers; bound
+#: into generated code so the inline quiet-page store / bounds-checked
+#: load fast paths decode and pack exactly like the accessors they shadow.
+_U64 = struct.Struct("<Q")
+
+#: Side-exit reasons, in canonical (display) order.
+SIDE_EXIT_REASONS = ("branch", "fault", "halt", "io",
+                     "budget_guard", "mode_guard")
+
+_M64 = 0xFFFFFFFFFFFFFFFF
+
+_ALU_EXPR = {
+    "add": "{l} + {r}",
+    "sub": "{l} - {r}",
+    "and": "{l} & {r}",
+    "or": "{l} | {r}",
+    "xor": "{l} ^ {r}",
+    "shl": "{l} << ({r} & 63)",
+    "shr": "{l} >> ({r} & 63)",
+    "mul": "{l} * {r}",
+}
+
+#: Conditional-jump predicates over the flag *locals* (fz/fs/fc mirror
+#: ``cpu.flags`` exactly; see :class:`_Emitter`).
+_JCC_EXPR = {
+    "je": "fz",
+    "jne": "not fz",
+    "jl": "fs",
+    "jle": "fs or fz",
+    "jg": "not fs and not fz",
+    "jge": "not fs",
+    "jc": "fc",
+    "jnc": "not fc",
+}
+
+
+def _isa():
+    from repro.hw import isa
+    return isa
+
+
+class CompiledBlock:
+    """One dispatchable superblock entry: a region function + guards.
+
+    A *region* is one generated function covering several traces
+    (segments) that transfer control internally; each segment head gets
+    its own CompiledBlock sharing the function, distinguished by
+    ``entry`` (the segment index passed as the function's third
+    argument).
+    """
+
+    __slots__ = ("pc", "mask", "paging", "length", "pages", "lines",
+                 "source", "fn", "entry")
+
+    def __init__(self, pc: int, mask: int, paging: bool, length: int,
+                 pages: tuple, lines: tuple, source: str,
+                 fn: Callable, entry: int = 0) -> None:
+        self.pc = pc
+        #: Segment index of this entry within the region function.
+        self.entry = entry
+        #: Mode guard: the block is only valid while ``cpu.mask`` (and
+        #: hence operand width / stack width) matches.
+        self.mask = mask
+        #: Paging guard: translation was inlined for this paging state.
+        self.paging = paging
+        #: Maximum instructions the block can retire (the deadline-
+        #: slicing guard: enter only when the remaining budget covers it).
+        self.length = length
+        #: Guest code pages covered (push-invalidation targets).
+        self.pages = pages
+        #: Guest source lines, for ``repro jit dump``.
+        self.lines = lines
+        #: Generated Python source (debugging / dump).
+        self.source = source
+        self.fn = fn
+
+
+class ImageBlockCache:
+    """Compiled blocks + profile counts for one (image, cost-model).
+
+    The ``blocks`` dict is shared by reference with every interpreter
+    attached to the image (the generated functions take the interpreter
+    as their sole argument), which is what makes pooled and restored
+    shells start hot -- and what makes push invalidation global: popping
+    a PC here invalidates it for every shell at once.
+    """
+
+    __slots__ = ("key", "name", "blocks", "meta", "counts", "blacklist",
+                 "page_index", "compiles", "invalidations",
+                 "warm_hits", "warm_misses")
+
+    def __init__(self, key: tuple, name: str) -> None:
+        self.key = key
+        self.name = name
+        #: Dispatch entries: pc -> (fn, length, mask, paging, entry).  A
+        #: flat tuple, not the CompiledBlock, so the run loop unpacks
+        #: the guards in one statement instead of slot lookups per run.
+        self.blocks: dict[int, tuple] = {}
+        #: pc -> CompiledBlock (stats / dump / invalidation metadata).
+        self.meta: dict[int, CompiledBlock] = {}
+        self.counts: dict[int, int] = {}
+        #: PCs where block formation failed (uncompilable head).
+        self.blacklist: set[int] = set()
+        #: code page -> PCs of blocks covering it.
+        self.page_index: dict[int, set[int]] = {}
+        self.compiles = 0
+        self.invalidations = 0
+        #: Attaches that found a warm (non-empty) block cache.
+        self.warm_hits = 0
+        self.warm_misses = 0
+
+    def note_attach(self) -> None:
+        if self.blocks:
+            self.warm_hits += 1
+        else:
+            self.warm_misses += 1
+
+    def register(self, blk: CompiledBlock) -> None:
+        if blk.pc in self.blocks:
+            return  # first (hottest) registration wins
+        self.blocks[blk.pc] = (blk.fn, blk.length, blk.mask, blk.paging,
+                               blk.entry)
+        self.meta[blk.pc] = blk
+        for page in blk.pages:
+            self.page_index.setdefault(page, set()).add(blk.pc)
+        self.compiles += 1
+
+    def invalidate_page(self, page: int) -> int:
+        """Drop every block covering ``page``; returns how many."""
+        pcs = self.page_index.pop(page, None)
+        if not pcs:
+            return 0
+        dropped = 0
+        for pc in pcs:
+            if self.blocks.pop(pc, None) is not None:
+                dropped += 1
+            self.meta.pop(pc, None)
+            # Re-warm from zero so the region recompiles only if it
+            # stays hot after the modification.
+            self.counts[pc] = 0
+        self.invalidations += dropped
+        return dropped
+
+    def watched_pages(self) -> set[int]:
+        return set(self.page_index)
+
+    def stats(self) -> dict:
+        attaches = self.warm_hits + self.warm_misses
+        return {
+            "image": self.name,
+            "blocks": len(self.blocks),
+            "compiles": self.compiles,
+            "invalidations": self.invalidations,
+            "warm_hits": self.warm_hits,
+            "warm_misses": self.warm_misses,
+            "warm_hit_ratio": (self.warm_hits / attaches) if attaches else 0.0,
+        }
+
+
+class JitDomain:
+    """One engine's superblock domain: per-image caches + counters.
+
+    One domain per hypervisor backend (one per Wasp, one per cluster
+    core), never process-global: two same-seed runs in one process must
+    both start cold so telemetry snapshots stay byte-identical.
+    """
+
+    MAX_IMAGES = 16
+
+    def __init__(self, threshold: int | None = None) -> None:
+        if threshold is None:
+            threshold = int(os.environ.get("REPRO_JIT_THRESHOLD",
+                                           DEFAULT_THRESHOLD))
+        self.threshold = max(1, threshold)
+        self._images: "OrderedDict[tuple, ImageBlockCache]" = OrderedDict()
+        self._digests: dict[int, tuple] = {}
+        #: Side exits by reason, incremented by the run loop and the
+        #: generated code (plain ints: zero simulated cost, harvested
+        #: into telemetry by the hypervisor after each launch).
+        self.side_exits: dict[str, int] = {r: 0 for r in SIDE_EXIT_REASONS}
+        self.counters: dict[str, int] = {
+            "block_runs": 0,
+            "block_instructions": 0,
+        }
+
+    def image_cache(self, program: "Program",
+                    costs: "CostModel") -> ImageBlockCache:
+        pid = id(program)
+        memo = self._digests.get(pid)
+        if memo is None or memo[0] is not program:
+            digest = hashlib.sha256(program.image).hexdigest()
+            if len(self._digests) > 64:
+                self._digests.clear()
+            memo = (program, f"{digest[:16]}@{program.base:#x}")
+            self._digests[pid] = memo
+        key = (memo[1], id(costs))
+        cache = self._images.get(key)
+        if cache is None:
+            cache = self._images[key] = ImageBlockCache(key, memo[1])
+            while len(self._images) > self.MAX_IMAGES:
+                self._images.popitem(last=False)
+        else:
+            self._images.move_to_end(key)
+        return cache
+
+    def images(self) -> list[ImageBlockCache]:
+        return list(self._images.values())
+
+    def clear(self) -> None:
+        self._images.clear()
+        self._digests.clear()
+        for reason in self.side_exits:
+            self.side_exits[reason] = 0
+        for name in self.counters:
+            self.counters[name] = 0
+
+    def stats(self) -> dict:
+        total_compiles = sum(c.compiles for c in self._images.values())
+        total_inval = sum(c.invalidations for c in self._images.values())
+        return {
+            "threshold": self.threshold,
+            "blocks_compiled": total_compiles,
+            "invalidations": total_inval,
+            "block_runs": self.counters["block_runs"],
+            "block_instructions": self.counters["block_instructions"],
+            "side_exits": {r: self.side_exits[r] for r in SIDE_EXIT_REASONS},
+            "images": [c.stats() for c in self._images.values()],
+        }
+
+    def dump(self) -> list[dict]:
+        """Every live compiled block, for ``repro jit dump``."""
+        out = []
+        for cache in self._images.values():
+            for pc in sorted(cache.meta):
+                blk = cache.meta[pc]
+                out.append({
+                    "image": cache.name,
+                    "pc": blk.pc,
+                    "entry": blk.entry,
+                    "length": blk.length,
+                    "mask_bits": blk.mask.bit_length(),
+                    "paging": blk.paging,
+                    "pages": list(blk.pages),
+                    "instructions": list(blk.lines),
+                })
+        return out
+
+
+class _Emitter:
+    """Generates the superblock source, one guest instruction at a time.
+
+    The invariant every emission preserves: at every point where an
+    exception can *escape* the block, architectural state
+    (``cpu.regs``, ``cpu.flags``, ``cpu.rip``) equals the reference
+    interpreter's state at that exact point, the clock holds the
+    reference cycle count, and ``I._sb_steps`` holds the number of
+    instructions fully completed before the raising one.
+
+    The hot path pays for none of that: every potentially-raising
+    memory access is wrapped in a per-site ``try/except BaseException``
+    whose handler performs the register/flag writeback, RIP/step sync
+    and any pending clock flush before re-raising.  CPython 3.11+
+    makes the no-exception path of ``try`` free (zero-cost exceptions),
+    so dirty state stays in Python locals from block entry to exit.
+
+    Clock policy: cycle charges are compile-time constants accumulated
+    into ``pend``.  Loads defer their flush (nothing observes the clock
+    inside a load; the except handler flushes before propagating).
+    Stores that can fire callbacks -- EPT first-touch, COW break,
+    watched pages -- materialise ``pend`` first, because callbacks
+    advance the clock themselves and the tracer records their
+    timestamps (trace-byte equality); the inlined quiet-page store fast
+    path fires no callbacks, so ``pend`` stays deferred across it.
+    """
+
+    def __init__(self, pc: int, mask: int, nbytes: int, paging: bool,
+                 costs: "CostModel", seg_map: dict[int, int] | None = None,
+                 seg_lens: list[int] | None = None) -> None:
+        self.pc = pc
+        self.mask = mask
+        self.nbytes = nbytes
+        self.paging = paging
+        self.costs = costs
+        self.sign_bit = (mask + 1) >> 1
+        #: Region layout: guest head pc -> segment index, and each
+        #: segment's length.  An exit whose target is a segment head
+        #: becomes an internal transfer (``_pc = i; continue``) instead
+        #: of a return to the dispatcher -- state is written through at
+        #: the transfer, so every segment's statically-known spill sets
+        #: stay exact regardless of the path that reached it.
+        self.seg_map = seg_map if seg_map is not None else {}
+        self.seg_lens = seg_lens if seg_lens is not None else []
+        #: (head pc, body lines) per emitted segment.
+        self.seg_bodies: list[tuple[int, list[str]]] = []
+        self.body: list[str] = []
+        self.count = 0          # instructions emitted in this segment
+        self.pend = 0           # statically accumulated un-flushed cycles
+        self.reg_loads: list[str] = []   # prologue-loaded registers
+        self.defined: set[str] = set()   # registers with live locals
+        self.dirty: "OrderedDict[str, bool]" = OrderedDict()
+        #: Deferred flag-local assignments (dead-store elimination: a
+        #: flag set that is overwritten before any possible observation
+        #: is never emitted).  Flushed at every barrier -- exception
+        #: sites, exits, predicate reads -- and dropped when the next
+        #: flag-writing instruction arrives with no barrier in between.
+        self.pending_flags: list[str] | None = None
+        #: Register locals the pending flag lines read; a write to one
+        #: forces the flush (the deferred lines must still evaluate to
+        #: the values they had at the defining instruction).
+        self.pending_regs: set[str] = set()
+        self.flags_dirty = False
+        self.uses_flags_obj = False
+        self.uses_tlb = False
+        #: True once a 64-bit paged access inlined the bytearray fast
+        #: path (prologue then binds ``_data``/``_sz8``/the packers).
+        self.uses_mem8 = False
+        self.uses_quiet = False
+        self.read_widths: set[int] = set()
+        self.write_widths: set[int] = set()
+
+    def begin_segment(self, head: int) -> None:
+        """Start emitting a new region segment.
+
+        Per-path state (dirty registers, pending flags, unflushed
+        cycles, instruction count) resets: every way to *reach* a
+        segment -- function entry or an internal transfer -- leaves the
+        architectural objects fully synchronised.  Locals persist
+        (``defined`` carries over), which is the point: registers stay
+        in Python locals across segment transfers.
+        """
+        self.body = []
+        self.seg_bodies.append((head, self.body))
+        self.count = 0
+        self.pend = 0
+        self.pending_flags = None
+        self.pending_regs = set()
+        self.dirty = OrderedDict()
+        self.flags_dirty = False
+
+    # -- low-level helpers -------------------------------------------------
+    def E(self, line: str, ind: int = 0) -> None:
+        self.body.append("    " * ind + line)
+
+    def reg_read(self, name: str) -> str:
+        if name not in self.defined:
+            self.reg_loads.append(name)
+            self.defined.add(name)
+        return f"r_{name}"
+
+    def reg_write(self, name: str) -> str:
+        if self.pending_flags and name in self.pending_regs:
+            # A deferred flag line reads this register's local: emit the
+            # flag assignments now, before the overwrite is emitted.
+            self.flush_flags()
+        if name not in self.defined:
+            # Prologue-load even write-first registers: the region can be
+            # *entered* at any segment, and a later segment may read the
+            # local before this segment's write has run on that path.
+            self.reg_loads.append(name)
+            self.defined.add(name)
+        self.dirty[name] = True
+        return f"r_{name}"
+
+    def _ensure_flags(self) -> None:
+        # Flag locals are always defined at function entry (the prologue
+        # loads them whenever the region touches flags at all): a region
+        # can be *entered* at any segment, so per-segment definedness
+        # cannot be proven statically.
+        self.uses_flags_obj = True
+
+    def _write_flags(self) -> None:
+        self.flags_dirty = True
+        self.uses_flags_obj = True
+
+    def flush_flags(self) -> None:
+        """Materialise deferred flag-local assignments (barrier)."""
+        if self.pending_flags:
+            for line in self.pending_flags:
+                self.E(line)
+        self.pending_flags = None
+        self.pending_regs = set()
+
+    def _state_lines(self, k: int, next_rip: int,
+                     advance: bool) -> list[str]:
+        """The except-handler body: exact state for a propagating exit."""
+        lines = [f"regs['{n}'] = r_{n}" for n in self.dirty]
+        if self.flags_dirty:
+            lines += ["flags.zero = fz", "flags.sign = fs",
+                      "flags.carry = fc"]
+        lines.append(f"cpu.rip = {next_rip}")
+        lines.append(f"I._sb_steps = _done + {k}")
+        if self.paging:
+            lines.append("I.tlb_hits += _th")
+        if advance and self.pend:
+            lines.append(f"clk._cycles += {self.pend}")
+        return lines
+
+    def raise_site(self, k: int, next_rip: int, charge: int) -> None:
+        """State sync ahead of an unconditional ``raise`` (hlt/out/in)."""
+        self.flush_flags()
+        self.pend += charge
+        for line in self._state_lines(k, next_rip, advance=True):
+            self.E(line)
+        self.pend = 0
+
+    # -- memory ------------------------------------------------------------
+    def _translate(self, addr_expr: str, ind: int = 0) -> str:
+        """Virtual -> physical with a last-page memo over the TLB.
+
+        ``_lpg``/``_lfr`` memoise the most recent page's frame for the
+        lifetime of one region invocation.  The memo is count-exact: a
+        memo hit implies the page is (still) in the TLB -- the access
+        that populated the memo either hit the TLB or walked, and the
+        walk fills the TLB; nothing inside a region can evict it except
+        a store that reaches ``_touch_page`` on a translation-watched
+        page, which only the *slow* store path can do (watched pages are
+        never quiet), and that path resets the memo.  Hits are counted
+        in the ``_th`` local and folded into ``I.tlb_hits`` at every
+        function exit (return or raise); misses count inside ``walk``.
+        """
+        if not self.paging:
+            return addr_expr
+        self.uses_tlb = True
+        self.E(f"_a = {addr_expr}", ind)
+        self.E("_pg = _a >> 12", ind)
+        self.E("if _pg == _lpg:", ind)
+        self.E("_th += 1", ind + 1)
+        self.E("_p = _lfr | (_a & 4095)", ind + 1)
+        self.E("else:", ind)
+        self.E("_f = tlb_get(_pg)", ind + 1)
+        self.E("if _f is None:", ind + 1)
+        self.E("_p = walk(_a)", ind + 2)
+        self.E("_lfr = _p & -4096", ind + 2)
+        self.E("else:", ind + 1)
+        self.E("_th += 1", ind + 2)
+        self.E("_p = _f | (_a & 4095)", ind + 2)
+        self.E("_lfr = _f", ind + 2)
+        self.E("_lpg = _pg", ind + 1)
+        return "_p"
+
+    def emit_load(self, addr_expr: str, width: int, k: int,
+                  next_rip: int) -> str:
+        """A guest load; ``pend`` carries past it (deferred flush).
+
+        64-bit paged loads inline the accessor's own fast path -- bounds
+        check + in-place struct decode from the backing bytearray -- and
+        fall back to the bound accessor (which re-checks and raises the
+        proper error) when out of bounds.
+        """
+        self.flush_flags()
+        self.read_widths.add(width)
+        self.E("try:")
+        phys = self._translate(addr_expr, 1)
+        if self.paging and width == 8:
+            self.uses_mem8 = True
+            self.E(f"if {phys} <= _sz8:", 1)
+            self.E(f"_v = _up64(_data, {phys})[0]", 2)
+            self.E("else:", 1)
+            self.E(f"_v = read{width}({phys})", 2)
+        else:
+            self.E(f"_v = read{width}({phys})", 1)
+        self.E("except BaseException:")
+        for line in self._state_lines(k, next_rip, advance=True):
+            self.E(line, 1)
+        self.E("raise", 1)
+        return "_v"
+
+    def emit_store(self, addr_expr: str, val_expr: str, width: int,
+                   k: int, next_rip: int) -> None:
+        """A guest store.
+
+        The quiet-page fast path of ``write_u64`` -- in-bounds,
+        non-straddling store to a page that is already dirty and carries
+        no watch of any kind -- is inlined for 64-bit paged stores.  A
+        quiet store fires no callbacks and no listener can observe the
+        clock through it, so ``pend`` stays deferred across it.  The
+        slow path (first touch, CoW break, watched page, MMIO bounds
+        error) materialises ``pend`` first -- callbacks and tracers see
+        the exact clock -- calls the accessor, then rolls the advance
+        back so the compile-time ``pend`` constant stays uniform across
+        both branches; it also resets the translation memo, because a
+        watched-page store clears every registered TLB.
+        """
+        self.flush_flags()
+        self.write_widths.add(width)
+        if self.paging:
+            self.E("try:")
+            phys = self._translate(addr_expr, 1)
+            self.E("except BaseException:")
+            for line in self._state_lines(k, next_rip, advance=True):
+                self.E(line, 1)
+            self.E("raise", 1)
+            if width == 8:
+                self.uses_mem8 = True
+                self.uses_quiet = True
+                self.E(f"_q = {phys} >> 12")
+                self.E(f"if _q in _quiet and {phys} <= _sz8 "
+                       f"and ({phys} + 7) >> 12 == _q:")
+                self.E(f"_pk64(_data, {phys}, {val_expr} & {_M64})", 1)
+                self.E("else:")
+                if self.pend:
+                    self.E(f"clk._cycles += {self.pend}", 1)
+                self.E("try:", 1)
+                self.E(f"write{width}({phys}, {val_expr})", 2)
+                self.E("except BaseException:", 1)
+                for line in self._state_lines(k, next_rip, advance=False):
+                    self.E(line, 2)
+                self.E("raise", 2)
+                if self.pend:
+                    self.E(f"clk._cycles -= {self.pend}", 1)
+                self.E("_lpg = -1", 1)
+                return
+            if self.pend:
+                self.E(f"clk._cycles += {self.pend}")
+                self.pend = 0
+            self.E("try:")
+            self.E(f"write{width}({phys}, {val_expr})", 1)
+            self.E("except BaseException:")
+            for line in self._state_lines(k, next_rip, advance=False):
+                self.E(line, 1)
+            self.E("raise", 1)
+            self.E("_lpg = -1")
+            return
+        if self.pend:
+            self.E(f"clk._cycles += {self.pend}")
+            self.pend = 0
+        self.E("try:")
+        self.E(f"write{width}({addr_expr}, {val_expr})", 1)
+        self.E("except BaseException:")
+        for line in self._state_lines(k, next_rip, advance=False):
+            self.E(line, 1)
+        self.E("raise", 1)
+
+    def addr_expr(self, ref) -> str:
+        if ref.base is None:
+            return str(ref.disp & _M64)
+        base = self.reg_read(ref.base)
+        if ref.disp == 0:
+            return base  # already masked, <= mask <= 2**64-1
+        return f"({base} + {ref.disp}) & {_M64}"
+
+    # -- operands ----------------------------------------------------------
+    def pure_expr(self, operand, isa) -> str | None:
+        """Reg/Imm operand expression (masked); None for memory."""
+        if type(operand) is isa.Reg:
+            return self.reg_read(operand.name)
+        if type(operand) is isa.Imm:
+            return str(operand.value & self.mask)
+        return None
+
+    # -- flags -------------------------------------------------------------
+    #: Value-range kind of each ALU op's raw Python result, given masked
+    #: (non-negative, <= mask) operands.  Lets the generic carry test
+    #: ``t < 0 or t > mask`` fold to one comparison -- or, for ops whose
+    #: result already lies in [0, mask], lets the masking itself vanish.
+    _ALU_KIND = {"add": "pos", "shl": "pos", "mul": "pos",
+                 "sub": "neg",
+                 "and": "fit", "or": "fit", "xor": "fit", "shr": "fit"}
+
+    def set_from_result(self, result_expr: str, kind: str = "gen") -> str:
+        """Inline ``Flags.set_from_result``; returns the masked local.
+
+        The flag assignments are deferred (``pending_flags``); a prior
+        deferred set still pending here is dead -- this one overwrites
+        all three flags with no barrier in between -- and is dropped.
+        """
+        self._write_flags()
+        self.pending_flags = None
+        self.pending_regs = set()
+        self.E(f"_t = {result_expr}")
+        if kind == "fit":  # result already in [0, mask]
+            self.pending_flags = [
+                "fz = _t == 0",
+                f"fs = (_t & {self.sign_bit}) != 0",
+                "fc = False",
+            ]
+            return "_t"
+        if kind == "pos":      # result >= 0: only overflow can carry
+            carry = f"fc = _t > {self.mask}"
+        elif kind == "neg":    # result <= mask: only borrow can carry
+            carry = "fc = _t < 0"
+        else:
+            carry = f"fc = _t < 0 or _t > {self.mask}"
+        self.E(f"_m = _t & {self.mask}")
+        self.pending_flags = [
+            "fz = _m == 0",
+            f"fs = (_m & {self.sign_bit}) != 0",
+            carry,
+        ]
+        return "_m"
+
+    def _signed_expr(self, expr: str, local: str) -> str:
+        """Signed reinterpretation of a masked operand; constants fold."""
+        maskp1 = self.mask + 1
+        if expr.isdigit():
+            v = int(expr)
+            return str(v - maskp1 if v & self.sign_bit else v)
+        self.E(f"{local} = {expr} - {maskp1} if {expr} & {self.sign_bit} "
+               f"else {expr}")
+        return local
+
+    def cmp_flags(self, lhs: str, rhs: str) -> None:
+        """Inline the cmp flag protocol.
+
+        Both operands are masked (``[0, mask]``), so the reference
+        protocol -- ``set_from_result(l - r)`` then the signed sign
+        flag -- folds: zero is ``l == r``, carry is ``l < r``, and the
+        difference temporaries disappear entirely.  The deferred lines
+        read the operand locals directly, which is why ``reg_write``
+        flushes when it is about to overwrite one of them.
+        """
+        self._write_flags()
+        self.pending_flags = None
+        sl = self._signed_expr(lhs, "_sl")
+        sr = self._signed_expr(rhs, "_sr")
+        self.pending_flags = [
+            f"fz = {lhs} == {rhs}",
+            f"fc = {lhs} < {rhs}",
+            f"fs = {sl} < {sr}",
+        ]
+        self.pending_regs = {e[2:] for e in (lhs, rhs)
+                             if e.startswith("r_")}
+
+    # -- exits -------------------------------------------------------------
+    def exit_dynamic(self, rip_expr: str, retired: int) -> None:
+        """Segment completion with a runtime RIP (ret / dynamic jmp).
+
+        The runtime target is looked up in the region's segment map:
+        a hit transfers control internally (one dict probe + budget
+        compare), which is what keeps ``ret`` chains -- fib's unwind --
+        inside the generated function; a miss returns to the
+        dispatcher with exact architectural state.
+        """
+        self.flush_flags()
+        for line in self._spill_lines():
+            self.E(line)
+        self.E(f"_done += {retired}")
+        if self.pend:
+            self.E(f"clk._cycles += {self.pend}")
+            self.pend = 0
+        if self.seg_map:
+            self.E(f"_sg = _map.get({rip_expr})")
+            self.E("if _sg is not None and _left - _done >= _lens[_sg]:")
+            self.E("_pc = _sg", 1)
+            self.E("continue", 1)
+        self.E(f"cpu.rip = {rip_expr}")
+        if self.paging:
+            self.E("I.tlb_hits += _th")
+        self.E("return _done")
+
+    def exit_const(self, target: int) -> None:
+        """Segment completion continuing at a known PC."""
+        self.flush_flags()
+        idx = self.seg_map.get(target)
+        if idx is None:
+            for line in self._spill_lines():
+                self.E(line)
+            self.E(f"cpu.rip = {target}")
+            if self.pend:
+                self.E(f"clk._cycles += {self.pend}")
+                self.pend = 0
+            if self.paging:
+                self.E("I.tlb_hits += _th")
+            self.E(f"return _done + {self.count}")
+            return
+        for line in self._spill_lines():
+            self.E(line)
+        self.E(f"_done += {self.count}")
+        if self.pend:
+            self.E(f"clk._cycles += {self.pend}")
+            self.pend = 0
+        self.E(f"if _left - _done >= {self.seg_lens[idx]}:")
+        self.E(f"_pc = {idx}", 1)
+        self.E("continue", 1)
+        self.E(f"cpu.rip = {target}")
+        if self.paging:
+            self.E("I.tlb_hits += _th")
+        self.E("return _done")
+
+    def _spill_lines(self) -> list[str]:
+        lines = [f"regs['{n}'] = r_{n}" for n in self.dirty]
+        if self.flags_dirty:
+            lines += ["flags.zero = fz", "flags.sign = fs",
+                      "flags.carry = fc"]
+        return lines
+
+    def branch_exit(self, pred: str, target: int) -> None:
+        """A predicted-not-taken branch's taken path.
+
+        A taken target that is itself a region segment transfers
+        internally (a mispredict then costs one counter bump and a
+        compare, not a dispatcher round trip); otherwise this is a true
+        side exit.  Either way ``pend`` is *not* reset: the fall-through
+        path still carries it.
+        """
+        self.flush_flags()
+        self.E(f"if {pred}:")
+        for line in self._spill_lines():
+            self.E(line, 1)
+        if self.pend:
+            self.E(f"clk._cycles += {self.pend}", 1)
+        self.E("I._jit_exits['branch'] += 1", 1)
+        idx = self.seg_map.get(target)
+        if idx is None:
+            self.E(f"cpu.rip = {target}", 1)
+            if self.paging:
+                self.E("I.tlb_hits += _th", 1)
+            self.E(f"return _done + {self.count + 1}", 1)
+            return
+        self.E(f"_done += {self.count + 1}", 1)
+        self.E(f"if _left - _done >= {self.seg_lens[idx]}:", 1)
+        self.E(f"_pc = {idx}", 2)
+        self.E("continue", 2)
+        self.E(f"cpu.rip = {target}", 1)
+        if self.paging:
+            self.E("I.tlb_hits += _th", 1)
+        self.E("return _done", 1)
+
+    # -- assembly ----------------------------------------------------------
+    def assemble(self) -> str:
+        # One tuple unpack binds every per-interpreter object the region
+        # needs (the tuple is built once per interpreter; see
+        # Interpreter._sb_ctx).  ``flags`` stays a separate read:
+        # cpu.reset()/load_state() replace the Flags object.
+        prologue = [
+            "cpu, regs, clk, tlb_get, walk, _mr, _mw, _mem = I._sb_ctx",
+        ]
+        if self.uses_flags_obj:
+            prologue.append("flags = cpu.flags")
+        for width in sorted(self.read_widths):
+            prologue.append(f"read{width} = _mr[{width}]")
+        for width in sorted(self.write_widths):
+            prologue.append(f"write{width} = _mw[{width}]")
+        if self.uses_mem8:
+            # Re-derived each invocation: ``fill()`` rebinds the backing
+            # bytearray, so it is not identity-stable across runs.
+            prologue.append("_data = _mem._data")
+            prologue.append("_sz8 = _mem.size - 8")
+            if 8 in self.read_widths:
+                prologue.append("_up64 = _UP64")
+            if self.uses_quiet:
+                prologue.append("_quiet = _mem._quiet")
+                prologue.append("_pk64 = _PK64")
+        if self.paging:
+            # Translation memo (invalid at entry) + batched TLB-hit count.
+            prologue.append("_lpg = -1")
+            prologue.append("_lfr = 0")
+            prologue.append("_th = 0")
+        for name in self.reg_loads:
+            prologue.append(f"r_{name} = regs['{name}'] & {self.mask}")
+        if self.uses_flags_obj:
+            # Always defined at entry: the region can be entered at any
+            # segment, so flag-local definedness is not path-provable.
+            prologue.append("fz = flags.zero")
+            prologue.append("fs = flags.sign")
+            prologue.append("fc = flags.carry")
+        # ``_done``: instructions retired by completed segments (except
+        # sites and side exits add their segment-relative offset).
+        prologue.append("_done = 0")
+        lines = [f"def _superblock(I, _left, _pc):  # region {self.pc:#x}"]
+        lines += ["    " + l for l in prologue]
+        lines.append("    while True:")
+        kw = "if"
+        for head, body in self.seg_bodies:
+            lines.append(f"        {kw} _pc == {self.seg_map.get(head, 0)}:"
+                         f"  # {head:#x}")
+            lines += ["            " + l for l in body]
+            kw = "elif"
+        return "\n".join(lines) + "\n"
+
+    # -- the per-instruction dispatcher ------------------------------------
+    def emit_insn(self, insn: "Instr", isa) -> tuple[bool, int | None]:
+        """Emit one instruction.
+
+        Returns ``(included, next_pc)``: ``(False, None)`` means the
+        instruction cannot be fused (close the block before it),
+        ``(True, None)`` means it terminated the block itself, and
+        ``(True, pc)`` continues tracing at ``pc``.
+        """
+        op = insn.op
+        ops = insn.operands
+        if any(type(o) is isa.CtrlReg for o in ops):
+            return False, None
+        Reg, Imm, MemRef = isa.Reg, isa.Imm, isa.MemRef
+        costs = self.costs
+        base = costs.INSN_BASE
+        mask = self.mask
+        width = self.nbytes
+        next_rip = insn.addr + insn.size
+        k = self.count
+
+        if op == "nop":
+            self.pend += base
+            self.count += 1
+            return True, next_rip
+
+        if op in ("cli", "sti"):
+            self.pend += base
+            self.uses_flags_obj = True
+            self.E(f"flags.interrupts = {op == 'sti'}")
+            self.count += 1
+            return True, next_rip
+
+        if op == "mov":
+            dst, src = ops
+            if type(dst) is Imm:
+                return False, None  # write-to-immediate: keep on slow path
+            sexpr = self.pure_expr(src, isa)
+            if type(dst) is Reg and sexpr is not None:
+                self.pend += base
+                self.E(f"{self.reg_write(dst.name)} = {sexpr}")
+                self.count += 1
+                return True, next_rip
+            if type(dst) is Reg:  # Reg <- Mem
+                self.pend += base + costs.INSN_MEM
+                value = self.emit_load(self.addr_expr(src), width,
+                                       k, next_rip)
+                local = self.reg_write(dst.name)
+                self.E(f"{local} = {value} & {mask}")
+                self.count += 1
+                return True, next_rip
+            # Mem <- Reg/Imm/Mem
+            if sexpr is not None:
+                self.pend += base + costs.INSN_MEM + costs.STORE8
+                self.emit_store(self.addr_expr(dst), sexpr, width,
+                                k, next_rip)
+            else:  # Mem <- Mem: read charges first, then the write
+                self.pend += base + costs.INSN_MEM
+                value = self.emit_load(self.addr_expr(src), width,
+                                       k, next_rip)
+                self.E(f"_w = {value} & {mask}")
+                self.pend += costs.INSN_MEM + costs.STORE8
+                self.emit_store(self.addr_expr(dst), "_w", width,
+                                k, next_rip)
+            self.count += 1
+            return True, next_rip
+
+        alu = _ALU_EXPR.get(op)
+        if alu is not None:
+            dst, src = ops
+            if type(dst) is Imm:
+                return False, None
+            dexpr = self.pure_expr(dst, isa)
+            sexpr = self.pure_expr(src, isa)
+            kind = self._ALU_KIND.get(op, "gen")
+            if type(dst) is Reg and dexpr is not None and sexpr is not None:
+                self.pend += base
+                masked = self.set_from_result(
+                    alu.format(l=dexpr, r=sexpr), kind)
+                self.E(f"{self.reg_write(dst.name)} = {masked}")
+                self.count += 1
+                return True, next_rip
+            # Memory form: read dst, read src, flags, write dst.
+            self.pend += base
+            if dexpr is None:
+                self.pend += costs.INSN_MEM
+                value = self.emit_load(self.addr_expr(dst), width,
+                                       k, next_rip)
+                self.E(f"_x = {value}")
+                dexpr = "_x"
+            if sexpr is None:
+                self.pend += costs.INSN_MEM
+                value = self.emit_load(self.addr_expr(src), width,
+                                       k, next_rip)
+                self.E(f"_y = {value}")
+                sexpr = "_y"
+            masked = self.set_from_result(alu.format(l=dexpr, r=sexpr), kind)
+            if type(dst) is Reg:
+                self.E(f"{self.reg_write(dst.name)} = {masked}")
+            else:
+                self.pend += costs.INSN_MEM + costs.STORE8
+                self.emit_store(self.addr_expr(dst), masked, width,
+                                k, next_rip)
+            self.count += 1
+            return True, next_rip
+
+        if op in ("inc", "dec"):
+            delta = "+ 1" if op == "inc" else "- 1"
+            kind = "pos" if op == "inc" else "neg"
+            target = ops[0]
+            if type(target) is Reg:
+                self.pend += base
+                local = self.reg_read(target.name)
+                masked = self.set_from_result(f"{local} {delta}", kind)
+                self.E(f"{self.reg_write(target.name)} = {masked}")
+                self.count += 1
+                return True, next_rip
+            if type(target) is not MemRef:
+                return False, None
+            self.pend += base + costs.INSN_MEM
+            value = self.emit_load(self.addr_expr(target), width,
+                                   k, next_rip)
+            masked = self.set_from_result(f"{value} {delta}", kind)
+            self.pend += costs.INSN_MEM + costs.STORE8
+            self.emit_store(self.addr_expr(target), masked, width,
+                            k, next_rip)
+            self.count += 1
+            return True, next_rip
+
+        if op in ("cmp", "test"):
+            lhs, rhs = ops
+            lexpr = self.pure_expr(lhs, isa)
+            rexpr = self.pure_expr(rhs, isa)
+            self.pend += base
+            if lexpr is None:
+                self.pend += costs.INSN_MEM
+                self.E(f"_x = {self.emit_load(self.addr_expr(lhs), width, k, next_rip)}")
+                lexpr = "_x"
+            if rexpr is None:
+                self.pend += costs.INSN_MEM
+                self.E(f"_y = {self.emit_load(self.addr_expr(rhs), width, k, next_rip)}")
+                rexpr = "_y"
+            if op == "cmp":
+                self.cmp_flags(lexpr, rexpr)
+            else:
+                self.set_from_result(f"{lexpr} & {rexpr}", "fit")
+            self.count += 1
+            return True, next_rip
+
+        if op == "jmp":
+            target = ops[0]
+            if type(target) is Imm:
+                # Unconditional constant jump: fuse straight through it
+                # (the caller redirects tracing; no code is emitted).
+                self.pend += base
+                self.count += 1
+                return True, target.value & mask
+            if type(target) is Reg:
+                self.pend += base
+                local = self.reg_read(target.name)
+                self.count += 1
+                self.exit_dynamic(local, self.count)
+                return True, None
+            self.pend += base + costs.INSN_MEM
+            value = self.emit_load(self.addr_expr(target), width,
+                                   k, next_rip)
+            self.count += 1
+            self.exit_dynamic(value, self.count)
+            return True, None
+
+        pred = _JCC_EXPR.get(op)
+        if pred is not None:
+            target = ops[0]
+            if type(target) is not Imm:
+                return False, None
+            self.pend += base
+            self._ensure_flags()
+            self.branch_exit(pred, target.value & mask)
+            self.count += 1
+            return True, next_rip
+
+        if op == "call":
+            target = ops[0]
+            if type(target) is MemRef:
+                self.pend += base + costs.INSN_CALL + costs.INSN_MEM
+                value = self.emit_load(self.addr_expr(target), width,
+                                       k, next_rip)
+                self.E(f"_c = {value}")
+                sp = self.reg_read("sp")
+                self.E(f"_s = ({sp} - {width}) & {mask}")
+                self.E(f"{self.reg_write('sp')} = _s")
+                self.pend += costs.INSN_MEM + costs.STORE8
+                self.emit_store("_s", str(next_rip & mask), width,
+                                k, next_rip)
+                self.count += 1
+                self.exit_dynamic("_c", self.count)
+                return True, None
+            if type(target) is Reg:
+                # Capture before the sp update (the target may be sp).
+                texpr = self.reg_read(target.name)
+                self.E(f"_c = {texpr}")
+            sp = self.reg_read("sp")
+            self.E(f"_s = ({sp} - {width}) & {mask}")
+            self.E(f"{self.reg_write('sp')} = _s")
+            self.pend += (base + costs.INSN_CALL + costs.INSN_MEM
+                          + costs.STORE8)
+            self.emit_store("_s", str(next_rip & mask), width, k, next_rip)
+            self.count += 1
+            if type(target) is Reg:
+                self.exit_dynamic("_c", self.count)
+                return True, None
+            return True, target.value & mask  # fuse into the callee
+
+        if op == "ret":
+            self.pend += base + costs.INSN_CALL + costs.INSN_MEM
+            sp = self.reg_read("sp")
+            value = self.emit_load(sp, width, k, next_rip)
+            self.E(f"{self.reg_write('sp')} = ({sp} + {width}) & {mask}")
+            self.count += 1
+            self.exit_dynamic(value, self.count)
+            return True, None
+
+        if op == "push":
+            src = ops[0]
+            sexpr = self.pure_expr(src, isa)
+            if sexpr is not None:
+                sp = self.reg_read("sp")
+                self.E(f"_s = ({sp} - {width}) & {mask}")
+                self.E(f"{self.reg_write('sp')} = _s")
+                self.pend += base + costs.INSN_MEM + costs.STORE8
+                self.emit_store("_s", sexpr, width, k, next_rip)
+                self.count += 1
+                return True, next_rip
+            # push [mem]: source read charges (and can fault) first.
+            self.pend += base + costs.INSN_MEM
+            value = self.emit_load(self.addr_expr(src), width, k, next_rip)
+            self.E(f"_w = {value} & {mask}")
+            sp = self.reg_read("sp")
+            self.E(f"_s = ({sp} - {width}) & {mask}")
+            self.E(f"{self.reg_write('sp')} = _s")
+            self.pend += costs.INSN_MEM + costs.STORE8
+            self.emit_store("_s", "_w", width, k, next_rip)
+            self.count += 1
+            return True, next_rip
+
+        if op == "pop":
+            if type(ops[0]) is not Reg:
+                return False, None
+            self.pend += base + costs.INSN_MEM
+            sp = self.reg_read("sp")
+            value = self.emit_load(sp, width, k, next_rip)
+            self.E(f"{self.reg_write('sp')} = ({sp} + {width}) & {mask}")
+            self.E(f"{self.reg_write(ops[0].name)} = {value} & {mask}")
+            self.count += 1
+            return True, next_rip
+
+        if op == "stos64":
+            di = self.reg_read("di")
+            self.E(f"_s = {di}")
+            self.pend += base + costs.INSN_MEM + costs.STORE8
+            # h_stos64 stores the *raw* accumulator (no masking): use
+            # the local only when it is dirty (then it equals what the
+            # reference dict would hold); a clean local is the *masked*
+            # image of a possibly-wider dict value, so read the dict.
+            val = "r_ax" if "ax" in self.dirty else "regs['ax']"
+            self.emit_store("_s", val, 8, k, next_rip)
+            self.E(f"{self.reg_write('di')} = (_s + 8) & {mask}")
+            self.count += 1
+            return True, next_rip
+
+        if op == "hlt":
+            self.raise_site(k, next_rip, base)
+            self.E("cpu.halted = True")
+            self.E("raise HaltExit()")
+            self.count += 1
+            return True, None
+
+        if op == "out":
+            pexpr = self.pure_expr(ops[0], isa)
+            vexpr = self.pure_expr(ops[1], isa)
+            if pexpr is None or vexpr is None:
+                return False, None
+            self.raise_site(k, next_rip, base)
+            self.E(f"raise IOOutExit(port={pexpr}, value={vexpr})")
+            self.count += 1
+            return True, None
+
+        if op == "in":
+            if type(ops[0]) is not Reg:
+                return False, None
+            pexpr = self.pure_expr(ops[1], isa)
+            if pexpr is None:
+                return False, None
+            self.raise_site(k, next_rip, base)
+            self.E(f"raise IOInExit(port={pexpr}, dest={ops[0].name!r})")
+            self.count += 1
+            return True, None
+
+        # lgdt / ljmp / wrmsr / rdmsr / unknown: component-charging or
+        # mode-changing -- always left to the per-instruction path.
+        return False, None
+
+
+def _trace(interp, em: _Emitter, pc: int, isa,
+           conts: list[int] | None = None):
+    """Drive ``em`` over the straight-line trace starting at ``pc``.
+
+    Tracing follows fall-through edges, fuses unconditional
+    ``jmp``/``call`` immediates, predicts conditional branches not-taken
+    (side exit on taken), and closes on dynamic control flow, raising
+    terminators, uncompilable instructions, revisited PCs (loops) or the
+    length cap.  When ``conts`` is given, statically-known continuation
+    PCs are collected into it: taken branch targets, and the return site
+    of every ``call`` (the address its push made a future ``ret``
+    target) -- these seed further region segments.
+
+    Returns ``(closed, cur, guest_lines, spans)``; ``closed`` is False
+    when the trace ended open at PC ``cur``.
+    """
+    by_addr = interp._by_addr
+    visited: set[int] = set()
+    guest_lines: list[str] = []
+    spans: list[tuple[int, int]] = []
+    cur = pc
+    closed = False
+    while em.count < MAX_BLOCK_INSNS:
+        if cur in visited:
+            break
+        insn = by_addr.get(cur)
+        if insn is None:
+            break
+        if conts is not None:
+            op = insn.op
+            if op == "call":
+                conts.append((insn.addr + insn.size) & em.mask)
+            elif op in _JCC_EXPR and insn.operands \
+                    and type(insn.operands[0]) is isa.Imm:
+                conts.append(insn.operands[0].value & em.mask)
+        included, nxt = em.emit_insn(insn, isa)
+        if not included:
+            break
+        visited.add(cur)
+        guest_lines.append(f"{insn.addr:#06x}: {insn.line or insn.op}")
+        spans.append((insn.addr, insn.size))
+        if nxt is None:
+            closed = True
+            break
+        cur = nxt
+    return closed, cur, guest_lines, spans
+
+
+def compile_block(interp: "Interpreter", pc: int) -> list[CompiledBlock] | None:
+    """Compile the hot *region* rooted at ``pc``.
+
+    Phase 1 discovers the region: the trace at ``pc`` plus, breadth-
+    first, the traces at every statically-known continuation (taken
+    branch targets, call return sites) up to the region caps.  Phase 2
+    re-emits every segment into one generated function whose segments
+    transfer control internally -- so a hot call/return web (fib's
+    descent, base-case return and unwind chains) runs as plain Python
+    control flow, entering the dispatcher only on budget exhaustion,
+    I/O, faults or targets outside the region.
+
+    Returns one dispatch entry per segment head (they share the
+    function), or ``None`` when the head instruction cannot be fused
+    (the caller blacklists the PC).
+    """
+    isa = _isa()
+    cpu = interp.cpu
+    mask = cpu.mask
+    paging = cpu.paging_enabled
+    # -- phase 1: discovery --------------------------------------------
+    heads = [pc]
+    seen = {pc}
+    seg_info: list[tuple[int, int]] = []   # (head, length)
+    total = 0
+    i = 0
+    while i < len(heads) and len(seg_info) < MAX_REGION_SEGMENTS:
+        head = heads[i]
+        i += 1
+        em = _Emitter(head, mask, cpu.nbytes, paging, interp.costs)
+        conts: list[int] = []
+        closed, cur, _, _ = _trace(interp, em, head, isa, conts)
+        if em.count == 0:
+            if head == pc:
+                return None
+            continue  # secondary head starts uncompilable: drop it
+        if head == pc and em.count < MIN_BLOCK_INSNS and not closed \
+                and cur != pc:
+            return None
+        if not closed:
+            conts.append(cur)
+        seg_info.append((head, em.count))
+        total += em.count
+        if total >= MAX_REGION_INSNS:
+            break
+        by_addr = interp._by_addr
+        for c in conts:
+            if c not in seen and by_addr.get(c) is not None:
+                seen.add(c)
+                heads.append(c)
+    # -- phase 2: emission ---------------------------------------------
+    seg_map = {head: idx for idx, (head, _) in enumerate(seg_info)}
+    seg_lens = [length for _, length in seg_info]
+    em = _Emitter(pc, mask, cpu.nbytes, paging, interp.costs,
+                  seg_map, seg_lens)
+    seg_lines: list[tuple] = []
+    spans: list[tuple[int, int]] = []
+    for head, _ in seg_info:
+        em.begin_segment(head)
+        closed, cur, guest_lines, seg_spans = _trace(interp, em, head, isa)
+        if not closed:
+            em.exit_const(cur)
+        seg_lines.append(tuple(guest_lines))
+        spans.extend(seg_spans)
+    source = em.assemble()
+    namespace = {
+        "HaltExit": isa.HaltExit,
+        "IOOutExit": isa.IOOutExit,
+        "IOInExit": isa.IOInExit,
+        "_map": seg_map,
+        "_lens": tuple(seg_lens),
+        "_UP64": _U64.unpack_from,
+        "_PK64": _U64.pack_into,
+    }
+    exec(compile(source, f"<superblock {pc:#x}>", "exec"), namespace)
+    fn = namespace["_superblock"]
+    pages = set()
+    for addr, size in spans:
+        pages.update(range(addr >> PAGE_SHIFT,
+                           ((addr + max(size, 1) - 1) >> PAGE_SHIFT) + 1))
+    pages = tuple(sorted(pages))
+    return [
+        CompiledBlock(
+            pc=head,
+            mask=mask,
+            paging=paging,
+            length=length,
+            pages=pages,
+            lines=seg_lines[idx],
+            source=source,
+            fn=fn,
+            entry=idx,
+        )
+        for idx, (head, length) in enumerate(seg_info)
+    ]

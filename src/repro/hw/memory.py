@@ -53,6 +53,16 @@ class GuestMemory:
         self.translation_version = 0
         self._watched_pages: set[int] = set()
         self._registered_tlbs: list[dict[int, int]] = []
+        # Guest code pages covered by compiled superblocks.  A *guest
+        # store* to one fires the registered listeners (push invalidation
+        # for the JIT's per-image compiled-block cache) and un-watches the
+        # page -- one-shot, re-armed when the region recompiles.  Host-side
+        # bulk mutations (image load, snapshot restore) deliberately do
+        # not fire: they re-install the very image the blocks were
+        # compiled from, and dropping blocks there would destroy the
+        # warm-start property of pooled/restored shells.
+        self._code_watch_pages: set[int] = set()
+        self._code_watch_listeners: list[Callable[[int], None]] = []
         # Pages where a store needs no bookkeeping at all: already dirty
         # and touched, not CoW-pending, not watched.  Populated by
         # _touch_page, drained by every event that re-arms any of those
@@ -92,6 +102,11 @@ class GuestMemory:
                 self.on_first_touch(page)
         if page in self._watched_pages:
             self._invalidate_translations()
+        if page in self._code_watch_pages:
+            # Self-modifying store over a compiled superblock region.
+            self._code_watch_pages.discard(page)
+            for listener in self._code_watch_listeners:
+                listener(page)
         # Every condition above is now settled for this page (a watched
         # page was just un-watched by the invalidation; the next walk
         # re-watches it and discards it from the quiet set again).
@@ -140,6 +155,20 @@ class GuestMemory:
     def clear_translation_watch(self) -> None:
         """Forget all watched pages (called when the TLB is flushed)."""
         self._watched_pages.clear()
+
+    # -- compiled-code watches (superblock JIT) -------------------------------
+    def add_code_watch_listener(self, listener: Callable[[int], None]) -> None:
+        """Register a callback fired with the page number when a guest
+        store touches a watched code page (see :attr:`_code_watch_pages`)."""
+        self._code_watch_listeners.append(listener)
+
+    def watch_code_pages(self, pages: Iterable[int]) -> None:
+        """Arm store-watches on ``pages`` (compiled superblock coverage)."""
+        pages = set(pages)
+        self._code_watch_pages.update(pages)
+        # Watched pages must leave the quiet set so the write helpers
+        # route their next store through _touch_page.
+        self._quiet.difference_update(pages)
 
     @property
     def touched_pages(self) -> int:
@@ -341,6 +370,7 @@ class GuestMemory:
         self._dirty.clear()
         self._cow_pending.clear()
         self._quiet.clear()
+        self._code_watch_pages.clear()
         self._invalidate_translations()
 
     def copy_from(self, other: "GuestMemory") -> None:
@@ -353,6 +383,7 @@ class GuestMemory:
         self._data[:] = other._data
         self._dirty = set(other._dirty)
         self._quiet.clear()
+        self._code_watch_pages.clear()
         self._invalidate_translations()
 
     def snapshot_bytes(self) -> bytes:

@@ -23,6 +23,7 @@ from repro.faults import NO_FAULTS, FaultPlan, FaultSite
 from repro.hw.clock import Clock
 from repro.hw.costs import COSTS, CostModel
 from repro.hw.isa import Program
+from repro.hw.jit import JitDomain
 from repro.hw.vmx import ExitInfo, ExitReason, VirtualMachine
 from repro.replay.stream import NO_RECORD, InterfaceRecorder
 from repro.trace.tracer import NO_TRACE, Category, Tracer
@@ -57,6 +58,8 @@ class HyperV:
         tracer: Tracer | None = None,
         fast_paths: bool = True,
         recorder: InterfaceRecorder | None = None,
+        jit: bool = True,
+        jit_domain: JitDomain | None = None,
     ) -> None:
         self.clock = clock
         self.costs = costs
@@ -66,6 +69,10 @@ class HyperV:
         self.recorder = recorder if recorder is not None else NO_RECORD
         #: Forwarded to every VirtualMachine this device creates.
         self.fast_paths = fast_paths
+        #: Device-scoped superblock-JIT domain (see repro.kvm.device).
+        self.jit = bool(jit) and fast_paths
+        self.jit_domain = (jit_domain if jit_domain is not None
+                           else JitDomain()) if self.jit else None
         self.vms_created = 0
         #: Partitions released via ``PartitionHandle.close`` (leak
         #: accounting mirrors the KVM device).
@@ -87,7 +94,8 @@ class HyperV:
         return VirtualMachine(memory_size=size, clock=self.clock,
                               costs=self.costs, tracer=self.tracer,
                               fast_paths=self.fast_paths,
-                              recorder=self.recorder)
+                              recorder=self.recorder,
+                              jit=self.jit, jit_domain=self.jit_domain)
 
 
 class PartitionHandle:

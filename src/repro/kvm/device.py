@@ -23,6 +23,7 @@ from repro.faults import NO_FAULTS, FaultPlan, FaultSite
 from repro.hw.clock import Clock
 from repro.hw.costs import COSTS, CostModel
 from repro.hw.isa import Program
+from repro.hw.jit import JitDomain
 from repro.hw.vmx import ExitInfo, ExitReason, VirtualMachine
 from repro.replay.stream import NO_RECORD, InterfaceRecorder
 from repro.trace.tracer import NO_TRACE, Category, Tracer
@@ -43,6 +44,8 @@ class KVM:
         tracer: Tracer | None = None,
         fast_paths: bool = True,
         recorder: InterfaceRecorder | None = None,
+        jit: bool = True,
+        jit_domain: JitDomain | None = None,
     ) -> None:
         self.clock = clock
         self.costs = costs
@@ -52,6 +55,14 @@ class KVM:
         self.recorder = recorder if recorder is not None else NO_RECORD
         #: Forwarded to every VirtualMachine this device creates.
         self.fast_paths = fast_paths
+        #: Superblock-JIT domain shared by every VM of this device: pooled
+        #: shells and snapshot restores re-attach the same per-image block
+        #: caches, so later launches start with compiled blocks (warm
+        #: start).  Device-scoped (not process-global) so same-seed runs
+        #: are reproducible within one process.
+        self.jit = bool(jit) and fast_paths
+        self.jit_domain = (jit_domain if jit_domain is not None
+                           else JitDomain()) if self.jit else None
         self.vms_created = 0
         #: VM fds released via ``VMHandle.close`` (leak accounting:
         #: ``vms_created - vms_closed`` is the live-handle population).
@@ -71,7 +82,8 @@ class KVM:
         return VirtualMachine(memory_size=size, clock=self.clock,
                               costs=self.costs, tracer=self.tracer,
                               fast_paths=self.fast_paths,
-                              recorder=self.recorder)
+                              recorder=self.recorder,
+                              jit=self.jit, jit_domain=self.jit_domain)
 
 
 class VMHandle:

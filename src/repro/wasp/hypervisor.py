@@ -98,6 +98,7 @@ class Wasp:
         tracer: Tracer | None = None,
         trace: bool = False,
         fast_paths: bool = True,
+        jit: bool = True,
         cores: int = 1,
         recorder: InterfaceRecorder | None = None,
         replay: Any = None,
@@ -108,6 +109,11 @@ class Wasp:
         #: predecoded dispatch, bulk restores).  Simulated cycles are
         #: identical either way; ``False`` selects the reference paths.
         self.fast_paths = fast_paths
+        #: Superblock JIT (DESIGN.md SS15): rides on the fast path, so
+        #: ``fast_paths=False`` implies ``jit=False``.  The backend device
+        #: owns the :class:`~repro.hw.jit.JitDomain`, whose per-image
+        #: block caches give pooled/restored shells their warm start.
+        self.jit = bool(jit) and fast_paths
         self.fault_plan = fault_plan if fault_plan is not None else NO_FAULTS
         if kernel is not None:
             self.kernel = kernel
@@ -160,13 +166,13 @@ class Wasp:
         elif backend == "kvm":
             self.kvm = KVM(self.clock, costs, fault_plan=self.fault_plan,
                            tracer=self.tracer, fast_paths=fast_paths,
-                           recorder=self.recorder)
+                           recorder=self.recorder, jit=self.jit)
         else:
             from repro.hyperv.device import HyperV
 
             self.kvm = HyperV(self.clock, costs, fault_plan=self.fault_plan,
                               tracer=self.tracer, fast_paths=fast_paths,
-                              recorder=self.recorder)
+                              recorder=self.recorder, jit=self.jit)
         self.backend = backend
         #: Backend-neutral alias ("kvm" is the historical attribute name).
         self.vmm = self.kvm
@@ -187,6 +193,9 @@ class Wasp:
         self.cores = cores
         self._pools: dict[int, ShellPool | ShardedShellPool] = {}
         self.launches = 0
+        #: High-water marks of the JIT domain's monotonic stats already
+        #: drained into telemetry counters (delta harvest per launch).
+        self._jit_harvested: dict[tuple, int] = {}
         #: Launches killed by step budget or cycle deadline.
         self.timeouts = 0
         #: Snapshot restores that failed integrity and fell back cold.
@@ -339,6 +348,7 @@ class Wasp:
             raise
         finally:
             self.tracer.end(launch_span)
+            self._harvest_jit_telemetry()
         self.recorder.launch_end(
             image.name, "ok", exit_code=virtine.exit_code,
             from_snapshot=from_snapshot,
@@ -364,6 +374,42 @@ class Wasp:
             ax=final_ax,
             milestones=milestones,
         )
+
+    def _harvest_jit_telemetry(self) -> None:
+        """Drain JIT-domain stat deltas into dimensional counters.
+
+        The domain's plain-int stats are monotonic; this folds the growth
+        since the previous harvest into telemetry (image-labelled where
+        the stat is per-image).  Runs unconditionally -- with telemetry
+        disabled every ``inc`` is the null-object no-op -- and never reads
+        or advances the clock, so the sim-cost contract holds.
+        """
+        domain = getattr(self.kvm, "jit_domain", None)
+        if domain is None:
+            return
+        telemetry = self.telemetry
+        seen = self._jit_harvested
+        for reason, total in domain.side_exits.items():
+            delta = total - seen.get(("exit", reason), 0)
+            if delta > 0:
+                telemetry.counter("jit_side_exits_total",
+                                  reason=reason).inc(delta)
+                seen[("exit", reason)] = total
+        for name, total in domain.counters.items():
+            delta = total - seen.get(("ctr", name), 0)
+            if delta > 0:
+                telemetry.counter(f"jit_{name}_total").inc(delta)
+                seen[("ctr", name)] = total
+        for cache in domain.images():
+            stats = cache.stats()
+            for stat in ("compiles", "invalidations",
+                         "warm_hits", "warm_misses"):
+                total = stats[stat]
+                delta = total - seen.get((stat, cache.name), 0)
+                if delta > 0:
+                    telemetry.counter(f"jit_{stat}_total",
+                                      image=cache.name).inc(delta)
+                    seen[(stat, cache.name)] = total
 
     def launch_many(
         self,

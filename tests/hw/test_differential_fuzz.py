@@ -23,9 +23,10 @@ import random
 
 import pytest
 
+from repro.hw import paging
 from repro.hw.clock import Clock
 from repro.hw.costs import COSTS
-from repro.hw.cpu import CPU, Mode
+from repro.hw.cpu import CPU, CR0_PE, CR0_PG, EFER_LME, Mode
 from repro.hw.isa import (
     Assembler,
     ExecutionError,
@@ -35,6 +36,7 @@ from repro.hw.isa import (
     IOOutExit,
     TripleFault,
 )
+from repro.hw.jit import JitDomain
 from repro.hw.memory import GuestMemory
 
 #: How many generated programs to run (CI runs the full 200; a local
@@ -199,12 +201,267 @@ def test_fast_path_bit_equal_to_reference(case):
     )
 
 
+# -- superblock-targeted fuzzing (PR 9: the JIT's contract) ------------------
+#
+# The forward-only generator above almost never revisits a PC, so it
+# exercises the JIT's *cold* path only.  The generators below build what
+# superblocks are made of: counted backward loops (hot PCs), data-
+# dependent mispredicted exits, call/ret chains (region transfers),
+# self-modifying stores over compiled pages (push invalidation), and
+# control-register writes mid-loop (TLB flush between block runs).
+# Termination is by construction: every loop runs on a dedicated,
+# monotonically decremented counter register; every other branch is
+# forward.  Each case runs three ways -- reference, fast path with the
+# JIT off, fast path with the JIT forced hot (threshold 2) -- and every
+# observable must be bit-equal.
+
+#: Registers the loop-body generator may clobber (cx/dx are loop
+#: counters, r11 holds the CR3 reload value, sp/di as above).
+_JIT_REGS = ("ax", "bx", "si", "r8", "r9", "r10")
+_JIT_THRESHOLD = 2
+
+
+def _loop_body_item(rng, emit, call_targets) -> None:
+    kind = rng.choices(
+        ("arith", "cmp", "mem", "stack", "call", "stos", "io"),
+        weights=(10, 4, 6, 2, 3 if call_targets else 0, 1, 1),
+    )[0]
+    reg = lambda: rng.choice(_JIT_REGS)
+    if kind == "arith":
+        if rng.random() < 0.25:
+            emit(f"{rng.choice(('inc', 'dec'))} {reg()}")
+        elif rng.random() < 0.25:
+            emit(f"{rng.choice(('shl', 'shr'))} {reg()}, {rng.randrange(0, 16)}")
+        else:
+            src = reg() if rng.random() < 0.5 else f"{rng.randrange(0, 0x10000):#x}"
+            emit(f"{rng.choice(_BIN_OPS)} {reg()}, {src}")
+    elif kind == "cmp":
+        src = reg() if rng.random() < 0.5 else f"{rng.randrange(0, 0x10000):#x}"
+        emit(f"{rng.choice(('cmp', 'test'))} {reg()}, {src}")
+    elif kind == "mem":
+        target = rng.randrange(DATA_LO, DATA_HI) & ~0x7
+        if rng.random() < 0.5:
+            emit(f"mov [{target:#x}], {reg()}")
+        else:
+            emit(f"mov {reg()}, [{target:#x}]")
+    elif kind == "stack":
+        emit(f"push {reg()}")
+        emit(f"pop {reg()}")
+    elif kind == "call":
+        emit(f"call {rng.choice(call_targets)}")
+    elif kind == "stos":
+        emit("stos64")
+    else:
+        port = rng.randrange(0, 0x100)
+        if rng.random() < 0.5:
+            emit(f"out {port:#x}, {reg()}")
+        else:
+            emit(f"in {reg()}, {port:#x}")
+
+
+def generate_hot_loop_program(seed: int, *, smc: bool = False,
+                              cr3_reload: bool = False) -> str:
+    """Counted loops with mispredicted exits, calls, and optional
+    self-modifying stores / CR3 reloads.  LONG64 only (the modes that
+    matter for the superblock engine's guards are covered by the mode
+    guard itself)."""
+    rng = random.Random(seed * 0x9E3779B1 + 7)
+    lines = ["mov sp, 0x7f00", "mov di, 0x6800"]
+    if cr3_reload:
+        lines.append("mov r11, cr3")
+    emit = lines.append
+    helpers = rng.randrange(1, 3)
+    call_targets = [f"fn{i}" for i in range(helpers)]
+    for li in range(rng.randrange(1, 4)):
+        iters = rng.randrange(6, 32)
+        counter = "cx" if li % 2 == 0 else "dx"
+        emit(f"mov {counter}, {iters}")
+        emit(f"L{li}:")
+        for _ in range(rng.randrange(2, 7)):
+            _loop_body_item(rng, emit, call_targets)
+        if smc:
+            # A store over the program's own first code page: any
+            # compiled region there must be dropped and re-heated.
+            patch = 0x8000 + (rng.randrange(0, 0x100) & ~0x7)
+            emit(f"mov [{patch:#x}], {rng.choice(_JIT_REGS)}")
+        if cr3_reload:
+            # Reloading the same root is architecturally a full TLB
+            # flush: every translation re-walks on the next block run.
+            emit("mov cr3, r11")
+        if rng.random() < 0.7:
+            # Data-dependent early exit: taken on exactly one iteration
+            # (a guaranteed branch mispredict inside a hot loop).
+            emit(f"cmp {counter}, {rng.randrange(1, iters)}")
+            emit(f"je X{li}")
+        emit(f"dec {counter}")
+        emit(f"cmp {counter}, 0")
+        emit(f"jne L{li}")
+        emit(f"X{li}:")
+    emit("hlt")
+    for i in range(helpers):
+        emit(f"fn{i}:")
+        for _ in range(rng.randrange(1, 4)):
+            src = (rng.choice(_JIT_REGS) if rng.random() < 0.5
+                   else f"{rng.randrange(0, 0x10000):#x}")
+            emit(f"{rng.choice(_BIN_OPS)} {rng.choice(_JIT_REGS)}, {src}")
+        emit("ret")
+    return "\n".join(lines)
+
+
+def execute_long64(source: str, *, fast_paths: bool, jit: bool = False,
+                   domain: JitDomain | None = None,
+                   paged: bool = False) -> tuple[dict, Interpreter]:
+    """Run ``source`` in LONG64 (optionally paged); observables + interp."""
+    cpu = CPU()
+    cpu.mode = Mode.LONG64
+    memory = GuestMemory(8 * 1024 * 1024)
+    if paged:
+        cr3 = paging.build_identity_map(
+            memory, paging.IdentityMapLayout.at(0x100000))
+        cpu.cr0 = CR0_PE | CR0_PG
+        cpu.efer = EFER_LME
+        cpu.cr3 = cr3
+    clock = Clock()
+    interp = Interpreter(cpu, memory, clock, COSTS, fast_paths=fast_paths,
+                         jit=jit, jit_domain=domain)
+    interp.load_program(Assembler(0x8000).assemble(source))
+    outs: list[tuple[int, int]] = []
+    exits: list[str] = []
+    in_count = 0
+    executed = 0
+    while True:
+        try:
+            interp.run_steps(CHUNK)
+            executed += CHUNK
+            if executed > 200_000:
+                raise ExecutionError("runaway guest (generator bug)")
+        except HaltExit:
+            exits.append("hlt")
+            break
+        except IOOutExit as exit_event:
+            outs.append((exit_event.port, exit_event.value))
+            exits.append("out")
+        except IOInExit as exit_event:
+            value = (exit_event.port * 167 + in_count * 41 + 7) & 0xFFFF
+            interp.resume_with_input(exit_event.dest, value)
+            in_count += 1
+            exits.append("in")
+        except TripleFault as fault:
+            exits.append(f"fault:{fault}")
+            break
+    obs = {
+        "regs": {r: cpu.read_reg(r) for r in
+                 ("ax", "bx", "cx", "dx", "si", "di", "sp", "bp",
+                  "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15")},
+        "rip": cpu.rip,
+        "flags": (cpu.flags.zero, cpu.flags.sign, cpu.flags.carry,
+                  cpu.flags.interrupts),
+        "dirty": memory.capture_dirty(),
+        "cycles": clock.cycles,
+        "component_cycles": dict(interp.component_cycles),
+        "retired": interp.instructions_retired,
+        "outs": outs,
+        "exits": exits,
+    }
+    return obs, interp
+
+
+def _run_three_ways(source: str, *, paged: bool = False):
+    """reference / fast / fast+jit; returns (jit domain, fast, jit interp)."""
+    domain = JitDomain(threshold=_JIT_THRESHOLD)
+    jit_obs, jit_interp = execute_long64(source, fast_paths=True, jit=True,
+                                         domain=domain, paged=paged)
+    fast_obs, fast_interp = execute_long64(source, fast_paths=True,
+                                           paged=paged)
+    ref_obs, _ = execute_long64(source, fast_paths=False, paged=paged)
+    return domain, jit_obs, fast_obs, ref_obs, jit_interp, fast_interp
+
+
+class TestSuperblockHotLoops:
+    """Hot counted loops with mispredicted exits and call/ret regions."""
+
+    compiled_total = 0
+
+    @pytest.mark.parametrize("case", range(CASES))
+    def test_jit_bit_equal_on_hot_loops(self, case):
+        seed = BASE_SEED + case
+        source = generate_hot_loop_program(seed)
+        domain, jit_obs, fast_obs, ref_obs, *_ = _run_three_ways(source)
+        assert jit_obs == fast_obs == ref_obs, (
+            f"superblock engine diverged; replay with "
+            f"REPRO_FUZZ_SEED={seed} REPRO_FUZZ_CASES=1\n"
+            f"--- program ---\n{source}"
+        )
+        TestSuperblockHotLoops.compiled_total += (
+            domain.stats()["blocks_compiled"])
+
+    def test_corpus_actually_compiled_blocks(self):
+        """The class above proves nothing if every case stayed cold."""
+        assert TestSuperblockHotLoops.compiled_total > 0
+
+
+class TestSuperblockSelfModifyingCode:
+    """Stores over compiled code pages: push invalidation under fire."""
+
+    invalidations_total = 0
+
+    @pytest.mark.parametrize("case", range(CASES))
+    def test_smc_bit_equal_and_invalidates(self, case):
+        seed = BASE_SEED + case
+        source = generate_hot_loop_program(seed, smc=True)
+        domain, jit_obs, fast_obs, ref_obs, *_ = _run_three_ways(source)
+        assert jit_obs == fast_obs == ref_obs, (
+            f"SMC invalidation diverged; replay with "
+            f"REPRO_FUZZ_SEED={seed} REPRO_FUZZ_CASES=1\n"
+            f"--- program ---\n{source}"
+        )
+        TestSuperblockSelfModifyingCode.invalidations_total += (
+            domain.stats()["invalidations"])
+
+    def test_corpus_actually_invalidated(self):
+        assert TestSuperblockSelfModifyingCode.invalidations_total > 0
+
+
+class TestSuperblockTlbFlushMidLoop:
+    """CR3 reloads between block runs: the paged guards + TLB counters."""
+
+    @pytest.mark.parametrize("case", range(CASES // 4))
+    def test_cr3_reload_bit_equal_including_tlb(self, case):
+        seed = BASE_SEED + case
+        source = generate_hot_loop_program(seed, cr3_reload=True)
+        (domain, jit_obs, fast_obs, ref_obs,
+         jit_interp, fast_interp) = _run_three_ways(source, paged=True)
+        assert jit_obs == fast_obs == ref_obs, (
+            f"paged superblock diverged; replay with "
+            f"REPRO_FUZZ_SEED={seed} REPRO_FUZZ_CASES=1\n"
+            f"--- program ---\n{source}"
+        )
+        # The TLB counters are host telemetry, not simulated state, but
+        # the JIT inlines the hit path *and* memoises the last page --
+        # the counts must still match the plain fast path exactly.
+        assert ((jit_interp.tlb_hits, jit_interp.tlb_misses,
+                 jit_interp.tlb_flushes)
+                == (fast_interp.tlb_hits, fast_interp.tlb_misses,
+                    fast_interp.tlb_flushes)), (
+            f"TLB counter divergence; replay with REPRO_FUZZ_SEED={seed}"
+        )
+
+
 class TestHarness:
     """The fuzzer only proves something if its own pieces are sound."""
 
     def test_generator_is_deterministic(self):
         assert generate_program(1234) == generate_program(1234)
         assert generate_program(1234) != generate_program(1235)
+
+    def test_hot_loop_generator_is_deterministic(self):
+        assert (generate_hot_loop_program(1234)
+                == generate_hot_loop_program(1234))
+        assert (generate_hot_loop_program(1234)
+                != generate_hot_loop_program(1235))
+        smc = generate_hot_loop_program(1234, smc=True)
+        assert "mov [0x80" in smc  # the self-modifying store is present
+        assert "mov cr3, r11" in generate_hot_loop_program(7, cr3_reload=True)
 
     def test_generated_programs_cover_every_kind(self):
         kinds_seen = set()

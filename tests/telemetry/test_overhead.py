@@ -62,6 +62,41 @@ class TestCycleEquivalence:
         assert costs[0] == costs[1]
 
 
+class TestJitTelemetry:
+    """Superblock JIT counters ride the same zero-sim-cost contract."""
+
+    @staticmethod
+    def run_fib(telemetry: bool) -> "Wasp":
+        from repro.runtime.image import Mode
+
+        wasp = Wasp(telemetry=telemetry)
+        image = ImageBuilder().fib(Mode.LONG64, 15)
+        for _ in range(2):
+            wasp.launch(image, policy=PermissivePolicy(), use_snapshot=False)
+        return wasp
+
+    def test_jit_counters_present_when_on(self):
+        wasp = self.run_fib(telemetry=True)
+        samples = {}
+        for inst in wasp.telemetry.instruments():
+            if inst.kind == "counter":
+                samples[inst.name] = samples.get(inst.name, 0) + inst.value
+        assert samples.get("jit_block_runs_total", 0) > 0
+        assert samples.get("jit_block_instructions_total", 0) > 0
+        assert samples.get("jit_compiles_total", 0) > 0
+        # Second launch of the same image attaches the cached blocks.
+        assert samples.get("jit_warm_hits_total", 0) > 0
+
+    def test_jit_harvest_is_null_object_safe(self):
+        """With telemetry off, harvesting must not create instruments or
+        perturb the clock: cycles match the metered run bit-for-bit."""
+        off = self.run_fib(telemetry=False)
+        on = self.run_fib(telemetry=True)
+        assert off.clock.cycles == on.clock.cycles
+        assert not off.telemetry.enabled
+        assert not off.telemetry.instruments()
+
+
 class TestTraceByteEquivalence:
     def test_chrome_trace_bytes_identical(self):
         """Telemetry must never leak into the span trace -- including

@@ -34,6 +34,38 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["frobnicate"])
 
+    def test_jit_stats(self, capsys):
+        assert main(["jit", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "blocks compiled" in out
+        assert "side exits:" in out
+        assert "warm hit ratio" in out
+
+    def test_jit_stats_json(self, capsys):
+        import json
+
+        assert main(["jit", "stats", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["blocks_compiled"] > 0
+        assert stats["block_runs"] > 0
+        assert set(stats["side_exits"]) == {
+            "branch", "fault", "halt", "io", "budget_guard", "mode_guard"}
+        # Two launches of one image: the second attach must be warm.
+        assert stats["images"][0]["warm_hit_ratio"] > 0
+
+    def test_jit_dump(self, capsys):
+        assert main(["jit", "dump"]) == 0
+        out = capsys.readouterr().out
+        assert "pc=0x" in out
+        assert "paging=on" in out  # the fib loop compiles under paging
+
+    def test_jit_dump_json(self, capsys):
+        import json
+
+        assert main(["jit", "dump", "--json"]) == 0
+        blocks = json.loads(capsys.readouterr().out)
+        assert blocks and all("instructions" in blk for blk in blocks)
+
     def test_command_required(self):
         with pytest.raises(SystemExit):
             main([])
