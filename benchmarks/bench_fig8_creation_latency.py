@@ -84,9 +84,18 @@ def measured(world, report):
     sgx_create = sgx.create()
     sgx_ecall = sgx.ecall()
 
+    # Isolation-spectrum creation rows (ROADMAP item 2): the SUD
+    # context is a prctl + mprotect; the container stacks namespaces,
+    # a cgroup, pivot_root, and a seccomp load on top of a fork.
+    from repro.host.backend import create_host
+
+    sud_create = create_host("sud").backend_impl.creation_cycles()
+    container_create = create_host("container").backend_impl.creation_cycles()
+
     rows = {
         "function": function,
         "vmrun": vmrun,
+        "SUD context": sud_create,
         "Wasp+CA (cached, async clean)": wasp_cached_async,
         "Wasp+C (cached)": wasp_cached,
         "Linux pthread": pthread,
@@ -94,11 +103,13 @@ def measured(world, report):
         "Wasp (scratch)": wasp_scratch,
         "KVM (create + hlt)": kvm_create,
         "Linux process": process,
+        "Container": container_create,
         "SGX Create": sgx_create,
     }
     paper_hint = {
         "function": "~30 cyc",
         "vmrun": "hardware limit",
+        "SUD context": "prctl + mprotect",
         "Wasp+CA (cached, async clean)": "within 4% of vmrun",
         "Wasp+C (cached)": "< pthread",
         "Linux pthread": "tens of us",
@@ -106,6 +117,7 @@ def measured(world, report):
         "Wasp (scratch)": "~KVM create",
         "KVM (create + hlt)": "100Ks of cyc",
         "Linux process": "~1 ms scale",
+        "Container": "> process",
         "SGX Create": "ms scale",
     }
     for label, cycles in rows.items():
@@ -139,6 +151,16 @@ class TestShape:
 
     def test_sgx_series(self, measured):
         assert measured["SGX Create"] > 100 * measured["SGX ECALL"]
+
+    def test_spectrum_creation_ordering(self, measured):
+        """SUD creation is the spectrum floor; the container is the
+        ceiling of the OS-mechanism rows."""
+        assert measured["SUD context"] < measured["Linux pthread"]
+        assert (
+            measured["Linux pthread"]
+            < measured["Linux process"]
+            < measured["Container"]
+        )
 
 
 def test_benchmark_cached_launch(benchmark, world, measured):

@@ -2,6 +2,7 @@
 
 from repro.baselines.boundaries import (
     ALL_MECHANISMS,
+    BackendBoundary,
     BoundaryMechanism,
     EnclosuresBaseline,
     HodorBaseline,
@@ -9,6 +10,7 @@ from repro.baselines.boundaries import (
     SeCageBaseline,
     VirtineBoundary,
     WedgeBaseline,
+    spectrum_mechanisms,
 )
 
 __all__ = [
@@ -19,5 +21,7 @@ __all__ = [
     "SeCageBaseline",
     "HodorBaseline",
     "VirtineBoundary",
+    "BackendBoundary",
+    "spectrum_mechanisms",
     "ALL_MECHANISMS",
 ]

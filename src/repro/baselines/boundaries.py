@@ -25,7 +25,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hw.clock import Clock
-from repro.hw.cpu import Mode
 from repro.runtime.image import ImageBuilder
 from repro.units import cycles_to_us, us_to_cycles
 from repro.wasp.hypervisor import Wasp
@@ -105,13 +104,20 @@ class HodorBaseline(BoundaryMechanism):
     paper_latency_us = 0.1
 
 
+def _snapshot_entry(env):
+    """Boot once, capture the reset state, and halt immediately."""
+    if not env.from_snapshot:
+        env.snapshot(payload=None)
+    return 0
+
+
 class VirtineBoundary(BoundaryMechanism):
     """Virtines: measured from this repo's own Wasp stack.
 
-    One cross = provisioning a pooled shell, entering via ``KVM_RUN``
-    (ioctl + ring transitions + vmrun), running to the immediate halt,
-    exiting, and returning the shell (with snapshotted state, as the
-    language extensions configure by default).
+    One cross = provisioning a pooled shell, restoring the captured
+    post-boot snapshot (the language extensions' default), entering via
+    ``KVM_RUN`` (ioctl + ring transitions + vmrun), running to the
+    immediate halt, exiting, and returning the shell.
     """
 
     system = "Virtines"
@@ -120,15 +126,94 @@ class VirtineBoundary(BoundaryMechanism):
 
     def __init__(self, wasp: Wasp | None = None) -> None:
         self.wasp = wasp if wasp is not None else Wasp()
-        self.image = ImageBuilder().minimal(Mode.LONG64)
+        # The probe image is minimal (one page): the cross measures the
+        # boundary, not a bulk restore of guest memory.
+        self.image = ImageBuilder().hosted("boundary", _snapshot_entry,
+                                           size=4096)
         # Warm the pool and capture the post-boot snapshot so each cross
         # measures the steady-state re-entry path.
-        self.wasp.launch(self.image, use_snapshot=False)
-        result = self.wasp.launch(self.image, use_snapshot=False, snapshot_key="boundary")
-        del result
+        self.wasp.launch(self.image, policy=self._policy())
+        self.wasp.launch(self.image, policy=self._policy())
+
+    @staticmethod
+    def _policy():
+        from repro.wasp.policy import BitmaskPolicy, VirtineConfig
+        from repro.wasp.hypercall import Hypercall
+
+        return BitmaskPolicy(VirtineConfig.allowing(Hypercall.SNAPSHOT))
+
+    def cross(self, clock: Clock | None = None) -> CrossingResult:
+        """Perform one cross (defaults to the Wasp's own clock)."""
+        return super().cross(clock if clock is not None else self.wasp.clock)
 
     def _do_cross(self, clock: Clock) -> None:
-        self.wasp.launch(self.image, use_snapshot=False, clean=CleanMode.ASYNC)
+        self.wasp.launch(self.image, policy=self._policy(),
+                         clean=CleanMode.ASYNC)
+
+
+class BackendBoundary(BoundaryMechanism):
+    """A live isolation backend's boundary crossing, *measured*.
+
+    Like :class:`VirtineBoundary`, one cross is a full warm invocation
+    through the real launcher -- context provisioning, entry crossing,
+    a trivial hosted body, exit crossing, release -- not a sum of
+    constants.  The mechanism's own cost classes (SIGSYS trap tax, IPC
+    round trip, seccomp chain walk) are what make the rows differ.
+    """
+
+    def __init__(self, backend_name: str, host=None) -> None:
+        from repro.host.backend import create_host
+        from repro.runtime.image import ImageBuilder
+
+        self.backend_name = backend_name
+        self.system = self.SYSTEMS[backend_name]
+        self.mechanism = self.MECHANISMS[backend_name]
+        self.host = host if host is not None else create_host(backend_name)
+        self.image = ImageBuilder().hosted(
+            name=f"boundary:{backend_name}", entry=lambda env: 0, size=4096)
+        # Warm the context pool so each cross measures steady state.
+        self.host.launch(self.image, pooled=True, clean=CleanMode.ASYNC)
+
+    SYSTEMS = {
+        "sud": "SUD virtine",
+        "container": "Container",
+        "process": "Linux process",
+        "thread": "Linux pthread",
+    }
+    MECHANISMS = {
+        "sud": "SIGSYS trap + sched bounce",
+        "container": "IPC + seccomp filter",
+        "process": "IPC round trip",
+        "thread": "function call",
+    }
+
+    def cross(self, clock: Clock | None = None) -> CrossingResult:
+        """Perform one cross (defaults to the host's own clock)."""
+        return super().cross(clock if clock is not None else self.host.clock)
+
+    def _do_cross(self, clock: Clock) -> None:
+        self.host.launch(self.image, pooled=True, clean=CleanMode.ASYNC)
+
+    def creation_cycles(self) -> int:
+        """Creating one context from scratch (the Figure 8 quantity)."""
+        return int(self.host.backend_impl.creation_cycles())
+
+
+def spectrum_mechanisms(wasp: Wasp | None = None) -> dict[str, BoundaryMechanism]:
+    """The five-mechanism measured matrix, keyed by backend name.
+
+    The KVM row is the classic :class:`VirtineBoundary`; the other four
+    are :class:`BackendBoundary` rows over live backend hosts.  Shared
+    by ``benchmarks/bench_table2_boundaries.py`` and the conformance
+    suite's cost-ordering checks.
+    """
+    return {
+        "kvm": VirtineBoundary(wasp),
+        "sud": BackendBoundary("sud"),
+        "container": BackendBoundary("container"),
+        "process": BackendBoundary("process"),
+        "thread": BackendBoundary("thread"),
+    }
 
 
 ALL_MECHANISMS = (

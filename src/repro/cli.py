@@ -6,6 +6,8 @@ runners.  Commands:
 * ``smoketest`` -- exercise every subsystem end-to-end and report.
 * ``boot``      -- print the Table 1 boot breakdown.
 * ``creation``  -- print the Figure 8 creation-latency comparison.
+* ``backends``  -- print the five-mechanism isolation spectrum (per
+  backend: capabilities, creation cost, measured boundary crossing).
 * ``metrics``   -- run a supervised workload under injected faults and
   dump the supervision counters (``--json`` for machine-readable).
 * ``trace``     -- run a traced workload and emit the span timeline,
@@ -144,6 +146,58 @@ def cmd_creation(_args: argparse.Namespace) -> int:
     print("execution-context creation latencies:")
     for label, cycles in rows:
         print(f"  {label:32s} {cycles:>10,} cyc  {cycles_to_us(cycles):>9.2f} us")
+    return 0
+
+
+def cmd_backends(args: argparse.Namespace) -> int:
+    """The five-mechanism isolation spectrum, measured live.
+
+    One row per backend: declared capabilities, context-creation cost,
+    and a measured warm boundary crossing through the real launcher
+    (the Table 2 matrix).  ``--json`` for machine-readable output.
+    """
+    from repro.baselines import spectrum_mechanisms
+    from repro.host.backend import BACKEND_NAMES, caps_of, create_host
+
+    spectrum = spectrum_mechanisms()
+    rows = []
+    for name in BACKEND_NAMES:
+        mechanism = spectrum[name]
+        caps = caps_of(create_host(name))
+        crossing = mechanism.cross()
+        creation = (mechanism.creation_cycles()
+                    if hasattr(mechanism, "creation_cycles") else None)
+        rows.append({
+            "backend": name,
+            "system": crossing.system,
+            "mechanism": crossing.mechanism,
+            "creation_cycles": creation,
+            "crossing_cycles": crossing.cycles,
+            "crossing_us": round(crossing.latency_us, 3),
+            "caps": {
+                "snapshot": caps.snapshot,
+                "pooled": caps.pooled,
+                "in_process": caps.in_process,
+                "kill_on_violation": caps.kill_on_violation,
+            },
+        })
+
+    if args.json:
+        import json
+
+        print(json.dumps({"backends": rows}, sort_keys=True, indent=2))
+        return 0
+
+    print("isolation spectrum (Table 2 matrix, measured):")
+    print(f"  {'backend':10s} {'mechanism':28s} {'create cyc':>12s} "
+          f"{'cross cyc':>10s} {'cross us':>9s}  caps")
+    for row in rows:
+        creation = (f"{row['creation_cycles']:,}"
+                    if row["creation_cycles"] is not None else "-")
+        caps = ",".join(k for k, v in row["caps"].items() if v) or "-"
+        print(f"  {row['backend']:10s} {row['mechanism']:28s} {creation:>12s} "
+              f"{row['crossing_cycles']:>10,} {row['crossing_us']:>9.2f}  {caps}")
+    print("select with @virtine(backend=...) or create_host(name)")
     return 0
 
 
@@ -963,6 +1017,12 @@ def main(argv: list[str] | None = None) -> int:
     subparsers.add_parser("creation", help="Figure 8 creation latencies").set_defaults(
         handler=cmd_creation
     )
+    backends = subparsers.add_parser(
+        "backends", help="five-mechanism isolation spectrum (Table 2 matrix)"
+    )
+    backends.add_argument("--json", action="store_true",
+                          help="emit machine-readable JSON instead of text")
+    backends.set_defaults(handler=cmd_backends)
     scale = subparsers.add_parser(
         "scale", help="Figure 9/10 SMP creation scaling (deterministic)"
     )

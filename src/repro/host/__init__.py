@@ -9,4 +9,11 @@ from repro.host.kernel import HostKernel
 from repro.host.filesystem import InMemoryFilesystem
 from repro.host.network import LoopbackNetwork
 
-__all__ = ["HostKernel", "InMemoryFilesystem", "LoopbackNetwork"]
+__all__ = [
+    "HostKernel",
+    "InMemoryFilesystem",
+    "LoopbackNetwork",
+    # Isolation backends (import from repro.host.backend to avoid the
+    # module-load cycle with repro.wasp):
+    # BackendHost, IsolationBackend, create_host, BACKEND_NAMES
+]

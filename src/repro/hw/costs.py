@@ -139,6 +139,43 @@ class CostModel:
     #: vmrun (Section 5.2).
     POOL_BOOKKEEPING: int = 60
 
+    # --- isolation-backend cost classes (Table 2 spectrum) -----------------
+    # Per the timing-simulation argument (Mhatre & Chandran, PAPERS.md),
+    # each mechanism's boundary crossings get their own calibrated cost
+    # classes rather than sharing one generic "switch" constant.
+    #: Scheduler context switch between host threads/processes (dequeue,
+    #: state save/restore, wakeup latency) -- one direction.
+    CONTEXT_SWITCH: int = 6000
+    #: ``prctl(PR_SET_SYSCALL_USER_DISPATCH, ...)`` registration: one
+    #: syscall plus the kernel-side selector bookkeeping.  This is the
+    #: whole creation cost of an in-process SUD context -- near zero.
+    PRCTL_SUD_SETUP: int = 900
+    #: A store to the per-thread SUD selector byte (allow <-> block).
+    SUD_SELECTOR_WRITE: int = 6
+    #: SIGSYS delivery for a syscall trapped by Syscall User Dispatch:
+    #: kernel signal frame setup + handler entry.
+    SIGSYS_TRAP: int = 3600
+    #: ``sigreturn`` back out of the trap handler.
+    SIGRETURN: int = 1400
+    #: One ``mprotect`` call over a privileged region (syscall + page
+    #: table update + TLB shootdown).
+    MPROTECT_REGION: int = 1800
+    #: Userland scheduler decision after a trap bounces control back
+    #: (the vk_isolate-style "hand control to a scheduler callback").
+    SCHED_BOUNCE: int = 250
+    #: ``unshare``/``clone`` flags for one namespace (mnt/pid/net/ipc/uts).
+    NAMESPACE_CLONE: int = us_to_cycles(180.0)
+    #: cgroup hierarchy setup for a fresh sandbox.
+    CGROUP_SETUP: int = us_to_cycles(350.0)
+    #: ``pivot_root`` + minimal rootfs bind mounts.
+    ROOTFS_PIVOT: int = us_to_cycles(600.0)
+    #: Installing one seccomp-BPF filter rule (load-time, per rule).
+    SECCOMP_LOAD_PER_RULE: int = 320
+    #: Evaluating one rule of the seccomp filter chain (per syscall).
+    SECCOMP_EVAL_PER_RULE: int = 18
+    #: Fixed per-syscall seccomp entry overhead before the chain walks.
+    SECCOMP_EVAL_BASE: int = 260
+
     # --- SGX comparison (Fig. 8, measured on the Comet Lake machine) -------
     #: ECREATE/EADD/EINIT for a minimal enclave.
     SGX_CREATE: int = us_to_cycles(5600.0)

@@ -39,6 +39,7 @@ from repro.wasp.pool import CleanMode
 from repro.wasp.virtine import VirtineResult
 
 _default_wasp: Wasp | None = None
+_default_hosts: dict[str, Any] = {}
 
 
 def set_default_wasp(wasp: Wasp | None) -> None:
@@ -53,6 +54,28 @@ def get_default_wasp() -> Wasp:
     if _default_wasp is None:
         _default_wasp = Wasp()
     return _default_wasp
+
+
+def get_default_host(backend: str):
+    """The process-wide launcher for a named isolation backend.
+
+    ``"kvm"`` shares :func:`get_default_wasp`; every other name lazily
+    builds (and caches) a :class:`~repro.host.backend.BackendHost` so
+    all ``@virtine(backend="sud")`` functions share one SUD plane, the
+    way all KVM virtines share one Wasp.
+    """
+    if backend == "kvm":
+        return get_default_wasp()
+    if backend not in _default_hosts:
+        from repro.host.backend import create_host
+
+        _default_hosts[backend] = create_host(backend)
+    return _default_hosts[backend]
+
+
+def reset_default_hosts() -> None:
+    """Drop the cached per-backend launchers (test isolation hook)."""
+    _default_hosts.clear()
 
 
 def _lang_default_policy() -> Policy:
@@ -70,6 +93,7 @@ class VirtineFunction:
         *,
         policy_factory: Callable[[], Policy] | None = None,
         wasp: Wasp | None = None,
+        backend: str = "kvm",
         snapshot: bool = True,
         clean: CleanMode = CleanMode.SYNC,
         image_size: int | None = None,
@@ -79,6 +103,11 @@ class VirtineFunction:
         self._fn = fn
         self._policy_factory = policy_factory or _lang_default_policy
         self._wasp = wasp
+        #: Isolation mechanism this function's invocations run under:
+        #: ``"kvm"`` (real virtines), ``"sud"``, ``"container"``,
+        #: ``"process"``, or ``"thread"``.  An explicit ``wasp=`` (or any
+        #: launcher passed there) wins over the name.
+        self.backend = backend
         self._snapshot = snapshot
         self._clean = clean
         self._image_size = image_size
@@ -125,7 +154,7 @@ class VirtineFunction:
 
     def invoke(self, *args: Any, **kwargs: Any) -> VirtineResult:
         """Run one invocation and return the full :class:`VirtineResult`."""
-        wasp = self._wasp if self._wasp is not None else get_default_wasp()
+        wasp = self._wasp if self._wasp is not None else get_default_host(self.backend)
         use_snapshot = self._snapshot and not os.environ.get("VIRTINE_NO_SNAPSHOT")
         return wasp.launch(
             self.image,
@@ -146,7 +175,8 @@ class VirtineFunction:
         costs = env._wasp.costs
         if not env.from_snapshot:
             env.charge(costs.GUEST_LIBC_INIT)
-            if self._snapshot and not os.environ.get("VIRTINE_NO_SNAPSHOT"):
+            if (self._snapshot and env.can_snapshot
+                    and not os.environ.get("VIRTINE_NO_SNAPSHOT")):
                 env.snapshot(payload={"libc": "initialized"})
         args, kwargs = env.args if env.args is not None else ((), {})
 

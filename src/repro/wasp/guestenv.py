@@ -89,6 +89,17 @@ class GuestEnv:
         """The virtine's guest physical memory (its own address space)."""
         return self._virtine.shell.vm.memory
 
+    # -- capabilities -------------------------------------------------------------
+    @property
+    def can_snapshot(self) -> bool:
+        """Whether the isolation backend underneath supports snapshots.
+
+        KVM virtines capture full reset states; in-process and container
+        backends cannot, and guest bodies that would call
+        :meth:`snapshot` should gate on this instead of crashing.
+        """
+        return bool(getattr(self._wasp, "snapshot_capable", True))
+
     # -- instrumentation ------------------------------------------------------------
     def milestone(self, marker: int) -> None:
         """Record a zero-cost guest timestamp (the debug-port analogue;
@@ -129,8 +140,7 @@ class GuestEnv:
         server's seven hypercalls (Section 6.3) -- but only pays the exit
         half of the round trip (there is no re-entry).
         """
-        costs = self._wasp.costs
-        self._wasp.clock.advance(costs.VMRUN_EXIT + costs.ioctl())
+        self._wasp.clock.advance(self._wasp.exit_boundary_cycles())
         self._virtine.hypercall_count += 1
         self._virtine.audit.record(Hypercall.EXIT, allowed=True)
         self._virtine.exit_code = code

@@ -104,3 +104,31 @@ class AuditLog:
                 continue
             total += 1
         return total
+
+
+# -- shared dispatch core ----------------------------------------------------
+# Every isolation backend interposes on the same external channel with the
+# same policy and audit semantics; only the boundary-crossing *costs* and the
+# violation *consequences* differ per mechanism.  These two functions are
+# that shared core, used by the KVM hypervisor (:class:`repro.wasp.
+# hypervisor.Wasp`) and by every :class:`repro.host.backend.BackendHost`.
+
+def policy_gate(virtine: Any, nr: Hypercall) -> None:
+    """Consult the virtine's policy and audit the decision.
+
+    Raises :class:`HypercallDenied` on rejection; what a denial *does*
+    (catchable error vs. seccomp-style kill) is the caller's business.
+    """
+    allowed = virtine.policy.allows(nr)
+    virtine.audit.record(nr, allowed)
+    if not allowed:
+        raise HypercallDenied(nr)
+
+
+def dispatch_handler(virtine: Any, nr: Hypercall, args: tuple) -> Any:
+    """Policy-gate a hypercall and run its installed handler."""
+    policy_gate(virtine, nr)
+    handler = virtine.handlers.get(nr)
+    if handler is None:
+        raise HypercallError(nr, "ENOSYS", "no handler installed")
+    return handler(HypercallRequest(nr=nr, args=args, virtine=virtine))

@@ -41,7 +41,8 @@ from repro.wasp.hypercall import (
     Hypercall,
     HypercallDenied,
     HypercallError,
-    HypercallRequest,
+    dispatch_handler,
+    policy_gate,
 )
 from repro.wasp.policy import DefaultDenyPolicy, Policy
 from repro.wasp.pool import CleanMode, ShardedShellPool, Shell, ShellPool
@@ -942,6 +943,18 @@ class Wasp:
         return False
 
     # -- hypercall dispatch -------------------------------------------------------------
+    #: KVM snapshots full reset states; backends that cannot advertise
+    #: False here and :attr:`GuestEnv.can_snapshot` reflects it.
+    snapshot_capable = True
+
+    def exit_boundary_cycles(self) -> int:
+        """Cycles the EXIT hypercall's one-way boundary crossing costs.
+
+        Exit pays only the outbound half of the round trip (there is no
+        re-entry); each isolation backend prices this differently.
+        """
+        return int(self.costs.VMRUN_EXIT + self.costs.ioctl())
+
     def dispatch_hosted_hypercall(self, virtine: Virtine, nr: Hypercall, args: tuple) -> Any:
         """Full-cost hypercall from a hosted guest: exit, dispatch, re-enter.
 
@@ -996,17 +1009,10 @@ class Wasp:
             self.clock.advance(self.costs.memcpy(moved))
 
     def _policy_gate(self, virtine: Virtine, nr: Hypercall) -> None:
-        allowed = virtine.policy.allows(nr)
-        virtine.audit.record(nr, allowed)
-        if not allowed:
-            raise HypercallDenied(nr)
+        policy_gate(virtine, nr)
 
     def _dispatch(self, virtine: Virtine, nr: Hypercall, args: tuple) -> Any:
-        self._policy_gate(virtine, nr)
-        handler = virtine.handlers.get(nr)
-        if handler is None:
-            raise HypercallError(nr, "ENOSYS", "no handler installed")
-        return handler(HypercallRequest(nr=nr, args=args, virtine=virtine))
+        return dispatch_handler(virtine, nr, args)
 
     # -- snapshots ------------------------------------------------------------------------
     def capture_snapshot(self, virtine: Virtine, payload: Any) -> None:

@@ -1,0 +1,10 @@
+"""Cross-backend conformance suite: one contract, five mechanisms.
+
+Every test in this package runs against each point on the isolation
+spectrum (KVM virtines, SUD-gated in-process contexts, namespace/seccomp
+containers, processes, pthreads) and asserts the *same observable
+contract*: identical crash-taxonomy verdicts, identical security
+invariants, identical deadline semantics, zero leaked host state.
+Divergences are legal only where a backend declares them through
+:class:`repro.host.backend.BackendCaps`.
+"""

@@ -1,0 +1,256 @@
+"""The hostile-guest battery: seeded adversarial bodies for any backend.
+
+A portable analogue of the interface fuzzer's mutation operators
+(``repro.replay.fuzzer``): where the fuzzer mutates *recorded boundary
+streams* and replays them against the KVM hypervisor, these operators
+are hostile *guest bodies* that run on every isolation backend.  The
+same attack classes appear in both -- reserved hypercall numbers,
+straddling/negative/huge buffers, garbage arguments, negative cycle
+charges, path traversal, fd theft -- so the conformance claim is that
+each mechanism classifies them identically.
+
+Every case must end "completed" or "typed:<VirtineCrash subclass>";
+an untyped escape, a leaked fd, a mutated host file, or a secret in a
+returned value is a conformance failure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.runtime.image import ImageBuilder
+from repro.wasp.hypercall import Hypercall
+from repro.wasp.policy import DefaultDenyPolicy, PermissivePolicy
+from repro.wasp.virtine import VirtineCrash
+
+SECRET = b"PRIVATE KEY"
+
+
+@dataclass
+class CaseOutcome:
+    """One hostile case's verdict on one backend."""
+
+    operator: str
+    #: "completed" | "typed:<ExceptionClass>" | "untyped:<ExceptionClass>"
+    outcome: str
+    detail: str = ""
+    invariant_failures: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (not self.outcome.startswith("untyped:")
+                and not self.invariant_failures)
+
+    def key(self) -> tuple[str, str]:
+        """The determinism fingerprint (operator, outcome)."""
+        return (self.operator, self.outcome)
+
+
+# -- operators ---------------------------------------------------------------
+# Each builds (entry, launch_kwargs) from a seeded rng.  Defaults are
+# permissive with /public/ granted, so what's probed is the *validation*
+# and *mechanism* planes, not the policy gate (the denied-syscall case
+# probes that one deliberately).
+
+def _permissive() -> dict:
+    return {"policy": PermissivePolicy(), "allowed_paths": ("/public/",)}
+
+
+def _op_reserved_hypercall_nr(rng: random.Random):
+    bogus = rng.choice([99, 999, -1, 2**31])
+
+    def entry(env):
+        return env.hypercall(Hypercall(bogus))
+
+    return entry, _permissive()
+
+
+def _op_oob_buffer_write(rng: random.Random):
+    addr = rng.randrange(2**40, 2**60)
+
+    def entry(env):
+        env.memory.write(addr, b"X" * 64)
+
+    return entry, _permissive()
+
+
+def _op_negative_mem_read(rng: random.Random):
+    addr = -rng.randrange(1, 4096)
+
+    def entry(env):
+        return bytes(env.memory.read(addr, 16))
+
+    return entry, _permissive()
+
+
+def _op_straddling_buffer(rng: random.Random):
+    overhang = rng.randrange(1, 32)
+
+    def entry(env):
+        env.memory.write(env.memory.size - overhang, b"S" * 64)
+
+    return entry, _permissive()
+
+
+def _op_huge_read_len(rng: random.Random):
+    length = 2 ** rng.randrange(40, 63)
+
+    def entry(env):
+        fd = env.hypercall(Hypercall.OPEN, "/public/data.txt")
+        return env.hypercall(Hypercall.READ, fd, length)
+
+    return entry, _permissive()
+
+
+def _op_garbage_args(rng: random.Random):
+    garbage = rng.choice([(), (None,), (-1, -1), ("", object()), (2**80,),
+                          (b"\x00" * 10, 1)])
+
+    def entry(env):
+        return env.hypercall(Hypercall.READ, *garbage)
+
+    return entry, _permissive()
+
+
+def _op_path_traversal(rng: random.Random):
+    path = rng.choice([
+        "../secret/key.pem",
+        "/public/../secret/key.pem",
+        "/secret/key.pem",
+        "//secret//key.pem",
+        "/public/\x00../../secret/key.pem",
+    ])
+
+    def entry(env):
+        fd = env.hypercall(Hypercall.OPEN, path)
+        return env.hypercall(Hypercall.READ, fd, 1024)
+
+    return entry, _permissive()
+
+
+def _op_fd_theft(rng: random.Random):
+    fd = rng.randrange(3, 64)
+
+    def entry(env):
+        return env.hypercall(Hypercall.READ, fd, 100)
+
+    return entry, _permissive()
+
+
+def _op_negative_charge(rng: random.Random):
+    cycles = -rng.randrange(1, 10**6)
+
+    def entry(env):
+        env.charge(cycles)
+
+    return entry, _permissive()
+
+
+def _op_denied_syscall(rng: random.Random):
+    nr = rng.choice([Hypercall.WRITE, Hypercall.SEND, Hypercall.INVOKE])
+
+    def entry(env):
+        return env.hypercall(nr, 3, b"corruption")
+
+    return entry, {"policy": DefaultDenyPolicy()}
+
+
+def _op_swallowed_kill(rng: random.Random):
+    """A guest that tries to swallow its own policy kill and carry on."""
+    nr = rng.choice([Hypercall.OPEN, Hypercall.SEND])
+
+    def entry(env):
+        try:
+            env.hypercall(nr)
+        except Exception:
+            pass
+        return "survived"
+
+    return entry, {"policy": DefaultDenyPolicy()}
+
+
+def _op_guest_exception(rng: random.Random):
+    error = rng.choice([ValueError, KeyError, RecursionError, MemoryError])
+
+    def entry(env):
+        raise error("hostile chaos")
+
+    return entry, _permissive()
+
+
+def _op_exit_code_extremes(rng: random.Random):
+    code = rng.choice([-1, 2**31, 2**63])
+
+    def entry(env):
+        env.exit(code)
+
+    return entry, _permissive()
+
+
+HOSTILE_OPERATORS: list[tuple[str, Callable]] = [
+    ("reserved-hypercall-nr", _op_reserved_hypercall_nr),
+    ("oob-buffer-write", _op_oob_buffer_write),
+    ("negative-mem-read", _op_negative_mem_read),
+    ("straddling-buffer", _op_straddling_buffer),
+    ("huge-read-len", _op_huge_read_len),
+    ("garbage-args", _op_garbage_args),
+    ("path-traversal", _op_path_traversal),
+    ("fd-theft", _op_fd_theft),
+    ("negative-charge", _op_negative_charge),
+    ("denied-syscall", _op_denied_syscall),
+    ("swallowed-kill", _op_swallowed_kill),
+    ("guest-exception", _op_guest_exception),
+    ("exit-code-extremes", _op_exit_code_extremes),
+]
+
+
+# -- the harness -------------------------------------------------------------
+def run_case(host, operator: str, build: Callable, rng: random.Random,
+             index: int) -> CaseOutcome:
+    entry, launch_kwargs = build(rng)
+    image = ImageBuilder().hosted(f"hostile-{operator}-{index}", entry)
+    case = CaseOutcome(operator=operator, outcome="completed")
+    value: Any = None
+    try:
+        result = host.launch(image, **launch_kwargs)
+        value = result.value
+    except VirtineCrash as crash:
+        case.outcome = f"typed:{type(crash).__name__}"
+        case.detail = str(crash)
+    except BaseException as escape:  # the invariant being probed
+        case.outcome = f"untyped:{type(escape).__name__}"
+        case.detail = str(escape)
+    case.invariant_failures = _check_invariants(host, value)
+    return case
+
+
+def _check_invariants(host, value: Any) -> list[str]:
+    """Host-plane health after one hostile case, crashed or not."""
+    problems: list[str] = []
+    open_fds = host.kernel.fs.open_fd_count()
+    if open_fds:
+        problems.append(f"host kernel leaked {open_fds} open fds")
+    if host.kernel.fs.file_bytes("/secret/key.pem") != SECRET:
+        problems.append("hostile guest mutated /secret/key.pem")
+    if host.kernel.fs.file_bytes("/public/data.txt") != b"public":
+        problems.append("hostile guest mutated /public/data.txt")
+    if isinstance(value, (bytes, bytearray)) and SECRET in bytes(value):
+        problems.append("hostile guest exfiltrated the secret")
+    return problems
+
+
+def run_battery(host, seed: int, rounds: int = 2) -> list[CaseOutcome]:
+    """Run every operator ``rounds`` times with seeded parameters.
+
+    Case ``i`` of operator ``op`` draws from ``Random(f"{seed}:{op}:{i}")``
+    (the fuzzer's per-case derivation scheme), so a backend's battery is
+    reproducible from the seed alone.
+    """
+    outcomes: list[CaseOutcome] = []
+    for index in range(rounds):
+        for name, build in HOSTILE_OPERATORS:
+            rng = random.Random(f"{seed}:{name}:{index}")
+            outcomes.append(run_case(host, name, build, rng, index))
+    return outcomes

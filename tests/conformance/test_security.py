@@ -1,0 +1,140 @@
+"""Section 3 security objectives, asserted on every backend.
+
+Host integrity, inter-context secrecy, and default-deny must hold on
+all five mechanisms -- including the pthread backend, whose *mechanism*
+provides nothing: there the policy plane alone carries the objectives,
+which is exactly what these tests demonstrate.
+"""
+
+import pytest
+
+from repro.runtime.image import ImageBuilder
+from repro.wasp.hypercall import Hypercall, HypercallDenied, HypercallError
+from repro.wasp.policy import DefaultDenyPolicy, PermissivePolicy
+from repro.wasp.virtine import VirtineCrash
+
+
+class TestHostIntegrity:
+    def test_guest_chaos_cannot_take_down_host(self, host):
+        for error_type in (ValueError, KeyError, RecursionError, MemoryError):
+            def entry(env, et=error_type):
+                raise et("chaos")
+
+            image = ImageBuilder().hosted(f"chaos-{error_type.__name__}", entry)
+            with pytest.raises(VirtineCrash):
+                host.launch(image)
+        ok = host.launch(ImageBuilder().hosted("after", lambda env: "alive"))
+        assert ok.value == "alive"
+
+    def test_fs_unmutable_without_grant(self, host):
+        def entry(env):
+            env.hypercall(Hypercall.WRITE, 3, b"corruption")
+
+        image = ImageBuilder().hosted("writer", entry)
+        with pytest.raises(VirtineCrash):
+            host.launch(image, policy=DefaultDenyPolicy())
+        assert host.kernel.fs.file_bytes("/public/data.txt") == b"public"
+        assert host.kernel.fs.file_bytes("/secret/key.pem") == b"PRIVATE KEY"
+
+    def test_secret_unreachable_outside_allowed_paths(self, host):
+        def entry(env):
+            try:
+                fd = env.hypercall(Hypercall.OPEN, "/secret/key.pem")
+                return env.hypercall(Hypercall.READ, fd, 1024)
+            except (HypercallError, HypercallDenied):
+                return b"blocked"
+
+        image = ImageBuilder().hosted("snooper", entry)
+        result = host.launch(image, policy=PermissivePolicy(),
+                             allowed_paths=("/public/",))
+        assert result.value == b"blocked"
+
+
+class TestDefaultDeny:
+    @pytest.mark.parametrize("nr", [Hypercall.OPEN, Hypercall.SEND,
+                                    Hypercall.SNAPSHOT, Hypercall.INVOKE])
+    def test_denied_by_default(self, host, nr):
+        def entry(env, n=nr):
+            env.hypercall(n)
+
+        image = ImageBuilder().hosted(f"deny-{nr.name}", entry)
+        with pytest.raises(VirtineCrash, match="denied|disallowed"):
+            host.launch(image, policy=DefaultDenyPolicy())
+
+    def test_exit_always_available(self, host):
+        def entry(env):
+            env.exit(5)
+
+        result = host.launch(ImageBuilder().hosted("exit", entry),
+                             policy=DefaultDenyPolicy())
+        assert result.exit_code == 5
+
+    def test_denial_catchability_matches_declared_capability(self, host, caps):
+        """Catching a denial is legal exactly where the backend says so."""
+        def entry(env):
+            try:
+                env.hypercall(Hypercall.OPEN)
+            except HypercallDenied:
+                return "caught"
+            return "uncaught"
+
+        image = ImageBuilder().hosted("catcher", entry)
+        if caps.kill_on_violation:
+            with pytest.raises(VirtineCrash):
+                host.launch(image, policy=DefaultDenyPolicy())
+        else:
+            result = host.launch(image, policy=DefaultDenyPolicy())
+            assert result.value == "caught"
+
+
+class TestInterContextSecrecy:
+    def test_sequential_tenants_no_memory_leak(self, host):
+        addresses = (0x3000, 0x100000, 0x240000, 0x280000)
+        secret = b"TENANT-A-SECRET!"
+
+        def writer(env):
+            for addr in addresses:
+                env.memory.write(addr, secret)
+
+        def prober(env):
+            return [bytes(env.memory.read(addr, 16)) for addr in addresses]
+
+        host.launch(ImageBuilder().hosted("tenant-a", writer))
+        probes = host.launch(ImageBuilder().hosted("tenant-b", prober)).value
+        assert all(chunk != secret for chunk in probes)
+
+    def test_fd_of_one_context_unusable_by_next(self, host):
+        stolen = {}
+
+        def opener(env):
+            stolen["fd"] = env.hypercall(Hypercall.OPEN, "/public/data.txt")
+            return stolen["fd"]
+
+        def thief(env):
+            try:
+                return env.hypercall(Hypercall.READ, stolen["fd"], 100)
+            except HypercallError:
+                return b"blocked"
+
+        host.launch(ImageBuilder().hosted("opener", opener),
+                    policy=PermissivePolicy(), allowed_paths=("/public/",))
+        result = host.launch(ImageBuilder().hosted("thief", thief),
+                             policy=PermissivePolicy(),
+                             allowed_paths=("/public/",))
+        assert result.value == b"blocked"
+
+    def test_crashed_tenant_leaves_no_residue(self, host):
+        """A context that hosted a crash is scrubbed before reuse."""
+        secret = b"CRASHED-TENANT-SECRET"
+
+        def crasher(env):
+            env.memory.write(0x3000, secret)
+            raise RuntimeError("boom")
+
+        def prober(env):
+            return bytes(env.memory.read(0x3000, len(secret)))
+
+        with pytest.raises(VirtineCrash):
+            host.launch(ImageBuilder().hosted("crasher", crasher))
+        probe = host.launch(ImageBuilder().hosted("prober", prober)).value
+        assert probe != secret

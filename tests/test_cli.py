@@ -24,6 +24,29 @@ class TestCli:
         assert "vmrun (hardware limit)" in out
         assert "Wasp+CA" in out
 
+    def test_backends_table(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("kvm", "sud", "container", "process", "thread"):
+            assert name in out
+        assert "SIGSYS trap" in out
+        assert "@virtine(backend=...)" in out
+
+    def test_backends_json(self, capsys):
+        import json
+
+        assert main(["backends", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        rows = {row["backend"]: row for row in payload["backends"]}
+        assert set(rows) == {"kvm", "sud", "container", "process", "thread"}
+        assert rows["sud"]["caps"]["in_process"] is True
+        assert rows["container"]["caps"]["kill_on_violation"] is True
+        # The spectrum shape the Table 2 matrix asserts.
+        assert (rows["thread"]["crossing_cycles"]
+                < rows["kvm"]["crossing_cycles"]
+                < rows["process"]["crossing_cycles"]
+                < rows["container"]["crossing_cycles"])
+
     def test_info(self, capsys):
         assert main(["info"]) == 0
         out = capsys.readouterr().out
